@@ -1,0 +1,48 @@
+// Shared helpers for the table/figure reproduction harnesses.  Every bench
+// binary prints the paper's published rows next to our measured ones; the
+// goal is matching *shape* (who wins, rough factors, crossovers), not the
+// authors' absolute 1985 numbers.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "analysis/table.hpp"
+#include "protest/protest.hpp"
+#include "testlen/test_length.hpp"
+
+namespace protest::bench {
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double time_seconds(F&& f) {
+  const auto t0 = std::chrono::steady_clock::now();
+  f();
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+inline std::string fmt_testlen(std::uint64_t n) {
+  return n == kInfiniteTestLength ? "inf" : fmt_int(n);
+}
+
+/// Detection probabilities restricted to estimated-detectable faults
+/// (drops exact zeros: structurally unobservable/untestable faults, which
+/// the paper's finite d=1.0 rows implicitly exclude).
+inline std::vector<double> detectable(const std::vector<double>& pf) {
+  std::vector<double> out;
+  out.reserve(pf.size());
+  for (double p : pf)
+    if (p > 0.0) out.push_back(p);
+  return out;
+}
+
+inline void print_header(const char* what) {
+  std::printf("==================================================================\n");
+  std::printf("PROTEST reproduction — %s\n", what);
+  std::printf("==================================================================\n");
+}
+
+}  // namespace protest::bench

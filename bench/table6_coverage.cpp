@@ -1,0 +1,83 @@
+// Table 6: fault coverage by simulation of random patterns — DIV and COMP,
+// conventional p = 0.5 vs PROTEST-optimized probabilities, for growing
+// pattern counts.  Paper values (%):
+//
+//   | patterns | DIV not opt | DIV opt | COMP not opt | COMP opt |
+//   | 10       | 18.8        | 26.1    | 32.1         | 44.5     |
+//   | 100      | 56.5        | 66.3    | 70.4         | 72.7     |
+//   | 1000     | 69.1        | 94.6    | 75.8         | 95.4     |
+//   | 2000     | 71.4        | 98.5    | 76.5         | 97.2     |
+//   | ...      | plateau     | ~99.7   | plateau      | ~99.7    |
+//
+// Shape: the uniform curves plateau far below the optimized ones.
+#include "bench_util.hpp"
+#include "circuits/zoo.hpp"
+
+namespace protest {
+namespace {
+
+struct Curves {
+  FaultSimResult uniform, optimized;
+};
+
+Curves run(const char* name) {
+  const Netlist net = make_circuit(name);
+  ProtestOptions popts;
+  popts.universe = FaultUniverse::Collapsed;
+  popts.estimator.maxvers = 2;  // cheap gradient config (see table5)
+  popts.estimator.maxlist = 8;
+  popts.estimator.max_candidates = 8;
+  const Protest tool(net, popts);
+
+  HillClimbOptions opts;
+  opts.max_sweeps = 4;
+  const HillClimbResult res = tool.optimize(10'000, opts);
+
+  const std::size_t total = 12'000;
+  Curves c;
+  c.uniform = tool.fault_simulate(
+      tool.generate_patterns(uniform_input_probs(net, 0.5), total, 6),
+      FaultSimMode::FirstDetection);
+  c.optimized = tool.fault_simulate(tool.generate_patterns(res.probs, total, 6),
+                                    FaultSimMode::FirstDetection);
+  return c;
+}
+
+}  // namespace
+}  // namespace protest
+
+int main() {
+  using namespace protest;
+  bench::print_header("Table 6: fault coverage vs pattern count (simulated)");
+
+  const double paper[14][4] = {
+      {18.8, 26.1, 32.1, 44.5}, {56.5, 66.3, 70.4, 72.7},
+      {69.1, 94.6, 75.8, 95.4}, {71.4, 98.5, 76.5, 97.2},
+      {73.2, 99.0, 77.2, 98.3}, {74.7, 99.1, 79.6, 99.4},
+      {76.8, 99.1, 80.0, 99.4}, {77.2, 99.4, 80.4, 99.4},
+      {77.2, 99.4, 80.4, 99.5}, {77.2, 99.6, 80.5, 99.5},
+      {77.2, 99.7, 80.5, 99.5}, {77.2, 99.7, 80.6, 99.7},
+      {77.2, 99.7, 80.6, 99.7}, {77.2, 99.7, 80.7, 99.7}};
+  const std::size_t counts[14] = {10,   100,  1000, 2000, 3000, 4000, 5000,
+                                  6000, 7000, 8000, 9000, 10000, 11000, 12000};
+
+  const Curves div = run("div");
+  const Curves comp = run("comp");
+
+  TextTable t({"patterns", "DIV p=.5 (paper)", "DIV p=.5", "DIV opt (paper)",
+               "DIV opt", "COMP p=.5 (paper)", "COMP p=.5",
+               "COMP opt (paper)", "COMP opt"});
+  for (int r = 0; r < 14; ++r) {
+    const std::size_t n = counts[r];
+    t.add_row({fmt_int(n), fmt(paper[r][0], 1),
+               fmt(100 * div.uniform.coverage_at(n), 1), fmt(paper[r][1], 1),
+               fmt(100 * div.optimized.coverage_at(n), 1), fmt(paper[r][2], 1),
+               fmt(100 * comp.uniform.coverage_at(n), 1), fmt(paper[r][3], 1),
+               fmt(100 * comp.optimized.coverage_at(n), 1)});
+  }
+  std::printf("%s", t.str().c_str());
+  std::printf("\npaper: \"conventional random pattern test yields very "
+              "insufficient results whereas the pattern sets proposed by "
+              "PROTEST detect nearly all faults.\"\n");
+  return 0;
+}

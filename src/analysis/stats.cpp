@@ -1,0 +1,79 @@
+#include "analysis/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace protest {
+
+double pearson_correlation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.empty())
+    throw std::invalid_argument("pearson_correlation: size mismatch or empty");
+  const double n = static_cast<double>(x.size());
+  double sx = 0, sy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n, my = sy / n;
+  double sxy = 0, sxx = 0, syy = 0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx, dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) return 0.0;  // a constant series
+  return sxy / std::sqrt(sxx * syy);
+}
+
+ErrorStats compare_estimates(std::span<const double> est,
+                             std::span<const double> ref) {
+  if (est.size() != ref.size() || est.empty())
+    throw std::invalid_argument("compare_estimates: size mismatch or empty");
+  ErrorStats s;
+  s.count = est.size();
+  double abs_sum = 0.0, signed_sum = 0.0;
+  for (std::size_t i = 0; i < est.size(); ++i) {
+    const double d = est[i] - ref[i];
+    s.max_abs_error = std::max(s.max_abs_error, std::abs(d));
+    abs_sum += std::abs(d);
+    signed_sum += d;
+  }
+  s.mean_abs_error = abs_sum / static_cast<double>(est.size());
+  s.mean_signed_error = signed_sum / static_cast<double>(est.size());
+  s.correlation = pearson_correlation(est, ref);
+  return s;
+}
+
+std::string scatter_series(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("scatter_series: size mismatch");
+  std::ostringstream os;
+  for (std::size_t i = 0; i < x.size(); ++i) os << x[i] << ' ' << y[i] << '\n';
+  return os.str();
+}
+
+std::string ascii_scatter(std::span<const double> x, std::span<const double> y,
+                          unsigned width, unsigned height) {
+  if (x.size() != y.size())
+    throw std::invalid_argument("ascii_scatter: size mismatch");
+  std::vector<std::string> grid(height, std::string(width, ' '));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double cx = std::clamp(x[i], 0.0, 1.0);
+    const double cy = std::clamp(y[i], 0.0, 1.0);
+    const unsigned col = static_cast<unsigned>(cx * (width - 1) + 0.5);
+    const unsigned row =
+        height - 1 - static_cast<unsigned>(cy * (height - 1) + 0.5);
+    char& c = grid[row][col];
+    c = c == ' ' ? '.' : (c == '.' ? '+' : '*');
+  }
+  std::ostringstream os;
+  os << "P_SIM ^\n";
+  for (const std::string& line : grid) os << "      |" << line << '\n';
+  os << "      +" << std::string(width, '-') << "> P_PROT\n";
+  return os.str();
+}
+
+}  // namespace protest

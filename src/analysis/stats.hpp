@@ -1,0 +1,34 @@
+// Statistics used in the paper's validation (sect. 4): maximal error,
+// average error Delta = sum |P_PROT - P_SIM| / #faults, and the Pearson
+// correlation coefficient C of estimated vs simulated detection
+// probabilities (Table 1, figs. 5/6).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace protest {
+
+struct ErrorStats {
+  double max_abs_error = 0.0;   ///< "Max" column of Table 1
+  double mean_abs_error = 0.0;  ///< "Delta" column of Table 1
+  double correlation = 0.0;     ///< "C" column of Table 1
+  double mean_signed_error = 0.0;  ///< mean(est - ref): negative = under-estimation
+  std::size_t count = 0;
+};
+
+double pearson_correlation(std::span<const double> x, std::span<const double> y);
+
+/// est vs ref (e.g. P_PROT vs P_SIM), element-wise.
+ErrorStats compare_estimates(std::span<const double> est,
+                             std::span<const double> ref);
+
+/// "x y" lines for a scatter plot (figs. 5/6 series).
+std::string scatter_series(std::span<const double> x, std::span<const double> y);
+
+/// Coarse ASCII scatter rendering (correlation-diagram style of figs. 5/6).
+std::string ascii_scatter(std::span<const double> x, std::span<const double> y,
+                          unsigned width = 61, unsigned height = 21);
+
+}  // namespace protest

@@ -1,0 +1,65 @@
+#include "analysis/table.hpp"
+
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace protest {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {
+  if (headers_.empty()) throw std::invalid_argument("TextTable: no headers");
+}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size())
+    throw std::invalid_argument("TextTable: cell count mismatch");
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::str() const {
+  std::vector<std::size_t> w(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) w[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      w[c] = std::max(w[c], row[c].size());
+
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(w[c] - row[c].size(), ' ') << " |";
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  os << '|';
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    os << std::string(w[c] + 2, '-') << '|';
+  os << '\n';
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+std::string fmt(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+std::string fmt_int(std::uint64_t v) {
+  // Thousands separators for readability of pattern counts.
+  std::string raw = std::to_string(v);
+  std::string out;
+  const std::size_t n = raw.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(raw[i]);
+    const std::size_t rem = n - 1 - i;
+    if (rem > 0 && rem % 3 == 0) out.push_back(' ');
+  }
+  return out;
+}
+
+}  // namespace protest

@@ -1,0 +1,28 @@
+// Aligned ASCII tables: every bench binary prints paper-style rows through
+// this helper so table output is uniform.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace protest {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with column alignment and a header separator.
+  std::string str() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision formatting helpers for table cells.
+std::string fmt(double v, int precision = 3);
+std::string fmt_int(std::uint64_t v);
+
+}  // namespace protest

@@ -1,0 +1,107 @@
+#include "bdd/bdd.hpp"
+
+#include <algorithm>
+
+namespace protest {
+
+std::size_t Bdd::TripleHash::operator()(const Triple& t) const {
+  // splitmix64-style mixing of the three fields.
+  std::uint64_t x = (std::uint64_t{t.a} << 42) ^ (std::uint64_t{t.b} << 21) ^
+                    std::uint64_t{t.c};
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return static_cast<std::size_t>(x);
+}
+
+Bdd::Bdd(unsigned num_vars, std::size_t node_limit)
+    : num_vars_(num_vars), node_limit_(node_limit) {
+  // Terminals live at fixed positions with the past-the-end variable level.
+  nodes_.push_back({num_vars_, 0, 0});  // false
+  nodes_.push_back({num_vars_, 1, 1});  // true
+}
+
+Bdd::Ref Bdd::var(unsigned v) {
+  if (v >= num_vars_) throw std::out_of_range("Bdd::var: index out of range");
+  return make(v, zero(), one());
+}
+
+Bdd::Ref Bdd::make(unsigned var, Ref lo, Ref hi) {
+  if (lo == hi) return lo;
+  const Triple key{var, lo, hi};
+  auto it = unique_.find(key);
+  if (it != unique_.end()) return it->second;
+  if (nodes_.size() >= node_limit_) throw BddLimitExceeded();
+  const Ref r = static_cast<Ref>(nodes_.size());
+  nodes_.push_back({var, lo, hi});
+  unique_.emplace(key, r);
+  return r;
+}
+
+Bdd::Ref Bdd::cofactor(Ref f, unsigned v, bool positive) const {
+  const Node& n = nodes_[f];
+  if (n.var != v) return f;  // f does not depend on v at the top
+  return positive ? n.hi : n.lo;
+}
+
+Bdd::Ref Bdd::ite(Ref f, Ref g, Ref h) {
+  // Terminal cases.
+  if (f == one()) return g;
+  if (f == zero()) return h;
+  if (g == h) return g;
+  if (g == one() && h == zero()) return f;
+
+  const Triple key{f, g, h};
+  auto it = ite_cache_.find(key);
+  if (it != ite_cache_.end()) return it->second;
+
+  const unsigned v =
+      std::min({var_of(f), var_of(g), var_of(h)});
+  const Ref hi = ite(cofactor(f, v, true), cofactor(g, v, true),
+                     cofactor(h, v, true));
+  const Ref lo = ite(cofactor(f, v, false), cofactor(g, v, false),
+                     cofactor(h, v, false));
+  const Ref r = make(v, lo, hi);
+  ite_cache_.emplace(key, r);
+  return r;
+}
+
+double Bdd::sat_prob(Ref f, std::span<const double> probs) const {
+  if (probs.size() != num_vars_)
+    throw std::invalid_argument("Bdd::sat_prob: wrong probability count");
+  std::unordered_map<Ref, double> memo;
+  // Iterative post-order to keep recursion depth independent of BDD height.
+  std::vector<Ref> stack{f};
+  memo.emplace(zero(), 0.0);
+  memo.emplace(one(), 1.0);
+  while (!stack.empty()) {
+    const Ref r = stack.back();
+    if (memo.count(r)) {
+      stack.pop_back();
+      continue;
+    }
+    const Node& n = nodes_[r];
+    const auto lo = memo.find(n.lo);
+    const auto hi = memo.find(n.hi);
+    if (lo != memo.end() && hi != memo.end()) {
+      memo.emplace(r, (1.0 - probs[n.var]) * lo->second +
+                          probs[n.var] * hi->second);
+      stack.pop_back();
+    } else {
+      if (lo == memo.end()) stack.push_back(n.lo);
+      if (hi == memo.end()) stack.push_back(n.hi);
+    }
+  }
+  return memo.at(f);
+}
+
+double Bdd::sat_count(Ref f) const {
+  std::vector<double> half(num_vars_, 0.5);
+  double scale = 1.0;
+  for (unsigned i = 0; i < num_vars_; ++i) scale *= 2.0;
+  return sat_prob(f, half) * scale;
+}
+
+}  // namespace protest

@@ -1,0 +1,75 @@
+// A small reduced-ordered-BDD package.  PROTEST itself avoids exact signal
+// probabilities (the paper proves the problem NP-hard), but the library
+// ships an exact oracle for validation: the satisfaction probability of a
+// BDD under independent input probabilities is the exact signal probability.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace protest {
+
+/// Raised when a BDD build exceeds the configured node limit (e.g. the
+/// middle bits of a wide multiplier — exponential for any variable order).
+class BddLimitExceeded : public std::runtime_error {
+ public:
+  BddLimitExceeded() : std::runtime_error("BDD node limit exceeded") {}
+};
+
+class Bdd {
+ public:
+  /// Handle to a BDD function (index into the shared node store).
+  using Ref = std::uint32_t;
+
+  explicit Bdd(unsigned num_vars, std::size_t node_limit = 2'000'000);
+
+  Ref zero() const { return 0; }
+  Ref one() const { return 1; }
+  /// Projection function of variable v (0-based, also the order position).
+  Ref var(unsigned v);
+
+  Ref ite(Ref f, Ref g, Ref h);
+  Ref apply_not(Ref f) { return ite(f, zero(), one()); }
+  Ref apply_and(Ref f, Ref g) { return ite(f, g, zero()); }
+  Ref apply_or(Ref f, Ref g) { return ite(f, one(), g); }
+  Ref apply_xor(Ref f, Ref g) { return ite(f, apply_not(g), g); }
+
+  bool is_const(Ref f) const { return f <= 1; }
+
+  /// Exact P(f = 1) for independent variables with P(var v = 1) = probs[v].
+  double sat_prob(Ref f, std::span<const double> probs) const;
+
+  /// Number of satisfying assignments over all num_vars variables.
+  double sat_count(Ref f) const;
+
+  unsigned num_vars() const { return num_vars_; }
+  std::size_t num_nodes() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    unsigned var;
+    Ref lo, hi;
+  };
+  struct Triple {
+    std::uint32_t a, b, c;
+    bool operator==(const Triple&) const = default;
+  };
+  struct TripleHash {
+    std::size_t operator()(const Triple& t) const;
+  };
+
+  Ref make(unsigned var, Ref lo, Ref hi);
+  unsigned var_of(Ref f) const { return nodes_[f].var; }
+  Ref cofactor(Ref f, unsigned v, bool positive) const;
+
+  unsigned num_vars_;
+  std::size_t node_limit_;
+  std::vector<Node> nodes_;
+  std::unordered_map<Triple, Ref, TripleHash> unique_;
+  std::unordered_map<Triple, Ref, TripleHash> ite_cache_;
+};
+
+}  // namespace protest

@@ -1,0 +1,134 @@
+#include "circuits/arith.hpp"
+
+#include <stdexcept>
+
+namespace protest {
+
+std::pair<NodeId, NodeId> add_bits(NetlistBuilder& bld, NodeId a, NodeId b,
+                                   NodeId c) {
+  // Normalize: gather the present operands.
+  NodeId ops[3];
+  int n = 0;
+  for (NodeId x : {a, b, c})
+    if (x != kNoNode) ops[n++] = x;
+  if (n == 0) throw std::invalid_argument("add_bits: no operands");
+  if (n == 1) return {ops[0], kNoNode};
+  if (n == 2) {
+    const NodeId sum = bld.xor2(ops[0], ops[1]);
+    const NodeId carry = bld.and2(ops[0], ops[1]);
+    return {sum, carry};
+  }
+  const NodeId ab = bld.xor2(ops[0], ops[1]);
+  const NodeId sum = bld.xor2(ab, ops[2]);
+  const NodeId c1 = bld.and2(ops[0], ops[1]);
+  const NodeId c2 = bld.and2(ab, ops[2]);
+  const NodeId carry = bld.or2(c1, c2);
+  return {sum, carry};
+}
+
+AddResult ripple_adder(NetlistBuilder& bld, const Bus& a, const Bus& b,
+                       NodeId carry_in) {
+  const std::size_t w = std::max(a.size(), b.size());
+  AddResult r;
+  r.sum.reserve(w);
+  NodeId carry = carry_in;
+  for (std::size_t i = 0; i < w; ++i) {
+    const NodeId ai = i < a.size() ? a[i] : kNoNode;
+    const NodeId bi = i < b.size() ? b[i] : kNoNode;
+    auto [s, c] = add_bits(bld, ai == kNoNode ? bi : ai,
+                           ai == kNoNode ? kNoNode : bi, carry);
+    r.sum.push_back(s);
+    carry = c;
+  }
+  r.carry = carry;
+  return r;
+}
+
+SubResult ripple_subtractor(NetlistBuilder& bld, const Bus& a, const Bus& b) {
+  if (b.size() > a.size())
+    throw std::invalid_argument("ripple_subtractor: |b| > |a|");
+  SubResult r;
+  r.diff.reserve(a.size());
+  NodeId borrow = kNoNode;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NodeId ai = a[i];
+    const NodeId bi = i < b.size() ? b[i] : kNoNode;
+    if (bi == kNoNode && borrow == kNoNode) {
+      r.diff.push_back(bld.buf(ai));
+      continue;
+    }
+    if (bi == kNoNode) {
+      // a - borrow: diff = a ^ borrow, borrow' = !a & borrow
+      r.diff.push_back(bld.xor2(ai, borrow));
+      borrow = bld.and2(bld.inv(ai), borrow);
+      continue;
+    }
+    if (borrow == kNoNode) {
+      r.diff.push_back(bld.xor2(ai, bi));
+      borrow = bld.and2(bld.inv(ai), bi);
+      continue;
+    }
+    const NodeId axb = bld.xor2(ai, bi);
+    r.diff.push_back(bld.xor2(axb, borrow));
+    const NodeId t1 = bld.and2(bld.inv(ai), bi);
+    const NodeId t2 = bld.and2(bld.inv(axb), borrow);
+    borrow = bld.or2(t1, t2);
+  }
+  r.borrow = borrow == kNoNode ? bld.constant(false) : borrow;
+  return r;
+}
+
+Bus array_multiplier(NetlistBuilder& bld, const Bus& a, const Bus& b) {
+  const std::size_t na = a.size(), nb = b.size();
+  if (na == 0 || nb == 0)
+    throw std::invalid_argument("array_multiplier: empty operand");
+  Bus out;
+  out.reserve(na + nb);
+
+  // Row 0: plain partial products.
+  Bus s(nb);
+  for (std::size_t j = 0; j < nb; ++j) s[j] = bld.and2(a[0], b[j]);
+  out.push_back(s[0]);
+  NodeId prev_top = kNoNode;  // carry out of the previous row
+
+  for (std::size_t i = 1; i < na; ++i) {
+    Bus ns(nb);
+    NodeId carry = kNoNode;
+    for (std::size_t j = 0; j < nb; ++j) {
+      const NodeId pp = bld.and2(a[i], b[j]);
+      const NodeId addend = j + 1 < nb ? s[j + 1] : prev_top;
+      auto [sum, c] = add_bits(bld, pp, addend, carry);
+      ns[j] = sum;
+      carry = c;
+    }
+    prev_top = carry;
+    s = std::move(ns);
+    out.push_back(s[0]);
+  }
+  for (std::size_t j = 1; j < nb; ++j) out.push_back(s[j]);
+  out.push_back(prev_top == kNoNode ? bld.constant(false) : prev_top);
+  return out;
+}
+
+NodeId equality(NetlistBuilder& bld, const Bus& a, const Bus& b) {
+  if (a.size() != b.size())
+    throw std::invalid_argument("equality: width mismatch");
+  std::vector<NodeId> terms;
+  terms.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i)
+    terms.push_back(bld.xnor2(a[i], b[i]));
+  if (terms.size() == 1) return terms[0];
+  return bld.andn(std::move(terms));
+}
+
+Bus mux_bus(NetlistBuilder& bld, NodeId sel, const Bus& lo, const Bus& hi) {
+  if (lo.size() != hi.size())
+    throw std::invalid_argument("mux_bus: width mismatch");
+  Bus out;
+  out.reserve(lo.size());
+  for (std::size_t i = 0; i < lo.size(); ++i)
+    out.push_back(bld.mux(sel, lo[i], hi[i]));
+  return out;
+}
+
+}  // namespace protest

@@ -1,0 +1,41 @@
+// Gate-level arithmetic building blocks used by the evaluation circuits:
+// ripple adders/subtractors, array multipliers, equality.  All buses are
+// LSB first.
+#pragma once
+
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+/// Sum of up to three bits; b and c may be kNoNode (known 0).  Returns
+/// {sum, carry}; carry is kNoNode when provably 0.
+std::pair<NodeId, NodeId> add_bits(NetlistBuilder& bld, NodeId a, NodeId b,
+                                   NodeId c);
+
+struct AddResult {
+  Bus sum;       ///< width = max(|a|, |b|)
+  NodeId carry;  ///< carry out (kNoNode when provably 0)
+};
+
+/// Ripple-carry addition; operands may have different widths.
+AddResult ripple_adder(NetlistBuilder& bld, const Bus& a, const Bus& b,
+                       NodeId carry_in = kNoNode);
+
+struct SubResult {
+  Bus diff;       ///< width = |a| (two's-complement wraparound)
+  NodeId borrow;  ///< borrow out: 1 iff a < b
+};
+
+/// Ripple-borrow subtraction a - b; |b| <= |a| (b is zero-extended).
+SubResult ripple_subtractor(NetlistBuilder& bld, const Bus& a, const Bus& b);
+
+/// Unsigned array multiplier, result width |a| + |b|.
+Bus array_multiplier(NetlistBuilder& bld, const Bus& a, const Bus& b);
+
+/// 1 iff a == b (widths must match).
+NodeId equality(NetlistBuilder& bld, const Bus& a, const Bus& b);
+
+/// bit-wise 2:1 select: sel ? hi : lo (widths must match).
+Bus mux_bus(NetlistBuilder& bld, NodeId sel, const Bus& lo, const Bus& hi);
+
+}  // namespace protest

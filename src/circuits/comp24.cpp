@@ -1,0 +1,29 @@
+#include "circuits/comp24.hpp"
+
+#include "circuits/sn7485.hpp"
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+Netlist make_comp24() {
+  NetlistBuilder bld(XorStyle::NandMacro);
+  const Bus a = bld.input_bus("A", 24);
+  const Bus b = bld.input_bus("B", 24);
+  // Cascade inputs of the least significant slice (TI1..TI3, Table 4).
+  const NodeId ti1 = bld.input("TI1");
+  const NodeId ti2 = bld.input("TI2");
+  const NodeId ti3 = bld.input("TI3");
+
+  CompareOuts chain{ti1, ti2, ti3};
+  for (int s = 0; s < 6; ++s) {
+    Bus as(a.begin() + 4 * s, a.begin() + 4 * (s + 1));
+    Bus bs(b.begin() + 4 * s, b.begin() + 4 * (s + 1));
+    chain = sn7485_slice(bld, as, bs, chain.lt, chain.eq, chain.gt);
+  }
+  bld.output(chain.lt, "LT");
+  bld.output(chain.eq, "EQ");
+  bld.output(chain.gt, "GT");
+  return bld.build();
+}
+
+}  // namespace protest

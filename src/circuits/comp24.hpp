@@ -1,0 +1,21 @@
+// COMP: "the connection of 16 slightly modified SN7485 comparators to a
+// cascaded 24 bit word comparator" (paper sect. 5, fig. 7, Tables 3-6).
+// We cascade 7485-style slices serially over the 24-bit words A and B with
+// the three cascade inputs TI1..TI3 feeding the least significant slice —
+// the primary inputs are exactly the 51 nets of Table 4
+// (A0..A23, B0..B23, TI1, TI2, TI3).
+//
+// The relevant testability property is preserved: the equality chain
+// through all six slices makes the cascade outputs (and every fault that
+// must propagate through them) extremely random-pattern resistant at
+// p = 0.5 — the reason Table 3 needs 10^8 patterns.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// 51 inputs (A0..A23, B0..B23, TI1=lt, TI2=eq, TI3=gt); outputs LT, EQ, GT.
+Netlist make_comp24();
+
+}  // namespace protest

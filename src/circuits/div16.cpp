@@ -1,0 +1,46 @@
+#include "circuits/div16.hpp"
+
+#include "circuits/arith.hpp"
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+Netlist make_divider(std::size_t width) {
+  NetlistBuilder bld(XorStyle::NandMacro);
+  const Bus n = bld.input_bus("N", width);
+  const Bus d = bld.input_bus("D", width);
+
+  // high[k] = OR(D[k+1 .. width-1]): if any divisor bit above k is set, a
+  // (k+1)-bit partial remainder is certainly smaller than D.
+  Bus high(width, kNoNode);
+  for (std::size_t k = width - 1; k-- > 0;)
+    high[k] = high[k + 1] == kNoNode ? d[k + 1] : bld.or2(d[k + 1], high[k + 1]);
+
+  // Restoring rows with growing remainder width: after k rows the partial
+  // remainder is the k-bit value prefix_k(N) mod D — no constant padding,
+  // hence no redundant (untestable) row logic.
+  Bus r;  // current remainder, LSB first, width grows by one per row
+  Bus q(width, kNoNode);
+  for (std::size_t row = 0; row < width; ++row) {
+    const std::size_t i = width - 1 - row;  // dividend bit of this row
+    Bus rs;                                 // r' = (r << 1) | n_i
+    rs.reserve(r.size() + 1);
+    rs.push_back(n[i]);
+    for (NodeId bit : r) rs.push_back(bit);
+
+    Bus d_trunc(d.begin(), d.begin() + rs.size());
+    SubResult sub = ripple_subtractor(bld, rs, d_trunc);
+    NodeId ge = bld.inv(sub.borrow);  // r' >= D (ignoring high divisor bits)
+    if (rs.size() < width && high[rs.size() - 1] != kNoNode)
+      ge = bld.and2(ge, bld.inv(high[rs.size() - 1]));
+    q[i] = ge;
+    r = mux_bus(bld, ge, rs, sub.diff);
+  }
+  bld.output_bus(q, "Q");
+  bld.output_bus(r, "R");
+  return bld.build();
+}
+
+Netlist make_div16() { return make_divider(16); }
+
+}  // namespace protest

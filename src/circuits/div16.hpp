@@ -1,0 +1,20 @@
+// DIV: "the combinatorial part of a 16 bit divider" (paper sect. 5,
+// Tables 3/5/6).  Realized as a restoring array divider: 16 rows of
+// controlled subtract + select.  The long borrow/select chains make many
+// faults random-pattern resistant at p = 0.5 — the property Table 3
+// quantifies (~10^5..10^6 patterns required).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// Inputs N0..N15 (dividend), D0..D15 (divisor); outputs Q0..Q15
+/// (quotient), R0..R15 (remainder).  For D == 0 the hardware convention is
+/// Q = all-ones and R = N (restoring array behaviour).
+Netlist make_div16();
+
+/// Generic width (scaling family).
+Netlist make_divider(std::size_t width);
+
+}  // namespace protest

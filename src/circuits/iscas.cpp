@@ -1,0 +1,28 @@
+#include "circuits/iscas.hpp"
+
+#include "netlist/bench_io.hpp"
+
+namespace protest {
+
+const std::string& c17_bench_text() {
+  static const std::string text = R"(# ISCAS-85 c17
+INPUT(1)
+INPUT(2)
+INPUT(3)
+INPUT(6)
+INPUT(7)
+OUTPUT(22)
+OUTPUT(23)
+10 = NAND(1, 3)
+11 = NAND(3, 6)
+16 = NAND(2, 11)
+19 = NAND(11, 7)
+22 = NAND(10, 16)
+23 = NAND(16, 19)
+)";
+  return text;
+}
+
+Netlist make_c17() { return read_bench_string(c17_bench_text()); }
+
+}  // namespace protest

@@ -1,0 +1,18 @@
+// Public ISCAS-85 benchmark support: the c17 netlist is embedded (it is
+// six NAND gates and appears in every DFT textbook); larger ISCAS circuits
+// load from .bench files via read_bench_file.
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// The ISCAS-85 c17 benchmark (5 inputs, 2 outputs, 6 NAND2).
+Netlist make_c17();
+
+/// The embedded .bench source of c17 (round-trip/parser tests).
+const std::string& c17_bench_text();
+
+}  // namespace protest

@@ -1,0 +1,36 @@
+#include "circuits/mult.hpp"
+
+#include "circuits/arith.hpp"
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+Netlist make_mult() {
+  NetlistBuilder bld(XorStyle::NandMacro);
+  const Bus a = bld.input_bus("A", 8);
+  const Bus b = bld.input_bus("B", 8);
+  const Bus c = bld.input_bus("C", 8);
+  const Bus d = bld.input_bus("D", 8);
+
+  const Bus cd = array_multiplier(bld, c, d);  // 16 bits
+  AddResult ab = ripple_adder(bld, a, b);      // 8 bits + carry
+  Bus ab9 = ab.sum;
+  if (ab.carry != kNoNode) ab9.push_back(ab.carry);
+
+  AddResult total = ripple_adder(bld, cd, ab9);  // 16 bits + carry
+  Bus f = total.sum;
+  f.push_back(total.carry == kNoNode ? bld.constant(false) : total.carry);
+  bld.output_bus(f, "F");
+  return bld.build();
+}
+
+Netlist make_multiplier(std::size_t width) {
+  NetlistBuilder bld(XorStyle::NandMacro);
+  const Bus a = bld.input_bus("A", width);
+  const Bus b = bld.input_bus("B", width);
+  const Bus p = array_multiplier(bld, a, b);
+  bld.output_bus(p, "P");
+  return bld.build();
+}
+
+}  // namespace protest

@@ -1,0 +1,20 @@
+// MULT: "computes A + B + C * D for 8 bit wide data ... built with 1568
+// gate equivalents according to the proposal of [Hart80]" (paper sect. 4,
+// Table 1/2, fig. 6).  Realized as an 8x8 array multiplier plus ripple
+// adders; the deep reconvergent carry/XOR structure reproduces the
+// documented P_SIM > P_PROT under-estimation bias.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// Inputs A0..7, B0..7, C0..7, D0..7 (32); outputs F0..F16 (17 bits:
+/// max value 2*(2^8-1) + (2^8-1)^2 < 2^17).
+Netlist make_mult();
+
+/// Generic n x n multiplier (scaling family of Tables 7/8).
+/// Inputs A0.., B0..; outputs P0..P(2n-1).
+Netlist make_multiplier(std::size_t width);
+
+}  // namespace protest

@@ -1,0 +1,71 @@
+#include "circuits/random_circuit.hpp"
+
+#include <random>
+#include <stdexcept>
+
+namespace protest {
+
+Netlist make_random_circuit(const RandomCircuitParams& params) {
+  if (params.num_inputs == 0 || params.num_gates == 0)
+    throw std::invalid_argument("make_random_circuit: empty circuit");
+  if (params.max_fanin < 2)
+    throw std::invalid_argument("make_random_circuit: max_fanin < 2");
+
+  std::mt19937_64 rng(params.seed);
+  std::uniform_real_distribution<double> uni(0.0, 1.0);
+
+  Netlist net;
+  for (std::size_t i = 0; i < params.num_inputs; ++i)
+    net.add_input("I" + std::to_string(i));
+
+  for (std::size_t g = 0; g < params.num_gates; ++g) {
+    const NodeId limit = static_cast<NodeId>(net.size());
+    auto pick = [&]() -> NodeId {
+      // Bias toward recent nodes for depth; fall back to uniform.
+      if (uni(rng) < 0.6) {
+        const std::size_t window =
+            std::min<std::size_t>(limit, 2 * params.num_inputs + 4);
+        return static_cast<NodeId>(
+            limit - 1 - std::uniform_int_distribution<std::size_t>(
+                            0, window - 1)(rng));
+      }
+      return std::uniform_int_distribution<NodeId>(0, limit - 1)(rng);
+    };
+
+    if (uni(rng) < params.inverter_fraction) {
+      net.add_gate(uni(rng) < 0.7 ? GateType::Not : GateType::Buf, {pick()});
+      continue;
+    }
+    GateType t;
+    if (uni(rng) < params.xor_fraction) {
+      t = uni(rng) < 0.5 ? GateType::Xor : GateType::Xnor;
+    } else {
+      static constexpr GateType kTypes[] = {GateType::And, GateType::Nand,
+                                            GateType::Or, GateType::Nor};
+      t = kTypes[std::uniform_int_distribution<int>(0, 3)(rng)];
+    }
+    const unsigned fanin =
+        std::uniform_int_distribution<unsigned>(2, params.max_fanin)(rng);
+    std::vector<NodeId> ins;
+    ins.reserve(fanin);
+    for (unsigned k = 0; k < fanin; ++k) ins.push_back(pick());
+    net.add_gate(t, std::move(ins));
+  }
+
+  // Sinks become outputs; guarantees observability of every node.
+  bool any = false;
+  std::vector<char> has_fanout(net.size(), 0);
+  for (NodeId n = 0; n < net.size(); ++n)
+    for (NodeId f : net.gate(n).fanin) has_fanout[f] = 1;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (!has_fanout[n] && !net.is_input(n)) {
+      net.mark_output(n);
+      any = true;
+    }
+  }
+  if (!any) net.mark_output(static_cast<NodeId>(net.size() - 1));
+  net.finalize();
+  return net;
+}
+
+}  // namespace protest

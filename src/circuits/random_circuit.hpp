@@ -1,0 +1,25 @@
+// Seeded random combinational circuits: the workload generator behind the
+// property-test sweeps and the "more than 10 circuits" the paper validated
+// against.
+#pragma once
+
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+struct RandomCircuitParams {
+  std::size_t num_inputs = 8;
+  std::size_t num_gates = 40;
+  unsigned max_fanin = 3;       ///< >= 2
+  double inverter_fraction = 0.2;
+  double xor_fraction = 0.15;   ///< fraction of XOR/XNOR among logic gates
+  std::uint64_t seed = 1;
+};
+
+/// Levelized random DAG; all sinks become primary outputs, so every node
+/// reaches an output.
+Netlist make_random_circuit(const RandomCircuitParams& params);
+
+}  // namespace protest

@@ -1,0 +1,98 @@
+#include "circuits/sn74181.hpp"
+
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+Netlist make_sn74181() {
+  NetlistBuilder bld(XorStyle::NandMacro);
+  const Bus a = bld.input_bus("A", 4);
+  const Bus b = bld.input_bus("B", 4);
+  const Bus s = bld.input_bus("S", 4);
+  const NodeId m = bld.input("M");
+  const NodeId cn = bld.input("CN");
+
+  Bus e(4), d(4), g(4), p(4), ed(4);
+  for (int i = 0; i < 4; ++i) {
+    const NodeId nb = bld.inv(b[i]);
+    const NodeId t1 = bld.and2(b[i], s[0]);
+    const NodeId t2 = bld.and2(nb, s[1]);
+    e[i] = bld.gate(GateType::Nor, {a[i], t1, t2});
+    const NodeId t3 = bld.gate(GateType::And, {a[i], nb, s[2]});
+    const NodeId t4 = bld.gate(GateType::And, {a[i], b[i], s[3]});
+    d[i] = bld.nor2(t3, t4);
+    g[i] = bld.inv(d[i]);
+    p[i] = bld.inv(e[i]);
+    ed[i] = bld.xor2(e[i], d[i]);
+  }
+
+  // Flattened carry lookahead (like the real chip's AOI chain).
+  const NodeId mn = bld.inv(m);
+  Bus c(5);
+  c[0] = bld.and2(mn, cn);
+  c[1] = bld.or2(g[0], bld.and2(p[0], c[0]));
+  c[2] = bld.gate(GateType::Or,
+                  {g[1], bld.and2(p[1], g[0]),
+                   bld.gate(GateType::And, {p[1], p[0], c[0]})});
+  c[3] = bld.gate(GateType::Or,
+                  {g[2], bld.and2(p[2], g[1]),
+                   bld.gate(GateType::And, {p[2], p[1], g[0]}),
+                   bld.gate(GateType::And, {p[2], p[1], p[0], c[0]})});
+  const NodeId gout_or = bld.gate(
+      GateType::Or, {g[3], bld.and2(p[3], g[2]),
+                     bld.gate(GateType::And, {p[3], p[2], g[1]}),
+                     bld.gate(GateType::And, {p[3], p[2], p[1], g[0]})});
+  const NodeId pout = bld.gate(GateType::And, {p[3], p[2], p[1], p[0]});
+  c[4] = bld.or2(gout_or, bld.and2(pout, c[0]));
+
+  Bus f(4);
+  for (int i = 0; i < 4; ++i) f[i] = bld.xor2(ed[i], bld.or2(m, c[i]));
+
+  bld.output_bus(f, "F");
+  bld.output(c[4], "COUT");
+  bld.output(pout, "POUT");
+  bld.output(gout_or, "GOUT");
+  bld.output(bld.gate(GateType::And, {f[0], f[1], f[2], f[3]}), "AEQB");
+  return bld.build();
+}
+
+Alu181Out alu181_reference(unsigned a, unsigned b, unsigned s, bool m, bool cn) {
+  auto bit = [](unsigned v, int i) { return (v >> i) & 1u; };
+  unsigned e = 0, d = 0, gg = 0, pp = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned ai = bit(a, i), bi = bit(b, i);
+    const unsigned ei =
+        1u - std::min(1u, ai + (bi & bit(s, 0)) + ((1u - bi) & bit(s, 1)));
+    const unsigned di =
+        1u - std::min(1u, (ai & (1u - bi) & bit(s, 2)) + (ai & bi & bit(s, 3)));
+    e |= ei << i;
+    d |= di << i;
+    gg |= (1u - di) << i;
+    pp |= (1u - ei) << i;
+  }
+  unsigned c = (!m && cn) ? 1u : 0u;  // c_0
+  unsigned carries = c;               // bit i = c_i
+  for (int i = 0; i < 3; ++i) {
+    c = bit(gg, i) | (bit(pp, i) & c);
+    carries |= c << (i + 1);
+  }
+  const unsigned c4 = bit(gg, 3) | (bit(pp, 3) & c);
+
+  Alu181Out out{};
+  out.f = 0;
+  for (int i = 0; i < 4; ++i) {
+    const unsigned edi = bit(e, i) ^ bit(d, i);
+    const unsigned x = (m ? 1u : 0u) | bit(carries, i);
+    out.f |= (edi ^ x) << i;
+  }
+  out.cout = c4;
+  out.pout = pp == 0xF;
+  unsigned go = bit(gg, 3) | (bit(pp, 3) & bit(gg, 2)) |
+                (bit(pp, 3) & bit(pp, 2) & bit(gg, 1)) |
+                (bit(pp, 3) & bit(pp, 2) & bit(pp, 1) & bit(gg, 0));
+  out.gout = go;
+  out.aeqb = out.f == 0xF;
+  return out;
+}
+
+}  // namespace protest

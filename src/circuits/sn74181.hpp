@@ -1,0 +1,33 @@
+// Gate-level SN74181 4-bit ALU — the "ALU" of the paper's Table 1/2 and
+// fig. 5 (TTL ALU SN74181).  The implementation follows the classic
+// two-AOI-per-bit structure with a flattened carry-lookahead:
+//
+//   E_i = NOR(A_i, S0*B_i, S1*!B_i)
+//   D_i = NOR(S2*A_i*!B_i, S3*A_i*B_i)
+//   g_i = !D_i,  p_i = !E_i
+//   c_0 = !M * Cn,   c_{i+1} = g_i + p_i c_i   (flattened AND-OR terms)
+//   F_i = (E_i xor D_i) xor (M + c_i)
+//
+// Conventions (documented in DESIGN.md): carry in/out are active high and
+// M = 1 (logic mode) blocks the carry chain.  Functional behaviour matches
+// the 74181 truth table with Cn = !Cn̄ (checked exhaustively in tests).
+//
+// Inputs:  A0..A3, B0..B3, S0..S3, M, CN  (14)
+// Outputs: F0..F3, COUT, POUT, GOUT, AEQB (8)
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+Netlist make_sn74181();
+
+/// Behavioural reference model (same conventions); returns the 8 output
+/// bits keyed like the netlist outputs.  a,b,s are 4-bit values.
+struct Alu181Out {
+  unsigned f;  ///< 4-bit result
+  bool cout, pout, gout, aeqb;
+};
+Alu181Out alu181_reference(unsigned a, unsigned b, unsigned s, bool m, bool cn);
+
+}  // namespace protest

@@ -1,0 +1,52 @@
+#include "circuits/sn7485.hpp"
+
+#include <stdexcept>
+
+namespace protest {
+
+CompareOuts sn7485_slice(NetlistBuilder& bld, const Bus& a, const Bus& b,
+                         NodeId lt_in, NodeId eq_in, NodeId gt_in) {
+  if (a.size() != 4 || b.size() != 4)
+    throw std::invalid_argument("sn7485_slice: operands must be 4 bits");
+
+  Bus x(4);  // per-bit equality
+  for (int i = 0; i < 4; ++i) x[i] = bld.xnor2(a[i], b[i]);
+
+  // a > b terms: highest differing bit decides (bit 3 = MSB).
+  std::vector<NodeId> gt_terms, lt_terms;
+  for (int i = 3; i >= 0; --i) {
+    std::vector<NodeId> gt_in_nodes{a[i], bld.inv(b[i])};
+    std::vector<NodeId> lt_in_nodes{bld.inv(a[i]), b[i]};
+    for (int j = i + 1; j < 4; ++j) {
+      gt_in_nodes.push_back(x[j]);
+      lt_in_nodes.push_back(x[j]);
+    }
+    gt_terms.push_back(bld.andn(std::move(gt_in_nodes)));
+    lt_terms.push_back(bld.andn(std::move(lt_in_nodes)));
+  }
+  const NodeId gtw = bld.orn(std::move(gt_terms));
+  const NodeId ltw = bld.orn(std::move(lt_terms));
+  const NodeId alleq = bld.gate(GateType::And, {x[0], x[1], x[2], x[3]});
+
+  CompareOuts out;
+  out.gt = bld.or2(gtw, bld.and2(alleq, gt_in));
+  out.lt = bld.or2(ltw, bld.and2(alleq, lt_in));
+  out.eq = bld.and2(alleq, eq_in);
+  return out;
+}
+
+Netlist make_sn7485() {
+  NetlistBuilder bld(XorStyle::NandMacro);
+  const Bus a = bld.input_bus("A", 4);
+  const Bus b = bld.input_bus("B", 4);
+  const NodeId lti = bld.input("LTI");
+  const NodeId eqi = bld.input("EQI");
+  const NodeId gti = bld.input("GTI");
+  const CompareOuts o = sn7485_slice(bld, a, b, lti, eqi, gti);
+  bld.output(o.lt, "LT");
+  bld.output(o.eq, "EQ");
+  bld.output(o.gt, "GT");
+  return bld.build();
+}
+
+}  // namespace protest

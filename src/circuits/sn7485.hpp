@@ -1,0 +1,25 @@
+// Gate-level 4-bit magnitude comparator slice in the style of the SN7485
+// ("slightly modified", exactly as the paper describes its COMP building
+// block): compares two 4-bit words with cascade inputs for less-than,
+// equal, greater-than.
+#pragma once
+
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+struct CompareOuts {
+  NodeId lt, eq, gt;
+};
+
+/// Instantiates one comparator slice into `bld`.  a/b are 4-bit buses (LSB
+/// first); lt_in/eq_in/gt_in are the cascade inputs from the next less
+/// significant slice.
+CompareOuts sn7485_slice(NetlistBuilder& bld, const Bus& a, const Bus& b,
+                         NodeId lt_in, NodeId eq_in, NodeId gt_in);
+
+/// A standalone single-slice comparator netlist (11 inputs, 3 outputs) for
+/// unit tests: inputs A0..3, B0..3, LTI, EQI, GTI; outputs LT, EQ, GT.
+Netlist make_sn7485();
+
+}  // namespace protest

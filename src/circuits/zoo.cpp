@@ -1,0 +1,46 @@
+#include "circuits/zoo.hpp"
+
+#include <stdexcept>
+
+#include "circuits/comp24.hpp"
+#include "circuits/div16.hpp"
+#include "circuits/iscas.hpp"
+#include "circuits/mult.hpp"
+#include "circuits/sn74181.hpp"
+#include "circuits/sn7485.hpp"
+
+namespace protest {
+
+Netlist make_circuit(const std::string& name) {
+  if (name == "c17") return make_c17();
+  if (name == "alu") return make_sn74181();
+  if (name == "mult") return make_mult();
+  if (name == "div") return make_div16();
+  if (name == "comp") return make_comp24();
+  if (name == "sn7485") return make_sn7485();
+  if (name == "mult4") return make_multiplier(4);
+  if (name == "mult8") return make_multiplier(8);
+  if (name == "mult12") return make_multiplier(12);
+  if (name == "mult16") return make_multiplier(16);
+  if (name == "mult24") return make_multiplier(24);
+  if (name == "mult32") return make_multiplier(32);
+  if (name == "div8") return make_divider(8);
+  if (name == "div24") return make_divider(24);
+  if (name == "div32") return make_divider(32);
+  throw std::invalid_argument("make_circuit: unknown circuit '" + name + "'");
+}
+
+std::vector<std::string> zoo_names() {
+  return {"c17",    "alu",    "mult",  "div",    "comp",  "sn7485",
+          "mult4",  "mult8",  "mult12", "mult16", "mult24", "mult32",
+          "div8",   "div24",  "div32"};
+}
+
+std::vector<std::string> scaling_family() {
+  // Transistor counts grow from a few hundred (ALU, ~500) to ~55 000
+  // (mult32), spanning the Table 7/8 range (368 .. 47636 on the paper's
+  // CMOS library).
+  return {"alu", "comp", "mult", "div", "mult16", "mult24", "mult32"};
+}
+
+}  // namespace protest

@@ -1,0 +1,23 @@
+// Named circuit registry: the paper's evaluation circuits plus the scaling
+// family used for the CPU-time tables.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// Known names: "c17", "alu" (SN74181), "mult" (A+B+C*D, 8 bit),
+/// "div" (16-bit restoring divider), "comp" (24-bit cascaded comparator),
+/// "sn7485", "mult4".."mult32" (n x n multipliers), "div8"/"div24"/"div32".
+Netlist make_circuit(const std::string& name);
+
+/// All registry names.
+std::vector<std::string> zoo_names();
+
+/// Circuits of increasing size for Tables 7/8 (name list, small to large).
+std::vector<std::string> scaling_family();
+
+}  // namespace protest

@@ -1,0 +1,178 @@
+#include "measures/scoap.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protest {
+namespace {
+
+constexpr unsigned kInf = 1'000'000'000u;
+
+unsigned sat_add(unsigned a, unsigned b) {
+  if (a >= kInf || b >= kInf) return kInf;
+  return a + b;
+}
+
+}  // namespace
+
+ScoapMeasures compute_scoap(const Netlist& net) {
+  ScoapMeasures m;
+  m.cc0.assign(net.size(), kInf);
+  m.cc1.assign(net.size(), kInf);
+
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    switch (g.type) {
+      case GateType::Input:
+        m.cc0[n] = m.cc1[n] = 1;
+        break;
+      case GateType::Const0:
+        m.cc0[n] = 0;
+        break;
+      case GateType::Const1:
+        m.cc1[n] = 0;
+        break;
+      case GateType::Buf:
+        m.cc0[n] = sat_add(m.cc0[g.fanin[0]], 1);
+        m.cc1[n] = sat_add(m.cc1[g.fanin[0]], 1);
+        break;
+      case GateType::Not:
+        m.cc0[n] = sat_add(m.cc1[g.fanin[0]], 1);
+        m.cc1[n] = sat_add(m.cc0[g.fanin[0]], 1);
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        unsigned all1 = 0, min0 = kInf;
+        for (NodeId f : g.fanin) {
+          all1 = sat_add(all1, m.cc1[f]);
+          min0 = std::min(min0, m.cc0[f]);
+        }
+        const unsigned out1 = sat_add(all1, 1);   // all inputs 1
+        const unsigned out0 = sat_add(min0, 1);   // one input 0
+        if (g.type == GateType::And) {
+          m.cc1[n] = out1;
+          m.cc0[n] = out0;
+        } else {
+          m.cc0[n] = out1;
+          m.cc1[n] = out0;
+        }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        unsigned all0 = 0, min1 = kInf;
+        for (NodeId f : g.fanin) {
+          all0 = sat_add(all0, m.cc0[f]);
+          min1 = std::min(min1, m.cc1[f]);
+        }
+        const unsigned out0 = sat_add(all0, 1);
+        const unsigned out1 = sat_add(min1, 1);
+        if (g.type == GateType::Or) {
+          m.cc0[n] = out0;
+          m.cc1[n] = out1;
+        } else {
+          m.cc1[n] = out0;
+          m.cc0[n] = out1;
+        }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Fold the parity: cost of even/odd parity over the prefix.
+        unsigned even = m.cc0[g.fanin[0]], odd = m.cc1[g.fanin[0]];
+        for (std::size_t i = 1; i < g.fanin.size(); ++i) {
+          const unsigned c0 = m.cc0[g.fanin[i]], c1 = m.cc1[g.fanin[i]];
+          const unsigned new_even = std::min(sat_add(even, c0), sat_add(odd, c1));
+          const unsigned new_odd = std::min(sat_add(even, c1), sat_add(odd, c0));
+          even = new_even;
+          odd = new_odd;
+        }
+        const unsigned out1 = sat_add(odd, 1), out0 = sat_add(even, 1);
+        if (g.type == GateType::Xor) {
+          m.cc1[n] = out1;
+          m.cc0[n] = out0;
+        } else {
+          m.cc1[n] = out0;
+          m.cc0[n] = out1;
+        }
+        break;
+      }
+    }
+  }
+
+  // Observability, backward.
+  m.co.assign(net.size(), kInf);
+  m.pin_co.resize(net.size());
+  for (NodeId n = 0; n < net.size(); ++n)
+    m.pin_co[n].assign(net.gate(n).fanin.size(), kInf);
+
+  for (NodeId n = net.size(); n-- > 0;) {
+    unsigned co = net.is_output(n) ? 0 : kInf;
+    for (NodeId c : net.fanout(n)) {
+      const auto& fanin = net.gate(c).fanin;
+      for (std::size_t k = 0; k < fanin.size(); ++k) {
+        if (fanin[k] != n) continue;
+        // pin CO is computed lazily below once co[c] is known; consumers
+        // have higher ids, so their values are already final here.
+        co = std::min(co, m.pin_co[c][k]);
+      }
+    }
+    m.co[n] = co;
+
+    const Gate& g = net.gate(n);
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      unsigned side = 0;
+      switch (g.type) {
+        case GateType::And:
+        case GateType::Nand:
+          for (std::size_t j = 0; j < g.fanin.size(); ++j)
+            if (j != k) side = sat_add(side, m.cc1[g.fanin[j]]);
+          break;
+        case GateType::Or:
+        case GateType::Nor:
+          for (std::size_t j = 0; j < g.fanin.size(); ++j)
+            if (j != k) side = sat_add(side, m.cc0[g.fanin[j]]);
+          break;
+        case GateType::Xor:
+        case GateType::Xnor:
+          for (std::size_t j = 0; j < g.fanin.size(); ++j)
+            if (j != k)
+              side = sat_add(side, std::min(m.cc0[g.fanin[j]], m.cc1[g.fanin[j]]));
+          break;
+        case GateType::Buf:
+        case GateType::Not:
+          break;
+        default:
+          break;
+      }
+      m.pin_co[n][k] = sat_add(sat_add(m.co[n], side), 1);
+    }
+  }
+  return m;
+}
+
+std::vector<double> pscoap_detection_probs(const Netlist& net,
+                                           std::span<const Fault> faults,
+                                           const ScoapMeasures& m) {
+  std::vector<double> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults) {
+    unsigned cc, co;
+    if (f.is_stem()) {
+      cc = f.sa == StuckAt::Zero ? m.cc1[f.node] : m.cc0[f.node];
+      co = m.co[f.node];
+    } else {
+      const NodeId driver = net.gate(f.node).fanin[f.pin];
+      cc = f.sa == StuckAt::Zero ? m.cc1[driver] : m.cc0[driver];
+      co = m.pin_co[f.node][f.pin];
+    }
+    if (cc >= kInf || co >= kInf) {
+      out.push_back(0.0);
+      continue;
+    }
+    out.push_back(1.0 / (1.0 + static_cast<double>(cc) + static_cast<double>(co)));
+  }
+  return out;
+}
+
+}  // namespace protest

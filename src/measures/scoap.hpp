@@ -1,0 +1,39 @@
+// SCOAP testability measures (Goldstein) and the P_SCOAP transformation —
+// the baseline of sect. 4: Agrawal/Mercer [AgMe82] mapped SCOAP values to
+// probability-like numbers and found only ~0.4 correlation with simulated
+// detection probabilities, versus >0.9 for PROTEST.
+//
+// Combinational SCOAP: CC0/CC1(k) = minimal number of input assignments to
+// set node k to 0/1 (primary inputs cost 1, every gate adds 1); CO(k) =
+// minimal assignments to propagate k to a primary output (outputs cost 0).
+//
+// [AgMe82]'s exact mapping is not reproduced in the PROTEST paper; we use
+// the documented monotone surrogate
+//     P_SCOAP(s-a-v at x) = 1 / ( CC_{NOT v}(x) + CO(x) )
+// (higher effort => lower probability).  Only its rank correlation matters
+// for the Table 1-style comparison.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/fault.hpp"
+
+namespace protest {
+
+struct ScoapMeasures {
+  std::vector<unsigned> cc0;  ///< 0-controllability per node
+  std::vector<unsigned> cc1;  ///< 1-controllability per node
+  std::vector<unsigned> co;   ///< observability of the node's output stem
+  std::vector<std::vector<unsigned>> pin_co;  ///< observability per gate pin
+};
+
+ScoapMeasures compute_scoap(const Netlist& net);
+
+/// P_SCOAP surrogate per fault (see header comment).
+std::vector<double> pscoap_detection_probs(const Netlist& net,
+                                           std::span<const Fault> faults,
+                                           const ScoapMeasures& m);
+
+}  // namespace protest

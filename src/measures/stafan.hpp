@@ -1,0 +1,36 @@
+// STAFAN-style statistical fault analysis [AgJa84] — "a similar tool ...
+// which extrapolates such probabilities from runs of logic simulation"
+// (sect. 1).  Controllabilities are one-counts from logic simulation;
+// per-pin sensitization frequencies are counted in the same runs;
+// observabilities are propagated backwards through those frequencies.
+//
+// This is the published estimator idea re-implemented on our substrate
+// (the original paper's exact one-level formulas involve sequential
+// handling we do not need for combinational circuits).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/fault.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+
+struct StafanMeasures {
+  std::vector<double> c1;                     ///< one-frequency per node
+  std::vector<std::vector<double>> pin_sens;  ///< per gate pin: P(side inputs enable)
+  std::vector<double> obs;                    ///< stem observability estimate
+  std::vector<std::vector<double>> pin_obs;   ///< pin observability estimate
+};
+
+/// Runs logic simulation over `ps` and extracts the STAFAN statistics.
+StafanMeasures compute_stafan(const Netlist& net, const PatternSet& ps);
+
+/// Detection probability estimates: D(s-a-0 @ x) = C1(x) * O(x), etc.
+std::vector<double> stafan_detection_probs(const Netlist& net,
+                                           std::span<const Fault> faults,
+                                           const StafanMeasures& m);
+
+}  // namespace protest

@@ -1,0 +1,254 @@
+#include "netlist/bench_io.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace protest {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+std::optional<GateType> gate_type_from(const std::string& op_upper) {
+  if (op_upper == "AND") return GateType::And;
+  if (op_upper == "NAND") return GateType::Nand;
+  if (op_upper == "OR") return GateType::Or;
+  if (op_upper == "NOR") return GateType::Nor;
+  if (op_upper == "XOR") return GateType::Xor;
+  if (op_upper == "XNOR") return GateType::Xnor;
+  if (op_upper == "NOT" || op_upper == "INV") return GateType::Not;
+  if (op_upper == "BUF" || op_upper == "BUFF") return GateType::Buf;
+  if (op_upper == "CONST0") return GateType::Const0;
+  if (op_upper == "CONST1") return GateType::Const1;
+  return std::nullopt;
+}
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw BenchParseError("bench:" + std::to_string(line) + ": " + msg);
+}
+
+struct Def {
+  GateType type;
+  std::vector<std::string> args;
+  int line;
+};
+
+}  // namespace
+
+Netlist read_bench(std::istream& in) {
+  std::vector<std::string> input_order;
+  std::vector<std::string> output_order;
+  std::unordered_map<std::string, Def> defs;
+  std::unordered_set<std::string> inputs;
+
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    std::string line = raw;
+    if (auto pos = line.find('#'); pos != std::string::npos) line.resize(pos);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) {
+      // INPUT(x) or OUTPUT(x)
+      const auto lp = line.find('(');
+      const auto rp = line.rfind(')');
+      if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+        fail(lineno, "expected INPUT(...), OUTPUT(...), or an assignment");
+      const std::string kw = upper(trim(line.substr(0, lp)));
+      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) fail(lineno, kw + " needs a net name");
+      if (kw == "INPUT") {
+        if (!inputs.insert(arg).second) fail(lineno, "duplicate INPUT " + arg);
+        input_order.push_back(arg);
+      } else if (kw == "OUTPUT") {
+        output_order.push_back(arg);
+      } else {
+        fail(lineno, "unknown declaration '" + kw + "'");
+      }
+      continue;
+    }
+
+    const std::string lhs = trim(line.substr(0, eq));
+    const std::string rhs = trim(line.substr(eq + 1));
+    if (lhs.empty()) fail(lineno, "missing net name before '='");
+    const auto lp = rhs.find('(');
+    const auto rp = rhs.rfind(')');
+    if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+      fail(lineno, "expected <net> = OP(args)");
+    const std::string op = upper(trim(rhs.substr(0, lp)));
+    const auto type = gate_type_from(op);
+    if (!type) {
+      if (op == "DFF" || op == "DFFSR" || op == "LATCH")
+        fail(lineno, "sequential element '" + op +
+                         "' not supported: PROTEST analyses combinational "
+                         "circuits (use scan extraction first)");
+      fail(lineno, "unknown gate type '" + op + "'");
+    }
+
+    std::vector<std::string> args;
+    std::string body = rhs.substr(lp + 1, rp - lp - 1);
+    std::stringstream ss(body);
+    std::string tok;
+    while (std::getline(ss, tok, ',')) {
+      tok = trim(tok);
+      if (tok.empty()) fail(lineno, "empty operand in argument list");
+      args.push_back(tok);
+    }
+    if (inputs.count(lhs)) fail(lineno, "net '" + lhs + "' already an INPUT");
+    if (!defs.emplace(lhs, Def{*type, std::move(args), lineno}).second)
+      fail(lineno, "net '" + lhs + "' defined twice");
+  }
+
+  Netlist net;
+  std::unordered_map<std::string, NodeId> ids;
+  for (const std::string& name : input_order)
+    ids.emplace(name, net.add_input(name));
+
+  // Resolve definitions depth-first (forward references are legal in .bench).
+  enum class Mark : char { White, Grey, Black };
+  std::unordered_map<std::string, Mark> marks;
+  // Explicit stack to keep deep netlists from overflowing the call stack.
+  struct Frame {
+    std::string name;
+    std::size_t next_arg = 0;
+  };
+  auto resolve = [&](const std::string& root) {
+    if (ids.count(root)) return;
+    std::vector<Frame> stack;
+    stack.push_back({root, 0});
+    while (!stack.empty()) {
+      Frame& fr = stack.back();
+      auto dit = defs.find(fr.name);
+      if (dit == defs.end())
+        throw BenchParseError("bench: net '" + fr.name +
+                              "' is referenced but never defined");
+      const Def& d = dit->second;
+      if (fr.next_arg == 0) {
+        Mark& m = marks[fr.name];
+        if (m == Mark::Grey)
+          fail(d.line, "combinational cycle through net '" + fr.name + "'");
+        if (m == Mark::Black || ids.count(fr.name)) {
+          stack.pop_back();
+          continue;
+        }
+        m = Mark::Grey;
+      }
+      bool descended = false;
+      while (fr.next_arg < d.args.size()) {
+        const std::string& a = d.args[fr.next_arg];
+        ++fr.next_arg;
+        if (!ids.count(a)) {
+          if (marks[a] == Mark::Grey)
+            fail(d.line, "combinational cycle through net '" + a + "'");
+          stack.push_back({a, 0});
+          descended = true;
+          break;
+        }
+      }
+      if (descended) continue;
+      std::vector<NodeId> fanin;
+      fanin.reserve(d.args.size());
+      for (const std::string& a : d.args) fanin.push_back(ids.at(a));
+      try {
+        ids.emplace(fr.name, net.add_gate(d.type, std::move(fanin), fr.name));
+      } catch (const std::invalid_argument& e) {
+        fail(d.line, e.what());
+      }
+      marks[fr.name] = Mark::Black;
+      stack.pop_back();
+    }
+  };
+
+  for (const auto& [name, def] : defs) {
+    (void)def;
+    resolve(name);
+  }
+  if (output_order.empty())
+    throw BenchParseError("bench: no OUTPUT declarations");
+  for (const std::string& o : output_order) {
+    auto it = ids.find(o);
+    if (it == ids.end())
+      throw BenchParseError("bench: OUTPUT net '" + o + "' never defined");
+    net.mark_output(it->second);
+  }
+  net.finalize();
+  return net;
+}
+
+Netlist read_bench_string(const std::string& text) {
+  std::istringstream ss(text);
+  return read_bench(ss);
+}
+
+Netlist read_bench_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw BenchParseError("bench: cannot open file '" + path + "'");
+  return read_bench(f);
+}
+
+void write_bench(std::ostream& out, const Netlist& net) {
+  // Assign unique printable names.
+  std::unordered_set<std::string> used;
+  std::vector<std::string> names(net.size());
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const std::string& nm = net.gate(n).name;
+    if (!nm.empty()) {
+      names[n] = nm;
+      used.insert(nm);
+    }
+  }
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (!names[n].empty()) continue;
+    std::string cand = "n" + std::to_string(n);
+    while (used.count(cand)) cand += "_";
+    names[n] = cand;
+    used.insert(cand);
+  }
+
+  out << "# written by protest\n";
+  for (NodeId i : net.inputs()) out << "INPUT(" << names[i] << ")\n";
+  for (NodeId o : net.outputs()) out << "OUTPUT(" << names[o] << ")\n";
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    if (g.type == GateType::Input) continue;
+    out << names[n] << " = ";
+    switch (g.type) {
+      case GateType::Buf: out << "BUFF"; break;
+      case GateType::Not: out << "NOT"; break;
+      default: out << to_string(g.type); break;
+    }
+    out << '(';
+    for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+      if (i) out << ", ";
+      out << names[g.fanin[i]];
+    }
+    out << ")\n";
+  }
+}
+
+std::string write_bench_string(const Netlist& net) {
+  std::ostringstream ss;
+  write_bench(ss, net);
+  return ss.str();
+}
+
+}  // namespace protest

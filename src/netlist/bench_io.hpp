@@ -1,0 +1,38 @@
+// Reader/writer for the ISCAS-85 ".bench" structural netlist dialect —
+// the public equivalent of the structure description language the original
+// PROTEST compiled (sect. 7).
+//
+// Supported grammar (case-insensitive keywords, '#' comments):
+//   INPUT(net)
+//   OUTPUT(net)
+//   net = AND(a, b, ...) | NAND(...) | OR(...) | NOR(...) | XOR(...)
+//       | XNOR(...) | NOT(a) | BUF(a) | BUFF(a) | CONST0() | CONST1()
+// Definitions may appear in any order (forward references are resolved);
+// sequential elements (DFF) are rejected — PROTEST analyses combinational
+// circuits only.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// Error raised on malformed .bench input (message includes line number).
+class BenchParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses a .bench description into a finalized netlist.
+Netlist read_bench(std::istream& in);
+Netlist read_bench_string(const std::string& text);
+Netlist read_bench_file(const std::string& path);
+
+/// Writes a finalized netlist as .bench (unnamed nets get synthetic names).
+void write_bench(std::ostream& out, const Netlist& net);
+std::string write_bench_string(const Netlist& net);
+
+}  // namespace protest

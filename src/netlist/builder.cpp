@@ -1,0 +1,67 @@
+#include "netlist/builder.hpp"
+
+namespace protest {
+
+NodeId NetlistBuilder::input(const std::string& name) {
+  return net_.add_input(name);
+}
+
+Bus NetlistBuilder::input_bus(const std::string& name, std::size_t width) {
+  Bus b;
+  b.reserve(width);
+  for (std::size_t i = 0; i < width; ++i)
+    b.push_back(net_.add_input(name + std::to_string(i)));
+  return b;
+}
+
+NodeId NetlistBuilder::constant(bool value) {
+  return net_.add_gate(value ? GateType::Const1 : GateType::Const0, {});
+}
+
+NodeId NetlistBuilder::xor2_nand(NodeId a, NodeId b) {
+  // Classic 4-NAND exclusive-or.
+  const NodeId t = net_.add_gate(GateType::Nand, {a, b}, {});
+  const NodeId l = net_.add_gate(GateType::Nand, {a, t}, {});
+  const NodeId r = net_.add_gate(GateType::Nand, {t, b}, {});
+  return net_.add_gate(GateType::Nand, {l, r}, {});
+}
+
+NodeId NetlistBuilder::gate(GateType t, std::vector<NodeId> fanin,
+                            std::string name) {
+  if (xor_style_ == XorStyle::NandMacro &&
+      (t == GateType::Xor || t == GateType::Xnor) && fanin.size() >= 2) {
+    NodeId acc = fanin[0];
+    for (std::size_t i = 1; i < fanin.size(); ++i)
+      acc = xor2_nand(acc, fanin[i]);
+    if (t == GateType::Xnor) acc = net_.add_gate(GateType::Not, {acc}, {});
+    if (!name.empty()) acc = net_.add_gate(GateType::Buf, {acc}, std::move(name));
+    return acc;
+  }
+  return net_.add_gate(t, std::move(fanin), std::move(name));
+}
+
+NodeId NetlistBuilder::mux(NodeId sel, NodeId lo, NodeId hi) {
+  const NodeId nsel = inv(sel);
+  const NodeId a = and2(nsel, lo);
+  const NodeId b = and2(sel, hi);
+  return or2(a, b);
+}
+
+void NetlistBuilder::output(NodeId n, const std::string& name) {
+  // A named output is realized as a named buffer so that the output pin
+  // carries the requested net name even if n is shared logic.
+  const NodeId o = net_.add_gate(GateType::Buf, {n}, name);
+  net_.mark_output(o);
+}
+
+void NetlistBuilder::output_bus(const Bus& b, const std::string& name) {
+  for (std::size_t i = 0; i < b.size(); ++i)
+    output(b[i], name + std::to_string(i));
+}
+
+Netlist NetlistBuilder::build() {
+  net_.finalize();
+  return std::move(net_);
+}
+
+}  // namespace protest

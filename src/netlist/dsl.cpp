@@ -1,0 +1,334 @@
+#include "netlist/dsl.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+namespace protest {
+namespace {
+
+// ---------------------------------------------------------------- lexer --
+struct Token {
+  enum Kind { Ident, LParen, RParen, LBrace, RBrace, Comma, Arrow, Equals, End };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& src) : src_(src) {}
+
+  Token next() {
+    skip_space_and_comments();
+    if (pos_ >= src_.size()) return {Token::End, "", line_};
+    const char c = src_[pos_];
+    switch (c) {
+      case '(': ++pos_; return {Token::LParen, "(", line_};
+      case ')': ++pos_; return {Token::RParen, ")", line_};
+      case '{': ++pos_; return {Token::LBrace, "{", line_};
+      case '}': ++pos_; return {Token::RBrace, "}", line_};
+      case ',': ++pos_; return {Token::Comma, ",", line_};
+      case '=': ++pos_; return {Token::Equals, "=", line_};
+      case '-':
+        if (pos_ + 1 < src_.size() && src_[pos_ + 1] == '>') {
+          pos_ += 2;
+          return {Token::Arrow, "->", line_};
+        }
+        break;
+      default: break;
+    }
+    if (is_ident_char(c)) {
+      std::size_t start = pos_;
+      while (pos_ < src_.size() && is_ident_char(src_[pos_])) ++pos_;
+      return {Token::Ident, src_.substr(start, pos_ - start), line_};
+    }
+    throw DslParseError("dsl:" + std::to_string(line_) +
+                        ": unexpected character '" + std::string(1, c) + "'");
+  }
+
+ private:
+  static bool is_ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == '.';
+  }
+  void skip_space_and_comments() {
+    while (pos_ < src_.size()) {
+      const char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+  const std::string& src_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+};
+
+// --------------------------------------------------------------- parser --
+struct Statement {
+  std::vector<std::string> lhs;   ///< one or more result nets
+  std::string op;                 ///< primitive or module name
+  std::vector<std::string> args;
+  int line;
+};
+
+struct Module {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::vector<std::string> outputs;
+  std::vector<Statement> body;
+  int line;
+};
+
+struct Program {
+  std::unordered_map<std::string, Module> modules;
+  std::string top;
+  int top_line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw DslParseError("dsl:" + std::to_string(line) + ": " + msg);
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& src) : lex_(src) { advance(); }
+
+  Program parse() {
+    Program prog;
+    while (cur_.kind != Token::End) {
+      if (cur_.kind != Token::Ident) fail(cur_.line, "expected 'module' or 'circuit'");
+      if (cur_.text == "module") {
+        Module m = parse_module();
+        const int line = m.line;
+        if (!prog.modules.emplace(m.name, std::move(m)).second)
+          fail(line, "module defined twice");
+      } else if (cur_.text == "circuit") {
+        advance();
+        if (cur_.kind != Token::Ident) fail(cur_.line, "expected circuit name");
+        if (!prog.top.empty()) fail(cur_.line, "multiple 'circuit' directives");
+        prog.top = cur_.text;
+        prog.top_line = cur_.line;
+        advance();
+      } else {
+        fail(cur_.line, "expected 'module' or 'circuit', got '" + cur_.text + "'");
+      }
+    }
+    if (prog.top.empty())
+      throw DslParseError("dsl: missing 'circuit <top>' directive");
+    if (!prog.modules.count(prog.top))
+      fail(prog.top_line, "unknown top module '" + prog.top + "'");
+    return prog;
+  }
+
+ private:
+  void advance() { cur_ = lex_.next(); }
+
+  void expect(Token::Kind k, const char* what) {
+    if (cur_.kind != k) fail(cur_.line, std::string("expected ") + what);
+    advance();
+  }
+
+  std::string expect_ident(const char* what) {
+    if (cur_.kind != Token::Ident)
+      fail(cur_.line, std::string("expected ") + what);
+    std::string t = cur_.text;
+    advance();
+    return t;
+  }
+
+  std::vector<std::string> ident_list(Token::Kind terminator) {
+    std::vector<std::string> out;
+    if (cur_.kind == terminator) return out;
+    out.push_back(expect_ident("net name"));
+    while (cur_.kind == Token::Comma) {
+      advance();
+      out.push_back(expect_ident("net name"));
+    }
+    return out;
+  }
+
+  Module parse_module() {
+    Module m;
+    m.line = cur_.line;
+    advance();  // 'module'
+    m.name = expect_ident("module name");
+    expect(Token::LParen, "'('");
+    m.inputs = ident_list(Token::Arrow);
+    expect(Token::Arrow, "'->'");
+    m.outputs = ident_list(Token::RParen);
+    expect(Token::RParen, "')'");
+    expect(Token::LBrace, "'{'");
+    if (m.outputs.empty()) fail(m.line, "module needs at least one output");
+    while (cur_.kind != Token::RBrace) {
+      m.body.push_back(parse_statement());
+    }
+    advance();  // '}'
+    return m;
+  }
+
+  Statement parse_statement() {
+    Statement s;
+    s.line = cur_.line;
+    if (cur_.kind == Token::LParen) {
+      advance();
+      s.lhs = ident_list(Token::RParen);
+      expect(Token::RParen, "')'");
+    } else {
+      s.lhs.push_back(expect_ident("result net"));
+    }
+    if (s.lhs.empty()) fail(s.line, "statement needs a result net");
+    expect(Token::Equals, "'='");
+    s.op = expect_ident("gate or module name");
+    expect(Token::LParen, "'('");
+    s.args = ident_list(Token::RParen);
+    expect(Token::RParen, "')'");
+    return s;
+  }
+
+  Lexer lex_;
+  Token cur_{Token::End, "", 0};
+};
+
+// ----------------------------------------------------------- elaborator --
+std::optional<GateType> primitive_of(std::string op) {
+  std::transform(op.begin(), op.end(), op.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  if (op == "AND") return GateType::And;
+  if (op == "NAND") return GateType::Nand;
+  if (op == "OR") return GateType::Or;
+  if (op == "NOR") return GateType::Nor;
+  if (op == "XOR") return GateType::Xor;
+  if (op == "XNOR") return GateType::Xnor;
+  if (op == "NOT" || op == "INV") return GateType::Not;
+  if (op == "BUF" || op == "BUFF") return GateType::Buf;
+  if (op == "CONST0") return GateType::Const0;
+  if (op == "CONST1") return GateType::Const1;
+  return std::nullopt;
+}
+
+class Elaborator {
+ public:
+  Elaborator(const Program& prog) : prog_(prog) {}
+
+  Netlist run() {
+    const Module& top = prog_.modules.at(prog_.top);
+    std::unordered_map<std::string, NodeId> env;
+    for (const std::string& in : top.inputs) {
+      if (env.count(in)) fail(top.line, "duplicate input '" + in + "'");
+      env.emplace(in, net_.add_input(in));
+    }
+    elaborate_body(top, env, /*keep_names=*/true);
+    for (const std::string& out : top.outputs) {
+      auto it = env.find(out);
+      if (it == env.end())
+        fail(top.line, "top output '" + out + "' never driven");
+      net_.mark_output(it->second);
+    }
+    net_.finalize();
+    return std::move(net_);
+  }
+
+ private:
+  /// Elaborates a module body in the given environment (formals already
+  /// bound).  Returns nothing; env gains every local net.
+  void elaborate_body(const Module& m,
+                      std::unordered_map<std::string, NodeId>& env,
+                      bool keep_names) {
+    for (const Statement& s : m.body) {
+      std::vector<NodeId> args;
+      args.reserve(s.args.size());
+      for (const std::string& a : s.args) {
+        auto it = env.find(a);
+        if (it == env.end())
+          fail(s.line, "net '" + a + "' used before definition");
+        args.push_back(it->second);
+      }
+      std::vector<NodeId> results;
+      if (const auto prim = primitive_of(s.op)) {
+        if (s.lhs.size() != 1)
+          fail(s.line, "a primitive gate produces exactly one net");
+        try {
+          results.push_back(net_.add_gate(
+              *prim, std::move(args),
+              keep_names ? s.lhs[0] : std::string{}));
+        } catch (const std::invalid_argument& e) {
+          fail(s.line, e.what());
+        }
+      } else {
+        results = instantiate(s, args);
+      }
+      for (std::size_t i = 0; i < s.lhs.size(); ++i) {
+        if (!env.emplace(s.lhs[i], results[i]).second)
+          fail(s.line, "net '" + s.lhs[i] + "' defined twice");
+      }
+    }
+  }
+
+  std::vector<NodeId> instantiate(const Statement& s,
+                                  const std::vector<NodeId>& actuals) {
+    auto it = prog_.modules.find(s.op);
+    if (it == prog_.modules.end())
+      fail(s.line, "unknown gate or module '" + s.op + "'");
+    const Module& callee = it->second;
+    if (actuals.size() != callee.inputs.size())
+      fail(s.line, "module '" + s.op + "' expects " +
+                       std::to_string(callee.inputs.size()) + " inputs, got " +
+                       std::to_string(actuals.size()));
+    if (s.lhs.size() != callee.outputs.size())
+      fail(s.line, "module '" + s.op + "' produces " +
+                       std::to_string(callee.outputs.size()) +
+                       " outputs, bound to " + std::to_string(s.lhs.size()));
+    if (std::find(stack_.begin(), stack_.end(), callee.name) != stack_.end())
+      fail(s.line, "recursive instantiation of '" + callee.name + "'");
+    stack_.push_back(callee.name);
+
+    std::unordered_map<std::string, NodeId> env;
+    for (std::size_t i = 0; i < actuals.size(); ++i)
+      env.emplace(callee.inputs[i], actuals[i]);
+    elaborate_body(callee, env, /*keep_names=*/false);
+    std::vector<NodeId> results;
+    for (const std::string& out : callee.outputs) {
+      auto oit = env.find(out);
+      if (oit == env.end())
+        fail(callee.line, "module output '" + out + "' never driven");
+      results.push_back(oit->second);
+    }
+    stack_.pop_back();
+    return results;
+  }
+
+  const Program& prog_;
+  Netlist net_;
+  std::vector<std::string> stack_;  ///< instantiation path (cycle check)
+};
+
+}  // namespace
+
+Netlist elaborate_dsl(const std::string& text) {
+  Parser parser(text);
+  const Program prog = parser.parse();
+  return Elaborator(prog).run();
+}
+
+Netlist elaborate_dsl_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw DslParseError("dsl: cannot open file '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return elaborate_dsl(ss.str());
+}
+
+}  // namespace protest

@@ -1,0 +1,40 @@
+// A small hierarchical structure-description language — the counterpart of
+// the language the original PROTEST compiled (sect. 7: "they compile a
+// structure description language for circuits").  Unlike flat .bench it
+// supports module definitions and instantiation:
+//
+//   # gate-level half adder
+//   module half_adder(a, b -> s, c) {
+//     s = XOR(a, b)
+//     c = AND(a, b)
+//   }
+//   module top(x0, x1, cin -> sum, cout) {
+//     (s1, c1) = half_adder(x0, x1)
+//     (sum, c2) = half_adder(s1, cin)
+//     cout = OR(c1, c2)
+//   }
+//   circuit top
+//
+// Primitive operators: AND OR NAND NOR XOR XNOR NOT BUF BUFF CONST0 CONST1.
+// Nets must be defined before use inside a module body; instantiation is
+// flattened (no hierarchy survives into the Netlist).
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+class DslParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Parses and elaborates a DSL description into a flat finalized netlist.
+/// Top-level nets keep their names; instance-local nets are anonymous.
+Netlist elaborate_dsl(const std::string& text);
+Netlist elaborate_dsl_file(const std::string& path);
+
+}  // namespace protest

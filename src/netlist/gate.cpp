@@ -1,0 +1,194 @@
+#include "netlist/gate.hpp"
+
+#include <stdexcept>
+
+namespace protest {
+
+std::string to_string(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+  }
+  return "?";
+}
+
+bool is_logic_op(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+    case GateType::Or:
+    case GateType::Nor:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_inverting(GateType t) {
+  return t == GateType::Not || t == GateType::Nand || t == GateType::Nor ||
+         t == GateType::Xnor;
+}
+
+bool eval_gate(GateType t, std::span<const bool> in) {
+  switch (t) {
+    case GateType::Input:
+      throw std::logic_error("eval_gate: primary input has no function");
+    case GateType::Const0: return false;
+    case GateType::Const1: return true;
+    case GateType::Buf: return in[0];
+    case GateType::Not: return !in[0];
+    case GateType::And: {
+      for (bool v : in)
+        if (!v) return false;
+      return true;
+    }
+    case GateType::Nand: {
+      for (bool v : in)
+        if (!v) return true;
+      return false;
+    }
+    case GateType::Or: {
+      for (bool v : in)
+        if (v) return true;
+      return false;
+    }
+    case GateType::Nor: {
+      for (bool v : in)
+        if (v) return false;
+      return true;
+    }
+    case GateType::Xor: {
+      bool acc = false;
+      for (bool v : in) acc ^= v;
+      return acc;
+    }
+    case GateType::Xnor: {
+      bool acc = true;
+      for (bool v : in) acc ^= v;
+      return acc;
+    }
+  }
+  throw std::logic_error("eval_gate: unknown gate type");
+}
+
+std::uint64_t eval_gate_word(GateType t, std::span<const std::uint64_t> in) {
+  switch (t) {
+    case GateType::Input:
+      throw std::logic_error("eval_gate_word: primary input has no function");
+    case GateType::Const0: return 0;
+    case GateType::Const1: return ~std::uint64_t{0};
+    case GateType::Buf: return in[0];
+    case GateType::Not: return ~in[0];
+    case GateType::And: {
+      std::uint64_t acc = ~std::uint64_t{0};
+      for (std::uint64_t v : in) acc &= v;
+      return acc;
+    }
+    case GateType::Nand: {
+      std::uint64_t acc = ~std::uint64_t{0};
+      for (std::uint64_t v : in) acc &= v;
+      return ~acc;
+    }
+    case GateType::Or: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : in) acc |= v;
+      return acc;
+    }
+    case GateType::Nor: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : in) acc |= v;
+      return ~acc;
+    }
+    case GateType::Xor: {
+      std::uint64_t acc = 0;
+      for (std::uint64_t v : in) acc ^= v;
+      return acc;
+    }
+    case GateType::Xnor: {
+      std::uint64_t acc = ~std::uint64_t{0};
+      for (std::uint64_t v : in) acc ^= v;
+      return acc;
+    }
+  }
+  throw std::logic_error("eval_gate_word: unknown gate type");
+}
+
+double eval_gate_prob(GateType t, std::span<const double> in) {
+  switch (t) {
+    case GateType::Input:
+      throw std::logic_error("eval_gate_prob: primary input has no function");
+    case GateType::Const0: return 0.0;
+    case GateType::Const1: return 1.0;
+    case GateType::Buf: return in[0];
+    case GateType::Not: return 1.0 - in[0];
+    case GateType::And: {
+      double acc = 1.0;
+      for (double p : in) acc *= p;
+      return acc;
+    }
+    case GateType::Nand: {
+      double acc = 1.0;
+      for (double p : in) acc *= p;
+      return 1.0 - acc;
+    }
+    case GateType::Or: {
+      double acc = 1.0;
+      for (double p : in) acc *= 1.0 - p;
+      return 1.0 - acc;
+    }
+    case GateType::Nor: {
+      double acc = 1.0;
+      for (double p : in) acc *= 1.0 - p;
+      return acc;
+    }
+    case GateType::Xor: {
+      // P(odd parity) folds pairwise: p (+) q = p + q - 2pq.
+      double acc = 0.0;
+      for (double p : in) acc = acc + p - 2.0 * acc * p;
+      return acc;
+    }
+    case GateType::Xnor: {
+      double acc = 0.0;
+      for (double p : in) acc = acc + p - 2.0 * acc * p;
+      return 1.0 - acc;
+    }
+  }
+  throw std::logic_error("eval_gate_prob: unknown gate type");
+}
+
+int controlling_value(GateType t) {
+  switch (t) {
+    case GateType::And:
+    case GateType::Nand:
+      return 0;
+    case GateType::Or:
+    case GateType::Nor:
+      return 1;
+    default:
+      return -1;
+  }
+}
+
+bool controlled_output(GateType t) {
+  switch (t) {
+    case GateType::And: return false;
+    case GateType::Nand: return true;
+    case GateType::Or: return true;
+    case GateType::Nor: return false;
+    default:
+      throw std::logic_error("controlled_output: gate has no controlling value");
+  }
+}
+
+}  // namespace protest

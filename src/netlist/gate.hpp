@@ -1,0 +1,66 @@
+// Gate types of the combinational netlist model and their three
+// interpretations: Boolean evaluation, 64-way bit-parallel evaluation, and
+// the arithmetic (probability) transfer function used throughout PROTEST.
+//
+// The paper (sect. 2) develops the theory for inverters and 2-input ANDs
+// only "to simplify the notation"; PROTEST itself "accepts combinational
+// circuits with arbitrary boolean functions as basic components".  We
+// support the standard gate library with arbitrary fan-in.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace protest {
+
+/// Index of a node (primary input or gate output) in a Netlist.
+using NodeId = std::uint32_t;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kNoNode = 0xFFFF'FFFFu;
+
+enum class GateType : std::uint8_t {
+  Input,   ///< primary input (no fanin)
+  Const0,  ///< constant logical 0
+  Const1,  ///< constant logical 1
+  Buf,     ///< identity, 1 fanin
+  Not,     ///< inverter, 1 fanin
+  And,     ///< n-ary AND, n >= 1
+  Nand,    ///< n-ary NAND
+  Or,      ///< n-ary OR
+  Nor,     ///< n-ary NOR
+  Xor,     ///< n-ary XOR (odd parity)
+  Xnor,    ///< n-ary XNOR (even parity)
+};
+
+/// Human-readable / .bench-compatible name of a gate type.
+std::string to_string(GateType t);
+
+/// True for And/Nand/Or/Nor/Xor/Xnor (the types that take n >= 1 inputs).
+bool is_logic_op(GateType t);
+
+/// True if the gate output inverts its "core" function (Nand, Nor, Xnor, Not).
+bool is_inverting(GateType t);
+
+/// Boolean evaluation of a gate over its input values.
+bool eval_gate(GateType t, std::span<const bool> in);
+
+/// 64 patterns at once, one per bit.
+std::uint64_t eval_gate_word(GateType t, std::span<const std::uint64_t> in);
+
+/// Arithmetic transfer function under the independence assumption: the
+/// probability that the gate output is 1 given independent input
+/// probabilities.  This is the unique multilinear extension of the Boolean
+/// function (the mapping !x -> 1-x, x&y -> x*y of sect. 3).
+double eval_gate_prob(GateType t, std::span<const double> in);
+
+/// Controlling value of the gate, if it has one (AND/NAND -> 0,
+/// OR/NOR -> 1).  Returns -1 for gates without a controlling value.
+int controlling_value(GateType t);
+
+/// Value at the output when a controlling value is applied at an input.
+/// Only meaningful when controlling_value(t) >= 0.
+bool controlled_output(GateType t);
+
+}  // namespace protest

@@ -1,0 +1,92 @@
+// Combinational gate-level netlist: the substrate every PROTEST algorithm
+// works on.  Matches the paper's S = <I, O, K, B> notation: I = primary
+// inputs, O = primary outputs, K = all nodes, B = logic components.
+//
+// Nodes are created in topological order by construction (a gate may only
+// reference already-existing fanins), so `for (NodeId n = 0; n < size(); ++n)`
+// is a forward topological sweep and the reverse loop is a backward sweep.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace protest {
+
+/// One node of the netlist: a primary input, constant, or logic gate.
+struct Gate {
+  GateType type = GateType::Input;
+  std::vector<NodeId> fanin;
+  std::string name;  ///< optional net name (unique when non-empty)
+};
+
+class Netlist {
+ public:
+  /// Adds a primary input node.
+  NodeId add_input(std::string name = {});
+
+  /// Adds a gate whose fanins must already exist.  Unary types (Buf, Not)
+  /// require exactly one fanin; n-ary logic ops require >= 1; constants 0.
+  NodeId add_gate(GateType type, std::vector<NodeId> fanin,
+                  std::string name = {});
+
+  /// Marks an existing node as a primary output (order of calls is the
+  /// output order).  A node may be marked at most once.
+  void mark_output(NodeId n);
+
+  /// Builds fanout lists, levels, and the name index; validates the
+  /// structure.  Must be called before analysis; add_* calls afterwards
+  /// throw.  Idempotent structure: call once.
+  void finalize();
+
+  bool finalized() const { return finalized_; }
+
+  // --- structure ------------------------------------------------------
+  std::size_t size() const { return gates_.size(); }
+  const Gate& gate(NodeId n) const { return gates_[n]; }
+  std::span<const NodeId> inputs() const { return inputs_; }
+  std::span<const NodeId> outputs() const { return outputs_; }
+  bool is_input(NodeId n) const { return gates_[n].type == GateType::Input; }
+  bool is_output(NodeId n) const { return output_flag_[n]; }
+
+  /// Gates (and constants) only, i.e. all nodes that are not primary inputs.
+  std::size_t num_gates() const { return size() - inputs_.size(); }
+
+  // --- derived structure (valid after finalize) -------------------------
+  /// Immediate successors of n: gates that have n as a fanin.  A gate with
+  /// n on two pins appears twice (two distinct branches of the stem).
+  std::span<const NodeId> fanout(NodeId n) const { return fanouts_[n]; }
+
+  /// Logic level: inputs/constants are 0, gates are 1 + max fanin level.
+  unsigned level(NodeId n) const { return levels_[n]; }
+  unsigned depth() const { return depth_; }
+
+  /// Nodes with >= 2 fanout branches (candidate joining points, fig. 2).
+  std::span<const NodeId> stems() const { return stems_; }
+
+  /// Looks a node up by name; returns kNoNode if absent.
+  NodeId find(const std::string& name) const;
+
+  /// Name of node n, or a synthesized "n<id>" when unnamed.
+  std::string name_of(NodeId n) const;
+
+ private:
+  void check_open() const;
+
+  std::vector<Gate> gates_;
+  std::vector<NodeId> inputs_;
+  std::vector<NodeId> outputs_;
+  std::vector<char> output_flag_;
+  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<unsigned> levels_;
+  std::vector<NodeId> stems_;
+  std::unordered_map<std::string, NodeId> by_name_;
+  unsigned depth_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace protest

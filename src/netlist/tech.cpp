@@ -1,0 +1,45 @@
+#include "netlist/tech.hpp"
+
+namespace protest {
+
+std::size_t transistor_count(GateType t, std::size_t fanin) {
+  switch (t) {
+    case GateType::Input:
+    case GateType::Const0:
+    case GateType::Const1:
+      return 0;
+    case GateType::Buf: return 4;
+    case GateType::Not: return 2;
+    case GateType::Nand:
+    case GateType::Nor:
+      return fanin <= 1 ? 2 : 2 * fanin;
+    case GateType::And:
+    case GateType::Or:
+      return fanin <= 1 ? 4 : 2 * fanin + 2;
+    case GateType::Xor:
+    case GateType::Xnor:
+      return fanin <= 1 ? 2 : 10 * (fanin - 1);
+  }
+  return 0;
+}
+
+std::size_t transistor_count(const Netlist& net) {
+  std::size_t total = 0;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    total += transistor_count(g.type, g.fanin.size());
+  }
+  return total;
+}
+
+std::size_t gate_equivalents(const Netlist& net) {
+  std::size_t total = 0;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    const std::size_t t = transistor_count(g.type, g.fanin.size());
+    total += (t + 3) / 4;
+  }
+  return total;
+}
+
+}  // namespace protest

@@ -1,0 +1,23 @@
+// Technology bookkeeping: CMOS transistor counts and gate equivalents.
+// The paper reports circuit sizes as transistor counts "based on a CMOS
+// library" (Table 7); we use the standard static-CMOS costs.
+#pragma once
+
+#include <cstddef>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// Static-CMOS transistor cost of one gate with `fanin` inputs:
+/// INV 2, BUF 4, NANDn/NORn 2n, ANDn/ORn 2n+2, 2-input XOR/XNOR 10
+/// (n-ary as a chain of 2-input stages).  Inputs and constants cost 0.
+std::size_t transistor_count(GateType t, std::size_t fanin);
+
+/// Total transistor count of a netlist.
+std::size_t transistor_count(const Netlist& net);
+
+/// Gate equivalents (1 GE = 1 NAND2 = 4 transistors), rounded up per gate.
+std::size_t gate_equivalents(const Netlist& net);
+
+}  // namespace protest

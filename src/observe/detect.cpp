@@ -1,0 +1,35 @@
+#include "observe/detect.hpp"
+
+#include <algorithm>
+
+namespace protest {
+
+double detection_prob(const Netlist& net, const Fault& f,
+                      std::span<const double> node_probs,
+                      const Observability& obs) {
+  double value_prob;  // probability that the pin carries NOT(stuck value)
+  double s;
+  if (f.is_stem()) {
+    value_prob = node_probs[f.node];
+    s = obs.stem[f.node];
+  } else {
+    const NodeId driver = net.gate(f.node).fanin[f.pin];
+    value_prob = node_probs[driver];
+    s = obs.pin[f.node][f.pin];
+  }
+  const double p1 = f.sa == StuckAt::Zero ? value_prob : 1.0 - value_prob;
+  return std::clamp(p1 * s, 0.0, 1.0);
+}
+
+std::vector<double> detection_probs(const Netlist& net,
+                                    std::span<const Fault> faults,
+                                    std::span<const double> node_probs,
+                                    const Observability& obs) {
+  std::vector<double> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults)
+    out.push_back(detection_prob(net, f, node_probs, obs));
+  return out;
+}
+
+}  // namespace protest

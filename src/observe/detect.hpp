@@ -1,0 +1,27 @@
+// Fault detection probabilities from signal probabilities + observability
+// (sect. 3): a stuck-at-i fault at pin x is detected with the probability
+// that x carries NOT(i) and x is observed,
+//   x0 := p_x * s(x)        (stuck-at-0)
+//   x1 := (1 - p_x) * s(x)  (stuck-at-1)
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "observe/observability.hpp"
+#include "sim/fault.hpp"
+
+namespace protest {
+
+/// Detection probability of one fault.
+double detection_prob(const Netlist& net, const Fault& f,
+                      std::span<const double> node_probs,
+                      const Observability& obs);
+
+/// Detection probabilities of a fault list (same order).
+std::vector<double> detection_probs(const Netlist& net,
+                                    std::span<const Fault> faults,
+                                    std::span<const double> node_probs,
+                                    const Observability& obs);
+
+}  // namespace protest

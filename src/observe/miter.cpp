@@ -1,0 +1,89 @@
+#include "observe/miter.hpp"
+
+#include <unordered_map>
+
+#include "netlist/cone.hpp"
+#include "prob/exact.hpp"
+#include "prob/naive.hpp"
+
+namespace protest {
+
+Netlist build_fault_miter(const Netlist& net, const Fault& f) {
+  Netlist m;
+  // Good copy (identical node ids, since construction order is preserved).
+  std::vector<NodeId> good(net.size());
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    if (g.type == GateType::Input) {
+      good[n] = m.add_input(g.name);
+    } else {
+      good[n] = m.add_gate(g.type, g.fanin, {});
+    }
+  }
+
+  // Faulty copy of the fanout cone of the fault site.
+  const std::vector<NodeId> cone = transitive_fanout(net, f.node);
+  std::unordered_map<NodeId, NodeId> faulty;
+  const NodeId forced =
+      m.add_gate(f.sa == StuckAt::One ? GateType::Const1 : GateType::Const0, {});
+  for (NodeId n : cone) {
+    const Gate& g = net.gate(n);
+    if (n == f.node) {
+      if (f.is_stem()) {
+        faulty[n] = forced;
+        continue;
+      }
+      // Branch fault: re-instantiate the gate with the faulty pin forced.
+      std::vector<NodeId> fi;
+      for (std::size_t k = 0; k < g.fanin.size(); ++k)
+        fi.push_back(static_cast<int>(k) == f.pin ? forced : good[g.fanin[k]]);
+      faulty[n] = m.add_gate(g.type, std::move(fi), {});
+      continue;
+    }
+    std::vector<NodeId> fi;
+    for (NodeId x : g.fanin) {
+      auto it = faulty.find(x);
+      fi.push_back(it != faulty.end() ? it->second : good[x]);
+    }
+    faulty[n] = m.add_gate(g.type, std::move(fi), {});
+  }
+
+  // XOR each affected primary output with its good twin; OR them together.
+  std::vector<NodeId> xors;
+  for (NodeId o : net.outputs()) {
+    auto it = faulty.find(o);
+    if (it == faulty.end()) continue;  // output unreachable from the fault
+    xors.push_back(m.add_gate(GateType::Xor, {good[o], it->second}, {}));
+  }
+  NodeId root;
+  if (xors.empty()) {
+    root = m.add_gate(GateType::Const0, {});  // undetectable by structure
+  } else if (xors.size() == 1) {
+    root = xors[0];
+  } else {
+    root = m.add_gate(GateType::Or, xors, {});
+  }
+  m.mark_output(root);
+  m.finalize();
+  return m;
+}
+
+double exact_detection_prob_bdd(const Netlist& net, const Fault& f,
+                                std::span<const double> input_probs,
+                                std::size_t node_limit) {
+  validate_input_probs(net, input_probs);
+  const Netlist m = build_fault_miter(net, f);
+  Bdd bdd(static_cast<unsigned>(m.inputs().size()), node_limit);
+  const auto fs = build_node_bdds(m, bdd);
+  return bdd.sat_prob(fs[m.outputs()[0]], input_probs);
+}
+
+double estimated_detection_prob_miter(const Netlist& net, const Fault& f,
+                                      std::span<const double> input_probs,
+                                      ProtestParams params) {
+  const Netlist m = build_fault_miter(net, f);
+  ProtestEstimator est(m, params);
+  return est.signal_probs(input_probs)[m.outputs()[0]];
+}
+
+}  // namespace protest

@@ -1,0 +1,36 @@
+// The exact transform of sect. 3's opening remark: "the computation of
+// fault detection probabilities can be transformed into the computation of
+// signal probabilities ... but this yields quadratic complexity".  For a
+// fault f we build a miter: the good circuit, a faulty copy of the fault's
+// fanout cone, an XOR per affected output, and an OR over the XORs.  The
+// signal probability of the OR *is* the detection probability — exactly
+// when computed exactly (BDD), approximately when handed to an estimator.
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "netlist/netlist.hpp"
+#include "prob/protest_estimator.hpp"
+#include "sim/fault.hpp"
+
+namespace protest {
+
+/// Miter netlist: same primary inputs as the original; single output whose
+/// signal probability equals the fault's detection probability.
+Netlist build_fault_miter(const Netlist& net, const Fault& f);
+
+/// Exact detection probability via BDD on the miter (validation oracle).
+double exact_detection_prob_bdd(const Netlist& net, const Fault& f,
+                                std::span<const double> input_probs,
+                                std::size_t node_limit = 2'000'000);
+
+/// PROTEST's "considerable computing time" option: run the estimator on
+/// the miter instead of the simple signal-flow model.  Caveat (measured in
+/// bench/ablation_estimator): the miter correlates every node with its
+/// faulty twin, so on reconvergence-dense circuits the bounded
+/// conditioning degrades and the linear signal-flow model is both cheaper
+/// and more accurate; this option shines only on small/shallow cones.
+double estimated_detection_prob_miter(const Netlist& net, const Fault& f,
+                                      std::span<const double> input_probs,
+                                      ProtestParams params = {});
+
+}  // namespace protest

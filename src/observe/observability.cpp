@@ -1,0 +1,108 @@
+#include "observe/observability.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protest {
+namespace {
+
+double xor_comb(double t, double y) { return t + y - 2.0 * t * y; }
+
+}  // namespace
+
+double gate_transfer(const Netlist& net, NodeId gate, std::size_t pin,
+                     std::span<const double> node_probs, TransferModel model) {
+  const Gate& g = net.gate(gate);
+  if (pin >= g.fanin.size())
+    throw std::invalid_argument("gate_transfer: pin index out of range");
+
+  if (model == TransferModel::BooleanDifference) {
+    // Exact Boolean-difference probability for the standard gate library:
+    // AND/NAND toggle iff all other pins are 1; OR/NOR iff all other 0;
+    // XOR/XNOR/NOT/BUF always toggle.
+    switch (g.type) {
+      case GateType::And:
+      case GateType::Nand: {
+        double acc = 1.0;
+        for (std::size_t j = 0; j < g.fanin.size(); ++j)
+          if (j != pin) acc *= node_probs[g.fanin[j]];
+        return acc;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        double acc = 1.0;
+        for (std::size_t j = 0; j < g.fanin.size(); ++j)
+          if (j != pin) acc *= 1.0 - node_probs[g.fanin[j]];
+        return acc;
+      }
+      case GateType::Buf:
+      case GateType::Not:
+      case GateType::Xor:
+      case GateType::Xnor:
+        return 1.0;
+      default:
+        throw std::logic_error("gate_transfer: gate without inputs");
+    }
+  }
+
+  // Paper formula: evaluate the arithmetic form with the pin pinned to 0
+  // and to 1, then combine with t (*) y = t + y - 2ty.
+  std::vector<double> ins(g.fanin.size());
+  for (std::size_t j = 0; j < g.fanin.size(); ++j)
+    ins[j] = node_probs[g.fanin[j]];
+  ins[pin] = 0.0;
+  const double f0 = eval_gate_prob(g.type, ins);
+  ins[pin] = 1.0;
+  const double f1 = eval_gate_prob(g.type, ins);
+  return xor_comb(f0, f1);
+}
+
+Observability compute_observability(const Netlist& net,
+                                    std::span<const double> node_probs,
+                                    ObservabilityOptions opts) {
+  if (node_probs.size() != net.size())
+    throw std::invalid_argument("compute_observability: need one probability per node");
+
+  Observability obs;
+  obs.stem.assign(net.size(), 0.0);
+  obs.pin.resize(net.size());
+  for (NodeId n = 0; n < net.size(); ++n)
+    obs.pin[n].assign(net.gate(n).fanin.size(), 0.0);
+
+  // (consumer, pin) pairs per stem; each branch appears exactly once even
+  // when one gate consumes the same net on several pins.
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> consumers(net.size());
+  for (NodeId c = 0; c < net.size(); ++c) {
+    const auto& fanin = net.gate(c).fanin;
+    for (std::size_t k = 0; k < fanin.size(); ++k)
+      consumers[fanin[k]].push_back({c, static_cast<std::uint32_t>(k)});
+  }
+
+  // Backward sweep: node ids are topologically ordered, so descending ids
+  // visit every consumer before its producers.
+  for (NodeId n = net.size(); n-- > 0;) {
+    // 1) Combine the stem observability of n from its branches.  A primary
+    // output pin contributes a branch with s = 1.
+    double s;
+    const bool po = net.is_output(n);
+    if (opts.stem == StemModel::XorChain) {
+      s = po ? 1.0 : 0.0;
+      for (const auto& [c, k] : consumers[n]) s = xor_comb(s, obs.pin[c][k]);
+    } else {
+      double miss = po ? 0.0 : 1.0;
+      for (const auto& [c, k] : consumers[n]) miss *= 1.0 - obs.pin[c][k];
+      s = 1.0 - miss;
+    }
+    obs.stem[n] = std::clamp(s, 0.0, 1.0);
+
+    // 2) Push through the gate to its input pins.
+    const Gate& g = net.gate(n);
+    for (std::size_t k = 0; k < g.fanin.size(); ++k)
+      obs.pin[n][k] = std::clamp(
+          obs.stem[n] * gate_transfer(net, n, k, node_probs, opts.transfer),
+          0.0, 1.0);
+  }
+  return obs;
+}
+
+}  // namespace protest

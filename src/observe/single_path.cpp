@@ -1,0 +1,81 @@
+#include "observe/single_path.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace protest {
+namespace {
+
+/// Probability that the side inputs of `gate` enable propagation from pin k.
+double side_enable(const Netlist& net, NodeId gate, std::size_t pin,
+                   std::span<const double> node_probs) {
+  const Gate& g = net.gate(gate);
+  switch (g.type) {
+    case GateType::And:
+    case GateType::Nand: {
+      double acc = 1.0;
+      for (std::size_t j = 0; j < g.fanin.size(); ++j)
+        if (j != pin) acc *= node_probs[g.fanin[j]];
+      return acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      double acc = 1.0;
+      for (std::size_t j = 0; j < g.fanin.size(); ++j)
+        if (j != pin) acc *= 1.0 - node_probs[g.fanin[j]];
+      return acc;
+    }
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Xor:
+    case GateType::Xnor:
+      return 1.0;
+    default:
+      throw std::logic_error("side_enable: gate without inputs");
+  }
+}
+
+}  // namespace
+
+std::vector<double> single_path_observability(const Netlist& net,
+                                              std::span<const double> node_probs) {
+  if (node_probs.size() != net.size())
+    throw std::invalid_argument("single_path_observability: need one probability per node");
+  std::vector<double> best(net.size(), 0.0);
+  for (NodeId n = net.size(); n-- > 0;) {
+    double s = net.is_output(n) ? 1.0 : 0.0;
+    for (NodeId c : net.fanout(n)) {
+      const auto& fanin = net.gate(c).fanin;
+      for (std::size_t k = 0; k < fanin.size(); ++k) {
+        if (fanin[k] != n) continue;
+        s = std::max(s, best[c] * side_enable(net, c, k, node_probs));
+      }
+    }
+    best[n] = s;
+  }
+  return best;
+}
+
+std::vector<double> single_path_detection_probs(const Netlist& net,
+                                                std::span<const Fault> faults,
+                                                std::span<const double> node_probs) {
+  const std::vector<double> best = single_path_observability(net, node_probs);
+  std::vector<double> out;
+  out.reserve(faults.size());
+  for (const Fault& f : faults) {
+    double value_prob, s;
+    if (f.is_stem()) {
+      value_prob = node_probs[f.node];
+      s = best[f.node];
+    } else {
+      const NodeId driver = net.gate(f.node).fanin[f.pin];
+      value_prob = node_probs[driver];
+      s = best[f.node] * side_enable(net, f.node, f.pin, node_probs);
+    }
+    const double p1 = f.sa == StuckAt::Zero ? value_prob : 1.0 - value_prob;
+    out.push_back(std::clamp(p1 * s, 0.0, 1.0));
+  }
+  return out;
+}
+
+}  // namespace protest

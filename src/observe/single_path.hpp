@@ -1,0 +1,27 @@
+// The linear-complexity "single path sensitization" option of sect. 3: a
+// test sensitizes a single path from pin x to output o if there is exactly
+// one path whose node values depend on the value at x.  We estimate a lower
+// bound via the best single path: a backward max-product DP where each gate
+// contributes the probability that its side inputs hold non-controlling
+// values.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/fault.hpp"
+
+namespace protest {
+
+/// Per-node probability of the most sensitizable single path from the
+/// node's output stem to a primary output.
+std::vector<double> single_path_observability(const Netlist& net,
+                                              std::span<const double> node_probs);
+
+/// Detection estimate: P(pin carries NOT(stuck value)) * best single path.
+std::vector<double> single_path_detection_probs(const Netlist& net,
+                                                std::span<const Fault> faults,
+                                                std::span<const double> node_probs);
+
+}  // namespace protest

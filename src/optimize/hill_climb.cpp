@@ -1,0 +1,108 @@
+#include "optimize/hill_climb.hpp"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace protest {
+namespace {
+
+double grid_value(int k, unsigned den) {
+  return static_cast<double>(k) / static_cast<double>(den);
+}
+
+struct Climber {
+  const ObjectiveEvaluator& eval;
+  const HillClimbOptions& opts;
+  std::size_t evaluations = 0;
+
+  double objective(std::span<const double> x) {
+    ++evaluations;
+    return eval.log_objective(x);
+  }
+
+  /// Climbs from `k` (grid indices per input); returns sweeps used.
+  unsigned climb(std::vector<int>& k, double& best) {
+    const unsigned den = opts.grid_denominator;
+    const std::size_t ni = k.size();
+    std::vector<double> x(ni);
+    auto materialize = [&] {
+      for (std::size_t i = 0; i < ni; ++i) x[i] = grid_value(k[i], den);
+    };
+    materialize();
+    best = objective(x);
+
+    // Geometric neighbor steps: long jumps first, then refinement.
+    std::vector<int> steps;
+    for (int s = static_cast<int>(den) / 2; s >= 1; s /= 2) {
+      steps.push_back(s);
+      steps.push_back(-s);
+    }
+
+    unsigned sweep = 0;
+    for (; sweep < opts.max_sweeps; ++sweep) {
+      bool improved = false;
+      for (std::size_t i = 0; i < ni; ++i) {
+        const int cur = k[i];
+        int best_k = cur;
+        double best_here = best;
+        for (int s : steps) {
+          const int cand = cur + s;
+          if (cand < 1 || cand > static_cast<int>(den) - 1) continue;
+          x[i] = grid_value(cand, den);
+          const double v = objective(x);
+          if (v > best_here) {
+            best_here = v;
+            best_k = cand;
+          }
+        }
+        k[i] = best_k;
+        x[i] = grid_value(best_k, den);
+        if (best_k != cur) {
+          best = best_here;
+          improved = true;
+        }
+      }
+      if (!improved) break;
+    }
+    return sweep;
+  }
+};
+
+}  // namespace
+
+HillClimbResult optimize_input_probs(const ObjectiveEvaluator& evaluator,
+                                     HillClimbOptions opts) {
+  const unsigned den = opts.grid_denominator;
+  if (den < 2) throw std::invalid_argument("hill climb: grid denominator < 2");
+  const std::size_t ni = evaluator.netlist().inputs().size();
+
+  Climber climber{evaluator, opts};
+  std::vector<int> k(ni, static_cast<int>(den) / 2);  // start at ~0.5
+  double best;
+  unsigned sweeps = climber.climb(k, best);
+  std::vector<int> best_k = k;
+  double best_obj = best;
+
+  std::mt19937_64 rng(opts.seed);
+  std::uniform_int_distribution<int> dist(1, static_cast<int>(den) - 1);
+  for (unsigned r = 0; r < opts.restarts; ++r) {
+    for (std::size_t i = 0; i < ni; ++i) k[i] = dist(rng);
+    double obj;
+    sweeps += climber.climb(k, obj);
+    if (obj > best_obj) {
+      best_obj = obj;
+      best_k = k;
+    }
+  }
+
+  HillClimbResult res;
+  res.probs.resize(ni);
+  for (std::size_t i = 0; i < ni; ++i) res.probs[i] = grid_value(best_k[i], den);
+  res.log_objective = best_obj;
+  res.evaluations = climber.evaluations;
+  res.sweeps = sweeps;
+  return res;
+}
+
+}  // namespace protest

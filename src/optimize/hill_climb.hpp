@@ -1,0 +1,36 @@
+// The optimizing procedure of sect. 6: "PROTEST includes an optimizing
+// procedure which finds a local maximum of J_N.  The procedure works
+// according to the hill climbing principle" [Nils80].
+//
+// Coordinate ascent over a k/denominator probability grid (the paper's
+// Table 4 weights all lie on the k/16 grid — hardware weighted-pattern
+// generators realize exactly these).  Each coordinate tries geometric
+// neighbor steps; sweeps repeat until no move improves.
+#pragma once
+
+#include <cstdint>
+
+#include "optimize/objective.hpp"
+
+namespace protest {
+
+struct HillClimbOptions {
+  unsigned grid_denominator = 16;  ///< probabilities are k/denominator
+  unsigned max_sweeps = 32;        ///< safety bound on full sweeps
+  unsigned restarts = 0;           ///< extra random restarts
+  std::uint64_t seed = 0x9e3779b97f4a7c15ull;
+};
+
+struct HillClimbResult {
+  std::vector<double> probs;  ///< optimized input-probability tuple
+  double log_objective = 0.0;
+  std::size_t evaluations = 0;
+  unsigned sweeps = 0;
+};
+
+/// Maximizes evaluator.log_objective over the grid, starting from the
+/// conventional tuple (0.5, ..., 0.5).
+HillClimbResult optimize_input_probs(const ObjectiveEvaluator& evaluator,
+                                     HillClimbOptions opts = {});
+
+}  // namespace protest

@@ -1,0 +1,49 @@
+#include "optimize/objective.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "observe/detect.hpp"
+
+namespace protest {
+
+ObjectiveEvaluator::ObjectiveEvaluator(const Netlist& net,
+                                       std::vector<Fault> faults,
+                                       std::uint64_t n_parameter,
+                                       ProtestParams params,
+                                       ObservabilityOptions obs_opts)
+    : net_(net),
+      faults_(std::move(faults)),
+      n_(n_parameter),
+      estimator_(net, params),
+      obs_opts_(obs_opts) {}
+
+std::vector<double> ObjectiveEvaluator::detection_probs(
+    std::span<const double> input_probs) const {
+  const std::vector<double> p = estimator_.signal_probs(input_probs);
+  const Observability obs = compute_observability(net_, p, obs_opts_);
+  return protest::detection_probs(net_, faults_, p, obs);
+}
+
+double ObjectiveEvaluator::log_objective_from_probs(
+    std::span<const double> probs) const {
+  // Detection probabilities are floored at a tiny epsilon so that circuits
+  // with (estimated) undetectable faults still give the climber a finite,
+  // comparable objective instead of a flat -inf plateau.
+  constexpr double kFloor = 1e-15;
+  double acc = 0.0;
+  for (double p : probs) {
+    p = std::max(p, kFloor);
+    if (p >= 1.0) continue;
+    const double miss_log = static_cast<double>(n_) * std::log1p(-p);
+    acc += miss_log < -745.0 ? 0.0 : std::log1p(-std::exp(miss_log));
+  }
+  return acc;
+}
+
+double ObjectiveEvaluator::log_objective(
+    std::span<const double> input_probs) const {
+  return log_objective_from_probs(detection_probs(input_probs));
+}
+
+}  // namespace protest

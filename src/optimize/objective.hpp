@@ -1,0 +1,48 @@
+// The optimization objective of sect. 6: for an input-probability tuple X,
+//
+//   J_N(X) = prod_{f in F} ( 1 - (1 - P_f(X))^N )
+//
+// "an estimation of the probability that N realizations of X detect the
+// whole F".  Maximizing J_N maximizes fault detection; N is only a
+// numerical parameter.  We work with log J_N for stability.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "observe/observability.hpp"
+#include "prob/protest_estimator.hpp"
+#include "sim/fault.hpp"
+
+namespace protest {
+
+/// Bundles the estimation pipeline (signal probabilities -> observability
+/// -> detection probabilities) behind a single evaluation call.
+class ObjectiveEvaluator {
+ public:
+  ObjectiveEvaluator(const Netlist& net, std::vector<Fault> faults,
+                     std::uint64_t n_parameter, ProtestParams params = {},
+                     ObservabilityOptions obs_opts = {});
+
+  /// Estimated detection probability of every fault under X.
+  std::vector<double> detection_probs(std::span<const double> input_probs) const;
+
+  /// log J_N(X); -inf if any fault is estimated undetectable.
+  double log_objective(std::span<const double> input_probs) const;
+
+  /// log J_N from precomputed detection probabilities.
+  double log_objective_from_probs(std::span<const double> detection_probs) const;
+
+  std::uint64_t n_parameter() const { return n_; }
+  const std::vector<Fault>& faults() const { return faults_; }
+  const Netlist& netlist() const { return net_; }
+
+ private:
+  const Netlist& net_;
+  std::vector<Fault> faults_;
+  std::uint64_t n_;
+  ProtestEstimator estimator_;
+  ObservabilityOptions obs_opts_;
+};
+
+}  // namespace protest

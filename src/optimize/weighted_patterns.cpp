@@ -1,0 +1,65 @@
+#include "optimize/weighted_patterns.hpp"
+
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+namespace protest {
+
+std::vector<double> quantize_to_grid(std::span<const double> probs,
+                                     unsigned denominator) {
+  if (denominator < 2)
+    throw std::invalid_argument("quantize_to_grid: denominator < 2");
+  std::vector<double> out;
+  out.reserve(probs.size());
+  for (double p : probs) {
+    long k = std::lround(p * denominator);
+    k = std::max<long>(1, std::min<long>(denominator - 1, k));
+    out.push_back(static_cast<double>(k) / denominator);
+  }
+  return out;
+}
+
+std::vector<unsigned> weights_from_probs(std::span<const double> quantized,
+                                         unsigned denominator) {
+  std::vector<unsigned> w;
+  w.reserve(quantized.size());
+  for (double p : quantized) {
+    const long k = std::lround(p * denominator);
+    if (k < 1 || k > static_cast<long>(denominator) - 1)
+      throw std::invalid_argument("weights_from_probs: probability off-grid");
+    w.push_back(static_cast<unsigned>(k));
+  }
+  return w;
+}
+
+WeightedLfsrGenerator::WeightedLfsrGenerator(std::vector<unsigned> weights,
+                                             unsigned denominator,
+                                             std::uint64_t seed)
+    : weights_(std::move(weights)),
+      denominator_(denominator),
+      bits_per_draw_(0),
+      lfsr_(32, seed) {
+  if (!std::has_single_bit(denominator) || denominator < 2)
+    throw std::invalid_argument(
+        "WeightedLfsrGenerator: denominator must be a power of two >= 2");
+  bits_per_draw_ = static_cast<unsigned>(std::countr_zero(denominator));
+  for (unsigned w : weights_)
+    if (w < 1 || w >= denominator)
+      throw std::invalid_argument("WeightedLfsrGenerator: weight out of range");
+}
+
+PatternSet WeightedLfsrGenerator::generate(std::size_t num_patterns) {
+  PatternSet ps(weights_.size(), num_patterns);
+  for (std::size_t pat = 0; pat < num_patterns; ++pat) {
+    for (std::size_t i = 0; i < weights_.size(); ++i) {
+      unsigned draw = 0;
+      for (unsigned b = 0; b < bits_per_draw_; ++b)
+        draw = (draw << 1) | static_cast<unsigned>(lfsr_.next_bit());
+      if (draw < weights_[i]) ps.set(pat, i, true);
+    }
+  }
+  return ps;
+}
+
+}  // namespace protest

@@ -1,0 +1,51 @@
+// Weighted random pattern generation: realizing the optimized input signal
+// probabilities of sect. 6 as pattern sets.  Two sources:
+//
+//  * software: PatternSet::weighted (ideal Bernoulli draws), and
+//  * hardware-model: an NLFSR-style generator [KuWu84] that derives each
+//    weighted bit from `log2(denominator)` LFSR stages through a threshold
+//    comparison — exactly the k/denominator probabilities PROTEST's
+//    optimizer emits (sect. 8: non-linear feedback shift registers used in
+//    the CADDY self-test strategy).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "sim/lfsr.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+
+/// Snaps probabilities to the k/denominator grid, keeping them strictly
+/// inside (0,1) (k in 1..denominator-1) so no input is forced constant.
+std::vector<double> quantize_to_grid(std::span<const double> probs,
+                                     unsigned denominator);
+
+/// Hardware-model weighted generator: one maximal-length LFSR; each input
+/// bit is produced by comparing log2(denominator) successive LFSR bits
+/// against the input's weight k (probability k/denominator).
+class WeightedLfsrGenerator {
+ public:
+  /// weights[i] = k for probability k/denominator; denominator must be a
+  /// power of two (default 16, matching the paper's Table 4 grid).
+  WeightedLfsrGenerator(std::vector<unsigned> weights, unsigned denominator = 16,
+                        std::uint64_t seed = 1);
+
+  PatternSet generate(std::size_t num_patterns);
+
+  unsigned denominator() const { return denominator_; }
+
+ private:
+  std::vector<unsigned> weights_;
+  unsigned denominator_;
+  unsigned bits_per_draw_;
+  Lfsr lfsr_;
+};
+
+/// Weights (k of k/denominator) from already-quantized probabilities.
+std::vector<unsigned> weights_from_probs(std::span<const double> quantized,
+                                         unsigned denominator);
+
+}  // namespace protest

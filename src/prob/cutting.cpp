@@ -1,0 +1,86 @@
+#include "prob/cutting.hpp"
+
+#include <algorithm>
+
+#include "prob/naive.hpp"
+
+namespace protest {
+namespace {
+
+ProbBounds bounds_not(ProbBounds a) { return {1.0 - a.hi, 1.0 - a.lo}; }
+
+ProbBounds bounds_xor2(ProbBounds a, ProbBounds b) {
+  // p (+) q = p + q - 2pq is bilinear: extrema lie on the corners.
+  const double c[4] = {
+      a.lo + b.lo - 2 * a.lo * b.lo, a.lo + b.hi - 2 * a.lo * b.hi,
+      a.hi + b.lo - 2 * a.hi * b.lo, a.hi + b.hi - 2 * a.hi * b.hi};
+  return {*std::min_element(c, c + 4), *std::max_element(c, c + 4)};
+}
+
+}  // namespace
+
+std::vector<ProbBounds> cutting_signal_bounds(const Netlist& net,
+                                              std::span<const double> input_probs) {
+  validate_input_probs(net, input_probs);
+
+  std::vector<ProbBounds> b(net.size());
+  const auto inputs = net.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    b[inputs[i]] = {input_probs[i], input_probs[i]};
+
+  std::vector<ProbBounds> ins;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    if (g.type == GateType::Input) continue;
+    ins.clear();
+    for (NodeId f : g.fanin) {
+      // Every branch of a multi-fanout stem is cut (see header: keeping one
+      // branch connected is unsound under non-monotone reconvergence).
+      const bool multi = net.fanout(f).size() >= 2;
+      ins.push_back(multi ? ProbBounds{0.0, 1.0} : b[f]);
+    }
+    ProbBounds r;
+    switch (g.type) {
+      case GateType::Const0: r = {0.0, 0.0}; break;
+      case GateType::Const1: r = {1.0, 1.0}; break;
+      case GateType::Buf: r = ins[0]; break;
+      case GateType::Not: r = bounds_not(ins[0]); break;
+      case GateType::And:
+      case GateType::Nand: {
+        double lo = 1.0, hi = 1.0;
+        for (const ProbBounds& x : ins) {
+          lo *= x.lo;
+          hi *= x.hi;
+        }
+        r = {lo, hi};
+        if (g.type == GateType::Nand) r = bounds_not(r);
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        double lo = 1.0, hi = 1.0;
+        for (const ProbBounds& x : ins) {
+          lo *= 1.0 - x.hi;
+          hi *= 1.0 - x.lo;
+        }
+        r = {1.0 - hi, 1.0 - lo};
+        if (g.type == GateType::Nor) r = bounds_not(r);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        ProbBounds acc{0.0, 0.0};
+        for (const ProbBounds& x : ins) acc = bounds_xor2(acc, x);
+        r = g.type == GateType::Xnor ? bounds_not(acc) : acc;
+        break;
+      }
+      case GateType::Input: break;
+    }
+    r.lo = std::clamp(r.lo, 0.0, 1.0);
+    r.hi = std::clamp(r.hi, 0.0, 1.0);
+    b[n] = r;
+  }
+  return b;
+}
+
+}  // namespace protest

@@ -1,0 +1,34 @@
+// Cutting-style probability bounds in the spirit of Savir / Ditlow /
+// Bardell [BDS84]: cut fanout branches, treat them as free [0,1] inputs,
+// and propagate intervals — the bounds-based baseline the paper contrasts
+// PROTEST's point estimates with ("Savir et al. proposed a method to
+// determine upper and lower bounds ... PROTEST however computes a real
+// number").
+//
+// Soundness note (found by our property tests): the textbook "cut all but
+// one branch" variant is NOT sound under non-monotone (XOR) reconvergence —
+// conditioning on the stem value forces the kept branch to a constant
+// outside its point interval.  We therefore widen *every* branch of a
+// multi-fanout stem to [0,1]; with that, conditioning on all stem values
+// places the true probability at a convex combination of box corners, so
+// the propagated interval provably contains it.  The price is looseness —
+// precisely the weakness of bounds-based measures that motivates PROTEST's
+// point estimation.
+#pragma once
+
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+
+struct ProbBounds {
+  double lo = 0.0;
+  double hi = 1.0;
+  bool contains(double p) const { return p >= lo - 1e-12 && p <= hi + 1e-12; }
+  double width() const { return hi - lo; }
+};
+
+/// Per-node probability bounds via branch cutting + interval propagation.
+std::vector<ProbBounds> cutting_signal_bounds(const Netlist& net,
+                                              std::span<const double> input_probs);
+
+}  // namespace protest

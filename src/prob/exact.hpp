@@ -1,0 +1,26 @@
+// Exact signal probabilities.  Exponential in the worst case (the paper
+// cites [Wu84]: the problem is NP-hard); used as the validation oracle for
+// the estimators, never inside the PROTEST pipeline itself.
+#pragma once
+
+#include "bdd/bdd.hpp"
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+
+/// Exact per-node probabilities via ROBDDs (throws BddLimitExceeded when
+/// the circuit is too wide for the node budget).
+std::vector<double> exact_signal_probs_bdd(const Netlist& net,
+                                           std::span<const double> input_probs,
+                                           std::size_t node_limit = 2'000'000);
+
+/// Exact per-node probabilities by weighted exhaustive enumeration
+/// (requires <= 24 primary inputs).
+std::vector<double> exact_signal_probs_enum(const Netlist& net,
+                                            std::span<const double> input_probs);
+
+/// Builds the BDD of every node of the net inside `bdd` (inputs are
+/// variables in netlist input order).  Exposed for the miter oracle.
+std::vector<Bdd::Ref> build_node_bdds(const Netlist& net, Bdd& bdd);
+
+}  // namespace protest

@@ -1,0 +1,22 @@
+#include "prob/monte_carlo.hpp"
+
+#include "prob/naive.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+
+std::vector<double> monte_carlo_signal_probs(const Netlist& net,
+                                             std::span<const double> input_probs,
+                                             std::size_t num_patterns,
+                                             std::uint64_t seed) {
+  validate_input_probs(net, input_probs);
+  const PatternSet ps = PatternSet::weighted(input_probs, num_patterns, seed);
+  const std::vector<std::size_t> ones = count_ones(net, ps);
+  std::vector<double> p(net.size());
+  for (NodeId n = 0; n < net.size(); ++n)
+    p[n] = static_cast<double>(ones[n]) / static_cast<double>(num_patterns);
+  return p;
+}
+
+}  // namespace protest

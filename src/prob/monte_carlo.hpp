@@ -1,0 +1,18 @@
+// Monte-Carlo signal probabilities: simulate N weighted random patterns and
+// count ones per node.  This is the "extrapolate from runs of logic
+// simulation" approach of STAFAN [AgJa84] applied to signal probabilities;
+// the library uses it as a scalable reference when BDDs blow up.
+#pragma once
+
+#include <cstdint>
+
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+
+std::vector<double> monte_carlo_signal_probs(const Netlist& net,
+                                             std::span<const double> input_probs,
+                                             std::size_t num_patterns,
+                                             std::uint64_t seed);
+
+}  // namespace protest

@@ -1,0 +1,19 @@
+// Independence propagation of signal probabilities — the algorithm of
+// P. Agrawal / V. D. Agrawal [AgAg75].  Exact for circuits without
+// reconvergent fan-out (paper sect. 1); on reconvergent circuits it is the
+// "cases 1-3 only" approximation that PROTEST's conditioning improves on.
+#pragma once
+
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+
+/// Per-node signal probabilities under the pin-independence assumption.
+std::vector<double> naive_signal_probs(const Netlist& net,
+                                       std::span<const double> input_probs);
+
+/// True iff the circuit has no reconvergent fan-out anywhere (then the
+/// naive propagation is exact).
+bool is_fanout_reconvergence_free(const Netlist& net);
+
+}  // namespace protest

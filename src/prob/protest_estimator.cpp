@@ -1,0 +1,201 @@
+#include "prob/protest_estimator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "netlist/cone.hpp"
+#include "prob/naive.hpp"
+
+namespace protest {
+namespace {
+
+/// Re-propagates probabilities inside a cone with some nodes pinned to
+/// constants.  Reusable scratch state with epoch-based invalidation.
+class ConeProp {
+ public:
+  explicit ConeProp(const Netlist& net)
+      : net_(net),
+        cond_(net.size(), 0.0),
+        cond_epoch_(net.size(), 0),
+        pin_(net.size(), 0.0),
+        pin_epoch_(net.size(), 0) {}
+
+  /// cone must be ascending (topological).  pins = (node, value 0/1).
+  /// base = unconditioned probabilities.  After the call, prob(n) returns
+  /// the conditional probability for cone members and base otherwise.
+  void run(std::span<const NodeId> cone,
+           std::span<const std::pair<NodeId, double>> pins,
+           std::span<const double> base) {
+    ++epoch_;
+    for (const auto& [n, v] : pins) {
+      pin_[n] = v;
+      pin_epoch_[n] = epoch_;
+    }
+    std::vector<double>& ins = ins_;
+    for (NodeId m : cone) {
+      double value;
+      if (pin_epoch_[m] == epoch_) {
+        value = pin_[m];
+      } else {
+        const Gate& g = net_.gate(m);
+        if (g.type == GateType::Input) {
+          value = base[m];
+        } else {
+          ins.clear();
+          for (NodeId f : g.fanin)
+            ins.push_back(cond_epoch_[f] == epoch_ ? cond_[f] : base[f]);
+          value = eval_gate_prob(g.type, ins);
+        }
+      }
+      cond_[m] = value;
+      cond_epoch_[m] = epoch_;
+    }
+  }
+
+  double prob(NodeId n, std::span<const double> base) const {
+    return cond_epoch_[n] == epoch_ ? cond_[n] : base[n];
+  }
+
+ private:
+  const Netlist& net_;
+  std::vector<double> cond_;
+  std::vector<std::uint32_t> cond_epoch_;
+  std::vector<double> pin_;
+  std::vector<std::uint32_t> pin_epoch_;
+  std::vector<double> ins_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace
+
+ProtestEstimator::ProtestEstimator(const Netlist& net, ProtestParams params)
+    : net_(net), params_(params) {
+  if (!net.finalized())
+    throw std::logic_error("ProtestEstimator: netlist must be finalized");
+}
+
+std::vector<double> ProtestEstimator::signal_probs(
+    std::span<const double> input_probs) const {
+  validate_input_probs(net_, input_probs);
+  stats_ = {};
+
+  std::vector<double> p(net_.size(), 0.0);
+  const auto inputs = net_.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) p[inputs[i]] = input_probs[i];
+
+  ConeProp prop(net_);
+  ConeWorkspace ws(net_);
+  std::vector<double> ins;
+  std::vector<std::pair<NodeId, double>> pins;
+
+  for (NodeId n = 0; n < net_.size(); ++n) {
+    const Gate& g = net_.gate(n);
+    if (g.type == GateType::Input) continue;
+
+    // Cases 1-3 of sect. 2: no conditioning possible or necessary.
+    auto naive_value = [&] {
+      ins.clear();
+      for (NodeId f : g.fanin) ins.push_back(p[f]);
+      return eval_gate_prob(g.type, ins);
+    };
+    if (g.fanin.size() < 2) {
+      p[n] = naive_value();
+      continue;
+    }
+
+    // Case 4: look for joining points V within MAXLIST levels.  The
+    // candidate set also contains intra-cone reconvergence stems (V(a,a)):
+    // pinning them makes the in-cone conditionals P(a_i | A_v) of formula
+    // (2) sharp (see ConeWorkspace::conditioning_points).
+    ws.compute(g.fanin, params_.maxlist);
+    std::vector<NodeId> v = ws.conditioning_points(n);
+    if (v.empty()) {
+      p[n] = naive_value();
+      continue;
+    }
+    stats_.total_joining_points += v.size();
+
+    // The cone that conditioning re-propagates.
+    const std::vector<NodeId>& cone = ws.cone();
+
+    // Keep the candidates closest to the gate (strongest correlations are
+    // near the reconvergence) when V is oversized.
+    if (v.size() > params_.max_candidates) {
+      std::sort(v.begin(), v.end(), [&](NodeId a, NodeId b) {
+        return net_.level(a) > net_.level(b);
+      });
+      v.resize(params_.max_candidates);
+      std::sort(v.begin(), v.end());
+    }
+
+    // Score candidates: p_x (1-p_x) * max_{i != j} |Delta(a_i,x) Delta(a_j,x)|
+    // with Delta from one-point conditionals — the covariance criterion.
+    std::vector<std::pair<double, NodeId>> scored;
+    std::vector<double> delta(g.fanin.size());
+    for (NodeId x : v) {
+      const double px = p[x];
+      const double sx2 = px * (1.0 - px);
+      if (sx2 <= params_.min_score) continue;
+      pins.assign(1, {x, 1.0});
+      prop.run(cone, pins, p);
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        delta[i] = prop.prob(g.fanin[i], p);
+      pins.assign(1, {x, 0.0});
+      prop.run(cone, pins, p);
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        delta[i] -= prop.prob(g.fanin[i], p);
+      double best = 0.0;
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        for (std::size_t j = i; j < g.fanin.size(); ++j)
+          best = std::max(best, std::abs(delta[i] * delta[j]));
+      const double score = sx2 * best;
+      if (score > params_.min_score) scored.emplace_back(score, x);
+    }
+    if (scored.empty()) {
+      p[n] = naive_value();
+      continue;
+    }
+    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
+      return a.first != b.first ? a.first > b.first : a.second < b.second;
+    });
+    std::vector<NodeId> w;
+    for (std::size_t i = 0; i < scored.size() && w.size() < params_.maxvers; ++i)
+      w.push_back(scored[i].second);
+    std::sort(w.begin(), w.end());  // topological order for the weight chain
+
+    ++stats_.gates_conditioned;
+    stats_.max_w = std::max(stats_.max_w, w.size());
+
+    // Formula (2): enumerate assignments of W depth-first so that each
+    // branching weight is the conditional P(w_j | w_1..w_{j-1}) read off
+    // the re-propagated cone — sharper than the independence product when
+    // joining points feed each other.
+    double acc = 0.0;
+    ins.resize(g.fanin.size());
+    auto rec = [&](auto&& self, std::size_t j, double weight) -> void {
+      if (weight <= 0.0) return;
+      pins.resize(j);
+      prop.run(cone, pins, p);
+      if (j == w.size()) {
+        for (std::size_t i = 0; i < g.fanin.size(); ++i)
+          ins[i] = prop.prob(g.fanin[i], p);
+        acc += weight * eval_gate_prob(g.type, ins);
+        return;
+      }
+      const double q = std::clamp(prop.prob(w[j], p), 0.0, 1.0);
+      pins.emplace_back(w[j], 1.0);
+      self(self, j + 1, weight * q);
+      pins.resize(j);
+      pins.emplace_back(w[j], 0.0);
+      self(self, j + 1, weight * (1.0 - q));
+      pins.resize(j);
+    };
+    pins.clear();
+    rec(rec, 0, 1.0);
+    p[n] = std::clamp(acc, 0.0, 1.0);
+  }
+  return p;
+}
+
+}  // namespace protest

@@ -1,0 +1,64 @@
+// The PROTEST signal-probability estimator (paper sect. 2).
+//
+// For every gate whose fanin cones reconverge, the estimator conditions on
+// a bounded subset W of the joining points V(a,b): formula (2),
+//
+//   p_k ~ sum over assignments A_v of W:  P(A_v) * f(P(a_1|A_v),...,P(a_n|A_v))
+//
+// Conditional probabilities P(a_i | A_v) are obtained by re-propagating the
+// (depth-bounded) fanin cone with the joining points pinned to constants.
+// P(A_v) is computed as a chain of the same conditionals in topological
+// order (exact relative to the in-cone propagation, sharper than the
+// independence product).
+//
+// W is selected by the covariance criterion of the paper: maximize
+// |Cov(a,x) * Cov(b,x)| / S(p_x)^2, with covariances obtained from the
+// one-point conditionals Cov(a,x) = p_x (1-p_x) (P(a|x=1) - P(a|x=0)).
+//
+// Parameters (paper sect. 2): MAXVERS bounds |W|, MAXLIST bounds the path
+// length searched for joining points.
+#pragma once
+
+#include <cstddef>
+
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+
+struct ProtestParams {
+  /// Maximal number of joining points conditioned on per gate (|W|).
+  unsigned maxvers = 4;
+  /// Maximal backward path length searched for joining points (0 = no bound).
+  unsigned maxlist = 12;
+  /// Cap on candidate joining points that are scored per gate.
+  unsigned max_candidates = 24;
+  /// Scores below this threshold never enter W.
+  double min_score = 1e-12;
+};
+
+struct ProtestStats {
+  std::size_t gates_conditioned = 0;   ///< gates that used formula (2)
+  std::size_t total_joining_points = 0;///< sum of candidate |V| over gates
+  std::size_t max_w = 0;               ///< largest |W| actually used
+};
+
+class ProtestEstimator {
+ public:
+  explicit ProtestEstimator(const Netlist& net, ProtestParams params = {});
+
+  /// Estimates the signal probability of every node.
+  std::vector<double> signal_probs(std::span<const double> input_probs) const;
+
+  /// Statistics of the most recent signal_probs() run.
+  const ProtestStats& stats() const { return stats_; }
+
+  const ProtestParams& params() const { return params_; }
+  const Netlist& netlist() const { return net_; }
+
+ private:
+  const Netlist& net_;
+  ProtestParams params_;
+  mutable ProtestStats stats_;
+};
+
+}  // namespace protest

@@ -1,0 +1,24 @@
+// Common vocabulary for signal-probability computation.  All engines map a
+// tuple of primary-input probabilities <p_i | i in I> to per-node signal
+// probabilities p_k = P(node k evaluates to 1) — the quantity of sect. 2.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// One probability per primary input, in netlist input order.
+using InputProbs = std::vector<double>;
+
+/// The conventional tuple: every input stimulated with P(1) = p (paper
+/// sect. 5 uses p = 0.5 for the "not optimized" columns).
+InputProbs uniform_input_probs(const Netlist& net, double p = 0.5);
+
+/// Throws std::invalid_argument unless probs matches the input count and
+/// every entry lies in [0,1].
+void validate_input_probs(const Netlist& net, std::span<const double> probs);
+
+}  // namespace protest

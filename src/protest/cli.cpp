@@ -1,0 +1,210 @@
+#include "protest/cli.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/table.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/dsl.hpp"
+#include "netlist/tech.hpp"
+#include "optimize/weighted_patterns.hpp"
+#include "protest/protest.hpp"
+#include "sim/scan.hpp"
+
+namespace protest {
+namespace {
+
+struct Args {
+  std::string command;
+  std::string file;
+  double p = 0.5;
+  double d = 0.98;
+  double e = 0.98;
+  std::uint64_t n = 10'000;
+  unsigned sweeps = 4;
+  std::size_t patterns = 1'000;
+  std::uint64_t seed = 1;
+};
+
+class UsageError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+Args parse_args(const std::vector<std::string>& argv) {
+  if (argv.empty()) throw UsageError("missing command");
+  Args a;
+  a.command = argv[0];
+  std::size_t i = 1;
+  if (a.command != "help") {
+    if (i >= argv.size()) throw UsageError("missing <file> argument");
+    a.file = argv[i++];
+  }
+  auto need_value = [&](const std::string& flag) -> std::string {
+    if (i >= argv.size()) throw UsageError("flag " + flag + " needs a value");
+    return argv[i++];
+  };
+  while (i < argv.size()) {
+    const std::string flag = argv[i++];
+    try {
+      if (flag == "--p") a.p = std::stod(need_value(flag));
+      else if (flag == "--d") a.d = std::stod(need_value(flag));
+      else if (flag == "--e") a.e = std::stod(need_value(flag));
+      else if (flag == "--n") a.n = std::stoull(need_value(flag));
+      else if (flag == "--sweeps") a.sweeps = static_cast<unsigned>(std::stoul(need_value(flag)));
+      else if (flag == "--patterns") a.patterns = std::stoull(need_value(flag));
+      else if (flag == "--seed") a.seed = std::stoull(need_value(flag));
+      else throw UsageError("unknown flag '" + flag + "'");
+    } catch (const std::invalid_argument&) {
+      throw UsageError("bad value for flag " + flag);
+    }
+  }
+  return a;
+}
+
+Netlist load_netlist(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw UsageError("cannot open '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  // DSL descriptions contain a 'module' definition; .bench never does.
+  if (text.find("module ") != std::string::npos) return elaborate_dsl(text);
+  return read_bench_string(text);
+}
+
+void print_circuit_summary(std::ostream& out, const Netlist& net) {
+  out << "circuit: " << net.inputs().size() << " inputs, "
+      << net.outputs().size() << " outputs, " << net.num_gates() << " gates, "
+      << transistor_count(net) << " transistors ("
+      << gate_equivalents(net) << " GE)\n";
+}
+
+void print_hard_faults(std::ostream& out, const Protest& tool,
+                       const ProtestReport& report, std::size_t count) {
+  std::vector<std::size_t> order(tool.faults().size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return report.detection_probs[a] < report.detection_probs[b];
+  });
+  out << "\nleast testable faults:\n";
+  for (std::size_t i = 0; i < std::min(count, order.size()); ++i)
+    out << "  " << to_string(tool.netlist(), tool.faults()[order[i]])
+        << "  P_detect = " << fmt(report.detection_probs[order[i]], 6) << "\n";
+}
+
+int cmd_analyze(const Args& a, std::ostream& out) {
+  const Netlist net = load_netlist(a.file);
+  print_circuit_summary(out, net);
+  const Protest tool(net);
+  const auto report = tool.analyze(uniform_input_probs(net, a.p));
+  print_hard_faults(out, tool, report, 10);
+  const std::uint64_t n = tool.test_length(report, a.d, a.e);
+  out << "\nrequired random patterns (p = " << fmt(a.p, 2) << ", d = "
+      << fmt(a.d, 2) << ", e = " << fmt(a.e, 3) << "): "
+      << (n == kInfiniteTestLength ? "unreachable (undetectable faults in F_d)"
+                                   : fmt_int(n))
+      << "\n";
+  return 0;
+}
+
+int cmd_optimize(const Args& a, std::ostream& out) {
+  const Netlist net = load_netlist(a.file);
+  print_circuit_summary(out, net);
+  ProtestOptions popts;
+  popts.universe = FaultUniverse::Collapsed;
+  const Protest tool(net, popts);
+  HillClimbOptions opts;
+  opts.max_sweeps = a.sweeps;
+  const HillClimbResult res = tool.optimize(a.n, opts);
+
+  out << "\noptimized input probabilities (k/16 grid):\n";
+  const auto inputs = net.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out << "  " << net.name_of(inputs[i]) << " = " << fmt(res.probs[i], 4)
+        << "\n";
+  }
+  const auto before = tool.analyze(uniform_input_probs(net, 0.5));
+  const auto after = tool.analyze(res.probs);
+  const std::uint64_t n0 = tool.test_length(before, a.d, a.e);
+  const std::uint64_t n1 = tool.test_length(after, a.d, a.e);
+  out << "\ntest length (d = " << fmt(a.d, 2) << ", e = " << fmt(a.e, 3)
+      << "): " << (n0 == kInfiniteTestLength ? "inf" : fmt_int(n0)) << " -> "
+      << (n1 == kInfiniteTestLength ? "inf" : fmt_int(n1)) << " patterns\n";
+  return 0;
+}
+
+int cmd_simulate(const Args& a, std::ostream& out) {
+  const Netlist net = load_netlist(a.file);
+  print_circuit_summary(out, net);
+  const Protest tool(net);
+  const PatternSet ps = tool.generate_patterns(
+      uniform_input_probs(net, a.p), a.patterns, a.seed);
+  const FaultSimResult res = tool.fault_simulate(ps, FaultSimMode::FirstDetection);
+  out << "fault coverage after " << fmt_int(a.patterns) << " patterns (p = "
+      << fmt(a.p, 2) << "): " << fmt(100.0 * res.coverage(), 2) << " % of "
+      << tool.faults().size() << " faults\n";
+  return 0;
+}
+
+int cmd_scan(const Args& a, std::ostream& out) {
+  std::ifstream f(a.file);
+  if (!f) throw UsageError("cannot open '" + a.file + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  const ScanDesign design = extract_scan_design(ss.str());
+  out << "scan extraction: " << design.num_flops() << " scan cells, "
+      << design.num_primary_inputs << " primary inputs, "
+      << design.num_primary_outputs << " primary outputs\n";
+  print_circuit_summary(out, design.comb);
+  const Protest tool(design.comb);
+  const auto report = tool.analyze(uniform_input_probs(design.comb, a.p));
+  print_hard_faults(out, tool, report, 5);
+  const std::uint64_t n = tool.test_length(report, a.d, a.e);
+  out << "\nscan-test length (d = " << fmt(a.d, 2) << ", e = " << fmt(a.e, 3)
+      << "): "
+      << (n == kInfiniteTestLength ? "unreachable" : fmt_int(n))
+      << " scan loads\n";
+  return 0;
+}
+
+void print_help(std::ostream& out) {
+  out << "protest — probabilistic testability analysis (Wunderlich, DAC'85)\n"
+         "\n"
+         "  protest analyze  <file> [--p P] [--d D] [--e E]\n"
+         "  protest optimize <file> [--n N] [--sweeps S] [--d D] [--e E]\n"
+         "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
+         "  protest scan     <file> [--p P] [--d D] [--e E]\n"
+         "  protest help\n"
+         "\n"
+         "<file>: .bench netlist or module DSL (auto-detected).\n";
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& argv, std::ostream& out,
+            std::ostream& err) {
+  try {
+    const Args a = parse_args(argv);
+    if (a.command == "help") {
+      print_help(out);
+      return 0;
+    }
+    if (a.command == "analyze") return cmd_analyze(a, out);
+    if (a.command == "optimize") return cmd_optimize(a, out);
+    if (a.command == "simulate") return cmd_simulate(a, out);
+    if (a.command == "scan") return cmd_scan(a, out);
+    throw UsageError("unknown command '" + a.command + "'");
+  } catch (const UsageError& e) {
+    err << "error: " << e.what() << "\n";
+    print_help(err);
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace protest

@@ -1,0 +1,25 @@
+// The PROTEST command-line front end (the "CAD tool" shape of sect. 7),
+// factored as a library function so tests can drive it directly.
+//
+//   protest analyze  <file> [--p P] [--d D] [--e E]
+//   protest optimize <file> [--n N] [--sweeps S]
+//   protest simulate <file> --patterns N [--p P] [--seed S]
+//   protest scan     <file>
+//   protest help
+//
+// <file> is a .bench netlist or a DSL description (auto-detected by the
+// presence of a 'module' definition).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace protest {
+
+/// Runs one CLI invocation; argv excludes the program name.  Returns the
+/// process exit code (0 on success); all output goes to `out` / `err`.
+int run_cli(const std::vector<std::string>& argv, std::ostream& out,
+            std::ostream& err);
+
+}  // namespace protest

@@ -1,0 +1,60 @@
+#include "protest/protest.hpp"
+
+#include "observe/detect.hpp"
+#include "optimize/objective.hpp"
+
+namespace protest {
+namespace {
+
+std::vector<Fault> make_fault_list(const Netlist& net, FaultUniverse u) {
+  switch (u) {
+    case FaultUniverse::Structural: return structural_fault_list(net);
+    case FaultUniverse::Full: return full_fault_list(net);
+    case FaultUniverse::Collapsed: return collapsed_fault_list(net);
+  }
+  return structural_fault_list(net);
+}
+
+}  // namespace
+
+Protest::Protest(const Netlist& net, ProtestOptions opts)
+    : net_(net),
+      opts_(opts),
+      faults_(make_fault_list(net, opts.universe)),
+      estimator_(net, opts.estimator) {}
+
+ProtestReport Protest::analyze(std::span<const double> input_probs) const {
+  ProtestReport r;
+  r.input_probs.assign(input_probs.begin(), input_probs.end());
+  r.signal_probs = estimator_.signal_probs(input_probs);
+  r.observability =
+      compute_observability(net_, r.signal_probs, opts_.observability);
+  r.detection_probs =
+      detection_probs(net_, faults_, r.signal_probs, r.observability);
+  return r;
+}
+
+std::uint64_t Protest::test_length(const ProtestReport& report, double d,
+                                   double e) const {
+  return required_test_length(report.detection_probs, d, e);
+}
+
+HillClimbResult Protest::optimize(std::uint64_t n_parameter,
+                                  HillClimbOptions opts) const {
+  const ObjectiveEvaluator eval(net_, faults_, n_parameter, opts_.estimator,
+                                opts_.observability);
+  return optimize_input_probs(eval, opts);
+}
+
+PatternSet Protest::generate_patterns(std::span<const double> input_probs,
+                                      std::size_t num_patterns,
+                                      std::uint64_t seed) const {
+  return PatternSet::weighted(input_probs, num_patterns, seed);
+}
+
+FaultSimResult Protest::fault_simulate(const PatternSet& ps,
+                                       FaultSimMode mode) const {
+  return simulate_faults(net_, faults_, ps, mode);
+}
+
+}  // namespace protest

@@ -1,0 +1,76 @@
+// The PROTEST tool facade: one object bundling the full pipeline the paper
+// describes in sect. 1 —
+//   * signal probability estimation per node,
+//   * fault detection probability estimation per fault,
+//   * required random test length for (d, e),
+//   * optimized input signal probabilities,
+//   * weighted random pattern sets,
+//   * static fault simulation with those patterns.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "netlist/netlist.hpp"
+#include "observe/observability.hpp"
+#include "optimize/hill_climb.hpp"
+#include "prob/protest_estimator.hpp"
+#include "sim/fault.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/pattern.hpp"
+#include "testlen/test_length.hpp"
+
+namespace protest {
+
+enum class FaultUniverse { Structural, Full, Collapsed };
+
+struct ProtestOptions {
+  ProtestParams estimator;
+  ObservabilityOptions observability;
+  FaultUniverse universe = FaultUniverse::Structural;
+};
+
+/// Result of one analysis run (fixed input-probability tuple).
+struct ProtestReport {
+  std::vector<double> input_probs;
+  std::vector<double> signal_probs;       ///< per node
+  Observability observability;            ///< per stem / pin
+  std::vector<double> detection_probs;    ///< per fault (tool fault list)
+};
+
+class Protest {
+ public:
+  explicit Protest(const Netlist& net, ProtestOptions opts = {});
+
+  const Netlist& netlist() const { return net_; }
+  const std::vector<Fault>& faults() const { return faults_; }
+  const ProtestOptions& options() const { return opts_; }
+
+  /// Signal probabilities, observabilities and detection probabilities for
+  /// one input tuple.
+  ProtestReport analyze(std::span<const double> input_probs) const;
+
+  /// Paper sect. 5: smallest N with P_{F_d} >= e given the report.
+  std::uint64_t test_length(const ProtestReport& report, double d,
+                            double e) const;
+
+  /// Paper sect. 6: optimized input signal probabilities maximizing J_N.
+  HillClimbResult optimize(std::uint64_t n_parameter,
+                           HillClimbOptions opts = {}) const;
+
+  /// Weighted random patterns implementing a probability tuple.
+  PatternSet generate_patterns(std::span<const double> input_probs,
+                               std::size_t num_patterns,
+                               std::uint64_t seed) const;
+
+  /// Static fault simulation of the tool's fault list.
+  FaultSimResult fault_simulate(const PatternSet& ps, FaultSimMode mode) const;
+
+ private:
+  const Netlist& net_;
+  ProtestOptions opts_;
+  std::vector<Fault> faults_;
+  ProtestEstimator estimator_;
+};
+
+}  // namespace protest

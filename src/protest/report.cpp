@@ -1,0 +1,83 @@
+#include "protest/report.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "analysis/table.hpp"
+#include "testlen/test_length.hpp"
+
+namespace protest {
+
+void write_report(std::ostream& out, const Protest& tool,
+                  const ProtestReport& report, ReportOptions opts) {
+  const Netlist& net = tool.netlist();
+  out << "PROTEST testability report\n"
+      << "==========================\n"
+      << "circuit: " << net.inputs().size() << " inputs, "
+      << net.outputs().size() << " outputs, " << net.num_gates() << " gates; "
+      << tool.faults().size() << " faults analyzed\n";
+
+  out << "\ninput signal probabilities:\n ";
+  const auto inputs = net.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    out << ' ' << net.name_of(inputs[i]) << '=' << fmt(report.input_probs[i], 3);
+    if (i % 8 == 7 && i + 1 < inputs.size()) out << "\n ";
+  }
+  out << '\n';
+
+  if (opts.signal_probabilities) {
+    out << "\nsignal probabilities and observabilities:\n";
+    TextTable t({"node", "P(1)", "s(x)"});
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_input(n)) continue;
+      t.add_row({net.name_of(n), fmt(report.signal_probs[n], 4),
+                 fmt(report.observability.stem[n], 4)});
+    }
+    out << t.str();
+  }
+
+  if (opts.fault_list) {
+    out << "\nfault detection probabilities (hardest first):\n";
+    std::vector<std::size_t> order(tool.faults().size());
+    for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return report.detection_probs[a] < report.detection_probs[b];
+    });
+    const std::size_t rows = opts.max_fault_rows == 0
+                                 ? order.size()
+                                 : std::min(opts.max_fault_rows, order.size());
+    TextTable t({"fault", "P_detect"});
+    for (std::size_t i = 0; i < rows; ++i)
+      t.add_row({to_string(net, tool.faults()[order[i]]),
+                 fmt(report.detection_probs[order[i]], 6)});
+    out << t.str();
+    if (rows < order.size())
+      out << "(" << order.size() - rows << " easier faults omitted)\n";
+  }
+
+  static constexpr double kDefaultD[] = {1.0, 0.98};
+  static constexpr double kDefaultE[] = {0.95, 0.98, 0.999};
+  const std::span<const double> ds =
+      opts.d_grid.empty() ? std::span<const double>(kDefaultD) : opts.d_grid;
+  const std::span<const double> es =
+      opts.e_grid.empty() ? std::span<const double>(kDefaultE) : opts.e_grid;
+  out << "\nrequired random-pattern counts:\n";
+  TextTable t({"d", "e", "N"});
+  for (double d : ds)
+    for (double e : es) {
+      const std::uint64_t n = required_test_length(report.detection_probs, d, e);
+      t.add_row({fmt(d, 2), fmt(e, 3),
+                 n == kInfiniteTestLength ? "unreachable" : fmt_int(n)});
+    }
+  out << t.str();
+}
+
+std::string report_string(const Protest& tool, const ProtestReport& report,
+                          ReportOptions opts) {
+  std::ostringstream os;
+  write_report(os, tool, report, opts);
+  return os.str();
+}
+
+}  // namespace protest

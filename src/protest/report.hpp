@@ -1,0 +1,30 @@
+// The tool's human-readable output — the deliverable list of sect. 1:
+// signal probability per node, detection probability per fault, required
+// pattern counts for a (d, e) grid, and (optionally) the optimized input
+// tuple.  Rendered as aligned text; CLI and bench consumers share it.
+#pragma once
+
+#include <iosfwd>
+#include <span>
+#include <string>
+
+#include "protest/protest.hpp"
+
+namespace protest {
+
+struct ReportOptions {
+  bool signal_probabilities = true;   ///< per-node p1 + observability
+  bool fault_list = true;             ///< per-fault detection probability
+  std::size_t max_fault_rows = 40;    ///< 0 = all (hardest first)
+  std::span<const double> d_grid;     ///< default {1.0, 0.98}
+  std::span<const double> e_grid;     ///< default {0.95, 0.98, 0.999}
+};
+
+/// Writes the full testability report for one analysis run.
+void write_report(std::ostream& out, const Protest& tool,
+                  const ProtestReport& report, ReportOptions opts = {});
+
+std::string report_string(const Protest& tool, const ProtestReport& report,
+                          ReportOptions opts = {});
+
+}  // namespace protest

@@ -1,0 +1,43 @@
+// Single stuck-at fault model on the gate level (the fault model of the
+// paper).  Faults sit either on a node's output stem or on one input pin of
+// a gate (a fanout branch).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+enum class StuckAt : std::uint8_t { Zero = 0, One = 1 };
+
+struct Fault {
+  NodeId node = kNoNode;  ///< gate whose pin is faulty (or the stem node)
+  int pin = -1;           ///< -1: output stem of `node`; >=0: that input pin
+  StuckAt sa = StuckAt::Zero;
+
+  bool is_stem() const { return pin < 0; }
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Stem faults on every node plus branch faults on every gate input pin
+/// whose driving net has >= 2 fanout branches.  This is the standard
+/// structural fault universe (pins on single-fanout nets are electrically
+/// the same node as the stem).
+std::vector<Fault> structural_fault_list(const Netlist& net);
+
+/// Stem faults on every node plus branch faults on *every* gate input pin.
+std::vector<Fault> full_fault_list(const Netlist& net);
+
+/// Equivalence-collapsed list (classic rules: AND in-sa0 == out-sa0,
+/// NAND in-sa0 == out-sa1, OR in-sa1 == out-sa1, NOR in-sa1 == out-sa0,
+/// NOT/BUF pin faults == stem faults; single-branch pins fold into their
+/// stem unless the stem is also a primary output).  One representative per
+/// class, stem-most and earliest in topological order.
+std::vector<Fault> collapsed_fault_list(const Netlist& net);
+
+/// "g7/2 s-a-1" style display name.
+std::string to_string(const Netlist& net, const Fault& f);
+
+}  // namespace protest

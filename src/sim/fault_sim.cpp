@@ -1,0 +1,159 @@
+#include "sim/fault_sim.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "sim/logic_sim.hpp"
+
+namespace protest {
+
+double FaultSimResult::coverage() const {
+  if (first_detect.empty()) return 1.0;
+  std::size_t det = 0;
+  for (std::int64_t f : first_detect) det += f >= 0;
+  return static_cast<double>(det) / static_cast<double>(first_detect.size());
+}
+
+double FaultSimResult::coverage_at(std::size_t n) const {
+  if (first_detect.empty()) return 1.0;
+  std::size_t det = 0;
+  for (std::int64_t f : first_detect)
+    det += f >= 0 && static_cast<std::size_t>(f) < n;
+  return static_cast<double>(det) / static_cast<double>(first_detect.size());
+}
+
+std::vector<double> FaultSimResult::detection_probs() const {
+  std::vector<double> p(detect_count.size());
+  for (std::size_t i = 0; i < p.size(); ++i)
+    p[i] = static_cast<double>(detect_count[i]) /
+           static_cast<double>(num_patterns);
+  return p;
+}
+
+namespace {
+
+/// Per-fault faulty-cone propagation state, reused across faults/blocks.
+class ConeSim {
+ public:
+  explicit ConeSim(const Netlist& net)
+      : net_(net),
+        fval_(net.size(), 0),
+        val_epoch_(net.size(), 0),
+        queued_epoch_(net.size(), 0) {}
+
+  /// Word of faulty values at node n under the current epoch.
+  std::uint64_t value(NodeId n, const std::vector<std::uint64_t>& good) const {
+    return val_epoch_[n] == epoch_ ? fval_[n] : good[n];
+  }
+
+  /// Propagates a difference word injected at `site` with faulty word
+  /// `site_value`; returns the OR over primary outputs of (good ^ faulty).
+  std::uint64_t propagate(NodeId site, std::uint64_t site_value,
+                          const std::vector<std::uint64_t>& good) {
+    ++epoch_;
+    heap_.clear();
+    fval_[site] = site_value;
+    val_epoch_[site] = epoch_;
+    std::uint64_t detected = 0;
+    if (net_.is_output(site)) detected |= site_value ^ good[site];
+    push_fanouts(site);
+    while (!heap_.empty()) {
+      std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+      const NodeId n = heap_.back();
+      heap_.pop_back();
+      const Gate& g = net_.gate(n);
+      ins_.clear();
+      for (NodeId f : g.fanin) ins_.push_back(value(f, good));
+      const std::uint64_t v = eval_gate_word(g.type, ins_);
+      fval_[n] = v;
+      val_epoch_[n] = epoch_;
+      const std::uint64_t diff = v ^ good[n];
+      if (diff == 0) continue;
+      if (net_.is_output(n)) detected |= diff;
+      push_fanouts(n);
+    }
+    return detected;
+  }
+
+ private:
+  void push_fanouts(NodeId n) {
+    for (NodeId s : net_.fanout(n)) {
+      if (queued_epoch_[s] == epoch_) continue;
+      queued_epoch_[s] = epoch_;
+      heap_.push_back(s);
+      std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    }
+  }
+
+  const Netlist& net_;
+  std::vector<std::uint64_t> fval_;
+  std::vector<std::uint32_t> val_epoch_;
+  std::vector<std::uint32_t> queued_epoch_;
+  std::vector<NodeId> heap_;  // min-heap on node id == topological order
+  std::vector<std::uint64_t> ins_;
+  std::uint32_t epoch_ = 0;
+};
+
+/// Faulty word at the fault site given the good values of the block.
+std::uint64_t site_value(const Netlist& net, const Fault& f,
+                         const std::vector<std::uint64_t>& good,
+                         std::vector<std::uint64_t>& scratch) {
+  const std::uint64_t forced = f.sa == StuckAt::One ? ~std::uint64_t{0} : 0;
+  if (f.is_stem()) return forced;
+  const Gate& g = net.gate(f.node);
+  scratch.clear();
+  for (std::size_t k = 0; k < g.fanin.size(); ++k)
+    scratch.push_back(static_cast<int>(k) == f.pin ? forced
+                                                   : good[g.fanin[k]]);
+  return eval_gate_word(g.type, scratch);
+}
+
+}  // namespace
+
+FaultSimResult simulate_faults(const Netlist& net,
+                               std::span<const Fault> faults,
+                               const PatternSet& ps, FaultSimMode mode) {
+  if (!net.finalized())
+    throw std::logic_error("simulate_faults: netlist must be finalized");
+
+  FaultSimResult res;
+  res.num_patterns = ps.num_patterns();
+  res.first_detect.assign(faults.size(), -1);
+  if (mode == FaultSimMode::CountDetections)
+    res.detect_count.assign(faults.size(), 0);
+
+  BlockSimulator good_sim(net);
+  ConeSim cone(net);
+  std::vector<std::uint64_t> scratch;
+  std::vector<std::size_t> live(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) live[i] = i;
+
+  for (std::size_t b = 0; b < ps.num_blocks(); ++b) {
+    const auto& good = good_sim.run(ps, b);
+    const std::uint64_t mask = ps.valid_mask(b);
+    std::size_t kept = 0;
+    for (std::size_t li = 0; li < live.size(); ++li) {
+      const std::size_t fi = live[li];
+      const Fault& f = faults[fi];
+      const std::uint64_t sv = site_value(net, f, good, scratch);
+      const std::uint64_t diff = (sv ^ good[f.node]) & mask;
+      std::uint64_t det = 0;
+      if (diff != 0) det = cone.propagate(f.node, sv, good) & mask;
+      if (det != 0 && res.first_detect[fi] < 0)
+        res.first_detect[fi] =
+            static_cast<std::int64_t>(b * 64 + std::countr_zero(det));
+      if (mode == FaultSimMode::CountDetections) {
+        res.detect_count[fi] += static_cast<std::uint64_t>(std::popcount(det));
+        live[kept++] = fi;
+      } else {
+        if (det == 0) live[kept++] = fi;  // drop detected faults
+      }
+    }
+    live.resize(kept);
+    if (live.empty()) break;
+  }
+  return res;
+}
+
+}  // namespace protest

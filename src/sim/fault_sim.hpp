@@ -1,0 +1,43 @@
+// Static fault simulation: parallel-pattern good simulation plus per-fault
+// event-driven cone resimulation.  Two modes:
+//
+//   CountDetections  — counts, for every fault, how many patterns detect it.
+//                      P_SIM(f) = count / N is the empirical detection
+//                      probability the paper correlates PROTEST against
+//                      (sect. 4, figs. 5/6).
+//   FirstDetection   — records the first detecting pattern index and drops
+//                      the fault (fault dropping), for coverage-vs-length
+//                      curves (Table 6) and test-set validation (Table 2).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/fault.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+
+enum class FaultSimMode { CountDetections, FirstDetection };
+
+struct FaultSimResult {
+  std::size_t num_patterns = 0;
+  /// Per fault: number of detecting patterns (CountDetections mode only).
+  std::vector<std::uint64_t> detect_count;
+  /// Per fault: index of the first detecting pattern, or -1 (both modes).
+  std::vector<std::int64_t> first_detect;
+
+  /// Fraction of faults detected by the whole set.
+  double coverage() const;
+  /// Fraction of faults whose first detection is < n patterns.
+  double coverage_at(std::size_t n) const;
+  /// Empirical per-fault detection probabilities (CountDetections mode).
+  std::vector<double> detection_probs() const;
+};
+
+FaultSimResult simulate_faults(const Netlist& net, std::span<const Fault> faults,
+                               const PatternSet& ps, FaultSimMode mode);
+
+}  // namespace protest

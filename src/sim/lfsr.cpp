@@ -1,0 +1,65 @@
+#include "sim/lfsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace protest {
+
+std::uint64_t Lfsr::taps_for(unsigned width) {
+  // Primitive polynomials (tap masks, LSB = stage 0) for maximal-length
+  // sequences; standard table entries.
+  switch (width) {
+    case 2: return 0b11;
+    case 3: return 0b110;
+    case 4: return 0b1100;
+    case 5: return 0b10100;
+    case 6: return 0b110000;
+    case 7: return 0b1100000;
+    case 8: return 0b10111000;
+    case 9: return 0b100010000;
+    case 10: return 0b1001000000;
+    case 11: return 0b10100000000;
+    case 12: return 0b111000001000;
+    case 13: return 0b1110010000000;
+    case 14: return 0b11100000000010;
+    case 15: return 0b110000000000000;
+    case 16: return 0b1101000000001000;
+    case 17: return 0b10010000000000000;
+    case 18: return 0b100000010000000000;
+    case 19: return 0b1110010000000000000;
+    case 20: return 0b10010000000000000000;
+    case 21: return 0b101000000000000000000;
+    case 22: return 0b1100000000000000000000;
+    case 23: return 0b10000100000000000000000;
+    case 24: return 0b111000010000000000000000;
+    case 25: return 0b1001000000000000000000000;
+    case 26: return 0b11100010000000000000000000;
+    case 27: return 0b111001000000000000000000000;
+    case 28: return 0b1001000000000000000000000000;
+    case 29: return 0b10100000000000000000000000000;
+    case 30: return 0b110010100000000000000000000000;
+    case 31: return 0b1001000000000000000000000000000;
+    case 32: return 0b10000000001000000000000000000011u;
+    case 64: return 0xD800000000000000ull;
+    default:
+      throw std::invalid_argument("Lfsr: no tap table entry for width");
+  }
+}
+
+Lfsr::Lfsr(unsigned width, std::uint64_t seed)
+    : width_(width),
+      mask_(width >= 64 ? ~std::uint64_t{0}
+                        : (std::uint64_t{1} << width) - 1),
+      taps_(taps_for(width)),
+      state_(seed & mask_) {
+  if (state_ == 0) state_ = 1;  // all-zero is the lock-up state
+}
+
+std::uint64_t Lfsr::step() {
+  const auto parity =
+      static_cast<std::uint64_t>(std::popcount(state_ & taps_) & 1);
+  state_ = ((state_ << 1) | parity) & mask_;
+  return state_;
+}
+
+}  // namespace protest

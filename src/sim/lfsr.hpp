@@ -1,0 +1,37 @@
+// Linear feedback shift registers — the pseudo-random pattern source of
+// self-test hardware (sect. 1: "all storing components ... configured as
+// one or more feedback shift registers ... generate pseudo-random patterns"
+// [Much81], and sect. 8's BILBO / NLFSR application).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace protest {
+
+/// Fibonacci-style LFSR over a primitive polynomial (maximal period
+/// 2^width - 1).  Widths 2..32 and 64 are supported.
+class Lfsr {
+ public:
+  explicit Lfsr(unsigned width, std::uint64_t seed = 1);
+
+  unsigned width() const { return width_; }
+  std::uint64_t state() const { return state_; }
+
+  /// Advances one step and returns the new state.
+  std::uint64_t step();
+
+  /// The low bit of the state after one step (a pseudo-random bit stream).
+  bool next_bit() { return step() & 1u; }
+
+  /// Primitive feedback tap mask for the width (bit i = tap on stage i).
+  static std::uint64_t taps_for(unsigned width);
+
+ private:
+  unsigned width_;
+  std::uint64_t mask_;
+  std::uint64_t taps_;
+  std::uint64_t state_;
+};
+
+}  // namespace protest

@@ -1,0 +1,70 @@
+#include "sim/logic_sim.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace protest {
+
+BlockSimulator::BlockSimulator(const Netlist& net)
+    : net_(net), values_(net.size(), 0) {
+  if (!net.finalized())
+    throw std::logic_error("BlockSimulator: netlist must be finalized");
+}
+
+void BlockSimulator::eval_gates() {
+  for (NodeId n = 0; n < net_.size(); ++n) {
+    const Gate& g = net_.gate(n);
+    if (g.type == GateType::Input) continue;
+    scratch_.clear();
+    for (NodeId f : g.fanin) scratch_.push_back(values_[f]);
+    values_[n] = eval_gate_word(g.type, scratch_);
+  }
+}
+
+const std::vector<std::uint64_t>& BlockSimulator::run(const PatternSet& ps,
+                                                      std::size_t block) {
+  const auto inputs = net_.inputs();
+  if (ps.num_inputs() != inputs.size())
+    throw std::invalid_argument("BlockSimulator: pattern/input arity mismatch");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = ps.word(i, block);
+  eval_gates();
+  return values_;
+}
+
+const std::vector<std::uint64_t>& BlockSimulator::run_words(
+    const std::vector<std::uint64_t>& input_words) {
+  const auto inputs = net_.inputs();
+  if (input_words.size() != inputs.size())
+    throw std::invalid_argument("BlockSimulator: word/input arity mismatch");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    values_[inputs[i]] = input_words[i];
+  eval_gates();
+  return values_;
+}
+
+std::vector<bool> simulate_single(const Netlist& net,
+                                  const std::vector<bool>& input_values) {
+  BlockSimulator sim(net);
+  std::vector<std::uint64_t> words(input_values.size());
+  for (std::size_t i = 0; i < input_values.size(); ++i)
+    words[i] = input_values[i] ? ~std::uint64_t{0} : 0;
+  const auto& vals = sim.run_words(words);
+  std::vector<bool> out(net.size());
+  for (NodeId n = 0; n < net.size(); ++n) out[n] = vals[n] & 1u;
+  return out;
+}
+
+std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps) {
+  BlockSimulator sim(net);
+  std::vector<std::size_t> ones(net.size(), 0);
+  for (std::size_t b = 0; b < ps.num_blocks(); ++b) {
+    const auto& vals = sim.run(ps, b);
+    const std::uint64_t mask = ps.valid_mask(b);
+    for (NodeId n = 0; n < net.size(); ++n)
+      ones[n] += static_cast<std::size_t>(std::popcount(vals[n] & mask));
+  }
+  return ones;
+}
+
+}  // namespace protest

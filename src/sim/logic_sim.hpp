@@ -1,0 +1,46 @@
+// 64-way parallel-pattern logic simulation over a finalized netlist.  This
+// is the substrate for the "static fault simulation" PROTEST validates
+// against (sect. 4/5/6) and for the Monte-Carlo / STAFAN estimators.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+
+/// Reusable block simulator: one run() evaluates 64 patterns for every node.
+class BlockSimulator {
+ public:
+  explicit BlockSimulator(const Netlist& net);
+
+  /// Simulates pattern block `block` of `ps`; returns per-node value words.
+  const std::vector<std::uint64_t>& run(const PatternSet& ps,
+                                        std::size_t block);
+
+  /// Simulates one block given explicit per-input words (inputs in
+  /// netlist input order).
+  const std::vector<std::uint64_t>& run_words(
+      const std::vector<std::uint64_t>& input_words);
+
+  const std::vector<std::uint64_t>& values() const { return values_; }
+  const Netlist& netlist() const { return net_; }
+
+ private:
+  void eval_gates();
+
+  const Netlist& net_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> scratch_;
+};
+
+/// Single-pattern convenience wrapper; returns per-node Boolean values.
+std::vector<bool> simulate_single(const Netlist& net,
+                                  const std::vector<bool>& input_values);
+
+/// Number of '1' evaluations per node over the whole pattern set.
+std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps);
+
+}  // namespace protest

@@ -1,0 +1,53 @@
+// Pattern storage for 64-way parallel simulation: bit i of a word is
+// pattern (block*64 + i).  Generators cover the paper's pattern sources —
+// uniform random (p = 0.5), weighted random (per-input probabilities, the
+// output of PROTEST's optimizer), and exhaustive (for oracle tests).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace protest {
+
+class PatternSet {
+ public:
+  PatternSet(std::size_t num_inputs, std::size_t num_patterns);
+
+  std::size_t num_inputs() const { return num_inputs_; }
+  std::size_t num_patterns() const { return num_patterns_; }
+  std::size_t num_blocks() const { return num_blocks_; }
+
+  /// Word of 64 pattern bits for one input in one block.
+  std::uint64_t word(std::size_t input, std::size_t block) const {
+    return words_[input * num_blocks_ + block];
+  }
+  void set_word(std::size_t input, std::size_t block, std::uint64_t w) {
+    words_[input * num_blocks_ + block] = w;
+  }
+
+  bool get(std::size_t pattern, std::size_t input) const;
+  void set(std::size_t pattern, std::size_t input, bool v);
+
+  /// Mask of valid bits in `block` (all-ones except possibly the last).
+  std::uint64_t valid_mask(std::size_t block) const;
+
+  /// Uniform random patterns, each input '1' with probability 0.5.
+  static PatternSet random(std::size_t num_inputs, std::size_t num_patterns,
+                           std::uint64_t seed);
+
+  /// Weighted random patterns: input i is '1' with probability probs[i].
+  static PatternSet weighted(std::span<const double> probs,
+                             std::size_t num_patterns, std::uint64_t seed);
+
+  /// All 2^num_inputs patterns in counting order (num_inputs <= 24).
+  static PatternSet exhaustive(std::size_t num_inputs);
+
+ private:
+  std::size_t num_inputs_;
+  std::size_t num_patterns_;
+  std::size_t num_blocks_;
+  std::vector<std::uint64_t> words_;  // [input][block], row-major by input
+};
+
+}  // namespace protest

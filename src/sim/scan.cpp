@@ -1,0 +1,116 @@
+#include "sim/scan.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/bench_io.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace protest {
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool is_dff_line(const std::string& line, std::string* q, std::string* d) {
+  const auto eq = line.find('=');
+  if (eq == std::string::npos) return false;
+  std::string rhs = trim(line.substr(eq + 1));
+  std::string op;
+  for (char c : rhs) {
+    if (c == '(') break;
+    op.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+  }
+  op = trim(op);
+  if (op != "DFF") return false;
+  const auto lp = rhs.find('(');
+  const auto rp = rhs.rfind(')');
+  if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+    throw BenchParseError("scan: malformed DFF line: " + line);
+  *q = trim(line.substr(0, eq));
+  *d = trim(rhs.substr(lp + 1, rp - lp - 1));
+  if (q->empty() || d->empty() || d->find(',') != std::string::npos)
+    throw BenchParseError("scan: DFF takes exactly one data input: " + line);
+  return true;
+}
+
+}  // namespace
+
+ScanDesign extract_scan_design(const std::string& bench_text) {
+  // Rewrite the sequential description into a combinational one:
+  //   q = DFF(d)   ->   INPUT(q)  +  q.next = BUFF(d)  +  OUTPUT(q.next)
+  // Pseudo-inputs/outputs are appended after the original declarations so
+  // that the documented ordering holds.
+  std::istringstream in(bench_text);
+  std::ostringstream main_part, pseudo_in, pseudo_out;
+  ScanDesign design;
+  std::string raw;
+  while (std::getline(in, raw)) {
+    std::string line = raw;
+    if (auto pos = line.find('#'); pos != std::string::npos) line.resize(pos);
+    line = trim(line);
+    if (line.empty()) {
+      continue;
+    }
+    std::string q, d;
+    if (is_dff_line(line, &q, &d)) {
+      design.flop_names.push_back(q);
+      pseudo_in << "INPUT(" << q << ")\n";
+      pseudo_out << q << ".next = BUFF(" << d << ")\n"
+                 << "OUTPUT(" << q << ".next)\n";
+      continue;
+    }
+    const std::string upper_prefix = [&] {
+      std::string u;
+      for (char c : line) {
+        if (c == '(') break;
+        u.push_back(static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+      }
+      return trim(u);
+    }();
+    if (upper_prefix == "INPUT") ++design.num_primary_inputs;
+    if (upper_prefix == "OUTPUT") ++design.num_primary_outputs;
+    main_part << line << '\n';
+  }
+
+  const std::string combined =
+      main_part.str() + pseudo_in.str() + pseudo_out.str();
+  design.comb = read_bench_string(combined);
+  return design;
+}
+
+ScanDesign extract_scan_design_file(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) throw BenchParseError("scan: cannot open file '" + path + "'");
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return extract_scan_design(ss.str());
+}
+
+CycleResult clock_cycle(const ScanDesign& design,
+                        const std::vector<bool>& primary_inputs,
+                        const std::vector<bool>& state) {
+  if (primary_inputs.size() != design.num_primary_inputs)
+    throw std::invalid_argument("clock_cycle: wrong primary input count");
+  if (state.size() != design.num_flops())
+    throw std::invalid_argument("clock_cycle: wrong state width");
+  std::vector<bool> in = primary_inputs;
+  in.insert(in.end(), state.begin(), state.end());
+  const auto vals = simulate_single(design.comb, in);
+
+  CycleResult r;
+  const auto outs = design.comb.outputs();
+  for (std::size_t i = 0; i < design.num_primary_outputs; ++i)
+    r.outputs.push_back(vals[outs[i]]);
+  for (std::size_t i = 0; i < design.num_flops(); ++i)
+    r.next_state.push_back(vals[outs[design.num_primary_outputs + i]]);
+  return r;
+}
+
+}  // namespace protest

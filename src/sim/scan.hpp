@@ -1,0 +1,46 @@
+// Scan-path extraction.  The paper's premise (sect. 1): scan design "reduces
+// ATPG for arbitrary digital systems to ATPG for combinational circuits" —
+// every flip-flop becomes a scan cell, so the sequential circuit analyzed by
+// PROTEST is its combinational core with flip-flop outputs as pseudo-inputs
+// and flip-flop data inputs as pseudo-outputs.
+//
+// We accept sequential .bench descriptions (`q = DFF(d)`) and extract that
+// core.  Input order of the core: original primary inputs first, then one
+// pseudo-input per flip-flop (scan order).  Output order: original primary
+// outputs first, then one pseudo-output per flip-flop.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+struct ScanDesign {
+  Netlist comb;                        ///< the combinational core
+  std::size_t num_primary_inputs = 0;  ///< leading inputs of comb
+  std::size_t num_primary_outputs = 0; ///< leading outputs of comb
+  std::vector<std::string> flop_names; ///< scan order (pseudo-input names)
+
+  std::size_t num_flops() const { return flop_names.size(); }
+};
+
+/// Parses a (possibly sequential) .bench text and extracts the scan core.
+/// Purely combinational inputs are accepted too (zero flip-flops).
+ScanDesign extract_scan_design(const std::string& bench_text);
+ScanDesign extract_scan_design_file(const std::string& path);
+
+/// One clock cycle of the original sequential circuit: evaluates the core
+/// on (primary inputs, state) and returns (primary outputs, next state).
+/// Used by tests and by users who want to sanity-check an extraction.
+struct CycleResult {
+  std::vector<bool> outputs;
+  std::vector<bool> next_state;
+};
+CycleResult clock_cycle(const ScanDesign& design,
+                        const std::vector<bool>& primary_inputs,
+                        const std::vector<bool>& state);
+
+}  // namespace protest

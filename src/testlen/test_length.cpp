@@ -1,0 +1,89 @@
+#include "testlen/test_length.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace protest {
+namespace {
+
+/// log(1 - (1-p)^n) computed stably; -inf when p == 0.
+double log_term(double p, std::uint64_t n) {
+  if (p <= 0.0) return -std::numeric_limits<double>::infinity();
+  if (p >= 1.0) return 0.0;
+  // (1-p)^n = exp(n log(1-p)); for tiny exponents use log1p(-x) directly.
+  const double miss_log = static_cast<double>(n) * std::log1p(-p);
+  if (miss_log < -745.0) return 0.0;  // (1-p)^n underflows: term is log(1)
+  return std::log1p(-std::exp(miss_log));
+}
+
+}  // namespace
+
+double set_detection_prob(std::span<const double> detection_probs,
+                          std::uint64_t n) {
+  double acc = 0.0;
+  for (double p : detection_probs) {
+    const double t = log_term(p, n);
+    if (t == -std::numeric_limits<double>::infinity()) return 0.0;
+    acc += t;
+  }
+  return std::exp(acc);
+}
+
+double expected_coverage(std::span<const double> detection_probs,
+                         std::uint64_t n) {
+  if (detection_probs.empty()) return 1.0;
+  double acc = 0.0;
+  for (double p : detection_probs) {
+    if (p <= 0.0) continue;
+    if (p >= 1.0) {
+      acc += 1.0;
+      continue;
+    }
+    const double miss_log = static_cast<double>(n) * std::log1p(-p);
+    acc += 1.0 - std::exp(miss_log);
+  }
+  return acc / static_cast<double>(detection_probs.size());
+}
+
+std::vector<double> easiest_fraction(std::span<const double> detection_probs,
+                                     double d) {
+  if (!(d > 0.0 && d <= 1.0))
+    throw std::invalid_argument("easiest_fraction: d must be in (0,1]");
+  std::vector<double> sorted(detection_probs.begin(), detection_probs.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<>{});
+  const std::size_t keep = std::max<std::size_t>(
+      1, static_cast<std::size_t>(
+             std::ceil(d * static_cast<double>(sorted.size()) - 1e-9)));
+  sorted.resize(std::min(keep, sorted.size()));
+  return sorted;
+}
+
+std::uint64_t required_test_length(std::span<const double> detection_probs,
+                                   double d, double e) {
+  if (!(e > 0.0 && e < 1.0))
+    throw std::invalid_argument("required_test_length: e must be in (0,1)");
+  const std::vector<double> fd = easiest_fraction(detection_probs, d);
+  if (fd.empty()) return 1;
+  if (fd.back() <= 0.0) return kInfiniteTestLength;
+
+  // Exponential bracketing + binary search on the monotone predicate.
+  auto reaches = [&](std::uint64_t n) { return set_detection_prob(fd, n) >= e; };
+  std::uint64_t hi = 1;
+  const std::uint64_t cap = std::uint64_t{1} << 62;
+  while (!reaches(hi)) {
+    if (hi >= cap) return kInfiniteTestLength;
+    hi *= 2;
+  }
+  std::uint64_t lo = hi / 2;  // reaches(lo) is false (or lo == 0)
+  while (lo + 1 < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    if (reaches(mid))
+      hi = mid;
+    else
+      lo = mid;
+  }
+  return hi;
+}
+
+}  // namespace protest

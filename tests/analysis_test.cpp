@@ -1,0 +1,95 @@
+// Statistics and table formatting used by the experiment harnesses.
+#include <gtest/gtest.h>
+
+#include "analysis/stats.hpp"
+#include "analysis/table.hpp"
+
+namespace protest {
+namespace {
+
+TEST(Stats, PerfectCorrelation) {
+  const double x[] = {0.1, 0.2, 0.3, 0.9};
+  const double y[] = {0.2, 0.4, 0.6, 1.8};
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0, 1e-12);
+  const double z[] = {-0.1, -0.2, -0.3, -0.9};
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0, 1e-12);
+}
+
+TEST(Stats, ZeroForConstantSeries) {
+  const double x[] = {0.5, 0.5, 0.5};
+  const double y[] = {0.1, 0.9, 0.3};
+  EXPECT_DOUBLE_EQ(pearson_correlation(x, y), 0.0);
+}
+
+TEST(Stats, UncorrelatedNearZero) {
+  std::vector<double> x, y;
+  // A deterministic "checkerboard" with zero linear relation.
+  for (int i = 0; i < 1000; ++i) {
+    x.push_back(i % 2);
+    y.push_back((i / 2) % 2);
+  }
+  EXPECT_NEAR(pearson_correlation(x, y), 0.0, 0.01);
+}
+
+TEST(Stats, CompareEstimatesFields) {
+  const double est[] = {0.5, 0.2, 0.9};
+  const double ref[] = {0.4, 0.2, 1.0};
+  const ErrorStats s = compare_estimates(est, ref);
+  EXPECT_NEAR(s.max_abs_error, 0.1, 1e-12);
+  EXPECT_NEAR(s.mean_abs_error, 0.2 / 3, 1e-12);
+  EXPECT_NEAR(s.mean_signed_error, 0.0, 1e-12);
+  EXPECT_EQ(s.count, 3u);
+}
+
+TEST(Stats, SignedErrorShowsUnderestimationBias) {
+  // est systematically below ref, like fig. 6 (P_SIM > P_PROT).
+  const double est[] = {0.1, 0.2, 0.3};
+  const double ref[] = {0.3, 0.4, 0.5};
+  EXPECT_NEAR(compare_estimates(est, ref).mean_signed_error, -0.2, 1e-12);
+}
+
+TEST(Stats, ScatterSeriesFormat) {
+  const double x[] = {0.25};
+  const double y[] = {0.75};
+  EXPECT_EQ(scatter_series(x, y), "0.25 0.75\n");
+}
+
+TEST(Stats, AsciiScatterMarksPoints) {
+  const double x[] = {0.0, 1.0};
+  const double y[] = {0.0, 1.0};
+  const std::string plot = ascii_scatter(x, y, 11, 5);
+  EXPECT_NE(plot.find('.'), std::string::npos);
+  EXPECT_NE(plot.find("P_PROT"), std::string::npos);
+}
+
+TEST(Stats, Validation) {
+  const double x[] = {0.1};
+  const double y2[] = {0.1, 0.2};
+  EXPECT_THROW(pearson_correlation(x, y2), std::invalid_argument);
+  EXPECT_THROW(compare_estimates(x, y2), std::invalid_argument);
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable t({"circuit", "N"});
+  t.add_row({"ALU", "212"});
+  t.add_row({"MULT", "607"});
+  const std::string s = t.str();
+  EXPECT_NE(s.find("| circuit | N   |"), std::string::npos);
+  EXPECT_NE(s.find("| ALU     | 212 |"), std::string::npos);
+}
+
+TEST(Table, RejectsBadRows) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(TextTable({}), std::invalid_argument);
+}
+
+TEST(Table, Formatters) {
+  EXPECT_EQ(fmt(0.12345, 3), "0.123");
+  EXPECT_EQ(fmt(2.0, 1), "2.0");
+  EXPECT_EQ(fmt_int(1234567), "1 234 567");
+  EXPECT_EQ(fmt_int(42), "42");
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,109 @@
+// ROBDD package: canonicity, operations, sat-probability/count, limits.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "bdd/bdd.hpp"
+
+namespace protest {
+namespace {
+
+TEST(Bdd, TerminalsAndVars) {
+  Bdd bdd(3);
+  EXPECT_NE(bdd.zero(), bdd.one());
+  const auto x0 = bdd.var(0);
+  EXPECT_EQ(bdd.var(0), x0);  // unique table canonicity
+  EXPECT_FALSE(bdd.is_const(x0));
+  EXPECT_THROW(bdd.var(3), std::out_of_range);
+}
+
+TEST(Bdd, BasicIdentities) {
+  Bdd bdd(2);
+  const auto a = bdd.var(0), b = bdd.var(1);
+  EXPECT_EQ(bdd.apply_and(a, bdd.one()), a);
+  EXPECT_EQ(bdd.apply_and(a, bdd.zero()), bdd.zero());
+  EXPECT_EQ(bdd.apply_or(a, bdd.zero()), a);
+  EXPECT_EQ(bdd.apply_and(a, a), a);
+  EXPECT_EQ(bdd.apply_xor(a, a), bdd.zero());
+  EXPECT_EQ(bdd.apply_not(bdd.apply_not(a)), a);
+  EXPECT_EQ(bdd.apply_xor(a, b), bdd.apply_xor(b, a));
+}
+
+TEST(Bdd, DeMorgan) {
+  Bdd bdd(2);
+  const auto a = bdd.var(0), b = bdd.var(1);
+  const auto lhs = bdd.apply_not(bdd.apply_and(a, b));
+  const auto rhs = bdd.apply_or(bdd.apply_not(a), bdd.apply_not(b));
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST(Bdd, SatCount) {
+  Bdd bdd(3);
+  const auto a = bdd.var(0), b = bdd.var(1), c = bdd.var(2);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.one()), 8.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.zero()), 0.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(a), 4.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.apply_and(a, b)), 2.0);
+  EXPECT_DOUBLE_EQ(bdd.sat_count(bdd.apply_xor(a, bdd.apply_xor(b, c))), 4.0);
+}
+
+TEST(Bdd, SatProbMatchesFormula) {
+  Bdd bdd(2);
+  const auto a = bdd.var(0), b = bdd.var(1);
+  const double probs[] = {0.3, 0.8};
+  EXPECT_NEAR(bdd.sat_prob(bdd.apply_and(a, b), probs), 0.24, 1e-12);
+  EXPECT_NEAR(bdd.sat_prob(bdd.apply_or(a, b), probs), 1 - 0.7 * 0.2, 1e-12);
+  EXPECT_NEAR(bdd.sat_prob(bdd.apply_xor(a, b), probs),
+              0.3 + 0.8 - 2 * 0.24, 1e-12);
+}
+
+TEST(Bdd, NodeLimitThrows) {
+  // Force a blow-up with a tiny limit.
+  Bdd bdd(16, 8);
+  auto acc = bdd.zero();
+  EXPECT_THROW(
+      {
+        for (unsigned i = 0; i < 16; ++i) acc = bdd.apply_xor(acc, bdd.var(i));
+      },
+      BddLimitExceeded);
+}
+
+// Property: for random 3-variable functions built from random gate
+// applications, sat_count matches brute-force truth-table counting.
+class BddRandomFunctions : public ::testing::TestWithParam<int> {};
+
+TEST_P(BddRandomFunctions, SatCountMatchesTruthTable) {
+  std::mt19937_64 rng(GetParam());
+  Bdd bdd(4);
+  // Build a random function and, in parallel, its 16-row truth table.
+  struct Entry {
+    Bdd::Ref f;
+    std::uint16_t tt;
+  };
+  std::vector<Entry> pool;
+  for (unsigned v = 0; v < 4; ++v) {
+    std::uint16_t tt = 0;
+    for (unsigned m = 0; m < 16; ++m)
+      if ((m >> v) & 1) tt |= std::uint16_t(1u << m);
+    pool.push_back({bdd.var(v), tt});
+  }
+  std::uniform_int_distribution<std::size_t> pick(0, 100);
+  for (int step = 0; step < 30; ++step) {
+    const Entry a = pool[pick(rng) % pool.size()];
+    const Entry b = pool[pick(rng) % pool.size()];
+    switch (pick(rng) % 4) {
+      case 0: pool.push_back({bdd.apply_and(a.f, b.f), std::uint16_t(a.tt & b.tt)}); break;
+      case 1: pool.push_back({bdd.apply_or(a.f, b.f), std::uint16_t(a.tt | b.tt)}); break;
+      case 2: pool.push_back({bdd.apply_xor(a.f, b.f), std::uint16_t(a.tt ^ b.tt)}); break;
+      case 3: pool.push_back({bdd.apply_not(a.f), std::uint16_t(~a.tt)}); break;
+    }
+    const Entry& e = pool.back();
+    EXPECT_DOUBLE_EQ(bdd.sat_count(e.f), std::popcount(e.tt))
+        << "step " << step;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BddRandomFunctions, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace protest

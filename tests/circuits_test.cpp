@@ -1,0 +1,331 @@
+// Functional correctness of every generated circuit against integer
+// arithmetic / behavioural references.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/arith.hpp"
+#include "circuits/comp24.hpp"
+#include "circuits/div16.hpp"
+#include "circuits/mult.hpp"
+#include "circuits/random_circuit.hpp"
+#include "circuits/sn74181.hpp"
+#include "circuits/sn7485.hpp"
+#include "circuits/zoo.hpp"
+#include "netlist/tech.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace protest {
+namespace {
+
+/// Reads a named bus ("F0", "F1", ...) from simulated values.
+std::uint64_t read_bus(const Netlist& net, const std::vector<bool>& vals,
+                       const std::string& name, std::size_t width) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const NodeId n = net.find(name + std::to_string(i));
+    EXPECT_NE(n, kNoNode) << name << i;
+    if (vals[n]) v |= std::uint64_t{1} << i;
+  }
+  return v;
+}
+
+std::vector<bool> bus_inputs(std::initializer_list<std::pair<std::uint64_t, int>>
+                                 fields) {
+  std::vector<bool> in;
+  for (const auto& [value, width] : fields)
+    for (int i = 0; i < width; ++i) in.push_back((value >> i) & 1);
+  return in;
+}
+
+TEST(Arith, RippleAdderRandom) {
+  NetlistBuilder bld;
+  const Bus a = bld.input_bus("A", 8);
+  const Bus b = bld.input_bus("B", 8);
+  AddResult r = ripple_adder(bld, a, b);
+  Bus sum = r.sum;
+  sum.push_back(r.carry);
+  bld.output_bus(sum, "S");
+  const Netlist net = bld.build();
+  std::mt19937_64 rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const unsigned x = rng() & 0xFF, y = rng() & 0xFF;
+    const auto vals = simulate_single(net, bus_inputs({{x, 8}, {y, 8}}));
+    EXPECT_EQ(read_bus(net, vals, "S", 9), x + y) << x << "+" << y;
+  }
+}
+
+TEST(Arith, RippleAdderUnequalWidths) {
+  NetlistBuilder bld;
+  const Bus a = bld.input_bus("A", 10);
+  const Bus b = bld.input_bus("B", 4);
+  AddResult r = ripple_adder(bld, a, b);
+  Bus sum = r.sum;
+  sum.push_back(r.carry == kNoNode ? bld.constant(false) : r.carry);
+  bld.output_bus(sum, "S");
+  const Netlist net = bld.build();
+  std::mt19937_64 rng(2);
+  for (int t = 0; t < 100; ++t) {
+    const unsigned x = rng() & 0x3FF, y = rng() & 0xF;
+    const auto vals = simulate_single(net, bus_inputs({{x, 10}, {y, 4}}));
+    EXPECT_EQ(read_bus(net, vals, "S", 11), x + y);
+  }
+}
+
+TEST(Arith, SubtractorComputesDifferenceAndBorrow) {
+  NetlistBuilder bld;
+  const Bus a = bld.input_bus("A", 8);
+  const Bus b = bld.input_bus("B", 8);
+  SubResult r = ripple_subtractor(bld, a, b);
+  bld.output_bus(r.diff, "D");
+  bld.output(r.borrow, "BO");
+  const Netlist net = bld.build();
+  std::mt19937_64 rng(3);
+  for (int t = 0; t < 200; ++t) {
+    const unsigned x = rng() & 0xFF, y = rng() & 0xFF;
+    const auto vals = simulate_single(net, bus_inputs({{x, 8}, {y, 8}}));
+    EXPECT_EQ(read_bus(net, vals, "D", 8), (x - y) & 0xFF);
+    EXPECT_EQ(vals[net.find("BO")], x < y);
+  }
+}
+
+TEST(Arith, MultiplierExhaustive4x4) {
+  const Netlist net = make_multiplier(4);
+  for (unsigned x = 0; x < 16; ++x)
+    for (unsigned y = 0; y < 16; ++y) {
+      const auto vals = simulate_single(net, bus_inputs({{x, 4}, {y, 4}}));
+      EXPECT_EQ(read_bus(net, vals, "P", 8), x * y) << x << "*" << y;
+    }
+}
+
+TEST(Arith, MultiplierRandom8x8) {
+  const Netlist net = make_multiplier(8);
+  std::mt19937_64 rng(4);
+  for (int t = 0; t < 200; ++t) {
+    const unsigned x = rng() & 0xFF, y = rng() & 0xFF;
+    const auto vals = simulate_single(net, bus_inputs({{x, 8}, {y, 8}}));
+    EXPECT_EQ(read_bus(net, vals, "P", 16), x * y);
+  }
+}
+
+TEST(Arith, EqualityAndMux) {
+  NetlistBuilder bld;
+  const Bus a = bld.input_bus("A", 4);
+  const Bus b = bld.input_bus("B", 4);
+  const NodeId sel = bld.input("SEL");
+  bld.output(equality(bld, a, b), "EQ");
+  bld.output_bus(mux_bus(bld, sel, a, b), "M");
+  const Netlist net = bld.build();
+  std::mt19937_64 rng(5);
+  for (int t = 0; t < 100; ++t) {
+    const unsigned x = rng() & 0xF, y = rng() & 0xF, s = rng() & 1;
+    const auto vals =
+        simulate_single(net, bus_inputs({{x, 4}, {y, 4}, {s, 1}}));
+    EXPECT_EQ(vals[net.find("EQ")], x == y);
+    EXPECT_EQ(read_bus(net, vals, "M", 4), s ? y : x);
+  }
+}
+
+TEST(Alu181, MatchesReferenceExhaustively) {
+  const Netlist net = make_sn74181();
+  ASSERT_EQ(net.inputs().size(), 14u);
+  for (unsigned pattern = 0; pattern < (1u << 14); ++pattern) {
+    const unsigned a = pattern & 0xF, b = (pattern >> 4) & 0xF;
+    const unsigned s = (pattern >> 8) & 0xF;
+    const bool m = (pattern >> 12) & 1, cn = (pattern >> 13) & 1;
+    const auto vals = simulate_single(
+        net, bus_inputs({{a, 4}, {b, 4}, {s, 4}, {m, 1}, {cn, 1}}));
+    const Alu181Out ref = alu181_reference(a, b, s, m, cn);
+    ASSERT_EQ(read_bus(net, vals, "F", 4), ref.f) << pattern;
+    ASSERT_EQ(vals[net.find("COUT")], ref.cout) << pattern;
+    ASSERT_EQ(vals[net.find("POUT")], ref.pout) << pattern;
+    ASSERT_EQ(vals[net.find("GOUT")], ref.gout) << pattern;
+    ASSERT_EQ(vals[net.find("AEQB")], ref.aeqb) << pattern;
+  }
+}
+
+TEST(Alu181, DatasheetFunctionSpotChecks) {
+  const Netlist net = make_sn74181();
+  auto run = [&](unsigned a, unsigned b, unsigned s, bool m, bool cn) {
+    const auto vals = simulate_single(
+        net, bus_inputs({{a, 4}, {b, 4}, {s, 4}, {m, 1}, {cn, 1}}));
+    return read_bus(net, vals, "F", 4);
+  };
+  for (unsigned a = 0; a < 16; ++a)
+    for (unsigned b = 0; b < 16; ++b) {
+      // Logic mode (M=1): S=0000 -> NOT A; S=0110 -> A XOR B;
+      // S=1001 -> XNOR; S=1111 -> A; S=0011 -> 0; S=1100 -> 1.
+      EXPECT_EQ(run(a, b, 0b0000, true, false), (~a) & 0xF);
+      EXPECT_EQ(run(a, b, 0b0110, true, false), a ^ b);
+      EXPECT_EQ(run(a, b, 0b1001, true, false), (~(a ^ b)) & 0xF);
+      EXPECT_EQ(run(a, b, 0b1111, true, false), a);
+      EXPECT_EQ(run(a, b, 0b0011, true, false), 0u);
+      EXPECT_EQ(run(a, b, 0b1100, true, false), 0xFu);
+      // Arithmetic mode (M=0): S=1001 -> A plus B (plus carry);
+      // S=0000 -> A (plus carry); S=0110 -> A minus B minus 1 (plus carry).
+      EXPECT_EQ(run(a, b, 0b1001, false, false), (a + b) & 0xF);
+      EXPECT_EQ(run(a, b, 0b1001, false, true), (a + b + 1) & 0xF);
+      EXPECT_EQ(run(a, b, 0b0000, false, false), a);
+      EXPECT_EQ(run(a, b, 0b0110, false, false), (a - b - 1) & 0xF);
+      EXPECT_EQ(run(a, b, 0b0110, false, true), (a - b) & 0xF);
+    }
+}
+
+TEST(Alu181, AeqbFlagsEqualityInSubtractMode) {
+  const Netlist net = make_sn74181();
+  for (unsigned a = 0; a < 16; ++a)
+    for (unsigned b = 0; b < 16; ++b) {
+      const auto vals = simulate_single(
+          net, bus_inputs({{a, 4}, {b, 4}, {0b0110u, 4}, {0, 1}, {0, 1}}));
+      EXPECT_EQ(vals[net.find("AEQB")], a == b) << a << " " << b;
+    }
+}
+
+TEST(Sn7485, ExhaustiveCompare) {
+  const Netlist net = make_sn7485();
+  for (unsigned a = 0; a < 16; ++a)
+    for (unsigned b = 0; b < 16; ++b)
+      for (unsigned casc = 0; casc < 3; ++casc) {
+        const bool lti = casc == 0, eqi = casc == 1, gti = casc == 2;
+        const auto vals = simulate_single(
+            net, bus_inputs({{a, 4}, {b, 4}, {lti, 1}, {eqi, 1}, {gti, 1}}));
+        const bool lt = a < b || (a == b && lti);
+        const bool eq = a == b && eqi;
+        const bool gt = a > b || (a == b && gti);
+        EXPECT_EQ(vals[net.find("LT")], lt) << a << " " << b << " " << casc;
+        EXPECT_EQ(vals[net.find("EQ")], eq) << a << " " << b << " " << casc;
+        EXPECT_EQ(vals[net.find("GT")], gt) << a << " " << b << " " << casc;
+      }
+}
+
+TEST(Comp24, RandomWordComparisons) {
+  const Netlist net = make_comp24();
+  ASSERT_EQ(net.inputs().size(), 51u);  // A0..23, B0..23, TI1..3 (Table 4)
+  std::mt19937_64 rng(6);
+  for (int t = 0; t < 300; ++t) {
+    const std::uint64_t a = rng() & 0xFFFFFF, b = rng() & 0xFFFFFF;
+    const unsigned casc = static_cast<unsigned>(rng() % 3);
+    const bool lti = casc == 0, eqi = casc == 1, gti = casc == 2;
+    const auto vals = simulate_single(
+        net,
+        bus_inputs({{a, 24}, {b, 24}, {lti, 1}, {eqi, 1}, {gti, 1}}));
+    EXPECT_EQ(vals[net.find("LT")], a < b || (a == b && lti));
+    EXPECT_EQ(vals[net.find("EQ")], a == b && eqi);
+    EXPECT_EQ(vals[net.find("GT")], a > b || (a == b && gti));
+  }
+}
+
+TEST(Comp24, EqualWordsExerciseCascade) {
+  const Netlist net = make_comp24();
+  std::mt19937_64 rng(7);
+  for (int t = 0; t < 50; ++t) {
+    const std::uint64_t a = rng() & 0xFFFFFF;
+    const auto vals = simulate_single(
+        net, bus_inputs({{a, 24}, {a, 24}, {0, 1}, {1, 1}, {0, 1}}));
+    EXPECT_TRUE(vals[net.find("EQ")]);
+    EXPECT_FALSE(vals[net.find("LT")]);
+    EXPECT_FALSE(vals[net.find("GT")]);
+  }
+}
+
+TEST(Mult, ComputesAPlusBPlusCTimesD) {
+  const Netlist net = make_mult();
+  ASSERT_EQ(net.inputs().size(), 32u);
+  std::mt19937_64 rng(8);
+  for (int t = 0; t < 300; ++t) {
+    const unsigned a = rng() & 0xFF, b = rng() & 0xFF;
+    const unsigned c = rng() & 0xFF, d = rng() & 0xFF;
+    const auto vals = simulate_single(
+        net, bus_inputs({{a, 8}, {b, 8}, {c, 8}, {d, 8}}));
+    EXPECT_EQ(read_bus(net, vals, "F", 17), a + b + c * d);
+  }
+}
+
+TEST(Div16, RandomDivisions) {
+  const Netlist net = make_div16();
+  std::mt19937_64 rng(9);
+  for (int t = 0; t < 200; ++t) {
+    const unsigned n = rng() & 0xFFFF;
+    const unsigned d = 1 + (rng() % 0xFFFF);
+    const auto vals = simulate_single(net, bus_inputs({{n, 16}, {d, 16}}));
+    EXPECT_EQ(read_bus(net, vals, "Q", 16), n / d) << n << "/" << d;
+    EXPECT_EQ(read_bus(net, vals, "R", 16), n % d) << n << "%" << d;
+  }
+}
+
+TEST(Div16, EdgeCases) {
+  const Netlist net = make_div16();
+  // n < d, n == d, d == 1, and the documented d == 0 convention.
+  struct Case {
+    unsigned n, d, q, r;
+  };
+  for (const Case c : {Case{5, 9, 0, 5}, Case{9, 9, 1, 0},
+                       Case{0xFFFF, 1, 0xFFFF, 0}, Case{0, 7, 0, 0}}) {
+    const auto vals = simulate_single(net, bus_inputs({{c.n, 16}, {c.d, 16}}));
+    EXPECT_EQ(read_bus(net, vals, "Q", 16), c.q) << c.n << "/" << c.d;
+    EXPECT_EQ(read_bus(net, vals, "R", 16), c.r);
+  }
+  const auto vals = simulate_single(net, bus_inputs({{1234u, 16}, {0u, 16}}));
+  EXPECT_EQ(read_bus(net, vals, "Q", 16), 0xFFFFu);
+  EXPECT_EQ(read_bus(net, vals, "R", 16), 1234u);
+}
+
+TEST(Divider, SmallWidthExhaustive) {
+  const Netlist net = make_divider(4);
+  for (unsigned n = 0; n < 16; ++n)
+    for (unsigned d = 1; d < 16; ++d) {
+      const auto vals = simulate_single(net, bus_inputs({{n, 4}, {d, 4}}));
+      EXPECT_EQ(read_bus(net, vals, "Q", 4), n / d) << n << "/" << d;
+      EXPECT_EQ(read_bus(net, vals, "R", 4), n % d);
+    }
+}
+
+TEST(Zoo, AllCircuitsBuildAndHaveSaneSizes) {
+  for (const std::string& name : zoo_names()) {
+    const Netlist net = make_circuit(name);
+    EXPECT_GT(net.inputs().size(), 0u) << name;
+    EXPECT_GT(net.outputs().size(), 0u) << name;
+    EXPECT_GT(transistor_count(net), 0u) << name;
+  }
+  EXPECT_THROW(make_circuit("nope"), std::invalid_argument);
+}
+
+TEST(Zoo, ScalingFamilyGrows) {
+  std::size_t prev = 0;
+  for (const std::string& name : scaling_family()) {
+    const std::size_t t = transistor_count(make_circuit(name));
+    EXPECT_GT(t, prev) << name;
+    prev = t;
+  }
+  // The family spans the paper's Table 7 range (hundreds to tens of
+  // thousands of transistors).
+  EXPECT_LT(transistor_count(make_circuit(scaling_family().front())), 2'000u);
+  EXPECT_GT(transistor_count(make_circuit(scaling_family().back())), 30'000u);
+}
+
+TEST(Zoo, PaperCircuitSizesRoughlyMatch) {
+  // MULT is "1568 gate equivalents" in the paper; ours must land in the
+  // same order of magnitude.
+  const std::size_t ge = gate_equivalents(make_circuit("mult"));
+  EXPECT_GT(ge, 400u);
+  EXPECT_LT(ge, 4'000u);
+  // The ALU is a ~75-gate SSI part (368 transistors in the paper).
+  const std::size_t alu_t = transistor_count(make_circuit("alu"));
+  EXPECT_GT(alu_t, 150u);
+  EXPECT_LT(alu_t, 1'000u);
+}
+
+TEST(RandomCircuits, DeterministicPerSeed) {
+  RandomCircuitParams p;
+  p.seed = 42;
+  const Netlist a = make_random_circuit(p);
+  const Netlist b = make_random_circuit(p);
+  ASSERT_EQ(a.size(), b.size());
+  for (NodeId n = 0; n < a.size(); ++n) {
+    EXPECT_EQ(a.gate(n).type, b.gate(n).type);
+    EXPECT_EQ(a.gate(n).fanin, b.gate(n).fanin);
+  }
+}
+
+}  // namespace
+}  // namespace protest

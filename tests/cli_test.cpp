@@ -1,0 +1,120 @@
+// The command-line front end, driven through run_cli().
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "circuits/iscas.hpp"
+#include "protest/cli.hpp"
+
+namespace protest {
+namespace {
+
+/// Writes text to a temp file and returns its path.
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& text)
+      : path_(std::string(::testing::TempDir()) + "/" + name) {
+    std::ofstream f(path_);
+    f << text;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+struct CliRun {
+  int code;
+  std::string out, err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Cli, HelpPrintsUsage) {
+  const CliRun r = cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("protest analyze"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeBenchFile) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"analyze", f.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("5 inputs"), std::string::npos);
+  EXPECT_NE(r.out.find("required random patterns"), std::string::npos);
+  EXPECT_NE(r.out.find("least testable faults"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeWithFlags) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"analyze", f.path(), "--p", "0.3", "--d", "1.0",
+                        "--e", "0.999"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("p = 0.30"), std::string::npos);
+  EXPECT_NE(r.out.find("e = 0.999"), std::string::npos);
+}
+
+TEST(Cli, AnalyzeDslFileAutodetected) {
+  const TempFile f("top.dsl", R"(
+    module top(a, b -> y) { y = NAND(a, b) }
+    circuit top
+  )");
+  const CliRun r = cli({"analyze", f.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("2 inputs"), std::string::npos);
+}
+
+TEST(Cli, SimulateReportsCoverage) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"simulate", f.path(), "--patterns", "256"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("fault coverage after 256 patterns"), std::string::npos);
+}
+
+TEST(Cli, OptimizeReducesOrKeepsTestLength) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"optimize", f.path(), "--n", "100", "--sweeps", "2"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("optimized input probabilities"), std::string::npos);
+  EXPECT_NE(r.out.find("test length"), std::string::npos);
+}
+
+TEST(Cli, ScanExtractsAndAnalyzes) {
+  const TempFile f("counter.bench", R"(
+INPUT(en)
+OUTPUT(out)
+q0 = DFF(n0)
+n0 = XOR(q0, en)
+out = BUFF(q0)
+)");
+  const CliRun r = cli({"scan", f.path()});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("1 scan cells"), std::string::npos);
+  EXPECT_NE(r.out.find("scan-test length"), std::string::npos);
+}
+
+TEST(Cli, ErrorsAreReported) {
+  EXPECT_EQ(cli({"analyze", "/nonexistent/file.bench"}).code, 2);
+  EXPECT_EQ(cli({"frobnicate", "x"}).code, 2);
+  EXPECT_EQ(cli({}).code, 2);
+  EXPECT_EQ(cli({"analyze"}).code, 2);
+  const CliRun r = cli({"analyze", "/nonexistent/file.bench"});
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, BadBenchContentFailsGracefully) {
+  const TempFile f("bad.bench", "INPUT(a)\nOUTPUT(y)\ny = WAT(a)\n");
+  const CliRun r = cli({"analyze", f.path()});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,133 @@
+// Stuck-at fault model: universes, equivalence collapsing, display names.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <set>
+#include <span>
+
+#include "circuits/iscas.hpp"
+#include "netlist/builder.hpp"
+#include "sim/fault.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+namespace {
+
+/// Brute-force: bitmask (over exhaustive patterns) of patterns detecting f.
+std::uint64_t detection_set(const Netlist& net, const Fault& f) {
+  const std::size_t ni = net.inputs().size();
+  std::uint64_t det = 0;
+  for (std::size_t pat = 0; pat < (std::size_t{1} << ni); ++pat) {
+    std::vector<bool> in(ni);
+    for (std::size_t i = 0; i < ni; ++i) in[i] = (pat >> i) & 1;
+    const auto good = simulate_single(net, in);
+    // Faulty evaluation: recompute in topo order with the fault injected.
+    std::vector<bool> bad(net.size());
+    const auto inputs = net.inputs();
+    for (std::size_t i = 0; i < ni; ++i) bad[inputs[i]] = in[i];
+    for (NodeId n = 0; n < net.size(); ++n) {
+      const Gate& g = net.gate(n);
+      if (g.type != GateType::Input) {
+        std::array<bool, 64> ins{};
+        for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+          bool v = bad[g.fanin[k]];
+          if (!f.is_stem() && f.node == n && static_cast<int>(k) == f.pin)
+            v = f.sa == StuckAt::One;
+          ins[k] = v;
+        }
+        bad[n] = eval_gate(
+            g.type, std::span<const bool>(ins.data(), g.fanin.size()));
+      }
+      if (f.is_stem() && f.node == n) bad[n] = f.sa == StuckAt::One;
+    }
+    for (NodeId o : net.outputs())
+      if (good[o] != bad[o]) {
+        det |= std::uint64_t{1} << pat;
+        break;
+      }
+  }
+  return det;
+}
+
+TEST(FaultList, FullListCountsC17) {
+  const Netlist net = make_c17();
+  // 11 nodes * 2 stem faults + 12 gate pins * 2 branch faults.
+  EXPECT_EQ(full_fault_list(net).size(), 22u + 24u);
+}
+
+TEST(FaultList, StructuralListSkipsSingleBranchPins) {
+  const Netlist net = make_c17();
+  const auto list = structural_fault_list(net);
+  // Branch faults only on pins fed by multi-branch stems (nets 3, 11, 16).
+  std::size_t branch_faults = 0;
+  for (const Fault& f : list) branch_faults += !f.is_stem();
+  EXPECT_EQ(branch_faults, 2u * 6u);  // stems 3, 11, 16 have 2 branches each
+  EXPECT_EQ(list.size(), 22u + 12u);
+}
+
+TEST(FaultList, CollapsedIsSmallerAndCoversAllBehaviours) {
+  const Netlist net = make_c17();
+  const auto full = full_fault_list(net);
+  const auto collapsed = collapsed_fault_list(net);
+  ASSERT_LT(collapsed.size(), full.size());
+
+  // Every fault's detection set must be represented in the collapsed list
+  // (equivalence collapsing must not lose behaviours).
+  std::set<std::uint64_t> rep_sets;
+  for (const Fault& f : collapsed) rep_sets.insert(detection_set(net, f));
+  for (const Fault& f : full)
+    EXPECT_TRUE(rep_sets.count(detection_set(net, f)))
+        << to_string(net, f) << " lost by collapsing";
+}
+
+TEST(FaultList, CollapseRulesNand) {
+  // y = NAND(a, b): input s-a-0 is equivalent to output s-a-1.
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId y = net.add_gate(GateType::Nand, {a, b}, "y");
+  net.mark_output(y);
+  net.finalize();
+  const auto collapsed = collapsed_fault_list(net);
+  // Full list: 6 stem + 4 branch = 10.  Classes: {y sa1, a sa0, b sa0 (pins
+  // collapse to stems since single fanout), ...}.
+  // a-sa0 == pin0-sa0 == y-sa1; b-sa0 likewise: so {a0,b0,y1} one class;
+  // a1, b1, y0 remain distinct: total classes = 4.
+  EXPECT_EQ(collapsed.size(), 4u);
+}
+
+TEST(FaultList, PinOnPrimaryOutputStemDoesNotCollapse) {
+  // c is both a PO and feeds d = AND(c, e).  The stem fault c s-a-0 is
+  // always visible at PO c; the pin fault on d only when e = 1 — they are
+  // NOT equivalent, and the collapser must keep both behaviours.
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId e = net.add_input("e");
+  const NodeId c = net.add_gate(GateType::Xor, {a, b}, "c");
+  const NodeId d = net.add_gate(GateType::And, {c, e}, "d");
+  net.mark_output(c);
+  net.mark_output(d);
+  net.finalize();
+  const std::uint64_t c_sa0 = detection_set(net, {c, -1, StuckAt::Zero});
+  const std::uint64_t d_pin_sa0 = detection_set(net, {d, 0, StuckAt::Zero});
+  EXPECT_NE(c_sa0, d_pin_sa0);
+  const auto collapsed = collapsed_fault_list(net);
+  std::set<std::uint64_t> rep_sets;
+  for (const Fault& f : collapsed) rep_sets.insert(detection_set(net, f));
+  EXPECT_TRUE(rep_sets.count(d_pin_sa0));
+  EXPECT_TRUE(rep_sets.count(c_sa0));
+}
+
+TEST(FaultList, ToStringFormats) {
+  const Netlist net = make_c17();
+  const Fault stem{net.find("22"), -1, StuckAt::One};
+  EXPECT_EQ(to_string(net, stem), "22 s-a-1");
+  const Fault pin{net.find("22"), 0, StuckAt::Zero};
+  EXPECT_EQ(to_string(net, pin), "22/0 s-a-0");
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,140 @@
+// Baseline testability measures: SCOAP / P_SCOAP and STAFAN.
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.hpp"
+#include "measures/scoap.hpp"
+#include "measures/stafan.hpp"
+#include "netlist/builder.hpp"
+#include "prob/exact.hpp"
+#include "prob/naive.hpp"
+#include "sim/fault_sim.hpp"
+
+namespace protest {
+namespace {
+
+TEST(Scoap, PrimaryInputsCostOne) {
+  const Netlist net = make_c17();
+  const auto m = compute_scoap(net);
+  for (NodeId i : net.inputs()) {
+    EXPECT_EQ(m.cc0[i], 1u);
+    EXPECT_EQ(m.cc1[i], 1u);
+  }
+}
+
+TEST(Scoap, AndGateRules) {
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId b = bld.input("b");
+  const NodeId y = bld.gate(GateType::And, {a, b}, "y");
+  bld.output(y);  // direct mark: no output buffer in between
+  const Netlist net = bld.build();
+  const auto m = compute_scoap(net);
+  EXPECT_EQ(m.cc1[y], 3u);  // CC1(a) + CC1(b) + 1
+  EXPECT_EQ(m.cc0[y], 2u);  // min CC0 + 1
+  // Observability of a through the AND: CO(y) + CC1(b) + 1 = 0 + 1 + 1.
+  EXPECT_EQ(m.pin_co[y][0], 2u);
+  EXPECT_EQ(m.co[a], 2u);
+}
+
+TEST(Scoap, InverterSwapsControllabilities) {
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId b = bld.input("b");
+  const NodeId y = bld.and2(a, b);
+  const NodeId z = bld.inv(y);
+  bld.output(z, "z");
+  const Netlist net = bld.build();
+  const auto m = compute_scoap(net);
+  EXPECT_EQ(m.cc0[z], m.cc1[y] + 1);
+  EXPECT_EQ(m.cc1[z], m.cc0[y] + 1);
+}
+
+TEST(Scoap, XorRules) {
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId b = bld.input("b");
+  const NodeId y = bld.xor2(a, b);
+  bld.output(y, "y");
+  const Netlist net = bld.build();
+  const auto m = compute_scoap(net);
+  EXPECT_EQ(m.cc1[y], 3u);  // one input 1, the other 0
+  EXPECT_EQ(m.cc0[y], 3u);  // both 0 (or both 1)
+}
+
+TEST(Scoap, ConstantsAreUncontrollableToOtherValue) {
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId c1 = bld.constant(true);
+  bld.output(bld.and2(a, c1), "y");
+  const Netlist net = bld.build();
+  const auto m = compute_scoap(net);
+  EXPECT_EQ(m.cc1[c1], 0u);
+  EXPECT_GT(m.cc0[c1], 1'000'000u);  // "infinite"
+}
+
+TEST(Scoap, StemObservabilityIsMinOverBranches) {
+  // a feeds an AND (cheap side pin) and a 3-input AND (costlier).
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId b = bld.input("b");
+  const NodeId c = bld.input("c");
+  const NodeId d = bld.input("d");
+  const NodeId y1 = bld.and2(a, b);
+  const NodeId y2 = bld.gate(GateType::And, {a, c, d});
+  bld.output(y1);  // direct marks: no output buffers
+  bld.output(y2);
+  const Netlist net = bld.build();
+  const auto m = compute_scoap(net);
+  EXPECT_EQ(m.pin_co[y1][0], 2u);
+  EXPECT_EQ(m.pin_co[y2][0], 3u);
+  EXPECT_EQ(m.co[a], 2u);
+}
+
+TEST(Pscoap, MonotoneInEffortAndBounded) {
+  const Netlist net = make_c17();
+  const auto m = compute_scoap(net);
+  const auto faults = structural_fault_list(net);
+  const auto probs = pscoap_detection_probs(net, faults, m);
+  ASSERT_EQ(probs.size(), faults.size());
+  for (double p : probs) {
+    EXPECT_GT(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+TEST(Stafan, ControllabilityMatchesSignalProbability) {
+  const Netlist net = make_c17();
+  const auto ps = PatternSet::random(5, 50'000, 321);
+  const auto m = compute_stafan(net, ps);
+  const auto exact = exact_signal_probs_bdd(net, uniform_input_probs(net));
+  for (NodeId n = 0; n < net.size(); ++n)
+    EXPECT_NEAR(m.c1[n], exact[n], 0.02) << n;
+}
+
+TEST(Stafan, ObservabilityBoundsAndOutputs) {
+  const Netlist net = make_c17();
+  const auto m = compute_stafan(net, PatternSet::random(5, 10'000, 5));
+  for (NodeId n = 0; n < net.size(); ++n) {
+    EXPECT_GE(m.obs[n], 0.0);
+    EXPECT_LE(m.obs[n], 1.0);
+  }
+  for (NodeId o : net.outputs()) EXPECT_DOUBLE_EQ(m.obs[o], 1.0);
+}
+
+TEST(Stafan, DetectionEstimatesCorrelateWithSimulation) {
+  const Netlist net = make_c17();
+  const auto faults = structural_fault_list(net);
+  const auto ps = PatternSet::random(5, 20'000, 9);
+  const auto m = compute_stafan(net, ps);
+  const auto est = stafan_detection_probs(net, faults, m);
+  const auto sim = simulate_faults(net, faults, PatternSet::exhaustive(5),
+                                   FaultSimMode::CountDetections)
+                       .detection_probs();
+  // STAFAN is a one-level approximation; expect good but not perfect match.
+  double err = 0;
+  for (std::size_t i = 0; i < faults.size(); ++i) err += std::abs(est[i] - sim[i]);
+  EXPECT_LT(err / static_cast<double>(faults.size()), 0.15);
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,207 @@
+// Netlist core: construction, validation, levels, fanout, stems, names,
+// gate evaluation semantics, and the technology model.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "netlist/builder.hpp"
+#include "netlist/gate.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/tech.hpp"
+
+namespace protest {
+namespace {
+
+Netlist small_example() {
+  // c = AND(a, b); d = NOT(c); outputs: c, d
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId c = net.add_gate(GateType::And, {a, b}, "c");
+  const NodeId d = net.add_gate(GateType::Not, {c}, "d");
+  net.mark_output(c);
+  net.mark_output(d);
+  net.finalize();
+  return net;
+}
+
+TEST(Netlist, BuildsAndFinalizes) {
+  const Netlist net = small_example();
+  EXPECT_EQ(net.size(), 4u);
+  EXPECT_EQ(net.inputs().size(), 2u);
+  EXPECT_EQ(net.outputs().size(), 2u);
+  EXPECT_EQ(net.num_gates(), 2u);
+  EXPECT_TRUE(net.finalized());
+}
+
+TEST(Netlist, LevelsAreLongestPaths) {
+  const Netlist net = small_example();
+  EXPECT_EQ(net.level(net.find("a")), 0u);
+  EXPECT_EQ(net.level(net.find("c")), 1u);
+  EXPECT_EQ(net.level(net.find("d")), 2u);
+  EXPECT_EQ(net.depth(), 2u);
+}
+
+TEST(Netlist, FanoutListsArePerPin) {
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  const NodeId g = net.add_gate(GateType::And, {a, a}, "g");
+  net.mark_output(g);
+  net.finalize();
+  // One fanout entry per pin connection.
+  EXPECT_EQ(net.fanout(a).size(), 2u);
+}
+
+TEST(Netlist, StemsIncludePrimaryOutputBranch) {
+  // A node that is both a PO and feeds a gate has two branches.
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  const NodeId c = net.add_gate(GateType::And, {a, b}, "c");
+  const NodeId d = net.add_gate(GateType::Not, {c}, "d");
+  net.mark_output(c);
+  net.mark_output(d);
+  net.finalize();
+  const auto stems = net.stems();
+  EXPECT_NE(std::find(stems.begin(), stems.end(), c), stems.end());
+}
+
+TEST(Netlist, RejectsForwardReferences) {
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  (void)a;
+  EXPECT_THROW(net.add_gate(GateType::And, {a, 5}, "g"), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsWrongArity) {
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  EXPECT_THROW(net.add_gate(GateType::Not, {a, a}, ""), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateType::And, {}, ""), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateType::Const0, {a}, ""), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsDuplicateNames) {
+  Netlist net;
+  net.add_input("a");
+  const NodeId b = net.add_input("a");
+  net.mark_output(b);
+  EXPECT_THROW(net.finalize(), std::logic_error);
+}
+
+TEST(Netlist, RejectsDoubleOutputMark) {
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  net.mark_output(a);
+  EXPECT_THROW(net.mark_output(a), std::invalid_argument);
+}
+
+TEST(Netlist, RequiresOutputs) {
+  Netlist net;
+  net.add_input("a");
+  EXPECT_THROW(net.finalize(), std::logic_error);
+}
+
+TEST(Netlist, FrozenAfterFinalize) {
+  Netlist net = small_example();
+  EXPECT_THROW(net.add_input("x"), std::logic_error);
+  EXPECT_THROW(net.mark_output(0), std::logic_error);
+}
+
+TEST(Netlist, FindByName) {
+  const Netlist net = small_example();
+  EXPECT_NE(net.find("c"), kNoNode);
+  EXPECT_EQ(net.find("nope"), kNoNode);
+  EXPECT_EQ(net.name_of(net.find("c")), "c");
+}
+
+TEST(GateEval, TruthTables) {
+  using enum GateType;
+  const bool f = false, t = true;
+  {
+    const bool in[] = {t, t, f};
+    EXPECT_FALSE(eval_gate(And, in));
+    EXPECT_TRUE(eval_gate(Nand, in));
+    EXPECT_TRUE(eval_gate(Or, in));
+    EXPECT_FALSE(eval_gate(Nor, in));
+    EXPECT_FALSE(eval_gate(Xor, in));  // parity of 2 ones
+    EXPECT_TRUE(eval_gate(Xnor, in));
+  }
+  {
+    const bool in[] = {t};
+    EXPECT_FALSE(eval_gate(Not, in));
+    EXPECT_TRUE(eval_gate(Buf, in));
+  }
+}
+
+TEST(GateEval, WordMatchesScalar) {
+  using enum GateType;
+  for (GateType ty : {And, Nand, Or, Nor, Xor, Xnor}) {
+    for (unsigned m = 0; m < 8; ++m) {
+      const bool in[] = {bool(m & 1), bool(m & 2), bool(m & 4)};
+      const std::uint64_t w[] = {in[0] ? ~0ull : 0, in[1] ? ~0ull : 0,
+                                 in[2] ? ~0ull : 0};
+      EXPECT_EQ(eval_gate(ty, in), bool(eval_gate_word(ty, w) & 1))
+          << to_string(ty) << " m=" << m;
+    }
+  }
+}
+
+TEST(GateEval, ProbMatchesTruthOnCorners) {
+  using enum GateType;
+  for (GateType ty : {And, Nand, Or, Nor, Xor, Xnor}) {
+    for (unsigned m = 0; m < 4; ++m) {
+      const bool in[] = {bool(m & 1), bool(m & 2)};
+      const double p[] = {in[0] ? 1.0 : 0.0, in[1] ? 1.0 : 0.0};
+      EXPECT_DOUBLE_EQ(eval_gate_prob(ty, p), eval_gate(ty, in) ? 1.0 : 0.0)
+          << to_string(ty) << " m=" << m;
+    }
+  }
+}
+
+TEST(GateEval, ProbAndGate) {
+  const double p[] = {0.5, 0.25};
+  EXPECT_DOUBLE_EQ(eval_gate_prob(GateType::And, p), 0.125);
+  EXPECT_DOUBLE_EQ(eval_gate_prob(GateType::Or, p), 1 - 0.5 * 0.75);
+  EXPECT_DOUBLE_EQ(eval_gate_prob(GateType::Xor, p),
+                   0.5 + 0.25 - 2 * 0.5 * 0.25);
+}
+
+TEST(GateEval, ControllingValues) {
+  EXPECT_EQ(controlling_value(GateType::And), 0);
+  EXPECT_EQ(controlling_value(GateType::Nor), 1);
+  EXPECT_EQ(controlling_value(GateType::Xor), -1);
+  EXPECT_FALSE(controlled_output(GateType::And));
+  EXPECT_TRUE(controlled_output(GateType::Nand));
+}
+
+TEST(Tech, TransistorCounts) {
+  EXPECT_EQ(transistor_count(GateType::Not, 1), 2u);
+  EXPECT_EQ(transistor_count(GateType::Nand, 2), 4u);
+  EXPECT_EQ(transistor_count(GateType::And, 2), 6u);
+  EXPECT_EQ(transistor_count(GateType::Xor, 2), 10u);
+  EXPECT_EQ(transistor_count(GateType::Input, 0), 0u);
+}
+
+TEST(Tech, NetlistTotals) {
+  const Netlist net = small_example();
+  // AND2 (6) + NOT (2) = 8 transistors; 2 + 1 gate equivalents.
+  EXPECT_EQ(transistor_count(net), 8u);
+  EXPECT_EQ(gate_equivalents(net), 3u);
+}
+
+TEST(Builder, BusAndMux) {
+  NetlistBuilder bld;
+  const Bus a = bld.input_bus("a", 3);
+  EXPECT_EQ(a.size(), 3u);
+  const NodeId sel = bld.input("sel");
+  const NodeId m = bld.mux(sel, a[0], a[1]);
+  bld.output(m, "y");
+  const Netlist net = bld.build();
+  EXPECT_NE(net.find("a0"), kNoNode);
+  EXPECT_NE(net.find("a2"), kNoNode);
+  EXPECT_NE(net.find("y"), kNoNode);
+}
+
+}  // namespace
+}  // namespace protest

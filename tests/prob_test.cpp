@@ -1,0 +1,251 @@
+// Signal probability engines: naive (AgAg75), exact (BDD + enumeration),
+// Monte-Carlo, cutting bounds (BDS84), and the PROTEST estimator (sect. 2).
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "circuits/iscas.hpp"
+#include "circuits/random_circuit.hpp"
+#include "circuits/sn74181.hpp"
+#include "netlist/builder.hpp"
+#include "prob/cutting.hpp"
+#include "prob/exact.hpp"
+#include "prob/monte_carlo.hpp"
+#include "prob/naive.hpp"
+#include "prob/protest_estimator.hpp"
+
+namespace protest {
+namespace {
+
+Netlist make_tree() {
+  // No fanout at all: y = OR(AND(a,b), XOR(c, NOT(d))).
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a"), b = bld.input("b");
+  const NodeId c = bld.input("c"), d = bld.input("d");
+  bld.output(bld.or2(bld.and2(a, b), bld.xor2(c, bld.inv(d))), "y");
+  return bld.build();
+}
+
+Netlist make_diamond() {
+  // y = AND(NOT(s), BUF(s)) with s = AND(a,b): y is constant 0.
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a"), b = bld.input("b");
+  const NodeId s = bld.and2(a, b);
+  bld.output(bld.and2(bld.inv(s), bld.buf(s)), "y");
+  return bld.build();
+}
+
+TEST(NaiveProbs, ExactOnTrees) {
+  const Netlist net = make_tree();
+  EXPECT_TRUE(is_fanout_reconvergence_free(net));
+  const double ip[] = {0.3, 0.6, 0.5, 0.9};
+  const auto naive = naive_signal_probs(net, ip);
+  const auto exact = exact_signal_probs_enum(net, ip);
+  for (NodeId n = 0; n < net.size(); ++n)
+    EXPECT_NEAR(naive[n], exact[n], 1e-12) << n;
+}
+
+TEST(NaiveProbs, WrongOnDiamond) {
+  const Netlist net = make_diamond();
+  EXPECT_FALSE(is_fanout_reconvergence_free(net));
+  const auto naive = naive_signal_probs(net, uniform_input_probs(net));
+  // True probability of y is 0; naive gives p(1-p) = 0.1875.
+  EXPECT_NEAR(naive[net.outputs()[0]], 0.25 * 0.75, 1e-12);
+}
+
+TEST(ExactProbs, BddEqualsEnumeration) {
+  for (std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    RandomCircuitParams params;
+    params.num_inputs = 7;
+    params.num_gates = 40;
+    params.seed = seed;
+    const Netlist net = make_random_circuit(params);
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> uni(0.05, 0.95);
+    std::vector<double> ip(7);
+    for (double& p : ip) p = uni(rng);
+    const auto bdd = exact_signal_probs_bdd(net, ip);
+    const auto num = exact_signal_probs_enum(net, ip);
+    for (NodeId n = 0; n < net.size(); ++n)
+      EXPECT_NEAR(bdd[n], num[n], 1e-9) << "seed " << seed << " node " << n;
+  }
+}
+
+TEST(ExactProbs, EnumRejectsWideCircuits) {
+  RandomCircuitParams params;
+  params.num_inputs = 25;
+  params.num_gates = 5;
+  const Netlist net = make_random_circuit(params);
+  EXPECT_THROW(exact_signal_probs_enum(net, uniform_input_probs(net)),
+               std::invalid_argument);
+}
+
+TEST(MonteCarlo, ConvergesToExact) {
+  const Netlist net = make_c17();
+  const auto ip = uniform_input_probs(net, 0.5);
+  const auto exact = exact_signal_probs_bdd(net, ip);
+  const auto mc = monte_carlo_signal_probs(net, ip, 200'000, 12345);
+  for (NodeId n = 0; n < net.size(); ++n)
+    EXPECT_NEAR(mc[n], exact[n], 0.01) << n;
+}
+
+TEST(CuttingBounds, ContainExactEverywhere) {
+  for (std::uint64_t seed : {5u, 6u, 7u}) {
+    RandomCircuitParams params;
+    params.num_inputs = 7;
+    params.num_gates = 50;
+    params.seed = seed;
+    const Netlist net = make_random_circuit(params);
+    const auto ip = uniform_input_probs(net, 0.5);
+    const auto exact = exact_signal_probs_bdd(net, ip);
+    const auto bounds = cutting_signal_bounds(net, ip);
+    for (NodeId n = 0; n < net.size(); ++n) {
+      EXPECT_TRUE(bounds[n].contains(exact[n]))
+          << "seed " << seed << " node " << n << ": " << exact[n]
+          << " not in [" << bounds[n].lo << ", " << bounds[n].hi << "]";
+    }
+  }
+}
+
+TEST(CuttingBounds, TightOnTrees) {
+  const Netlist net = make_tree();
+  const double ip[] = {0.3, 0.6, 0.5, 0.9};
+  const auto exact = exact_signal_probs_enum(net, ip);
+  const auto bounds = cutting_signal_bounds(net, ip);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    EXPECT_NEAR(bounds[n].lo, exact[n], 1e-12);
+    EXPECT_NEAR(bounds[n].hi, exact[n], 1e-12);
+  }
+}
+
+TEST(ProtestEstimator, ExactOnDiamond) {
+  const Netlist net = make_diamond();
+  const ProtestEstimator est(net);
+  const auto p = est.signal_probs(uniform_input_probs(net));
+  EXPECT_NEAR(p[net.outputs()[0]], 0.0, 1e-12);
+  EXPECT_GE(est.stats().gates_conditioned, 1u);
+}
+
+TEST(ProtestEstimator, ExactOnDirectReconvergence) {
+  // y = AND(a, NOT(a)) == 0 and z = OR(a, NOT(a)) == 1.
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId na = bld.inv(a);
+  bld.output(bld.and2(a, na), "y");
+  bld.output(bld.or2(a, na), "z");
+  const Netlist net = bld.build();
+  const ProtestEstimator est(net);
+  const auto p = est.signal_probs(uniform_input_probs(net));
+  EXPECT_NEAR(p[net.find("y")], 0.0, 1e-12);
+  EXPECT_NEAR(p[net.find("z")], 1.0, 1e-12);
+}
+
+TEST(ProtestEstimator, ExactOnC17) {
+  // c17 is small enough that MAXVERS=4 covers every joining point set.
+  const Netlist net = make_c17();
+  const ProtestEstimator est(net);
+  for (double p0 : {0.5, 0.3, 0.8}) {
+    const auto ip = uniform_input_probs(net, p0);
+    const auto est_p = est.signal_probs(ip);
+    const auto exact = exact_signal_probs_bdd(net, ip);
+    for (NodeId n = 0; n < net.size(); ++n)
+      EXPECT_NEAR(est_p[n], exact[n], 1e-9) << "p0=" << p0 << " node " << n;
+  }
+}
+
+TEST(ProtestEstimator, MaxversZeroDegeneratesToNaive) {
+  const Netlist net = make_c17();
+  ProtestParams params;
+  params.maxvers = 0;
+  const ProtestEstimator est(net, params);
+  const auto ip = uniform_input_probs(net, 0.5);
+  const auto est_p = est.signal_probs(ip);
+  const auto naive = naive_signal_probs(net, ip);
+  for (NodeId n = 0; n < net.size(); ++n)
+    EXPECT_NEAR(est_p[n], naive[n], 1e-12) << n;
+}
+
+TEST(ProtestEstimator, MaxlistBoundsSearchDepth) {
+  // Long asymmetric diamond: y = AND(NOT^4(s), BUF(s)).  NOT^4 is the
+  // identity, so exactly p(y) = p(s) = 0.25, while naive propagation gives
+  // p(s)^2 = 0.0625.  With MAXLIST=2 the stem's left branch lies 3 steps
+  // from the left root, so the joining point is invisible -> naive value;
+  // unbounded search recovers exactness.
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a"), b = bld.input("b");
+  const NodeId s = bld.and2(a, b);
+  NodeId l = s;
+  for (int i = 0; i < 4; ++i) l = bld.inv(l);
+  bld.output(bld.and2(l, bld.buf(s)), "y");
+  const Netlist net = bld.build();
+
+  ProtestParams bounded;
+  bounded.maxlist = 2;
+  const auto p_bounded = ProtestEstimator(net, bounded)
+                             .signal_probs(uniform_input_probs(net));
+  EXPECT_NEAR(p_bounded[net.outputs()[0]], 0.0625, 1e-12);
+
+  ProtestParams unbounded;
+  unbounded.maxlist = 0;
+  const auto p_full = ProtestEstimator(net, unbounded)
+                          .signal_probs(uniform_input_probs(net));
+  EXPECT_NEAR(p_full[net.outputs()[0]], 0.25, 1e-12);
+}
+
+// Property sweep: on random reconvergent circuits the estimator must be at
+// least as accurate (in mean absolute error vs exact) as naive propagation.
+class EstimatorAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(EstimatorAccuracy, BeatsOrMatchesNaive) {
+  RandomCircuitParams params;
+  params.num_inputs = 8;
+  params.num_gates = 60;
+  params.seed = static_cast<std::uint64_t>(GetParam());
+  const Netlist net = make_random_circuit(params);
+  const auto ip = uniform_input_probs(net, 0.5);
+  const auto exact = exact_signal_probs_bdd(net, ip);
+  const auto naive = naive_signal_probs(net, ip);
+  const ProtestEstimator est(net);
+  const auto guess = est.signal_probs(ip);
+  double err_naive = 0, err_est = 0;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    err_naive += std::abs(naive[n] - exact[n]);
+    err_est += std::abs(guess[n] - exact[n]);
+  }
+  // Allow a tiny slack: conditioning is a heuristic and can locally lose.
+  EXPECT_LE(err_est, err_naive + 0.05)
+      << "estimator " << err_est << " vs naive " << err_naive;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EstimatorAccuracy, ::testing::Range(1, 13));
+
+TEST(ProtestEstimator, AccurateOnAlu) {
+  const Netlist net = make_sn74181();
+  const auto ip = uniform_input_probs(net, 0.5);
+  const auto exact = exact_signal_probs_enum(net, ip);
+  const auto naive = naive_signal_probs(net, ip);
+  const ProtestEstimator est(net);
+  const auto guess = est.signal_probs(ip);
+  double err_naive = 0, err_est = 0, max_est = 0;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    err_naive += std::abs(naive[n] - exact[n]);
+    err_est += std::abs(guess[n] - exact[n]);
+    max_est = std::max(max_est, std::abs(guess[n] - exact[n]));
+  }
+  err_naive /= static_cast<double>(net.size());
+  err_est /= static_cast<double>(net.size());
+  EXPECT_LT(err_est, err_naive);   // conditioning must help on the ALU
+  EXPECT_LT(err_est, 0.03);        // and be accurate in absolute terms
+}
+
+TEST(ProtestEstimator, RejectsBadInputs) {
+  const Netlist net = make_c17();
+  const ProtestEstimator est(net);
+  const double too_few[] = {0.5};
+  EXPECT_THROW(est.signal_probs(too_few), std::invalid_argument);
+  const double out_of_range[] = {0.5, 0.5, 1.5, 0.5, 0.5};
+  EXPECT_THROW(est.signal_probs(out_of_range), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protest

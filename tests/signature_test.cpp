@@ -1,0 +1,86 @@
+// MISR signature compaction and BIST aliasing analysis.
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.hpp"
+#include "circuits/zoo.hpp"
+#include "sim/signature.hpp"
+
+namespace protest {
+namespace {
+
+TEST(Misr, ShiftsAndFolds) {
+  Misr m(8, 0);
+  EXPECT_EQ(m.state(), 0u);
+  m.clock(0b1);  // XOR into stage 0 after shift of zero state
+  EXPECT_EQ(m.state(), 1u);
+  m.clock(0);  // plain shift (no taps hit)
+  EXPECT_EQ(m.state(), 2u);
+  m.reset(0xAB);
+  EXPECT_EQ(m.state(), 0xABu);
+}
+
+TEST(Misr, StateStaysInWidth) {
+  Misr m(5, 0x1F);
+  for (int i = 0; i < 100; ++i) {
+    m.clock(static_cast<std::uint64_t>(i));
+    EXPECT_LT(m.state(), 32u);
+  }
+}
+
+TEST(Misr, DifferentStreamsDifferentSignatures) {
+  Misr a(16, 0), b(16, 0);
+  for (int i = 0; i < 50; ++i) {
+    a.clock(static_cast<std::uint64_t>(i & 3));
+    b.clock(static_cast<std::uint64_t>((i + 1) & 3));
+  }
+  EXPECT_NE(a.state(), b.state());
+}
+
+TEST(Signature, GoodSignatureDeterministic) {
+  const Netlist net = make_c17();
+  const PatternSet ps = PatternSet::random(5, 500, 9);
+  const std::uint64_t s1 = good_signature(net, ps, 16);
+  const std::uint64_t s2 = good_signature(net, ps, 16);
+  EXPECT_EQ(s1, s2);
+  // A different seed gives a different run, almost surely a different sig.
+  const PatternSet ps2 = PatternSet::random(5, 500, 10);
+  EXPECT_NE(s1, good_signature(net, ps2, 16));
+}
+
+TEST(Signature, BistDetectsWhatOutputsDetect) {
+  const Netlist net = make_c17();
+  const auto faults = structural_fault_list(net);
+  const PatternSet ps = PatternSet::exhaustive(5);
+  const BistResult r = signature_bist(net, faults, ps, 16);
+  EXPECT_EQ(r.faults, faults.size());
+  // With a 16-bit MISR aliasing is ~2^-16: expect none on this tiny list.
+  EXPECT_EQ(r.aliased, 0u);
+  EXPECT_EQ(r.detected_by_signature, r.detected_by_outputs);
+  EXPECT_GT(r.detected_by_outputs, 0u);
+}
+
+TEST(Signature, TinyMisrAliases) {
+  // A 2-bit MISR has a 1-in-4 chance per fault of aliasing; on a big fault
+  // list some aliasing should appear, and it must never exceed the
+  // output-detected count.
+  const Netlist net = make_circuit("alu");
+  const auto faults = structural_fault_list(net);
+  const PatternSet ps = PatternSet::random(net.inputs().size(), 64, 5);
+  const BistResult r = signature_bist(net, faults, ps, 2);
+  EXPECT_LE(r.detected_by_signature, r.detected_by_outputs);
+  EXPECT_GT(r.aliased, 0u);
+  EXPECT_LT(r.aliasing_rate(), 0.5);  // far below 1, near 2^-2 in theory
+}
+
+TEST(Signature, WiderMisrAliasesLess) {
+  const Netlist net = make_circuit("alu");
+  const auto faults = structural_fault_list(net);
+  const PatternSet ps = PatternSet::random(net.inputs().size(), 64, 5);
+  const BistResult narrow = signature_bist(net, faults, ps, 4);
+  const BistResult wide = signature_bist(net, faults, ps, 32);
+  EXPECT_LE(wide.aliased, narrow.aliased);
+  EXPECT_EQ(wide.aliased, 0u);  // 2^-32 on a few hundred faults
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,153 @@
+// Pattern storage and 64-way parallel logic simulation.
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "circuits/iscas.hpp"
+#include "netlist/builder.hpp"
+#include "sim/logic_sim.hpp"
+#include "sim/pattern.hpp"
+
+namespace protest {
+namespace {
+
+TEST(PatternSet, GetSetRoundTrip) {
+  PatternSet ps(3, 130);
+  EXPECT_EQ(ps.num_blocks(), 3u);
+  ps.set(0, 0, true);
+  ps.set(64, 1, true);
+  ps.set(129, 2, true);
+  EXPECT_TRUE(ps.get(0, 0));
+  EXPECT_FALSE(ps.get(1, 0));
+  EXPECT_TRUE(ps.get(64, 1));
+  EXPECT_TRUE(ps.get(129, 2));
+  ps.set(129, 2, false);
+  EXPECT_FALSE(ps.get(129, 2));
+}
+
+TEST(PatternSet, ValidMask) {
+  PatternSet ps(1, 70);
+  EXPECT_EQ(ps.valid_mask(0), ~std::uint64_t{0});
+  EXPECT_EQ(std::popcount(ps.valid_mask(1)), 6);
+  PatternSet full(1, 128);
+  EXPECT_EQ(full.valid_mask(1), ~std::uint64_t{0});
+}
+
+TEST(PatternSet, RandomIsRoughlyBalanced) {
+  const PatternSet ps = PatternSet::random(4, 10'000, 7);
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::size_t ones = 0;
+    for (std::size_t p = 0; p < ps.num_patterns(); ++p) ones += ps.get(p, i);
+    EXPECT_NEAR(static_cast<double>(ones) / 10'000, 0.5, 0.03);
+  }
+}
+
+TEST(PatternSet, WeightedMatchesProbabilities) {
+  const double probs[] = {0.1, 0.5, 0.9375};
+  const PatternSet ps = PatternSet::weighted(probs, 20'000, 11);
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::size_t ones = 0;
+    for (std::size_t p = 0; p < ps.num_patterns(); ++p) ones += ps.get(p, i);
+    EXPECT_NEAR(static_cast<double>(ones) / 20'000, probs[i], 0.02) << i;
+  }
+}
+
+TEST(PatternSet, WeightedIsDeterministicPerSeed) {
+  const double probs[] = {0.25, 0.75};
+  const PatternSet a = PatternSet::weighted(probs, 100, 3);
+  const PatternSet b = PatternSet::weighted(probs, 100, 3);
+  const PatternSet c = PatternSet::weighted(probs, 100, 4);
+  bool all_same_ab = true, all_same_ac = true;
+  for (std::size_t p = 0; p < 100; ++p)
+    for (std::size_t i = 0; i < 2; ++i) {
+      all_same_ab &= a.get(p, i) == b.get(p, i);
+      all_same_ac &= a.get(p, i) == c.get(p, i);
+    }
+  EXPECT_TRUE(all_same_ab);
+  EXPECT_FALSE(all_same_ac);
+}
+
+TEST(PatternSet, ExhaustiveCountsInOrder) {
+  const PatternSet ps = PatternSet::exhaustive(3);
+  ASSERT_EQ(ps.num_patterns(), 8u);
+  for (std::size_t p = 0; p < 8; ++p)
+    for (std::size_t i = 0; i < 3; ++i)
+      EXPECT_EQ(ps.get(p, i), bool((p >> i) & 1));
+}
+
+TEST(PatternSet, Validation) {
+  EXPECT_THROW(PatternSet(2, 0), std::invalid_argument);
+  EXPECT_THROW(PatternSet::exhaustive(30), std::invalid_argument);
+  const double bad[] = {1.5};
+  EXPECT_THROW(PatternSet::weighted(bad, 8, 1), std::invalid_argument);
+}
+
+TEST(LogicSim, C17TruthSpotChecks) {
+  // c17: 22 = NAND(NAND(1,3), NAND(2, NAND(3,6)));
+  //      23 = NAND(NAND(2,NAND(3,6)), NAND(NAND(3,6), 7)).
+  const Netlist net = make_c17();
+  auto eval = [&](bool i1, bool i2, bool i3, bool i6, bool i7) {
+    const auto v = simulate_single(net, {i1, i2, i3, i6, i7});
+    return std::pair{v[net.find("22")], v[net.find("23")]};
+  };
+  auto ref = [](bool i1, bool i2, bool i3, bool i6, bool i7) {
+    const bool n10 = !(i1 && i3);
+    const bool n11 = !(i3 && i6);
+    const bool n16 = !(i2 && n11);
+    const bool n19 = !(n11 && i7);
+    return std::pair{!(n10 && n16), !(n16 && n19)};
+  };
+  for (unsigned m = 0; m < 32; ++m) {
+    const bool i1 = m & 1, i2 = m & 2, i3 = m & 4, i6 = m & 8, i7 = m & 16;
+    EXPECT_EQ(eval(i1, i2, i3, i6, i7), ref(i1, i2, i3, i6, i7)) << m;
+  }
+}
+
+TEST(LogicSim, BlockSimulatorMatchesSingle) {
+  const Netlist net = make_c17();
+  const PatternSet ps = PatternSet::random(5, 64, 99);
+  BlockSimulator sim(net);
+  const auto& words = sim.run(ps, 0);
+  for (std::size_t p = 0; p < 64; ++p) {
+    std::vector<bool> in(5);
+    for (std::size_t i = 0; i < 5; ++i) in[i] = ps.get(p, i);
+    const auto single = simulate_single(net, in);
+    for (NodeId n = 0; n < net.size(); ++n)
+      EXPECT_EQ(bool((words[n] >> p) & 1), single[n]) << "p=" << p << " n=" << n;
+  }
+}
+
+TEST(LogicSim, CountOnesMatchesManualCount) {
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId b = bld.input("b");
+  bld.output(bld.and2(a, b), "y");
+  const Netlist net = bld.build();
+  const PatternSet ps = PatternSet::exhaustive(2);
+  const auto ones = count_ones(net, ps);
+  EXPECT_EQ(ones[net.find("y")], 1u);  // AND true on exactly 1 of 4
+  EXPECT_EQ(ones[net.find("a")], 2u);
+}
+
+TEST(LogicSim, ConstantsEvaluate) {
+  NetlistBuilder bld;
+  const NodeId a = bld.input("a");
+  const NodeId c1 = bld.constant(true);
+  const NodeId c0 = bld.constant(false);
+  bld.output(bld.and2(a, c1), "y1");
+  bld.output(bld.or2(a, c0), "y0");
+  const Netlist net = bld.build();
+  const auto v = simulate_single(net, {true});
+  EXPECT_TRUE(v[net.find("y1")]);
+  EXPECT_TRUE(v[net.find("y0")]);
+}
+
+TEST(LogicSim, RejectsArityMismatch) {
+  const Netlist net = make_c17();
+  const PatternSet ps = PatternSet::random(3, 64, 1);
+  BlockSimulator sim(net);
+  EXPECT_THROW(sim.run(ps, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,110 @@
+// Test length computation — formula (3) of sect. 5 and its inverse.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "testlen/test_length.hpp"
+
+namespace protest {
+namespace {
+
+TEST(TestLength, SetDetectionProbMatchesClosedForm) {
+  const double pf[] = {0.5, 0.25};
+  // P_F(N) = (1 - 0.5^N)(1 - 0.75^N)
+  for (std::uint64_t n : {1ull, 2ull, 10ull, 100ull}) {
+    const double expect = (1 - std::pow(0.5, double(n))) *
+                          (1 - std::pow(0.75, double(n)));
+    EXPECT_NEAR(set_detection_prob(pf, n), expect, 1e-12) << n;
+  }
+}
+
+TEST(TestLength, SetDetectionEdgeCases) {
+  const double none[] = {0.0, 0.5};
+  EXPECT_DOUBLE_EQ(set_detection_prob(none, 1000), 0.0);
+  const double sure[] = {1.0, 1.0};
+  EXPECT_DOUBLE_EQ(set_detection_prob(sure, 1), 1.0);
+  const double tiny[] = {1e-9};
+  EXPECT_NEAR(set_detection_prob(tiny, 1), 1e-9, 1e-15);
+}
+
+TEST(TestLength, RequiredLengthSingleFault) {
+  // One fault with p: N = ceil(log(1-e)/log(1-p)).
+  const double pf[] = {0.1};
+  const std::uint64_t n = required_test_length(pf, 1.0, 0.95);
+  EXPECT_EQ(n, static_cast<std::uint64_t>(
+                   std::ceil(std::log(0.05) / std::log(0.9))));
+  // Verify minimality.
+  EXPECT_GE(set_detection_prob(pf, n), 0.95);
+  EXPECT_LT(set_detection_prob(pf, n - 1), 0.95);
+}
+
+TEST(TestLength, MonotoneInConfidence) {
+  const double pf[] = {0.3, 0.02, 0.5};
+  std::uint64_t prev = 0;
+  for (double e : {0.5, 0.9, 0.95, 0.98, 0.999}) {
+    const std::uint64_t n = required_test_length(pf, 1.0, e);
+    EXPECT_GE(n, prev) << e;
+    prev = n;
+  }
+}
+
+TEST(TestLength, DroppingHardFaultsShortensTest) {
+  // One resistant fault dominates N; d = 0.75 removes it (4 faults).
+  const double pf[] = {0.5, 0.4, 0.3, 1e-6};
+  const std::uint64_t full = required_test_length(pf, 1.0, 0.98);
+  const std::uint64_t d75 = required_test_length(pf, 0.75, 0.98);
+  EXPECT_GT(full, 1'000'000u);
+  EXPECT_LT(d75, 100u);
+}
+
+TEST(TestLength, UndetectableMakesInfinite) {
+  const double pf[] = {0.5, 0.0};
+  EXPECT_EQ(required_test_length(pf, 1.0, 0.95), kInfiniteTestLength);
+  // ...unless d excludes the undetectable fault.
+  EXPECT_LT(required_test_length(pf, 0.5, 0.95), kInfiniteTestLength);
+}
+
+TEST(TestLength, EasiestFractionPicksDescending) {
+  const double pf[] = {0.1, 0.9, 0.5, 0.7};
+  const auto f50 = easiest_fraction(pf, 0.5);
+  ASSERT_EQ(f50.size(), 2u);
+  EXPECT_DOUBLE_EQ(f50[0], 0.9);
+  EXPECT_DOUBLE_EQ(f50[1], 0.7);
+  EXPECT_EQ(easiest_fraction(pf, 1.0).size(), 4u);
+  // d so small that it still keeps one fault.
+  EXPECT_EQ(easiest_fraction(pf, 0.01).size(), 1u);
+}
+
+TEST(TestLength, ExpectedCoverageMonotoneAndBounded) {
+  const double pf[] = {0.5, 0.1, 0.01};
+  double prev = 0.0;
+  for (std::uint64_t n : {1ull, 10ull, 100ull, 1000ull, 100000ull}) {
+    const double c = expected_coverage(pf, n);
+    EXPECT_GE(c, prev);
+    EXPECT_LE(c, 1.0);
+    prev = c;
+  }
+  EXPECT_NEAR(expected_coverage(pf, 1'000'000), 1.0, 1e-9);
+  const double with_undet[] = {0.5, 0.0};
+  EXPECT_NEAR(expected_coverage(with_undet, 1'000'000), 0.5, 1e-12);
+}
+
+TEST(TestLength, ValidatesArguments) {
+  const double pf[] = {0.5};
+  EXPECT_THROW(required_test_length(pf, 0.0, 0.95), std::invalid_argument);
+  EXPECT_THROW(required_test_length(pf, 1.5, 0.95), std::invalid_argument);
+  EXPECT_THROW(required_test_length(pf, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(required_test_length(pf, 1.0, 1.0), std::invalid_argument);
+}
+
+TEST(TestLength, PaperScaleResistantFaults) {
+  // A COMP-like profile: equality-chain faults with p ~ 2^-24 need ~10^8
+  // patterns, the Table 3 order of magnitude.
+  const double pf[] = {0.5, 0.25, 5.96e-8};
+  const std::uint64_t n = required_test_length(pf, 1.0, 0.95);
+  EXPECT_GT(n, 10'000'000u);
+  EXPECT_LT(n, 200'000'000u);
+}
+
+}  // namespace
+}  // namespace protest

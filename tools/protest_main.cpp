@@ -1,0 +1,12 @@
+// Thin executable wrapper around the PROTEST CLI (src/protest/cli.hpp).
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "protest/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) args.push_back("help");
+  return protest::run_cli(args, std::cout, std::cerr);
+}

@@ -13,9 +13,9 @@
 #include "circuits/zoo.hpp"
 #include "observe/detect.hpp"
 #include "observe/miter.hpp"
+#include "prob/engine.hpp"
 #include "prob/exact.hpp"
 #include "prob/naive.hpp"
-#include "prob/protest_estimator.hpp"
 
 namespace protest {
 namespace {
@@ -28,7 +28,7 @@ void sweep_maxvers(const Netlist& net, const std::vector<double>& exact) {
   for (unsigned mv : {0u, 1u, 2u, 4u, 6u, 8u}) {
     ProtestParams params;
     params.maxvers = mv;
-    const ProtestEstimator est(net, params);
+    const ProtestEngine est(net, params);
     std::vector<double> probs;
     const double secs = bench::time_seconds([&] { probs = est.signal_probs(ip); });
     double mean = 0, mx = 0;
@@ -51,7 +51,7 @@ void sweep_maxlist(const Netlist& net, const std::vector<double>& exact) {
   for (unsigned ml : {1u, 2u, 4u, 8u, 12u, 0u}) {
     ProtestParams params;
     params.maxlist = ml;
-    const ProtestEstimator est(net, params);
+    const ProtestEngine est(net, params);
     std::vector<double> probs;
     const double secs = bench::time_seconds([&] { probs = est.signal_probs(ip); });
     double mean = 0, mx = 0;

@@ -45,4 +45,42 @@ inline void print_header(const char* what) {
   std::printf("==================================================================\n");
 }
 
+/// Machine-readable companion to the printed tables: collects flat
+/// key -> number metrics and writes them as BENCH_<name>.json in the
+/// working directory, so perf claims (e.g. the batching speedup) are
+/// recorded per run and diffable across commits.  Keys are dot-joined
+/// plain identifiers ("alu.protest.batch_seconds") — no escaping needed.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  /// Writes the file; returns false (and warns on stderr) on I/O failure.
+  bool write() const {
+    std::FILE* f = std::fopen(path().c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "warning: cannot write %s\n", path().c_str());
+      return false;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+                 name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i)
+      std::fprintf(f, "    \"%s\": %.9g%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second, i + 1 < metrics_.size() ? "," : "");
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("wrote %s (%zu metrics)\n", path().c_str(), metrics_.size());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 }  // namespace protest::bench

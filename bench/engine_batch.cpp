@@ -1,0 +1,116 @@
+// Batched vs single-call engine evaluation on the hill-climb neighbor
+// workload: the optimizer perturbs one coordinate of the current
+// operating point at a time, so a sweep evaluates dozens to hundreds of
+// near-identical tuples.  signal_probs_batch amortizes the per-tuple
+// setup — for the PROTEST engine the cone topology and the
+// covariance-scored conditioning sets, for Monte-Carlo the BlockSimulator
+// — across the whole neighborhood.
+//
+// Emits BENCH_engine_batch.json with per-circuit, per-engine single/batch
+// wall times and the speedup, so the regression guard is a recorded
+// number, not an assertion in prose.  Target: >= 2x for the PROTEST
+// engine on the SN74181 (alu) workload.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/zoo.hpp"
+#include "prob/engine.hpp"
+
+namespace protest {
+namespace {
+
+/// One hill-climb sweep's worth of tuples: the current point (all inputs
+/// at 8/16) plus every in-range geometric neighbor step per coordinate,
+/// capped at `max_tuples` (the cap is logged when it bites).
+std::vector<InputProbs> neighbor_workload(const Netlist& net,
+                                          std::size_t max_tuples) {
+  const unsigned den = 16;
+  const InputProbs current = uniform_input_probs(net, 8.0 / den);
+  std::vector<InputProbs> tuples = {current};
+  for (std::size_t i = 0; i < net.inputs().size(); ++i) {
+    for (int s : {8, -8, 4, -4, 2, -2, 1, -1}) {
+      const int cand = 8 + s;
+      if (cand < 1 || cand > static_cast<int>(den) - 1) continue;
+      InputProbs t = current;
+      t[i] = static_cast<double>(cand) / den;
+      tuples.push_back(std::move(t));
+      if (tuples.size() >= max_tuples) {
+        std::printf("  (workload capped at %zu tuples, %zu of %zu "
+                    "coordinates covered)\n",
+                    max_tuples, i + 1, net.inputs().size());
+        return tuples;
+      }
+    }
+  }
+  return tuples;
+}
+
+void run_engine(bench::BenchJson& json, const std::string& circuit,
+                const Netlist& net, const std::string& engine_name,
+                const EngineConfig& cfg,
+                const std::vector<InputProbs>& tuples, TextTable& table) {
+  const auto engine = make_engine(engine_name, net, cfg);
+  std::vector<std::vector<double>> single_out, batch_out;
+  const double t_single = bench::time_seconds([&] {
+    single_out.reserve(tuples.size());
+    for (const InputProbs& t : tuples)
+      single_out.push_back(engine->signal_probs(t));
+  });
+  const double t_batch = bench::time_seconds(
+      [&] { batch_out = engine->signal_probs_batch(tuples); });
+  const double speedup = t_batch > 0.0 ? t_single / t_batch : 0.0;
+
+  // Sanity: the batch must produce the same number of vectors and agree
+  // on the selection-reference tuple.
+  double ref_diff = 0.0;
+  for (NodeId n = 0; n < net.size(); ++n)
+    ref_diff = std::max(ref_diff,
+                        std::abs(single_out[0][n] - batch_out[0][n]));
+
+  const std::string key = circuit + "." + engine_name;
+  json.metric(key + ".tuples", static_cast<double>(tuples.size()));
+  json.metric(key + ".single_seconds", t_single);
+  json.metric(key + ".batch_seconds", t_batch);
+  json.metric(key + ".speedup", speedup);
+  table.add_row({engine_name, std::to_string(tuples.size()),
+                 fmt(t_single, 4), fmt(t_batch, 4), fmt(speedup, 2) + "x",
+                 fmt(ref_diff, 12)});
+}
+
+void run_circuit(bench::BenchJson& json, const std::string& circuit,
+                 std::size_t max_tuples,
+                 const std::vector<std::string>& engines) {
+  const Netlist net = make_circuit(circuit);
+  std::printf("\n%s: %zu inputs, %zu gates\n", circuit.c_str(),
+              net.inputs().size(), net.num_gates());
+  const std::vector<InputProbs> tuples = neighbor_workload(net, max_tuples);
+
+  EngineConfig cfg;
+  cfg.monte_carlo.num_patterns = 20'000;
+  cfg.monte_carlo.seed = 1985;
+
+  TextTable table({"engine", "tuples", "single (s)", "batch (s)", "speedup",
+                   "|ref diff|"});
+  for (const std::string& name : engines)
+    run_engine(json, circuit, net, name, cfg, tuples, table);
+  std::printf("%s", table.str().c_str());
+}
+
+}  // namespace
+}  // namespace protest
+
+int main() {
+  using namespace protest;
+  bench::print_header(
+      "engine batching: signal_probs_batch vs N single calls");
+  bench::BenchJson json("engine_batch");
+  // The acceptance workload: a full ALU hill-climb neighborhood.
+  run_circuit(json, "alu", 1 + 14 * 8, {"protest", "naive", "monte-carlo"});
+  // The 16-bit divider is 23x larger per tuple, so the workload is capped
+  // at a 65-tuple slice of the neighborhood to keep the run short.
+  run_circuit(json, "div", 65, {"protest", "naive", "monte-carlo"});
+  json.write();
+  return 0;
+}

@@ -7,9 +7,9 @@
 #include "circuits/zoo.hpp"
 #include "measures/scoap.hpp"
 #include "observe/observability.hpp"
+#include "prob/engine.hpp"
 #include "prob/exact.hpp"
 #include "prob/naive.hpp"
-#include "prob/protest_estimator.hpp"
 #include "protest/protest.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/logic_sim.hpp"
@@ -50,9 +50,19 @@ void BM_NaiveProbs(benchmark::State& state, const std::string& name) {
 
 void BM_ProtestEstimator(benchmark::State& state, const std::string& name) {
   const Netlist& net = circuit(name);
-  const ProtestEstimator est(net);
+  const ProtestEngine est(net);
   const auto ip = uniform_input_probs(net, 0.5);
   for (auto _ : state) benchmark::DoNotOptimize(est.signal_probs(ip));
+}
+
+void BM_ProtestBatch16(benchmark::State& state, const std::string& name) {
+  const Netlist& net = circuit(name);
+  const ProtestEngine est(net);
+  std::vector<InputProbs> batch(16, uniform_input_probs(net, 0.5));
+  for (std::size_t t = 0; t < batch.size(); ++t)
+    batch[t][t % batch[t].size()] = 0.25;
+  for (auto _ : state) benchmark::DoNotOptimize(est.signal_probs_batch(batch));
+  state.SetItemsProcessed(state.iterations() * 16);
 }
 
 void BM_Observability(benchmark::State& state, const std::string& name) {
@@ -88,6 +98,7 @@ int main(int argc, char** argv) {
     reg("LogicSim64", name, BM_LogicSim64);
     reg("NaiveProbs", name, BM_NaiveProbs);
     reg("ProtestEstimator", name, BM_ProtestEstimator);
+    reg("ProtestBatch16", name, BM_ProtestBatch16);
     reg("Observability", name, BM_Observability);
     reg("Scoap", name, BM_Scoap);
   }

@@ -51,6 +51,17 @@ void run_circuit(const std::string& name, double paper_max, double paper_delta,
                     compare_estimates(report.detection_probs, psim)});
   }
   {
+    // Cross-engine validation: same observability pipeline, but signal
+    // probabilities from the independence-propagation engine instead of
+    // the paper's estimator.
+    ProtestOptions o;
+    o.engine = "naive";
+    const Protest tool_n(net, o);
+    const auto report = tool_n.analyze(uniform_input_probs(net, 0.5));
+    rows.push_back({"naive engine [AgAg75]",
+                    compare_estimates(report.detection_probs, psim)});
+  }
+  {
     const auto m = compute_scoap(net);
     rows.push_back({"P_SCOAP [AgMe82]",
                     compare_estimates(

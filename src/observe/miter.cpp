@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "netlist/cone.hpp"
+#include "prob/engine.hpp"
 #include "prob/exact.hpp"
 #include "prob/naive.hpp"
 
@@ -82,7 +83,7 @@ double estimated_detection_prob_miter(const Netlist& net, const Fault& f,
                                       std::span<const double> input_probs,
                                       ProtestParams params) {
   const Netlist m = build_fault_miter(net, f);
-  ProtestEstimator est(m, params);
+  const ProtestEngine est(m, params);
   return est.signal_probs(input_probs)[m.outputs()[0]];
 }
 

@@ -22,15 +22,28 @@ struct Climber {
   }
 
   /// Climbs from `k` (grid indices per input); returns sweeps used.
+  ///
+  /// Each coordinate's neighborhood — the current point plus every
+  /// in-range geometric step — is evaluated as ONE batch through the
+  /// engine's signal_probs_batch, so per-tuple setup (cone topology,
+  /// conditioning-set selection) is paid once per coordinate instead of
+  /// once per candidate.  Tuple 0 of every batch is the current point:
+  /// it anchors the engine's batch-shared selection and serves as the
+  /// comparison baseline, keeping the within-batch comparison consistent.
+  ///
+  /// Batch values under a shared conditioning selection are approximate,
+  /// so an accepted move is not guaranteed to improve the exact
+  /// objective.  The climb therefore re-scores its start and each
+  /// sweep's endpoint with single-tuple (fresh-selection) evaluations and
+  /// returns the best exactly-scored point — the result can never be
+  /// worse than the starting point.
   unsigned climb(std::vector<int>& k, double& best) {
     const unsigned den = opts.grid_denominator;
     const std::size_t ni = k.size();
     std::vector<double> x(ni);
-    auto materialize = [&] {
-      for (std::size_t i = 0; i < ni; ++i) x[i] = grid_value(k[i], den);
-    };
-    materialize();
-    best = objective(x);
+    for (std::size_t i = 0; i < ni; ++i) x[i] = grid_value(k[i], den);
+    std::vector<int> best_k = k;
+    double best_obj = objective(x);
 
     // Geometric neighbor steps: long jumps first, then refinement.
     std::vector<int> steps;
@@ -39,32 +52,47 @@ struct Climber {
       steps.push_back(-s);
     }
 
+    std::vector<InputProbs> batch;
+    std::vector<int> cand_k;
     unsigned sweep = 0;
     for (; sweep < opts.max_sweeps; ++sweep) {
       bool improved = false;
       for (std::size_t i = 0; i < ni; ++i) {
         const int cur = k[i];
-        int best_k = cur;
-        double best_here = best;
+        batch.clear();
+        cand_k.clear();
+        batch.emplace_back(x.begin(), x.end());
         for (int s : steps) {
           const int cand = cur + s;
           if (cand < 1 || cand > static_cast<int>(den) - 1) continue;
           x[i] = grid_value(cand, den);
-          const double v = objective(x);
-          if (v > best_here) {
-            best_here = v;
-            best_k = cand;
+          batch.emplace_back(x.begin(), x.end());
+          cand_k.push_back(cand);
+        }
+        x[i] = grid_value(cur, den);
+        const std::vector<double> vals = eval.log_objectives_batch(batch);
+        evaluations += vals.size();
+        int kept = cur;
+        double best_here = vals[0];
+        for (std::size_t c = 0; c < cand_k.size(); ++c) {
+          if (vals[c + 1] > best_here) {
+            best_here = vals[c + 1];
+            kept = cand_k[c];
           }
         }
-        k[i] = best_k;
-        x[i] = grid_value(best_k, den);
-        if (best_k != cur) {
-          best = best_here;
-          improved = true;
-        }
+        k[i] = kept;
+        x[i] = grid_value(kept, den);
+        if (kept != cur) improved = true;
       }
       if (!improved) break;
+      const double exact = objective(x);
+      if (exact > best_obj) {
+        best_obj = exact;
+        best_k = k;
+      }
     }
+    k = best_k;
+    best = best_obj;
     return sweep;
   }
 };

@@ -2,27 +2,49 @@
 
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 #include "observe/detect.hpp"
 
 namespace protest {
+
+ObjectiveEvaluator::ObjectiveEvaluator(
+    std::shared_ptr<const SignalProbEngine> engine, std::vector<Fault> faults,
+    std::uint64_t n_parameter, ObservabilityOptions obs_opts)
+    : engine_(std::move(engine)),
+      faults_(std::move(faults)),
+      n_(n_parameter),
+      obs_opts_(obs_opts) {
+  if (!engine_)
+    throw std::invalid_argument("ObjectiveEvaluator: null engine");
+}
 
 ObjectiveEvaluator::ObjectiveEvaluator(const Netlist& net,
                                        std::vector<Fault> faults,
                                        std::uint64_t n_parameter,
                                        ProtestParams params,
                                        ObservabilityOptions obs_opts)
-    : net_(net),
-      faults_(std::move(faults)),
-      n_(n_parameter),
-      estimator_(net, params),
-      obs_opts_(obs_opts) {}
+    : ObjectiveEvaluator(std::make_shared<ProtestEngine>(net, params),
+                         std::move(faults), n_parameter, obs_opts) {}
 
 std::vector<double> ObjectiveEvaluator::detection_probs(
     std::span<const double> input_probs) const {
-  const std::vector<double> p = estimator_.signal_probs(input_probs);
-  const Observability obs = compute_observability(net_, p, obs_opts_);
-  return protest::detection_probs(net_, faults_, p, obs);
+  const std::vector<double> p = engine_->signal_probs(input_probs);
+  const Observability obs = compute_observability(netlist(), p, obs_opts_);
+  return protest::detection_probs(netlist(), faults_, p, obs);
+}
+
+std::vector<std::vector<double>> ObjectiveEvaluator::detection_probs_batch(
+    std::span<const InputProbs> batch) const {
+  const std::vector<std::vector<double>> probs =
+      engine_->signal_probs_batch(batch);
+  std::vector<std::vector<double>> out;
+  out.reserve(probs.size());
+  for (const std::vector<double>& p : probs) {
+    const Observability obs = compute_observability(netlist(), p, obs_opts_);
+    out.push_back(protest::detection_probs(netlist(), faults_, p, obs));
+  }
+  return out;
 }
 
 double ObjectiveEvaluator::log_objective_from_probs(
@@ -44,6 +66,16 @@ double ObjectiveEvaluator::log_objective_from_probs(
 double ObjectiveEvaluator::log_objective(
     std::span<const double> input_probs) const {
   return log_objective_from_probs(detection_probs(input_probs));
+}
+
+std::vector<double> ObjectiveEvaluator::log_objectives_batch(
+    std::span<const InputProbs> batch) const {
+  const std::vector<std::vector<double>> pf = detection_probs_batch(batch);
+  std::vector<double> out;
+  out.reserve(pf.size());
+  for (const std::vector<double>& probs : pf)
+    out.push_back(log_objective_from_probs(probs));
+  return out;
 }
 
 }  // namespace protest

@@ -7,19 +7,29 @@
 // numerical parameter.  We work with log J_N for stability.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "observe/observability.hpp"
-#include "prob/protest_estimator.hpp"
+#include "prob/engine.hpp"
 #include "sim/fault.hpp"
 
 namespace protest {
 
 /// Bundles the estimation pipeline (signal probabilities -> observability
-/// -> detection probabilities) behind a single evaluation call.
+/// -> detection probabilities) behind a single evaluation call.  The
+/// signal-probability stage is a pluggable SignalProbEngine; the batch
+/// entry points let the hill climber amortize the engine's per-tuple setup
+/// over a whole neighborhood of candidate tuples.
 class ObjectiveEvaluator {
  public:
+  /// Evaluates through the given engine (must outlive the evaluator uses).
+  ObjectiveEvaluator(std::shared_ptr<const SignalProbEngine> engine,
+                     std::vector<Fault> faults, std::uint64_t n_parameter,
+                     ObservabilityOptions obs_opts = {});
+
+  /// Convenience: evaluates through the paper's PROTEST engine.
   ObjectiveEvaluator(const Netlist& net, std::vector<Fault> faults,
                      std::uint64_t n_parameter, ProtestParams params = {},
                      ObservabilityOptions obs_opts = {});
@@ -27,21 +37,31 @@ class ObjectiveEvaluator {
   /// Estimated detection probability of every fault under X.
   std::vector<double> detection_probs(std::span<const double> input_probs) const;
 
+  /// Detection probabilities for every tuple of `batch`, evaluated through
+  /// the engine's batched entry point (see the engine for its sharing
+  /// semantics across the batch).
+  std::vector<std::vector<double>> detection_probs_batch(
+      std::span<const InputProbs> batch) const;
+
   /// log J_N(X); -inf if any fault is estimated undetectable.
   double log_objective(std::span<const double> input_probs) const;
+
+  /// log J_N for every tuple of `batch` (one engine batch call).
+  std::vector<double> log_objectives_batch(
+      std::span<const InputProbs> batch) const;
 
   /// log J_N from precomputed detection probabilities.
   double log_objective_from_probs(std::span<const double> detection_probs) const;
 
   std::uint64_t n_parameter() const { return n_; }
   const std::vector<Fault>& faults() const { return faults_; }
-  const Netlist& netlist() const { return net_; }
+  const Netlist& netlist() const { return engine_->netlist(); }
+  const SignalProbEngine& engine() const { return *engine_; }
 
  private:
-  const Netlist& net_;
+  std::shared_ptr<const SignalProbEngine> engine_;
   std::vector<Fault> faults_;
   std::uint64_t n_;
-  ProtestEstimator estimator_;
   ObservabilityOptions obs_opts_;
 };
 

@@ -1,0 +1,186 @@
+#include "prob/engine.hpp"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+
+#include "prob/exact.hpp"
+#include "prob/monte_carlo.hpp"
+#include "prob/naive.hpp"
+#include "sim/logic_sim.hpp"
+
+namespace protest {
+
+SignalProbEngine::SignalProbEngine(const Netlist& net, std::string name)
+    : net_(net), name_(std::move(name)) {
+  if (!net.finalized())
+    throw std::invalid_argument("signal-probability engine '" + name_ +
+                                "': netlist must be finalized (call "
+                                "Netlist::finalize() first)");
+}
+
+std::vector<double> SignalProbEngine::signal_probs(
+    std::span<const double> input_probs) const {
+  validate_input_probs(net_, input_probs);
+  return compute(input_probs);
+}
+
+std::vector<std::vector<double>> SignalProbEngine::signal_probs_batch(
+    std::span<const InputProbs> batch) const {
+  for (const InputProbs& t : batch) validate_input_probs(net_, t);
+  return compute_batch(batch);
+}
+
+std::vector<std::vector<double>> SignalProbEngine::compute_batch(
+    std::span<const InputProbs> batch) const {
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const InputProbs& t : batch) out.push_back(compute(t));
+  return out;
+}
+
+// --- naive ------------------------------------------------------------------
+
+NaiveEngine::NaiveEngine(const Netlist& net)
+    : SignalProbEngine(net, "naive") {}
+
+std::vector<double> NaiveEngine::compute(
+    std::span<const double> input_probs) const {
+  return naive_signal_probs(netlist(), input_probs);
+}
+
+// --- exact (BDD) ------------------------------------------------------------
+
+ExactBddEngine::ExactBddEngine(const Netlist& net, std::size_t node_limit)
+    : SignalProbEngine(net, "exact-bdd"), node_limit_(node_limit) {}
+
+std::vector<double> ExactBddEngine::compute(
+    std::span<const double> input_probs) const {
+  return exact_signal_probs_bdd(netlist(), input_probs, node_limit_);
+}
+
+// --- exact (enumeration) ----------------------------------------------------
+
+ExactEnumEngine::ExactEnumEngine(const Netlist& net)
+    : SignalProbEngine(net, "exact-enum") {}
+
+std::vector<double> ExactEnumEngine::compute(
+    std::span<const double> input_probs) const {
+  return exact_signal_probs_enum(netlist(), input_probs);
+}
+
+// --- Monte-Carlo ------------------------------------------------------------
+
+MonteCarloEngine::MonteCarloEngine(const Netlist& net,
+                                   MonteCarloEngineParams params)
+    : SignalProbEngine(net, "monte-carlo"), params_(params) {
+  if (params_.num_patterns == 0)
+    throw std::invalid_argument("monte-carlo engine: num_patterns must be > 0");
+}
+
+std::vector<double> MonteCarloEngine::compute(
+    std::span<const double> input_probs) const {
+  return monte_carlo_signal_probs(netlist(), input_probs,
+                                  params_.num_patterns, params_.seed);
+}
+
+std::vector<std::vector<double>> MonteCarloEngine::compute_batch(
+    std::span<const InputProbs> batch) const {
+  // One BlockSimulator for the whole batch: its per-node value arrays are
+  // netlist-sized and would otherwise be reallocated per tuple.
+  BlockSimulator sim(netlist());
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  for (const InputProbs& t : batch)
+    out.push_back(
+        monte_carlo_signal_probs(sim, t, params_.num_patterns, params_.seed));
+  return out;
+}
+
+// --- PROTEST ----------------------------------------------------------------
+
+ProtestEngine::ProtestEngine(const Netlist& net, ProtestParams params)
+    : SignalProbEngine(net, "protest"), estimator_(net, params) {}
+
+std::vector<double> ProtestEngine::compute(
+    std::span<const double> input_probs) const {
+  return estimator_.signal_probs(input_probs);
+}
+
+std::vector<std::vector<double>> ProtestEngine::compute_batch(
+    std::span<const InputProbs> batch) const {
+  return estimator_.signal_probs_batch(batch);
+}
+
+// --- factory / registry -----------------------------------------------------
+
+namespace {
+
+std::map<std::string, EngineFactory>& registry() {
+  static std::map<std::string, EngineFactory> r = {
+      {"naive",
+       [](const Netlist& net, const EngineConfig&) {
+         return std::make_unique<NaiveEngine>(net);
+       }},
+      {"exact-bdd",
+       [](const Netlist& net, const EngineConfig& cfg) {
+         return std::make_unique<ExactBddEngine>(net, cfg.bdd_node_limit);
+       }},
+      {"exact-enum",
+       [](const Netlist& net, const EngineConfig&) {
+         return std::make_unique<ExactEnumEngine>(net);
+       }},
+      {"monte-carlo",
+       [](const Netlist& net, const EngineConfig& cfg) {
+         return std::make_unique<MonteCarloEngine>(net, cfg.monte_carlo);
+       }},
+      {"protest",
+       [](const Netlist& net, const EngineConfig& cfg) {
+         return std::make_unique<ProtestEngine>(net, cfg.protest);
+       }},
+  };
+  return r;
+}
+
+std::mutex& registry_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+}  // namespace
+
+std::unique_ptr<SignalProbEngine> make_engine(const std::string& name,
+                                              const Netlist& net,
+                                              const EngineConfig& config) {
+  EngineFactory factory;
+  {
+    const std::lock_guard<std::mutex> lock(registry_mutex());
+    const auto it = registry().find(name);
+    if (it != registry().end()) factory = it->second;
+  }
+  if (!factory) {
+    std::string msg = "unknown signal-probability engine '" + name +
+                      "' (registered engines:";
+    for (const std::string& n : engine_names()) msg += " " + n;
+    throw std::invalid_argument(msg + ")");
+  }
+  return factory(net, config);
+}
+
+std::vector<std::string> engine_names() {
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  std::vector<std::string> names;
+  names.reserve(registry().size());
+  for (const auto& [name, factory] : registry()) names.push_back(name);
+  return names;
+}
+
+void register_engine(const std::string& name, EngineFactory factory) {
+  if (name.empty() || !factory)
+    throw std::invalid_argument("register_engine: empty name or factory");
+  const std::lock_guard<std::mutex> lock(registry_mutex());
+  registry()[name] = std::move(factory);
+}
+
+}  // namespace protest

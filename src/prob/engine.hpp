@@ -1,0 +1,182 @@
+// The polymorphic signal-probability engine layer.  The paper's point
+// estimator (sect. 2) is one of several ways to compute per-node signal
+// probabilities; the library also ships an independence propagation
+// (Agrawal), two exact oracles (BDD, enumeration) and a Monte-Carlo
+// reference.  SignalProbEngine gives all of them one API so that callers —
+// the Protest facade, the hill-climb objective, the CLI, the benches —
+// can swap or cross-validate engines freely.
+//
+// Input validation (arity, range, finalized netlist) happens in the base
+// class, so every engine behaves uniformly and implementations only see
+// validated tuples.  (The wrapped free functions keep their own checks for
+// direct callers; the redundancy is O(inputs) and deliberate.)
+//
+// Batched evaluation: signal_probs_batch() maps a span of input tuples to
+// one probability vector each.  The default implementation loops over
+// compute(); engines override it to share work across tuples — the
+// PROTEST engine reuses its cone topology and joining-point selection, the
+// Monte-Carlo engine reuses one BlockSimulator.  The hill-climb optimizer
+// evaluates hundreds of neighbor tuples per step through this entry point.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "prob/protest_estimator.hpp"
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+
+class SignalProbEngine {
+ public:
+  virtual ~SignalProbEngine() = default;
+
+  SignalProbEngine(const SignalProbEngine&) = delete;
+  SignalProbEngine& operator=(const SignalProbEngine&) = delete;
+
+  /// Registry key of this engine ("protest", "naive", ...).
+  std::string_view name() const { return name_; }
+  const Netlist& netlist() const { return net_; }
+
+  /// Per-node signal probabilities for one input tuple.  Validates the
+  /// tuple (throws std::invalid_argument on arity/range errors) before
+  /// dispatching to the implementation.
+  std::vector<double> signal_probs(std::span<const double> input_probs) const;
+
+  /// Per-node signal probabilities for every tuple of `batch`.  Validates
+  /// all tuples up front; engines may share scratch state (and, for the
+  /// PROTEST engine, the per-gate conditioning-set selection) across the
+  /// batch — see the concrete engine for its exact batch semantics.
+  std::vector<std::vector<double>> signal_probs_batch(
+      std::span<const InputProbs> batch) const;
+
+ protected:
+  /// Throws std::invalid_argument unless `net` is finalized.
+  SignalProbEngine(const Netlist& net, std::string name);
+
+  /// One validated tuple -> per-node probabilities.
+  virtual std::vector<double> compute(
+      std::span<const double> input_probs) const = 0;
+
+  /// Validated tuples -> per-node probabilities each.  Default: loop over
+  /// compute().
+  virtual std::vector<std::vector<double>> compute_batch(
+      std::span<const InputProbs> batch) const;
+
+ private:
+  const Netlist& net_;
+  std::string name_;
+};
+
+// --- concrete engines -------------------------------------------------------
+
+/// Independence propagation [AgAg75]; exact on fanout-reconvergence-free
+/// circuits, "cases 1-3 only" elsewhere.  O(gates) per tuple.
+class NaiveEngine final : public SignalProbEngine {
+ public:
+  explicit NaiveEngine(const Netlist& net);
+
+ protected:
+  std::vector<double> compute(std::span<const double> input_probs) const override;
+};
+
+/// Exact probabilities via ROBDDs.  Exponential worst case; throws
+/// BddLimitExceeded beyond `node_limit` BDD nodes.
+class ExactBddEngine final : public SignalProbEngine {
+ public:
+  explicit ExactBddEngine(const Netlist& net,
+                          std::size_t node_limit = 2'000'000);
+  std::size_t node_limit() const { return node_limit_; }
+
+ protected:
+  std::vector<double> compute(std::span<const double> input_probs) const override;
+
+ private:
+  std::size_t node_limit_;
+};
+
+/// Exact probabilities by weighted exhaustive enumeration (<= 24 inputs).
+class ExactEnumEngine final : public SignalProbEngine {
+ public:
+  explicit ExactEnumEngine(const Netlist& net);
+
+ protected:
+  std::vector<double> compute(std::span<const double> input_probs) const override;
+};
+
+struct MonteCarloEngineParams {
+  std::size_t num_patterns = 100'000;
+  std::uint64_t seed = 1;
+};
+
+/// STAFAN-style Monte-Carlo reference: simulate weighted random patterns
+/// and count ones.  Batch evaluation shares one BlockSimulator across all
+/// tuples.
+class MonteCarloEngine final : public SignalProbEngine {
+ public:
+  explicit MonteCarloEngine(const Netlist& net,
+                            MonteCarloEngineParams params = {});
+  const MonteCarloEngineParams& params() const { return params_; }
+
+ protected:
+  std::vector<double> compute(std::span<const double> input_probs) const override;
+  std::vector<std::vector<double>> compute_batch(
+      std::span<const InputProbs> batch) const override;
+
+ private:
+  MonteCarloEngineParams params_;
+};
+
+/// The paper's estimator (sect. 2) behind the engine API.  Batch
+/// evaluation reuses the cone topology and the covariance-selected
+/// conditioning sets across tuples (see ProtestEstimator::signal_probs_batch
+/// for the exact semantics).
+class ProtestEngine final : public SignalProbEngine {
+ public:
+  explicit ProtestEngine(const Netlist& net, ProtestParams params = {});
+
+  const ProtestParams& params() const { return estimator_.params(); }
+  /// Statistics of the most recent evaluation.
+  const ProtestStats& stats() const { return estimator_.stats(); }
+
+ protected:
+  std::vector<double> compute(std::span<const double> input_probs) const override;
+  std::vector<std::vector<double>> compute_batch(
+      std::span<const InputProbs> batch) const override;
+
+ private:
+  ProtestEstimator estimator_;
+};
+
+// --- factory / registry -----------------------------------------------------
+
+/// Construction knobs for the built-in engines; each engine reads only its
+/// own section.
+struct EngineConfig {
+  ProtestParams protest;
+  MonteCarloEngineParams monte_carlo;
+  std::size_t bdd_node_limit = 2'000'000;
+};
+
+using EngineFactory = std::function<std::unique_ptr<SignalProbEngine>(
+    const Netlist&, const EngineConfig&)>;
+
+/// Instantiates a registered engine.  Built-in names: "protest", "naive",
+/// "exact-bdd", "exact-enum", "monte-carlo".  Throws std::invalid_argument
+/// for unknown names (the message lists the registered ones).
+std::unique_ptr<SignalProbEngine> make_engine(const std::string& name,
+                                              const Netlist& net,
+                                              const EngineConfig& config = {});
+
+/// All registered engine names, sorted.
+std::vector<std::string> engine_names();
+
+/// Adds (or replaces) a factory under `name`; the seam future backends
+/// plug into.
+void register_engine(const std::string& name, EngineFactory factory);
+
+}  // namespace protest

@@ -11,8 +11,17 @@ std::vector<double> monte_carlo_signal_probs(const Netlist& net,
                                              std::size_t num_patterns,
                                              std::uint64_t seed) {
   validate_input_probs(net, input_probs);
+  BlockSimulator sim(net);
+  return monte_carlo_signal_probs(sim, input_probs, num_patterns, seed);
+}
+
+std::vector<double> monte_carlo_signal_probs(BlockSimulator& sim,
+                                             std::span<const double> input_probs,
+                                             std::size_t num_patterns,
+                                             std::uint64_t seed) {
+  const Netlist& net = sim.netlist();
   const PatternSet ps = PatternSet::weighted(input_probs, num_patterns, seed);
-  const std::vector<std::size_t> ones = count_ones(net, ps);
+  const std::vector<std::size_t> ones = count_ones(sim, ps);
   std::vector<double> p(net.size());
   for (NodeId n = 0; n < net.size(); ++n)
     p[n] = static_cast<double>(ones[n]) / static_cast<double>(num_patterns);

@@ -10,7 +10,16 @@
 
 namespace protest {
 
+class BlockSimulator;
+
 std::vector<double> monte_carlo_signal_probs(const Netlist& net,
+                                             std::span<const double> input_probs,
+                                             std::size_t num_patterns,
+                                             std::uint64_t seed);
+
+/// Same, reusing the caller's simulator (no input validation — the engine
+/// batch path hoists one BlockSimulator across many validated tuples).
+std::vector<double> monte_carlo_signal_probs(BlockSimulator& sim,
                                              std::span<const double> input_probs,
                                              std::size_t num_patterns,
                                              std::uint64_t seed);

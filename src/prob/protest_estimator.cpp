@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <stdexcept>
 
 #include "netlist/cone.hpp"
@@ -67,6 +68,193 @@ class ConeProp {
   std::uint32_t epoch_ = 0;
 };
 
+/// Per-gate structural data: everything about case 4 of sect. 2 that does
+/// not depend on the input tuple.  Computed once per evaluation run (or
+/// per batch) and reused for every tuple.
+///
+/// Retaining every conditioned gate's cone puts peak memory at
+/// O(sum of maxlist-bounded cone sizes) for the duration of one call —
+/// a few MB on the largest shipped circuits — where the pre-batching
+/// code streamed one cone at a time.  That retention is what makes the
+/// batch path's cross-tuple reuse possible; a lazy per-gate build for
+/// the single-tuple path is listed as a ROADMAP follow-up.
+struct GatePlan {
+  NodeId node = kNoNode;
+  std::vector<NodeId> candidates;  ///< trimmed candidate joining points V
+  std::vector<NodeId> cone;        ///< bounded TFI union of the fanins
+  std::vector<NodeId> w;           ///< selected conditioning set (select pass)
+};
+
+/// One evaluation context: the structural plan plus all per-tuple scratch.
+/// run(select = true) scores the candidates with the covariance criterion
+/// and records W per gate; run(select = false) reuses the recorded W and
+/// only re-propagates the conditionals of formula (2).
+class Evaluator {
+ public:
+  Evaluator(const Netlist& net, const ProtestParams& params)
+      : net_(net),
+        params_(params),
+        prop_(net),
+        plan_index_(net.size(), -1) {}
+
+  void build_plan() {
+    ConeWorkspace ws(net_);
+    for (NodeId n = 0; n < net_.size(); ++n) {
+      const Gate& g = net_.gate(n);
+      if (g.type == GateType::Input || g.fanin.size() < 2) continue;
+
+      // Case 4: look for joining points V within MAXLIST levels.  The
+      // candidate set also contains intra-cone reconvergence stems
+      // (V(a,a)): pinning them makes the in-cone conditionals P(a_i | A_v)
+      // of formula (2) sharp (see ConeWorkspace::conditioning_points).
+      ws.compute(g.fanin, params_.maxlist);
+      std::vector<NodeId> v = ws.conditioning_points(n);
+      if (v.empty()) continue;
+      stats_.total_joining_points += v.size();
+
+      // Keep the candidates closest to the gate (strongest correlations
+      // are near the reconvergence) when V is oversized.
+      if (v.size() > params_.max_candidates) {
+        std::sort(v.begin(), v.end(), [&](NodeId a, NodeId b) {
+          return net_.level(a) > net_.level(b);
+        });
+        v.resize(params_.max_candidates);
+        std::sort(v.begin(), v.end());
+      }
+      plan_index_[n] = static_cast<std::int32_t>(plans_.size());
+      plans_.push_back({n, std::move(v), ws.cone(), {}});
+    }
+  }
+
+  std::vector<double> run(std::span<const double> input_probs, bool select) {
+    std::vector<double> p(net_.size(), 0.0);
+    const auto inputs = net_.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      p[inputs[i]] = input_probs[i];
+
+    if (select) {
+      stats_.gates_conditioned = 0;
+      stats_.max_w = 0;
+    }
+
+    for (NodeId n = 0; n < net_.size(); ++n) {
+      const Gate& g = net_.gate(n);
+      if (g.type == GateType::Input) continue;
+
+      // Cases 1-3 of sect. 2: no conditioning possible or necessary.
+      auto naive_value = [&] {
+        ins_.clear();
+        for (NodeId f : g.fanin) ins_.push_back(p[f]);
+        return eval_gate_prob(g.type, ins_);
+      };
+      const std::int32_t idx = plan_index_[n];
+      if (idx < 0) {
+        p[n] = naive_value();
+        continue;
+      }
+      GatePlan& plan = plans_[static_cast<std::size_t>(idx)];
+      if (select) select_w(plan, p);
+      if (plan.w.empty()) {
+        p[n] = naive_value();
+        continue;
+      }
+      if (select) {
+        ++stats_.gates_conditioned;
+        stats_.max_w = std::max(stats_.max_w, plan.w.size());
+      }
+      p[n] = conditioned_prob(plan, g, p);
+    }
+    return p;
+  }
+
+  const ProtestStats& stats() const { return stats_; }
+
+ private:
+  /// Scores the candidates with the covariance criterion — maximize
+  /// p_x (1-p_x) * max_{i<=j} |Delta(a_i,x) Delta(a_j,x)| with Delta from
+  /// one-point conditionals — and records the top MAXVERS as plan.w.
+  void select_w(GatePlan& plan, std::span<const double> p) {
+    const Gate& g = net_.gate(plan.node);
+    plan.w.clear();
+    scored_.clear();
+    delta_.resize(g.fanin.size());
+    for (NodeId x : plan.candidates) {
+      const double px = p[x];
+      const double sx2 = px * (1.0 - px);
+      if (sx2 <= params_.min_score) continue;
+      pins_.assign(1, {x, 1.0});
+      prop_.run(plan.cone, pins_, p);
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        delta_[i] = prop_.prob(g.fanin[i], p);
+      pins_.assign(1, {x, 0.0});
+      prop_.run(plan.cone, pins_, p);
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        delta_[i] -= prop_.prob(g.fanin[i], p);
+      double best = 0.0;
+      for (std::size_t i = 0; i < g.fanin.size(); ++i)
+        for (std::size_t j = i; j < g.fanin.size(); ++j)
+          best = std::max(best, std::abs(delta_[i] * delta_[j]));
+      const double score = sx2 * best;
+      if (score > params_.min_score) scored_.emplace_back(score, x);
+    }
+    if (scored_.empty()) return;
+    std::sort(scored_.begin(), scored_.end(),
+              [](const auto& a, const auto& b) {
+                return a.first != b.first ? a.first > b.first
+                                          : a.second < b.second;
+              });
+    for (std::size_t i = 0;
+         i < scored_.size() && plan.w.size() < params_.maxvers; ++i)
+      plan.w.push_back(scored_[i].second);
+    std::sort(plan.w.begin(), plan.w.end());  // topological, for the chain
+  }
+
+  /// Formula (2): enumerate assignments of W depth-first so that each
+  /// branching weight is the conditional P(w_j | w_1..w_{j-1}) read off
+  /// the re-propagated cone — sharper than the independence product when
+  /// joining points feed each other.
+  double conditioned_prob(const GatePlan& plan, const Gate& g,
+                          std::span<const double> p) {
+    const std::vector<NodeId>& w = plan.w;
+    double acc = 0.0;
+    ins_.resize(g.fanin.size());
+    auto rec = [&](auto&& self, std::size_t j, double weight) -> void {
+      if (weight <= 0.0) return;
+      pins_.resize(j);
+      prop_.run(plan.cone, pins_, p);
+      if (j == w.size()) {
+        for (std::size_t i = 0; i < g.fanin.size(); ++i)
+          ins_[i] = prop_.prob(g.fanin[i], p);
+        acc += weight * eval_gate_prob(g.type, ins_);
+        return;
+      }
+      const double q = std::clamp(prop_.prob(w[j], p), 0.0, 1.0);
+      pins_.emplace_back(w[j], 1.0);
+      self(self, j + 1, weight * q);
+      pins_.resize(j);
+      pins_.emplace_back(w[j], 0.0);
+      self(self, j + 1, weight * (1.0 - q));
+      pins_.resize(j);
+    };
+    pins_.clear();
+    rec(rec, 0, 1.0);
+    return std::clamp(acc, 0.0, 1.0);
+  }
+
+  const Netlist& net_;
+  const ProtestParams& params_;
+  ConeProp prop_;
+  std::vector<std::int32_t> plan_index_;  ///< node -> plans_ index or -1
+  std::vector<GatePlan> plans_;
+  ProtestStats stats_;
+
+  // per-tuple scratch
+  std::vector<double> ins_;
+  std::vector<double> delta_;
+  std::vector<std::pair<NodeId, double>> pins_;
+  std::vector<std::pair<double, NodeId>> scored_;
+};
+
 }  // namespace
 
 ProtestEstimator::ProtestEstimator(const Netlist& net, ProtestParams params)
@@ -78,124 +266,27 @@ ProtestEstimator::ProtestEstimator(const Netlist& net, ProtestParams params)
 std::vector<double> ProtestEstimator::signal_probs(
     std::span<const double> input_probs) const {
   validate_input_probs(net_, input_probs);
-  stats_ = {};
-
-  std::vector<double> p(net_.size(), 0.0);
-  const auto inputs = net_.inputs();
-  for (std::size_t i = 0; i < inputs.size(); ++i) p[inputs[i]] = input_probs[i];
-
-  ConeProp prop(net_);
-  ConeWorkspace ws(net_);
-  std::vector<double> ins;
-  std::vector<std::pair<NodeId, double>> pins;
-
-  for (NodeId n = 0; n < net_.size(); ++n) {
-    const Gate& g = net_.gate(n);
-    if (g.type == GateType::Input) continue;
-
-    // Cases 1-3 of sect. 2: no conditioning possible or necessary.
-    auto naive_value = [&] {
-      ins.clear();
-      for (NodeId f : g.fanin) ins.push_back(p[f]);
-      return eval_gate_prob(g.type, ins);
-    };
-    if (g.fanin.size() < 2) {
-      p[n] = naive_value();
-      continue;
-    }
-
-    // Case 4: look for joining points V within MAXLIST levels.  The
-    // candidate set also contains intra-cone reconvergence stems (V(a,a)):
-    // pinning them makes the in-cone conditionals P(a_i | A_v) of formula
-    // (2) sharp (see ConeWorkspace::conditioning_points).
-    ws.compute(g.fanin, params_.maxlist);
-    std::vector<NodeId> v = ws.conditioning_points(n);
-    if (v.empty()) {
-      p[n] = naive_value();
-      continue;
-    }
-    stats_.total_joining_points += v.size();
-
-    // The cone that conditioning re-propagates.
-    const std::vector<NodeId>& cone = ws.cone();
-
-    // Keep the candidates closest to the gate (strongest correlations are
-    // near the reconvergence) when V is oversized.
-    if (v.size() > params_.max_candidates) {
-      std::sort(v.begin(), v.end(), [&](NodeId a, NodeId b) {
-        return net_.level(a) > net_.level(b);
-      });
-      v.resize(params_.max_candidates);
-      std::sort(v.begin(), v.end());
-    }
-
-    // Score candidates: p_x (1-p_x) * max_{i != j} |Delta(a_i,x) Delta(a_j,x)|
-    // with Delta from one-point conditionals — the covariance criterion.
-    std::vector<std::pair<double, NodeId>> scored;
-    std::vector<double> delta(g.fanin.size());
-    for (NodeId x : v) {
-      const double px = p[x];
-      const double sx2 = px * (1.0 - px);
-      if (sx2 <= params_.min_score) continue;
-      pins.assign(1, {x, 1.0});
-      prop.run(cone, pins, p);
-      for (std::size_t i = 0; i < g.fanin.size(); ++i)
-        delta[i] = prop.prob(g.fanin[i], p);
-      pins.assign(1, {x, 0.0});
-      prop.run(cone, pins, p);
-      for (std::size_t i = 0; i < g.fanin.size(); ++i)
-        delta[i] -= prop.prob(g.fanin[i], p);
-      double best = 0.0;
-      for (std::size_t i = 0; i < g.fanin.size(); ++i)
-        for (std::size_t j = i; j < g.fanin.size(); ++j)
-          best = std::max(best, std::abs(delta[i] * delta[j]));
-      const double score = sx2 * best;
-      if (score > params_.min_score) scored.emplace_back(score, x);
-    }
-    if (scored.empty()) {
-      p[n] = naive_value();
-      continue;
-    }
-    std::sort(scored.begin(), scored.end(), [](const auto& a, const auto& b) {
-      return a.first != b.first ? a.first > b.first : a.second < b.second;
-    });
-    std::vector<NodeId> w;
-    for (std::size_t i = 0; i < scored.size() && w.size() < params_.maxvers; ++i)
-      w.push_back(scored[i].second);
-    std::sort(w.begin(), w.end());  // topological order for the weight chain
-
-    ++stats_.gates_conditioned;
-    stats_.max_w = std::max(stats_.max_w, w.size());
-
-    // Formula (2): enumerate assignments of W depth-first so that each
-    // branching weight is the conditional P(w_j | w_1..w_{j-1}) read off
-    // the re-propagated cone — sharper than the independence product when
-    // joining points feed each other.
-    double acc = 0.0;
-    ins.resize(g.fanin.size());
-    auto rec = [&](auto&& self, std::size_t j, double weight) -> void {
-      if (weight <= 0.0) return;
-      pins.resize(j);
-      prop.run(cone, pins, p);
-      if (j == w.size()) {
-        for (std::size_t i = 0; i < g.fanin.size(); ++i)
-          ins[i] = prop.prob(g.fanin[i], p);
-        acc += weight * eval_gate_prob(g.type, ins);
-        return;
-      }
-      const double q = std::clamp(prop.prob(w[j], p), 0.0, 1.0);
-      pins.emplace_back(w[j], 1.0);
-      self(self, j + 1, weight * q);
-      pins.resize(j);
-      pins.emplace_back(w[j], 0.0);
-      self(self, j + 1, weight * (1.0 - q));
-      pins.resize(j);
-    };
-    pins.clear();
-    rec(rec, 0, 1.0);
-    p[n] = std::clamp(acc, 0.0, 1.0);
-  }
+  Evaluator ev(net_, params_);
+  ev.build_plan();
+  std::vector<double> p = ev.run(input_probs, /*select=*/true);
+  stats_ = ev.stats();
   return p;
+}
+
+std::vector<std::vector<double>> ProtestEstimator::signal_probs_batch(
+    std::span<const InputProbs> batch) const {
+  for (const InputProbs& t : batch) validate_input_probs(net_, t);
+  std::vector<std::vector<double>> out;
+  out.reserve(batch.size());
+  if (batch.empty()) return out;
+
+  Evaluator ev(net_, params_);
+  ev.build_plan();
+  out.push_back(ev.run(batch[0], /*select=*/true));
+  for (std::size_t t = 1; t < batch.size(); ++t)
+    out.push_back(ev.run(batch[t], /*select=*/false));
+  stats_ = ev.stats();
+  return out;
 }
 
 }  // namespace protest

@@ -49,6 +49,21 @@ class ProtestEstimator {
   /// Estimates the signal probability of every node.
   std::vector<double> signal_probs(std::span<const double> input_probs) const;
 
+  /// Batched estimation: one probability vector per input tuple.
+  ///
+  /// The expensive per-gate structure work — bounded-cone discovery,
+  /// candidate joining points, and the covariance-scored selection of the
+  /// conditioning set W — is performed once, on the first tuple, and reused
+  /// for every subsequent tuple; only the conditional re-propagation of
+  /// formula (2) runs per tuple.  Element 0 therefore equals
+  /// signal_probs(batch[0]) exactly, while later elements condition on the
+  /// W chosen at batch[0].  This is the intended semantics for
+  /// neighbor-tuple workloads (the hill climber evaluates hundreds of
+  /// perturbations of one operating point per sweep); for unrelated tuples
+  /// call signal_probs() per tuple instead.
+  std::vector<std::vector<double>> signal_probs_batch(
+      std::span<const InputProbs> batch) const;
+
   /// Statistics of the most recent signal_probs() run.
   const ProtestStats& stats() const { return stats_; }
 

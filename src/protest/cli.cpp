@@ -10,6 +10,7 @@
 #include "netlist/dsl.hpp"
 #include "netlist/tech.hpp"
 #include "optimize/weighted_patterns.hpp"
+#include "prob/engine.hpp"
 #include "protest/protest.hpp"
 #include "sim/scan.hpp"
 
@@ -19,6 +20,8 @@ namespace {
 struct Args {
   std::string command;
   std::string file;
+  std::string engine = "protest";
+  bool engine_set = false;
   double p = 0.5;
   double d = 0.98;
   double e = 0.98;
@@ -49,7 +52,8 @@ Args parse_args(const std::vector<std::string>& argv) {
   while (i < argv.size()) {
     const std::string flag = argv[i++];
     try {
-      if (flag == "--p") a.p = std::stod(need_value(flag));
+      if (flag == "--engine") { a.engine = need_value(flag); a.engine_set = true; }
+      else if (flag == "--p") a.p = std::stod(need_value(flag));
       else if (flag == "--d") a.d = std::stod(need_value(flag));
       else if (flag == "--e") a.e = std::stod(need_value(flag));
       else if (flag == "--n") a.n = std::stoull(need_value(flag));
@@ -61,7 +65,25 @@ Args parse_args(const std::vector<std::string>& argv) {
       throw UsageError("bad value for flag " + flag);
     }
   }
+  // simulate runs weighted patterns through the fault simulator and never
+  // evaluates a probability engine; accepting --engine there would
+  // silently ignore it.
+  if (a.engine_set && a.command == "simulate")
+    throw UsageError("--engine is not valid for 'simulate'");
+  const auto engines = engine_names();
+  if (std::find(engines.begin(), engines.end(), a.engine) == engines.end()) {
+    std::string msg = "unknown engine '" + a.engine + "' (available:";
+    for (const std::string& n : engines) msg += " " + n;
+    throw UsageError(msg + ")");
+  }
   return a;
+}
+
+ProtestOptions tool_options(const Args& a) {
+  ProtestOptions opts;
+  opts.engine = a.engine;
+  opts.monte_carlo.seed = a.seed;
+  return opts;
 }
 
 Netlist load_netlist(const std::string& path) {
@@ -82,6 +104,10 @@ void print_circuit_summary(std::ostream& out, const Netlist& net) {
       << gate_equivalents(net) << " GE)\n";
 }
 
+void print_engine(std::ostream& out, const Protest& tool) {
+  out << "signal-probability engine: " << tool.engine().name() << "\n";
+}
+
 void print_hard_faults(std::ostream& out, const Protest& tool,
                        const ProtestReport& report, std::size_t count) {
   std::vector<std::size_t> order(tool.faults().size());
@@ -98,7 +124,8 @@ void print_hard_faults(std::ostream& out, const Protest& tool,
 int cmd_analyze(const Args& a, std::ostream& out) {
   const Netlist net = load_netlist(a.file);
   print_circuit_summary(out, net);
-  const Protest tool(net);
+  const Protest tool(net, tool_options(a));
+  print_engine(out, tool);
   const auto report = tool.analyze(uniform_input_probs(net, a.p));
   print_hard_faults(out, tool, report, 10);
   const std::uint64_t n = tool.test_length(report, a.d, a.e);
@@ -113,9 +140,10 @@ int cmd_analyze(const Args& a, std::ostream& out) {
 int cmd_optimize(const Args& a, std::ostream& out) {
   const Netlist net = load_netlist(a.file);
   print_circuit_summary(out, net);
-  ProtestOptions popts;
+  ProtestOptions popts = tool_options(a);
   popts.universe = FaultUniverse::Collapsed;
   const Protest tool(net, popts);
+  print_engine(out, tool);
   HillClimbOptions opts;
   opts.max_sweeps = a.sweeps;
   const HillClimbResult res = tool.optimize(a.n, opts);
@@ -159,7 +187,8 @@ int cmd_scan(const Args& a, std::ostream& out) {
       << design.num_primary_inputs << " primary inputs, "
       << design.num_primary_outputs << " primary outputs\n";
   print_circuit_summary(out, design.comb);
-  const Protest tool(design.comb);
+  const Protest tool(design.comb, tool_options(a));
+  print_engine(out, tool);
   const auto report = tool.analyze(uniform_input_probs(design.comb, a.p));
   print_hard_faults(out, tool, report, 5);
   const std::uint64_t n = tool.test_length(report, a.d, a.e);
@@ -173,13 +202,16 @@ int cmd_scan(const Args& a, std::ostream& out) {
 void print_help(std::ostream& out) {
   out << "protest — probabilistic testability analysis (Wunderlich, DAC'85)\n"
          "\n"
-         "  protest analyze  <file> [--p P] [--d D] [--e E]\n"
-         "  protest optimize <file> [--n N] [--sweeps S] [--d D] [--e E]\n"
+         "  protest analyze  <file> [--p P] [--d D] [--e E] [--engine E]\n"
+         "  protest optimize <file> [--n N] [--sweeps S] [--d D] [--e E] "
+         "[--engine E]\n"
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
-         "  protest scan     <file> [--p P] [--d D] [--e E]\n"
+         "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "  protest help\n"
          "\n"
-         "<file>: .bench netlist or module DSL (auto-detected).\n";
+         "<file>: .bench netlist or module DSL (auto-detected).\n"
+         "--engine selects the signal-probability engine: protest (default),\n"
+         "naive, exact-bdd, exact-enum, monte-carlo.\n";
 }
 
 }  // namespace

@@ -15,23 +15,49 @@ std::vector<Fault> make_fault_list(const Netlist& net, FaultUniverse u) {
   return structural_fault_list(net);
 }
 
+std::shared_ptr<const SignalProbEngine> make_tool_engine(
+    const Netlist& net, const ProtestOptions& opts) {
+  EngineConfig cfg;
+  cfg.protest = opts.estimator;
+  cfg.monte_carlo = opts.monte_carlo;
+  cfg.bdd_node_limit = opts.bdd_node_limit;
+  return make_engine(opts.engine, net, cfg);
+}
+
 }  // namespace
 
 Protest::Protest(const Netlist& net, ProtestOptions opts)
     : net_(net),
-      opts_(opts),
-      faults_(make_fault_list(net, opts.universe)),
-      estimator_(net, opts.estimator) {}
+      opts_(std::move(opts)),
+      faults_(make_fault_list(net, opts_.universe)),
+      engine_(make_tool_engine(net, opts_)) {}
 
-ProtestReport Protest::analyze(std::span<const double> input_probs) const {
+ProtestReport Protest::make_report(std::span<const double> input_probs,
+                                   std::vector<double> signal_probs) const {
   ProtestReport r;
+  r.engine = std::string(engine_->name());
   r.input_probs.assign(input_probs.begin(), input_probs.end());
-  r.signal_probs = estimator_.signal_probs(input_probs);
+  r.signal_probs = std::move(signal_probs);
   r.observability =
       compute_observability(net_, r.signal_probs, opts_.observability);
   r.detection_probs =
       detection_probs(net_, faults_, r.signal_probs, r.observability);
   return r;
+}
+
+ProtestReport Protest::analyze(std::span<const double> input_probs) const {
+  return make_report(input_probs, engine_->signal_probs(input_probs));
+}
+
+std::vector<ProtestReport> Protest::analyze_batch(
+    std::span<const InputProbs> input_tuples) const {
+  std::vector<std::vector<double>> probs =
+      engine_->signal_probs_batch(input_tuples);
+  std::vector<ProtestReport> reports;
+  reports.reserve(probs.size());
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    reports.push_back(make_report(input_tuples[i], std::move(probs[i])));
+  return reports;
 }
 
 std::uint64_t Protest::test_length(const ProtestReport& report, double d,
@@ -41,7 +67,7 @@ std::uint64_t Protest::test_length(const ProtestReport& report, double d,
 
 HillClimbResult Protest::optimize(std::uint64_t n_parameter,
                                   HillClimbOptions opts) const {
-  const ObjectiveEvaluator eval(net_, faults_, n_parameter, opts_.estimator,
+  const ObjectiveEvaluator eval(engine_, faults_, n_parameter,
                                 opts_.observability);
   return optimize_input_probs(eval, opts);
 }

@@ -9,12 +9,14 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <string>
 
 #include "netlist/netlist.hpp"
 #include "observe/observability.hpp"
 #include "optimize/hill_climb.hpp"
-#include "prob/protest_estimator.hpp"
+#include "prob/engine.hpp"
 #include "sim/fault.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/pattern.hpp"
@@ -28,10 +30,17 @@ struct ProtestOptions {
   ProtestParams estimator;
   ObservabilityOptions observability;
   FaultUniverse universe = FaultUniverse::Structural;
+  /// Signal-probability engine (a make_engine registry key).  The paper's
+  /// estimator is the default; "naive", "exact-bdd", "exact-enum" and
+  /// "monte-carlo" swap in the alternatives for cross-validation.
+  std::string engine = "protest";
+  MonteCarloEngineParams monte_carlo;     ///< used when engine=="monte-carlo"
+  std::size_t bdd_node_limit = 2'000'000; ///< used when engine=="exact-bdd"
 };
 
 /// Result of one analysis run (fixed input-probability tuple).
 struct ProtestReport {
+  std::string engine;                     ///< engine that produced it
   std::vector<double> input_probs;
   std::vector<double> signal_probs;       ///< per node
   Observability observability;            ///< per stem / pin
@@ -46,9 +55,17 @@ class Protest {
   const std::vector<Fault>& faults() const { return faults_; }
   const ProtestOptions& options() const { return opts_; }
 
+  /// The signal-probability engine the tool evaluates through.
+  const SignalProbEngine& engine() const { return *engine_; }
+
   /// Signal probabilities, observabilities and detection probabilities for
   /// one input tuple.
   ProtestReport analyze(std::span<const double> input_probs) const;
+
+  /// Batched analysis: one report per tuple, evaluated through the
+  /// engine's batched entry point.
+  std::vector<ProtestReport> analyze_batch(
+      std::span<const InputProbs> input_tuples) const;
 
   /// Paper sect. 5: smallest N with P_{F_d} >= e given the report.
   std::uint64_t test_length(const ProtestReport& report, double d,
@@ -67,10 +84,13 @@ class Protest {
   FaultSimResult fault_simulate(const PatternSet& ps, FaultSimMode mode) const;
 
  private:
+  ProtestReport make_report(std::span<const double> input_probs,
+                            std::vector<double> signal_probs) const;
+
   const Netlist& net_;
   ProtestOptions opts_;
   std::vector<Fault> faults_;
-  ProtestEstimator estimator_;
+  std::shared_ptr<const SignalProbEngine> engine_;
 };
 
 }  // namespace protest

@@ -17,6 +17,8 @@ void write_report(std::ostream& out, const Protest& tool,
       << "circuit: " << net.inputs().size() << " inputs, "
       << net.outputs().size() << " outputs, " << net.num_gates() << " gates; "
       << tool.faults().size() << " faults analyzed\n";
+  if (!report.engine.empty())
+    out << "signal-probability engine: " << report.engine << "\n";
 
   out << "\ninput signal probabilities:\n ";
   const auto inputs = net.inputs();

@@ -57,6 +57,11 @@ std::vector<bool> simulate_single(const Netlist& net,
 
 std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps) {
   BlockSimulator sim(net);
+  return count_ones(sim, ps);
+}
+
+std::vector<std::size_t> count_ones(BlockSimulator& sim, const PatternSet& ps) {
+  const Netlist& net = sim.netlist();
   std::vector<std::size_t> ones(net.size(), 0);
   for (std::size_t b = 0; b < ps.num_blocks(); ++b) {
     const auto& vals = sim.run(ps, b);

@@ -43,4 +43,8 @@ std::vector<bool> simulate_single(const Netlist& net,
 /// Number of '1' evaluations per node over the whole pattern set.
 std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps);
 
+/// Same, reusing the caller's simulator — batch evaluation hoists one
+/// BlockSimulator across many pattern sets.
+std::vector<std::size_t> count_ones(BlockSimulator& sim, const PatternSet& ps);
+
 }  // namespace protest

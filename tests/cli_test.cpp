@@ -71,6 +71,37 @@ TEST(Cli, AnalyzeDslFileAutodetected) {
   EXPECT_NE(r.out.find("2 inputs"), std::string::npos);
 }
 
+TEST(Cli, AnalyzeWithEngineFlag) {
+  const TempFile f("c17.bench", c17_bench_text());
+  for (const char* engine :
+       {"protest", "naive", "exact-bdd", "exact-enum", "monte-carlo"}) {
+    const CliRun r = cli({"analyze", f.path(), "--engine", engine});
+    EXPECT_EQ(r.code, 0) << engine << ": " << r.err;
+    EXPECT_NE(r.out.find(std::string("signal-probability engine: ") + engine),
+              std::string::npos)
+        << engine;
+  }
+}
+
+TEST(Cli, UnknownEngineIsAUsageError) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"analyze", f.path(), "--engine", "bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown engine"), std::string::npos);
+  EXPECT_NE(r.err.find("protest"), std::string::npos);  // lists alternatives
+}
+
+TEST(Cli, SimulateRejectsEngineFlag) {
+  // simulate never evaluates a probability engine; silently accepting the
+  // flag would let users believe it changed the run.
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r =
+      cli({"simulate", f.path(), "--patterns", "16", "--engine", "naive"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--engine is not valid for 'simulate'"),
+            std::string::npos);
+}
+
 TEST(Cli, SimulateReportsCoverage) {
   const TempFile f("c17.bench", c17_bench_text());
   const CliRun r = cli({"simulate", f.path(), "--patterns", "256"});

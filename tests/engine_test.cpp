@@ -1,0 +1,274 @@
+// The polymorphic SignalProbEngine layer: registry round-trips, uniform
+// input validation, cross-engine parity on fanout-reconvergence-free
+// circuits (where independence propagation is provably exact, so every
+// point-estimate engine must agree with the exact oracles), and the
+// batched evaluation contract.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "circuits/iscas.hpp"
+#include "circuits/random_circuit.hpp"
+#include "netlist/builder.hpp"
+#include "prob/engine.hpp"
+#include "prob/naive.hpp"
+#include "protest/protest.hpp"
+
+namespace protest {
+namespace {
+
+/// Seeded random tree circuit: every node feeds exactly one consumer, so
+/// the result is fanout-reconvergence-free by construction.
+Netlist make_random_tree(std::uint64_t seed, std::size_t num_leaves = 12) {
+  NetlistBuilder bld;
+  std::mt19937_64 rng(seed);
+  std::vector<NodeId> pool;
+  for (std::size_t i = 0; i < num_leaves; ++i)
+    pool.push_back(bld.input("i" + std::to_string(i)));
+  const GateType kinds[] = {GateType::And,  GateType::Nand, GateType::Or,
+                            GateType::Nor,  GateType::Xor,  GateType::Xnor,
+                            GateType::Not,  GateType::Buf};
+  while (pool.size() > 1) {
+    std::uniform_int_distribution<std::size_t> pick_kind(0, 7);
+    const GateType t = kinds[pick_kind(rng)];
+    const std::size_t arity =
+        (t == GateType::Not || t == GateType::Buf)
+            ? 1
+            : std::min<std::size_t>(
+                  pool.size(),
+                  std::uniform_int_distribution<std::size_t>(2, 3)(rng));
+    std::vector<NodeId> fanin;
+    for (std::size_t i = 0; i < arity; ++i) {
+      std::uniform_int_distribution<std::size_t> pick(0, pool.size() - 1);
+      const std::size_t j = pick(rng);
+      fanin.push_back(pool[j]);
+      pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(j));
+    }
+    pool.push_back(bld.gate(t, std::move(fanin)));
+  }
+  bld.output(pool[0], "y");
+  return bld.build();
+}
+
+InputProbs random_tuple(const Netlist& net, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> uni(0.05, 0.95);
+  InputProbs ip(net.inputs().size());
+  for (double& p : ip) p = uni(rng);
+  return ip;
+}
+
+TEST(EngineRegistry, RoundTripsEveryAdvertisedName) {
+  const Netlist net = make_c17();
+  const auto names = engine_names();
+  // >= because the process-wide registry may have picked up extra engines
+  // (CustomEnginesPlugIn runs in this binary); the five builtins are
+  // checked by name below.
+  EXPECT_GE(names.size(), 5u);
+  for (const std::string& name : names) {
+    const auto engine = make_engine(name, net);
+    ASSERT_NE(engine, nullptr) << name;
+    const auto p = engine->signal_probs(uniform_input_probs(net, 0.5));
+    EXPECT_EQ(p.size(), net.size()) << name;
+  }
+  // name() round-trips for the builtins; custom registrations may wrap a
+  // builtin engine and legitimately keep its name.
+  for (const char* name :
+       {"exact-bdd", "exact-enum", "monte-carlo", "naive", "protest"})
+    EXPECT_EQ(make_engine(name, net)->name(), name);
+}
+
+TEST(EngineRegistry, AdvertisesTheFiveBuiltins) {
+  const auto names = engine_names();
+  for (const char* expected :
+       {"exact-bdd", "exact-enum", "monte-carlo", "naive", "protest"})
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+}
+
+TEST(EngineRegistry, ThrowsOnUnknownName) {
+  const Netlist net = make_c17();
+  EXPECT_THROW(make_engine("no-such-engine", net), std::invalid_argument);
+  try {
+    make_engine("no-such-engine", net);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    // The message must list the registered engines.
+    EXPECT_NE(std::string(e.what()).find("protest"), std::string::npos);
+  }
+}
+
+TEST(EngineRegistry, CustomEnginesPlugIn) {
+  register_engine("custom-naive",
+                  [](const Netlist& net, const EngineConfig&) {
+                    return std::make_unique<NaiveEngine>(net);
+                  });
+  const Netlist net = make_c17();
+  const auto engine = make_engine("custom-naive", net);
+  EXPECT_EQ(engine->name(), "naive");  // wrapper keeps its own name
+  const auto names = engine_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "custom-naive"),
+            names.end());
+}
+
+TEST(EngineRegistry, ConfigReachesTheEngines) {
+  const Netlist net = make_c17();
+  EngineConfig cfg;
+  cfg.protest.maxvers = 2;
+  cfg.monte_carlo.num_patterns = 64;
+  const auto prot = make_engine("protest", net, cfg);
+  EXPECT_EQ(dynamic_cast<const ProtestEngine&>(*prot).params().maxvers, 2u);
+  const auto mc = make_engine("monte-carlo", net, cfg);
+  EXPECT_EQ(dynamic_cast<const MonteCarloEngine&>(*mc).params().num_patterns,
+            64u);
+}
+
+TEST(EngineValidation, UniformAcrossEngines) {
+  const Netlist net = make_c17();
+  const double too_few[] = {0.5};
+  std::vector<double> out_of_range(net.inputs().size(), 0.5);
+  out_of_range[2] = 1.5;
+  for (const std::string& name : engine_names()) {
+    const auto engine = make_engine(name, net);
+    EXPECT_THROW(engine->signal_probs(too_few), std::invalid_argument) << name;
+    EXPECT_THROW(engine->signal_probs(out_of_range), std::invalid_argument)
+        << name;
+    const std::vector<InputProbs> bad_batch = {
+        uniform_input_probs(net, 0.5), InputProbs{0.5}};
+    EXPECT_THROW(engine->signal_probs_batch(bad_batch), std::invalid_argument)
+        << name;
+  }
+}
+
+TEST(EngineValidation, RejectsUnfinalizedNetlist) {
+  Netlist net;
+  net.add_input("a");
+  EXPECT_THROW(NaiveEngine{net}, std::invalid_argument);
+  try {
+    const MonteCarloEngine engine(net);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("finalized"), std::string::npos);
+  }
+}
+
+// On fanout-reconvergence-free circuits every point-estimate engine is
+// exact, so naive == exact-bdd == exact-enum == protest (within 1e-9) and
+// Monte-Carlo lands within 3 sigma of the truth.
+class EngineParity : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineParity, AgreeOnReconvergenceFreeCircuits) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  const Netlist net = make_random_tree(seed);
+  ASSERT_TRUE(is_fanout_reconvergence_free(net));
+  const InputProbs ip = random_tuple(net, seed * 977 + 1);
+
+  EngineConfig cfg;
+  cfg.monte_carlo.num_patterns = 200'000;
+  cfg.monte_carlo.seed = seed + 42;
+  const auto exact = make_engine("exact-bdd", net, cfg)->signal_probs(ip);
+  for (const std::string& name : {"naive", "exact-enum", "protest"}) {
+    const auto p = make_engine(name, net, cfg)->signal_probs(ip);
+    ASSERT_EQ(p.size(), exact.size());
+    for (NodeId n = 0; n < net.size(); ++n)
+      EXPECT_NEAR(p[n], exact[n], 1e-9) << name << " node " << n;
+  }
+  const auto mc = make_engine("monte-carlo", net, cfg)->signal_probs(ip);
+  const double N = static_cast<double>(cfg.monte_carlo.num_patterns);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const double sigma = std::sqrt(exact[n] * (1.0 - exact[n]) / N);
+    EXPECT_NEAR(mc[n], exact[n], 3.0 * sigma + 1e-12) << "node " << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineParity, ::testing::Range(1, 7));
+
+TEST(EngineBatch, MatchesSingleCallsOnEveryEngine) {
+  // Batch contract on a reconvergence-free circuit: every engine's batch
+  // result equals its per-tuple single calls bit for bit (no conditioning
+  // happens, so even the PROTEST frozen-selection semantics coincide).
+  const Netlist net = make_random_tree(11);
+  ASSERT_TRUE(is_fanout_reconvergence_free(net));
+  std::vector<InputProbs> batch;
+  for (std::uint64_t s = 0; s < 4; ++s)
+    batch.push_back(random_tuple(net, 1000 + s));
+
+  EngineConfig cfg;
+  cfg.monte_carlo.num_patterns = 4096;
+  for (const std::string& name : engine_names()) {
+    const auto engine = make_engine(name, net, cfg);
+    const auto got = engine->signal_probs_batch(batch);
+    ASSERT_EQ(got.size(), batch.size()) << name;
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      const auto want = engine->signal_probs(batch[t]);
+      for (NodeId n = 0; n < net.size(); ++n)
+        EXPECT_EQ(got[t][n], want[n]) << name << " tuple " << t << " node "
+                                      << n;
+    }
+  }
+}
+
+TEST(EngineBatch, ProtestAnchorsSelectionOnFirstTuple) {
+  // On a reconvergent circuit the PROTEST batch reuses the conditioning
+  // sets selected at batch[0]: element 0 must equal the single call
+  // exactly, and the remaining tuples must stay close to their fresh
+  // evaluations (c17 is small enough that the selection coincides and the
+  // estimator stays exact for every uniform tuple).
+  const Netlist net = make_c17();
+  const auto engine = make_engine("protest", net);
+  const std::vector<InputProbs> batch = {uniform_input_probs(net, 0.5),
+                                         uniform_input_probs(net, 0.3),
+                                         uniform_input_probs(net, 0.8)};
+  const auto got = engine->signal_probs_batch(batch);
+  ASSERT_EQ(got.size(), 3u);
+  for (std::size_t t = 0; t < batch.size(); ++t) {
+    const auto want = engine->signal_probs(batch[t]);
+    for (NodeId n = 0; n < net.size(); ++n)
+      EXPECT_NEAR(got[t][n], want[n], 1e-9) << "tuple " << t << " node " << n;
+  }
+}
+
+TEST(EngineBatch, FacadeAnalyzeBatchMatchesPerTupleAnalyze) {
+  // The facade's batched analysis goes through the engine's batch entry
+  // point but must produce the same reports as per-tuple analyze():
+  // bit-identical for an engine on the default loop fallback (naive),
+  // within estimator tolerance for the PROTEST frozen-selection batch.
+  const Netlist net = make_c17();
+  const std::vector<InputProbs> batch = {uniform_input_probs(net, 0.5),
+                                         uniform_input_probs(net, 0.3),
+                                         uniform_input_probs(net, 0.8)};
+  for (const char* name : {"naive", "protest"}) {
+    ProtestOptions o;
+    o.engine = name;
+    const Protest tool(net, o);
+    const auto reports = tool.analyze_batch(batch);
+    ASSERT_EQ(reports.size(), batch.size()) << name;
+    for (std::size_t t = 0; t < batch.size(); ++t) {
+      const auto want = tool.analyze(batch[t]);
+      EXPECT_EQ(reports[t].engine, name);
+      EXPECT_EQ(reports[t].input_probs, batch[t]);
+      ASSERT_EQ(reports[t].signal_probs.size(), want.signal_probs.size());
+      for (NodeId n = 0; n < net.size(); ++n)
+        EXPECT_NEAR(reports[t].signal_probs[n], want.signal_probs[n], 1e-9)
+            << name << " tuple " << t << " node " << n;
+      ASSERT_EQ(reports[t].detection_probs.size(),
+                want.detection_probs.size());
+      for (std::size_t f = 0; f < want.detection_probs.size(); ++f)
+        EXPECT_NEAR(reports[t].detection_probs[f], want.detection_probs[f],
+                    1e-9)
+            << name << " tuple " << t << " fault " << f;
+    }
+  }
+}
+
+TEST(EngineBatch, EmptyBatchYieldsEmptyResult) {
+  const Netlist net = make_c17();
+  for (const std::string& name : engine_names()) {
+    const auto engine = make_engine(name, net);
+    EXPECT_TRUE(engine->signal_probs_batch({}).empty()) << name;
+  }
+}
+
+}  // namespace
+}  // namespace protest

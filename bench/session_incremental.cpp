@@ -1,0 +1,171 @@
+// The session's incremental perturb() path vs PR 1's batch path on the
+// hill-climb neighborhood workload: the optimizer changes one coordinate
+// of the current operating point at a time, so each candidate differs
+// from the base tuple in exactly one input.  The batch path re-propagates
+// every gate for every candidate (sharing only the per-batch selection);
+// the incremental path re-evaluates just the changed input's fanout cone,
+// with exact single-tuple semantics.
+//
+// Measured at two levels:
+//   * engine:    signal_probs_batch vs signal_probs_perturb (pure
+//                signal-probability cost), and
+//   * objective: ObjectiveEvaluator::log_objectives_batch vs
+//                log_objectives_neighborhood (the full hill-climb
+//                pipeline including observability + detection).
+//
+// Emits BENCH_session_incremental.json.  Target: the incremental path
+// beats the batch path on the SN74181 (alu) and 16-bit divider
+// neighborhoods.  Run with --quick for a CI smoke (tiny workload).
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/zoo.hpp"
+#include "optimize/objective.hpp"
+#include "prob/engine.hpp"
+
+namespace protest {
+namespace {
+
+constexpr int kSteps[] = {8, -8, 4, -4, 2, -2, 1, -1};
+constexpr unsigned kDen = 16;
+
+/// Candidate grid values for one coordinate starting from k = 8.
+std::vector<double> candidate_values() {
+  std::vector<double> vals;
+  for (int s : kSteps) {
+    const int cand = 8 + s;
+    if (cand < 1 || cand > static_cast<int>(kDen) - 1) continue;
+    vals.push_back(static_cast<double>(cand) / kDen);
+  }
+  return vals;
+}
+
+void run_circuit(bench::BenchJson& json, const std::string& circuit,
+                 std::size_t max_coords) {
+  const Netlist net = make_circuit(circuit);
+  const std::size_t coords = std::min(max_coords, net.inputs().size());
+  const InputProbs base = uniform_input_probs(net, 8.0 / kDen);
+  const std::vector<double> cand = candidate_values();
+  std::printf("\n%s: %zu inputs (%zu swept), %zu gates, %zu candidates per "
+              "coordinate\n",
+              circuit.c_str(), net.inputs().size(), coords, net.num_gates(),
+              cand.size());
+
+  // --- engine level ---------------------------------------------------
+  const auto engine = make_engine("protest", net);
+  std::vector<std::vector<InputProbs>> batches;
+  for (std::size_t i = 0; i < coords; ++i) {
+    std::vector<InputProbs> b = {base};
+    for (double v : cand) {
+      InputProbs t = base;
+      t[i] = v;
+      b.push_back(std::move(t));
+    }
+    batches.push_back(std::move(b));
+  }
+  const double t_engine_batch = bench::time_seconds([&] {
+    for (const auto& b : batches) engine->signal_probs_batch(b);
+  });
+  // The hill-climb fidelity: frozen-selection screening (bit-identical to
+  // the batch numbers above, minus the base re-evaluated per batch).
+  const double t_engine_screen = bench::time_seconds([&] {
+    const std::vector<double> base_probs = engine->signal_probs(base);
+    for (std::size_t i = 0; i < coords; ++i)
+      for (double v : cand)
+        engine->signal_probs_perturb(base, base_probs, i, v,
+                                     PerturbMode::FrozenSelection);
+  });
+  // Exact fidelity: per-gate re-selection inside the fanout cone.
+  const double t_engine_exact = bench::time_seconds([&] {
+    const std::vector<double> base_probs = engine->signal_probs(base);
+    for (std::size_t i = 0; i < coords; ++i)
+      for (double v : cand)
+        engine->signal_probs_perturb(base, base_probs, i, v,
+                                     PerturbMode::Exact);
+  });
+
+  // --- objective level (full hill-climb pipeline) ---------------------
+  const std::vector<Fault> faults = structural_fault_list(net);
+  const std::uint64_t n_param = 10'000;
+  const ObjectiveEvaluator eval_batch(net, faults, n_param);
+  const ObjectiveEvaluator eval_inc(net, faults, n_param);
+  std::vector<std::vector<double>> batch_vals, inc_vals;
+  const double t_obj_batch = bench::time_seconds([&] {
+    for (const auto& b : batches)
+      batch_vals.push_back(eval_batch.log_objectives_batch(b));
+  });
+  const double t_obj_inc = bench::time_seconds([&] {
+    for (std::size_t i = 0; i < coords; ++i) {
+      const auto nb = eval_inc.log_objectives_neighborhood(base, i, cand);
+      std::vector<double> vals = {nb.base};
+      vals.insert(vals.end(), nb.candidates.begin(), nb.candidates.end());
+      inc_vals.push_back(std::move(vals));
+    }
+  });
+
+  // Sanity: screening values are bit-for-bit the batch values (same base
+  // anchor, same frozen selections), so the gap must be exactly zero.
+  double max_diff = 0.0;
+  for (std::size_t i = 0; i < batch_vals.size(); ++i)
+    for (std::size_t c = 0; c < batch_vals[i].size(); ++c)
+      max_diff = std::max(
+          max_diff, std::abs(batch_vals[i][c] - inc_vals[i][c]));
+
+  const double screen_speedup =
+      t_engine_screen > 0.0 ? t_engine_batch / t_engine_screen : 0.0;
+  const double exact_speedup =
+      t_engine_exact > 0.0 ? t_engine_batch / t_engine_exact : 0.0;
+  const double obj_speedup = t_obj_inc > 0.0 ? t_obj_batch / t_obj_inc : 0.0;
+  const std::size_t tuples = coords * (cand.size() + 1);
+  TextTable t({"level", "fidelity", "tuples", "batch (s)", "incremental (s)",
+               "speedup"});
+  t.add_row({"engine", "screen", std::to_string(tuples),
+             fmt(t_engine_batch, 4), fmt(t_engine_screen, 4),
+             fmt(screen_speedup, 2) + "x"});
+  t.add_row({"engine", "exact", std::to_string(tuples),
+             fmt(t_engine_batch, 4), fmt(t_engine_exact, 4),
+             fmt(exact_speedup, 2) + "x"});
+  t.add_row({"objective", "hill-climb", std::to_string(tuples),
+             fmt(t_obj_batch, 4), fmt(t_obj_inc, 4),
+             fmt(obj_speedup, 2) + "x"});
+  std::printf("%s", t.str().c_str());
+  std::printf("max |batch - screening| objective gap: %.3g (expected 0: "
+              "identical semantics)\n",
+              max_diff);
+
+  json.metric(circuit + ".tuples", static_cast<double>(tuples));
+  json.metric(circuit + ".engine.batch_seconds", t_engine_batch);
+  json.metric(circuit + ".engine.screen_seconds", t_engine_screen);
+  json.metric(circuit + ".engine.screen_speedup", screen_speedup);
+  json.metric(circuit + ".engine.exact_seconds", t_engine_exact);
+  json.metric(circuit + ".engine.exact_speedup", exact_speedup);
+  json.metric(circuit + ".objective.batch_seconds", t_obj_batch);
+  json.metric(circuit + ".objective.incremental_seconds", t_obj_inc);
+  json.metric(circuit + ".objective.speedup", obj_speedup);
+  json.metric(circuit + ".max_objective_diff", max_diff);
+}
+
+}  // namespace
+}  // namespace protest
+
+int main(int argc, char** argv) {
+  using namespace protest;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::print_header(
+      "session incremental perturb vs PR 1 batch (hill-climb neighborhoods)");
+  bench::BenchJson json("session_incremental");
+  if (quick) {
+    // CI smoke: two coordinates of the ALU, seconds of wall clock.
+    run_circuit(json, "alu", 2);
+  } else {
+    run_circuit(json, "alu", 64);
+    // The 16-bit divider is ~23x larger per tuple; sweep a slice.
+    run_circuit(json, "div", 8);
+  }
+  json.write();
+  return 0;
+}

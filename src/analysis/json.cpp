@@ -1,0 +1,140 @@
+#include "analysis/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace protest {
+
+std::string JsonWriter::quote(std::string_view text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::newline() {
+  if (indent_ <= 0) return;
+  out_ += '\n';
+  out_.append(stack_.size() * static_cast<std::size_t>(indent_), ' ');
+}
+
+void JsonWriter::before_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!stack_.empty()) {
+    if (!first_in_scope_) out_ += ',';
+    newline();
+  }
+  first_in_scope_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  before_value();
+  out_ += '{';
+  stack_.push_back('o');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  stack_.pop_back();
+  if (!first_in_scope_) newline();
+  out_ += '}';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  before_value();
+  out_ += '[';
+  stack_.push_back('a');
+  first_in_scope_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  stack_.pop_back();
+  if (!first_in_scope_) newline();
+  out_ += ']';
+  first_in_scope_ = false;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view k) {
+  if (!first_in_scope_) out_ += ',';
+  newline();
+  first_in_scope_ = false;
+  out_ += quote(k);
+  out_ += indent_ > 0 ? ": " : ":";
+  after_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[32];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  before_value();
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_uint(unsigned long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%llu", v);
+  before_value();
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::write_int(long long v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%lld", v);
+  before_value();
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  before_value();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view v) {
+  before_value();
+  out_ += quote(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  before_value();
+  out_ += "null";
+  return *this;
+}
+
+}  // namespace protest

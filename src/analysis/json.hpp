@@ -1,0 +1,64 @@
+// Minimal streaming JSON writer — no external dependency, used by the
+// session API's AnalysisResult::to_json and the CLI's --json output.
+// Handles nesting, comma placement, indentation, string escaping, and
+// shortest-round-trip double formatting (non-finite doubles emit null).
+#pragma once
+
+#include <concepts>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace protest {
+
+class JsonWriter {
+ public:
+  /// indent = spaces per nesting level; 0 writes compact one-line JSON.
+  explicit JsonWriter(int indent = 2) : indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Object member key; must be followed by exactly one value or container.
+  JsonWriter& key(std::string_view k);
+
+  JsonWriter& value(double v);
+  JsonWriter& value(bool v);
+  JsonWriter& value(std::string_view v);
+  JsonWriter& value(const char* v) { return value(std::string_view(v)); }
+  /// Any integer type (size_t, NodeId, int, ...) without overload
+  /// ambiguity across platforms' differing typedef identities.
+  template <std::integral T>
+    requires(!std::same_as<T, bool>)
+  JsonWriter& value(T v) {
+    if constexpr (std::is_signed_v<T>)
+      return write_int(static_cast<long long>(v));
+    else
+      return write_uint(static_cast<unsigned long long>(v));
+  }
+  JsonWriter& null();
+
+  /// The document written so far (complete once all containers are closed).
+  const std::string& str() const { return out_; }
+
+  /// "text" with JSON escapes, including the surrounding quotes.
+  static std::string quote(std::string_view text);
+
+ private:
+  JsonWriter& write_int(long long v);
+  JsonWriter& write_uint(unsigned long long v);
+  void before_value();
+  void newline();
+
+  std::string out_;
+  int indent_;
+  std::vector<char> stack_;      ///< 'o' = object, 'a' = array
+  bool first_in_scope_ = true;   ///< no comma needed yet in current scope
+  bool after_key_ = false;       ///< next value completes a key
+};
+
+}  // namespace protest

@@ -35,6 +35,14 @@ std::vector<NodeId> transitive_fanout(const Netlist& net, NodeId root) {
   return out;
 }
 
+const std::vector<NodeId>& InputFanoutCones::of(std::size_t input_index) {
+  if (cones_.empty()) cones_.resize(net_.inputs().size());
+  std::vector<NodeId>& cone = cones_[input_index];
+  // A cone always contains its root, so empty doubles as "not computed".
+  if (cone.empty()) cone = transitive_fanout(net_, net_.inputs()[input_index]);
+  return cone;
+}
+
 ConeWorkspace::ConeWorkspace(const Netlist& net)
     : net_(net), mask_(net.size(), 0), epoch_of_(net.size(), 0) {}
 

@@ -21,6 +21,22 @@ std::vector<NodeId> transitive_fanin(const Netlist& net,
 /// Nodes in the transitive fanout of `root` (including root), ascending.
 std::vector<NodeId> transitive_fanout(const Netlist& net, NodeId root);
 
+/// Lazy per-primary-input cache of transitive fanout cones — the work
+/// lists of incremental single-coordinate re-evaluation.  Each cone is
+/// computed on first request and kept for the cache's lifetime.
+class InputFanoutCones {
+ public:
+  explicit InputFanoutCones(const Netlist& net) : net_(net) {}
+
+  /// Fanout cone of primary input `input_index` (including the input
+  /// node), ascending (= topological).
+  const std::vector<NodeId>& of(std::size_t input_index);
+
+ private:
+  const Netlist& net_;
+  std::vector<std::vector<NodeId>> cones_;
+};
+
 /// Reusable scratch state for repeated bounded-cone queries; avoids
 /// re-allocating netlist-sized arrays per gate (the estimator visits every
 /// gate of circuits with 10^4+ nodes).

@@ -24,19 +24,21 @@ struct Climber {
   /// Climbs from `k` (grid indices per input); returns sweeps used.
   ///
   /// Each coordinate's neighborhood — the current point plus every
-  /// in-range geometric step — is evaluated as ONE batch through the
-  /// engine's signal_probs_batch, so per-tuple setup (cone topology,
-  /// conditioning-set selection) is paid once per coordinate instead of
-  /// once per candidate.  Tuple 0 of every batch is the current point:
-  /// it anchors the engine's batch-shared selection and serves as the
-  /// comparison baseline, keeping the within-batch comparison consistent.
+  /// in-range geometric step — goes through the evaluator's incremental
+  /// path: the current point is analyzed exactly once (a session cache
+  /// hit while it doesn't move) and each candidate is a frozen-selection
+  /// screening perturb (AnalysisSession::perturb_screen) that
+  /// re-evaluates only that coordinate's fanout cone.  Candidate values
+  /// are bit-for-bit what the per-coordinate engine batches of the
+  /// previous implementation produced, so the climb visits the same
+  /// points at a fraction of the cost.
   ///
-  /// Batch values under a shared conditioning selection are approximate,
-  /// so an accepted move is not guaranteed to improve the exact
-  /// objective.  The climb therefore re-scores its start and each
-  /// sweep's endpoint with single-tuple (fresh-selection) evaluations and
-  /// returns the best exactly-scored point — the result can never be
-  /// worse than the starting point.
+  /// Screening values under a frozen conditioning selection are
+  /// approximate, so an accepted move is not guaranteed to improve the
+  /// exact objective.  The climb therefore re-scores its start and each
+  /// sweep's endpoint with exact evaluations and returns the best
+  /// exactly-scored point — the result can never be worse than the
+  /// starting point.
   unsigned climb(std::vector<int>& k, double& best) {
     const unsigned den = opts.grid_denominator;
     const std::size_t ni = k.size();
@@ -52,31 +54,29 @@ struct Climber {
       steps.push_back(-s);
     }
 
-    std::vector<InputProbs> batch;
+    std::vector<double> cand_vals;
     std::vector<int> cand_k;
     unsigned sweep = 0;
     for (; sweep < opts.max_sweeps; ++sweep) {
       bool improved = false;
       for (std::size_t i = 0; i < ni; ++i) {
         const int cur = k[i];
-        batch.clear();
+        cand_vals.clear();
         cand_k.clear();
-        batch.emplace_back(x.begin(), x.end());
         for (int s : steps) {
           const int cand = cur + s;
           if (cand < 1 || cand > static_cast<int>(den) - 1) continue;
-          x[i] = grid_value(cand, den);
-          batch.emplace_back(x.begin(), x.end());
+          cand_vals.push_back(grid_value(cand, den));
           cand_k.push_back(cand);
         }
-        x[i] = grid_value(cur, den);
-        const std::vector<double> vals = eval.log_objectives_batch(batch);
-        evaluations += vals.size();
+        const ObjectiveEvaluator::NeighborhoodObjectives nb =
+            eval.log_objectives_neighborhood(x, i, cand_vals);
+        evaluations += cand_vals.size() + 1;
         int kept = cur;
-        double best_here = vals[0];
+        double best_here = nb.base;
         for (std::size_t c = 0; c < cand_k.size(); ++c) {
-          if (vals[c + 1] > best_here) {
-            best_here = vals[c + 1];
+          if (nb.candidates[c] > best_here) {
+            best_here = nb.candidates[c];
             kept = cand_k[c];
           }
         }

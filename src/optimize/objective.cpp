@@ -7,17 +7,36 @@
 #include "observe/detect.hpp"
 
 namespace protest {
+namespace {
+
+/// The evaluator's state lives in its session: one fault-list copy, one
+/// engine handle, the observability options in SessionOptions.
+AnalysisSession make_evaluator_session(
+    std::shared_ptr<const SignalProbEngine> engine, std::vector<Fault> faults,
+    ObservabilityOptions obs_opts) {
+  if (!engine) throw std::invalid_argument("ObjectiveEvaluator: null engine");
+  SessionOptions opts;
+  opts.observability = obs_opts;
+  const Netlist& net = engine->netlist();
+  return AnalysisSession(net, std::move(engine), std::move(faults),
+                         std::move(opts));
+}
+
+AnalysisRequest detection_request() {
+  AnalysisRequest req;
+  req.observability = false;  // still computed, as a detection dependency
+  req.detection_probs = true;
+  return req;
+}
+
+}  // namespace
 
 ObjectiveEvaluator::ObjectiveEvaluator(
     std::shared_ptr<const SignalProbEngine> engine, std::vector<Fault> faults,
     std::uint64_t n_parameter, ObservabilityOptions obs_opts)
-    : engine_(std::move(engine)),
-      faults_(std::move(faults)),
-      n_(n_parameter),
-      obs_opts_(obs_opts) {
-  if (!engine_)
-    throw std::invalid_argument("ObjectiveEvaluator: null engine");
-}
+    : n_(n_parameter),
+      session_(make_evaluator_session(std::move(engine), std::move(faults),
+                                      obs_opts)) {}
 
 ObjectiveEvaluator::ObjectiveEvaluator(const Netlist& net,
                                        std::vector<Fault> faults,
@@ -29,20 +48,21 @@ ObjectiveEvaluator::ObjectiveEvaluator(const Netlist& net,
 
 std::vector<double> ObjectiveEvaluator::detection_probs(
     std::span<const double> input_probs) const {
-  const std::vector<double> p = engine_->signal_probs(input_probs);
-  const Observability obs = compute_observability(netlist(), p, obs_opts_);
-  return protest::detection_probs(netlist(), faults_, p, obs);
+  return session_.analyze(input_probs, detection_request()).detection_probs();
 }
 
 std::vector<std::vector<double>> ObjectiveEvaluator::detection_probs_batch(
     std::span<const InputProbs> batch) const {
+  // Deliberately the engine-level batch (shared-selection semantics), not
+  // the session: this is the bulk entry point for unrelated tuples.
   const std::vector<std::vector<double>> probs =
-      engine_->signal_probs_batch(batch);
+      session_.engine().signal_probs_batch(batch);
+  const ObservabilityOptions obs_opts = session_.options().observability;
   std::vector<std::vector<double>> out;
   out.reserve(probs.size());
   for (const std::vector<double>& p : probs) {
-    const Observability obs = compute_observability(netlist(), p, obs_opts_);
-    out.push_back(protest::detection_probs(netlist(), faults_, p, obs));
+    const Observability obs = compute_observability(netlist(), p, obs_opts);
+    out.push_back(protest::detection_probs(netlist(), faults(), p, obs));
   }
   return out;
 }
@@ -75,6 +95,22 @@ std::vector<double> ObjectiveEvaluator::log_objectives_batch(
   out.reserve(pf.size());
   for (const std::vector<double>& probs : pf)
     out.push_back(log_objective_from_probs(probs));
+  return out;
+}
+
+ObjectiveEvaluator::NeighborhoodObjectives
+ObjectiveEvaluator::log_objectives_neighborhood(
+    std::span<const double> base, std::size_t coord,
+    std::span<const double> values) const {
+  const AnalysisResult base_result =
+      session_.analyze(base, detection_request());
+  NeighborhoodObjectives out;
+  out.base = log_objective_from_probs(base_result.detection_probs());
+  out.candidates.reserve(values.size());
+  for (const double v : values) {
+    const AnalysisResult r = session_.perturb_screen(base_result, coord, v);
+    out.candidates.push_back(log_objective_from_probs(r.detection_probs()));
+  }
   return out;
 }
 

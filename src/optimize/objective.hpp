@@ -13,15 +13,18 @@
 
 #include "observe/observability.hpp"
 #include "prob/engine.hpp"
+#include "protest/session.hpp"
 #include "sim/fault.hpp"
 
 namespace protest {
 
 /// Bundles the estimation pipeline (signal probabilities -> observability
 /// -> detection probabilities) behind a single evaluation call.  The
-/// signal-probability stage is a pluggable SignalProbEngine; the batch
-/// entry points let the hill climber amortize the engine's per-tuple setup
-/// over a whole neighborhood of candidate tuples.
+/// signal-probability stage is a pluggable SignalProbEngine evaluated
+/// through an internal AnalysisSession, so repeated tuples are cache hits
+/// and the hill climber's per-coordinate neighborhoods go through the
+/// session's incremental perturb() path — each candidate re-evaluates only
+/// the changed input's fanout cone, with exact single-tuple semantics.
 class ObjectiveEvaluator {
  public:
   /// Evaluates through the given engine (must outlive the evaluator uses).
@@ -50,19 +53,36 @@ class ObjectiveEvaluator {
   std::vector<double> log_objectives_batch(
       std::span<const InputProbs> batch) const;
 
+  /// log J_N for the base tuple and for every candidate value of one
+  /// coordinate — the hill climber's per-coordinate neighborhood, routed
+  /// through the session's incremental path: the base is analyzed exactly
+  /// once (usually a cache hit within a sweep) and each candidate is a
+  /// frozen-selection screening perturb that re-evaluates only coordinate
+  /// `coord`'s fanout cone.  Candidate values are bit-for-bit what the
+  /// engine-level batch anchored at `base` produces (the PR 1 hill-climb
+  /// semantics) at a fraction of the cost; `base` itself is exact.
+  struct NeighborhoodObjectives {
+    double base = 0.0;
+    std::vector<double> candidates;  ///< one per entry of `values`
+  };
+  NeighborhoodObjectives log_objectives_neighborhood(
+      std::span<const double> base, std::size_t coord,
+      std::span<const double> values) const;
+
   /// log J_N from precomputed detection probabilities.
   double log_objective_from_probs(std::span<const double> detection_probs) const;
 
   std::uint64_t n_parameter() const { return n_; }
-  const std::vector<Fault>& faults() const { return faults_; }
-  const Netlist& netlist() const { return engine_->netlist(); }
-  const SignalProbEngine& engine() const { return *engine_; }
+  const std::vector<Fault>& faults() const { return session_.faults(); }
+  const Netlist& netlist() const { return session_.netlist(); }
+  const SignalProbEngine& engine() const { return session_.engine(); }
 
  private:
-  std::shared_ptr<const SignalProbEngine> engine_;
-  std::vector<Fault> faults_;
   std::uint64_t n_;
-  ObservabilityOptions obs_opts_;
+  /// Owns the engine handle, fault list, and observability options, and
+  /// provides the evaluation cache + incremental backend; mutable because
+  /// objective evaluation is logically const while the session memoizes.
+  mutable AnalysisSession session_;
 };
 
 }  // namespace protest

@@ -5,6 +5,7 @@
 #include <mutex>
 #include <stdexcept>
 
+#include "netlist/cone.hpp"
 #include "prob/exact.hpp"
 #include "prob/monte_carlo.hpp"
 #include "prob/naive.hpp"
@@ -40,14 +41,56 @@ std::vector<std::vector<double>> SignalProbEngine::compute_batch(
   return out;
 }
 
+std::vector<double> SignalProbEngine::signal_probs_perturb(
+    std::span<const double> base_inputs,
+    std::span<const double> base_node_probs, std::size_t input_index,
+    double new_p, PerturbMode mode) const {
+  validate_perturb_args(net_, base_inputs, base_node_probs, input_index,
+                        new_p);
+  return compute_perturb(base_inputs, base_node_probs, input_index, new_p,
+                         mode);
+}
+
+std::vector<double> SignalProbEngine::compute_perturb(
+    std::span<const double> base_inputs,
+    std::span<const double> /*base_node_probs*/, std::size_t input_index,
+    double new_p, PerturbMode /*mode*/) const {
+  InputProbs perturbed(base_inputs.begin(), base_inputs.end());
+  perturbed[input_index] = new_p;
+  return compute(perturbed);
+}
+
+
 // --- naive ------------------------------------------------------------------
 
 NaiveEngine::NaiveEngine(const Netlist& net)
-    : SignalProbEngine(net, "naive") {}
+    : SignalProbEngine(net, "naive"), fanout_cones_(net) {}
 
 std::vector<double> NaiveEngine::compute(
     std::span<const double> input_probs) const {
   return naive_signal_probs(netlist(), input_probs);
+}
+
+std::vector<double> NaiveEngine::compute_perturb(
+    std::span<const double> /*base_inputs*/,
+    std::span<const double> base_node_probs, std::size_t input_index,
+    double new_p, PerturbMode /*mode: no selection state, always exact*/) const {
+  // Independence propagation is a pure forward sweep, so only the changed
+  // input's transitive fanout can move; every other node keeps its base
+  // value bit for bit.
+  const Netlist& net = netlist();
+  std::vector<double> p(base_node_probs.begin(), base_node_probs.end());
+  const NodeId root = net.inputs()[input_index];
+  p[root] = new_p;
+  std::vector<double> ins;
+  for (NodeId n : fanout_cones_.of(input_index)) {
+    if (n == root) continue;
+    const Gate& g = net.gate(n);
+    ins.clear();
+    for (NodeId f : g.fanin) ins.push_back(p[f]);
+    p[n] = eval_gate_prob(g.type, ins);
+  }
+  return p;
 }
 
 // --- exact (BDD) ------------------------------------------------------------
@@ -111,6 +154,14 @@ std::vector<double> ProtestEngine::compute(
 std::vector<std::vector<double>> ProtestEngine::compute_batch(
     std::span<const InputProbs> batch) const {
   return estimator_.signal_probs_batch(batch);
+}
+
+std::vector<double> ProtestEngine::compute_perturb(
+    std::span<const double> base_inputs,
+    std::span<const double> base_node_probs, std::size_t input_index,
+    double new_p, PerturbMode mode) const {
+  return estimator_.signal_probs_perturb(base_inputs, base_node_probs,
+                                         input_index, new_p, mode);
 }
 
 // --- factory / registry -----------------------------------------------------

@@ -17,6 +17,12 @@
 // PROTEST engine reuses its cone topology and joining-point selection, the
 // Monte-Carlo engine reuses one BlockSimulator.  The hill-climb optimizer
 // evaluates hundreds of neighbor tuples per step through this entry point.
+//
+// Thread safety: engines are NOT safe for concurrent use, even through
+// const methods — the PROTEST engine memoizes its per-netlist plan and
+// selection state across calls, and the naive engine caches fanout cones.
+// Give each thread its own engine (construction is cheap; the plan builds
+// lazily on first evaluation).
 #pragma once
 
 #include <cstdint>
@@ -26,6 +32,7 @@
 #include <string_view>
 #include <vector>
 
+#include "netlist/cone.hpp"
 #include "prob/protest_estimator.hpp"
 #include "prob/signal_prob.hpp"
 
@@ -54,6 +61,32 @@ class SignalProbEngine {
   std::vector<std::vector<double>> signal_probs_batch(
       std::span<const InputProbs> batch) const;
 
+  /// Incremental re-evaluation for a single-coordinate perturbation: given
+  /// a base evaluation (`base_inputs` and the node probabilities
+  /// signal_probs(base_inputs) returned for it), computes the node
+  /// probabilities of the tuple that differs from `base_inputs` only at
+  /// `input_index`, where it takes `new_p`.
+  ///
+  /// With PerturbMode::Exact (the default) the result is bit-for-bit
+  /// identical to calling signal_probs() on the perturbed tuple for every
+  /// engine: incremental engines (protest, naive) re-evaluate only the
+  /// transitive fanout cone of the changed input — nodes outside that cone
+  /// are functions of unchanged values — while the rest fall back to a
+  /// full deterministic re-evaluation.  PerturbMode::FrozenSelection is
+  /// the neighborhood-screening fidelity: engines with tuple-dependent
+  /// conditioning selections (protest) reuse the sets selected at the base
+  /// tuple, reproducing bit for bit what a signal_probs_batch anchored at
+  /// the base computes for the perturbed tuple, at eval-only cost;
+  /// engines without such state treat it as Exact.
+  std::vector<double> signal_probs_perturb(
+      std::span<const double> base_inputs,
+      std::span<const double> base_node_probs, std::size_t input_index,
+      double new_p, PerturbMode mode = PerturbMode::Exact) const;
+
+  /// True when signal_probs_perturb re-evaluates only the fanout cone of
+  /// the changed input instead of recomputing the whole netlist.
+  virtual bool incremental() const { return false; }
+
  protected:
   /// Throws std::invalid_argument unless `net` is finalized.
   SignalProbEngine(const Netlist& net, std::string name);
@@ -67,6 +100,14 @@ class SignalProbEngine {
   virtual std::vector<std::vector<double>> compute_batch(
       std::span<const InputProbs> batch) const;
 
+  /// Validated perturbation -> per-node probabilities.  Default: build the
+  /// perturbed tuple and run compute() from scratch (identical by
+  /// determinism, for either mode); incremental engines override.
+  virtual std::vector<double> compute_perturb(
+      std::span<const double> base_inputs,
+      std::span<const double> base_node_probs, std::size_t input_index,
+      double new_p, PerturbMode mode) const;
+
  private:
   const Netlist& net_;
   std::string name_;
@@ -79,9 +120,17 @@ class SignalProbEngine {
 class NaiveEngine final : public SignalProbEngine {
  public:
   explicit NaiveEngine(const Netlist& net);
+  bool incremental() const override { return true; }
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;
+  std::vector<double> compute_perturb(
+      std::span<const double> base_inputs,
+      std::span<const double> base_node_probs, std::size_t input_index,
+      double new_p, PerturbMode mode) const override;
+
+ private:
+  mutable InputFanoutCones fanout_cones_;  ///< incremental work lists
 };
 
 /// Exact probabilities via ROBDDs.  Exponential worst case; throws
@@ -142,11 +191,16 @@ class ProtestEngine final : public SignalProbEngine {
   const ProtestParams& params() const { return estimator_.params(); }
   /// Statistics of the most recent evaluation.
   const ProtestStats& stats() const { return estimator_.stats(); }
+  bool incremental() const override { return true; }
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;
   std::vector<std::vector<double>> compute_batch(
       std::span<const InputProbs> batch) const override;
+  std::vector<double> compute_perturb(
+      std::span<const double> base_inputs,
+      std::span<const double> base_node_probs, std::size_t input_index,
+      double new_p, PerturbMode mode) const override;
 
  private:
   ProtestEstimator estimator_;

@@ -69,15 +69,14 @@ class ConeProp {
 };
 
 /// Per-gate structural data: everything about case 4 of sect. 2 that does
-/// not depend on the input tuple.  Computed once per evaluation run (or
-/// per batch) and reused for every tuple.
+/// not depend on the input tuple.  Computed lazily once per estimator and
+/// reused for every tuple, batch, and incremental perturbation.
 ///
 /// Retaining every conditioned gate's cone puts peak memory at
-/// O(sum of maxlist-bounded cone sizes) for the duration of one call —
+/// O(sum of maxlist-bounded cone sizes) for the estimator's lifetime —
 /// a few MB on the largest shipped circuits — where the pre-batching
-/// code streamed one cone at a time.  That retention is what makes the
-/// batch path's cross-tuple reuse possible; a lazy per-gate build for
-/// the single-tuple path is listed as a ROADMAP follow-up.
+/// code streamed one cone at a time.  That retention is what makes
+/// cross-tuple and cross-call reuse possible.
 struct GatePlan {
   NodeId node = kNoNode;
   std::vector<NodeId> candidates;  ///< trimmed candidate joining points V
@@ -85,18 +84,80 @@ struct GatePlan {
   std::vector<NodeId> w;           ///< selected conditioning set (select pass)
 };
 
+}  // namespace
+
 /// One evaluation context: the structural plan plus all per-tuple scratch.
 /// run(select = true) scores the candidates with the covariance criterion
 /// and records W per gate; run(select = false) reuses the recorded W and
-/// only re-propagates the conditionals of formula (2).
-class Evaluator {
+/// only re-propagates the conditionals of formula (2); run_perturb()
+/// re-evaluates (with fresh selection) only the fanout cone of one
+/// changed input.
+class ProtestEstimator::Evaluator {
  public:
   Evaluator(const Netlist& net, const ProtestParams& params)
       : net_(net),
         params_(params),
         prop_(net),
-        plan_index_(net.size(), -1) {}
+        plan_index_(net.size(), -1),
+        fanout_cones_(net) {
+    build_plan();
+  }
 
+  std::vector<double> run(std::span<const double> input_probs, bool select) {
+    std::vector<double> p(net_.size(), 0.0);
+    const auto inputs = net_.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i)
+      p[inputs[i]] = input_probs[i];
+
+    if (select) {
+      stats_.gates_conditioned = 0;
+      stats_.max_w = 0;
+      select_anchor_.assign(input_probs.begin(), input_probs.end());
+    }
+
+    for (NodeId n = 0; n < net_.size(); ++n) {
+      if (net_.gate(n).type == GateType::Input) continue;
+      p[n] = eval_node(n, p, select, select ? &stats_ : nullptr);
+    }
+    return p;
+  }
+
+  /// base must be the vector run()/run_perturb() produced for
+  /// base_inputs.  Only the changed input's transitive fanout is
+  /// re-evaluated: any other gate's bounded fanin cone lies entirely
+  /// outside that fanout (a cone member downstream of the input would put
+  /// the gate downstream too), so its value is a function of unchanged
+  /// numbers and is kept verbatim.
+  ///
+  /// Exact mode re-selects per touched gate, exactly as a fresh full run
+  /// would — the result matches run(perturbed tuple, select=true) bit for
+  /// bit.  FrozenSelection keeps the conditioning sets selected at
+  /// base_inputs (re-anchoring them with one select run if the current
+  /// selection state belongs to some other tuple) — the result matches
+  /// what a batch anchored at base_inputs computes for the perturbed
+  /// tuple, with eval-only cost confined to the fanout cone.
+  std::vector<double> run_perturb(std::span<const double> base_inputs,
+                                  std::span<const double> base,
+                                  std::size_t input_index, double new_p,
+                                  PerturbMode mode) {
+    const bool select = mode == PerturbMode::Exact;
+    if (!select && !std::equal(select_anchor_.begin(), select_anchor_.end(),
+                               base_inputs.begin(), base_inputs.end()))
+      run(base_inputs, /*select=*/true);  // re-anchor the selections
+    if (select) select_anchor_.clear();  // per-gate sets become mixed-tuple
+    std::vector<double> p(base.begin(), base.end());
+    const NodeId root = net_.inputs()[input_index];
+    p[root] = new_p;
+    for (NodeId n : fanout_cones_.of(input_index)) {
+      if (n == root) continue;
+      p[n] = eval_node(n, p, select, nullptr);
+    }
+    return p;
+  }
+
+  const ProtestStats& stats() const { return stats_; }
+
+ private:
   void build_plan() {
     ConeWorkspace ws(net_);
     for (NodeId n = 0; n < net_.size(); ++n) {
@@ -126,50 +187,30 @@ class Evaluator {
     }
   }
 
-  std::vector<double> run(std::span<const double> input_probs, bool select) {
-    std::vector<double> p(net_.size(), 0.0);
-    const auto inputs = net_.inputs();
-    for (std::size_t i = 0; i < inputs.size(); ++i)
-      p[inputs[i]] = input_probs[i];
-
-    if (select) {
-      stats_.gates_conditioned = 0;
-      stats_.max_w = 0;
+  /// Evaluates one non-input node against the current probabilities,
+  /// optionally re-selecting its conditioning set (and accounting it into
+  /// `stats` when given).
+  double eval_node(NodeId n, std::span<const double> p, bool select,
+                   ProtestStats* stats) {
+    const Gate& g = net_.gate(n);
+    // Cases 1-3 of sect. 2: no conditioning possible or necessary.
+    auto naive_value = [&] {
+      ins_.clear();
+      for (NodeId f : g.fanin) ins_.push_back(p[f]);
+      return eval_gate_prob(g.type, ins_);
+    };
+    const std::int32_t idx = plan_index_[n];
+    if (idx < 0) return naive_value();
+    GatePlan& plan = plans_[static_cast<std::size_t>(idx)];
+    if (select) select_w(plan, p);
+    if (plan.w.empty()) return naive_value();
+    if (stats) {
+      ++stats->gates_conditioned;
+      stats->max_w = std::max(stats->max_w, plan.w.size());
     }
-
-    for (NodeId n = 0; n < net_.size(); ++n) {
-      const Gate& g = net_.gate(n);
-      if (g.type == GateType::Input) continue;
-
-      // Cases 1-3 of sect. 2: no conditioning possible or necessary.
-      auto naive_value = [&] {
-        ins_.clear();
-        for (NodeId f : g.fanin) ins_.push_back(p[f]);
-        return eval_gate_prob(g.type, ins_);
-      };
-      const std::int32_t idx = plan_index_[n];
-      if (idx < 0) {
-        p[n] = naive_value();
-        continue;
-      }
-      GatePlan& plan = plans_[static_cast<std::size_t>(idx)];
-      if (select) select_w(plan, p);
-      if (plan.w.empty()) {
-        p[n] = naive_value();
-        continue;
-      }
-      if (select) {
-        ++stats_.gates_conditioned;
-        stats_.max_w = std::max(stats_.max_w, plan.w.size());
-      }
-      p[n] = conditioned_prob(plan, g, p);
-    }
-    return p;
+    return conditioned_prob(plan, g, p);
   }
 
-  const ProtestStats& stats() const { return stats_; }
-
- private:
   /// Scores the candidates with the covariance criterion — maximize
   /// p_x (1-p_x) * max_{i<=j} |Delta(a_i,x) Delta(a_j,x)| with Delta from
   /// one-point conditionals — and records the top MAXVERS as plan.w.
@@ -242,10 +283,14 @@ class Evaluator {
   }
 
   const Netlist& net_;
-  const ProtestParams& params_;
+  const ProtestParams params_;  ///< by value: survives estimator moves
   ConeProp prop_;
   std::vector<std::int32_t> plan_index_;  ///< node -> plans_ index or -1
   std::vector<GatePlan> plans_;
+  InputFanoutCones fanout_cones_;  ///< incremental work lists
+  /// Input tuple whose select pass chose the current plan W's; empty when
+  /// the W's do not all belong to one tuple (after an exact perturb).
+  std::vector<double> select_anchor_;
   ProtestStats stats_;
 
   // per-tuple scratch
@@ -255,22 +300,41 @@ class Evaluator {
   std::vector<std::pair<double, NodeId>> scored_;
 };
 
-}  // namespace
-
 ProtestEstimator::ProtestEstimator(const Netlist& net, ProtestParams params)
     : net_(net), params_(params) {
   if (!net.finalized())
     throw std::logic_error("ProtestEstimator: netlist must be finalized");
 }
 
+ProtestEstimator::~ProtestEstimator() = default;
+ProtestEstimator::ProtestEstimator(ProtestEstimator&&) noexcept = default;
+
+ProtestEstimator::Evaluator& ProtestEstimator::evaluator() const {
+  if (!evaluator_)
+    evaluator_ = std::make_unique<Evaluator>(net_, params_);
+  return *evaluator_;
+}
+
 std::vector<double> ProtestEstimator::signal_probs(
     std::span<const double> input_probs) const {
   validate_input_probs(net_, input_probs);
-  Evaluator ev(net_, params_);
-  ev.build_plan();
+  Evaluator& ev = evaluator();
   std::vector<double> p = ev.run(input_probs, /*select=*/true);
   stats_ = ev.stats();
   return p;
+}
+
+std::vector<double> ProtestEstimator::signal_probs_perturb(
+    std::span<const double> base_inputs,
+    std::span<const double> base_node_probs, std::size_t input_index,
+    double new_p, PerturbMode mode) const {
+  // Shared contract with the engine wrapper; the repeat when called
+  // through ProtestEngine is O(inputs) and deliberate (direct estimator
+  // callers get the same checks).
+  validate_perturb_args(net_, base_inputs, base_node_probs, input_index,
+                        new_p);
+  return evaluator().run_perturb(base_inputs, base_node_probs, input_index,
+                                 new_p, mode);
 }
 
 std::vector<std::vector<double>> ProtestEstimator::signal_probs_batch(
@@ -280,8 +344,7 @@ std::vector<std::vector<double>> ProtestEstimator::signal_probs_batch(
   out.reserve(batch.size());
   if (batch.empty()) return out;
 
-  Evaluator ev(net_, params_);
-  ev.build_plan();
+  Evaluator& ev = evaluator();
   out.push_back(ev.run(batch[0], /*select=*/true));
   for (std::size_t t = 1; t < batch.size(); ++t)
     out.push_back(ev.run(batch[t], /*select=*/false));

@@ -17,9 +17,15 @@
 //
 // Parameters (paper sect. 2): MAXVERS bounds |W|, MAXLIST bounds the path
 // length searched for joining points.
+//
+// Thread safety: an estimator is NOT safe for concurrent use, even
+// through const methods — the per-gate plan, the selection state the
+// incremental paths rely on, and the evaluation scratch are memoized
+// across calls.  Use one estimator per thread.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "prob/signal_prob.hpp"
 
@@ -45,9 +51,36 @@ struct ProtestStats {
 class ProtestEstimator {
  public:
   explicit ProtestEstimator(const Netlist& net, ProtestParams params = {});
+  ~ProtestEstimator();
+  ProtestEstimator(ProtestEstimator&&) noexcept;
 
   /// Estimates the signal probability of every node.
+  ///
+  /// The per-gate structural plan (bounded cones, candidate joining
+  /// points) is built lazily on the first evaluation and cached for the
+  /// estimator's lifetime: repeated calls — and the incremental path —
+  /// pay only the per-tuple conditioning work.  The conditioning-set
+  /// selection itself depends on the tuple and is redone per call.
   std::vector<double> signal_probs(std::span<const double> input_probs) const;
+
+  /// Incremental re-estimation for a single-coordinate perturbation:
+  /// `base_node_probs` must be the vector this estimator returned for
+  /// `base_inputs` (any entry point); the result is the estimate for the
+  /// tuple with input `input_index` changed to `new_p`, and only gates in
+  /// the changed input's transitive fanout cone are re-evaluated.
+  ///
+  /// PerturbMode::Exact re-selects each touched gate's conditioning set —
+  /// the result equals signal_probs() on the perturbed tuple bit for bit.
+  /// PerturbMode::FrozenSelection reuses the sets selected at the base
+  /// tuple (re-selecting them first if the estimator's selection state
+  /// belongs to a different tuple): the result is bit-for-bit what
+  /// signal_probs_batch({base, perturbed}) returns for the perturbed
+  /// element, at a fraction of the cost — the neighborhood-screening
+  /// fidelity.  stats() is not updated by this path.
+  std::vector<double> signal_probs_perturb(
+      std::span<const double> base_inputs,
+      std::span<const double> base_node_probs, std::size_t input_index,
+      double new_p, PerturbMode mode = PerturbMode::Exact) const;
 
   /// Batched estimation: one probability vector per input tuple.
   ///
@@ -71,9 +104,13 @@ class ProtestEstimator {
   const Netlist& netlist() const { return net_; }
 
  private:
+  class Evaluator;
+  Evaluator& evaluator() const;  ///< builds the plan on first use
+
   const Netlist& net_;
   ProtestParams params_;
   mutable ProtestStats stats_;
+  mutable std::unique_ptr<Evaluator> evaluator_;  ///< cached per-netlist plan
 };
 
 }  // namespace protest

@@ -13,6 +13,18 @@ namespace protest {
 /// One probability per primary input, in netlist input order.
 using InputProbs = std::vector<double>;
 
+/// Fidelity of an incremental single-coordinate re-evaluation.
+enum class PerturbMode {
+  /// Indistinguishable from a from-scratch evaluation of the perturbed
+  /// tuple (engines with tuple-dependent internal selections redo them).
+  Exact,
+  /// Engines with per-gate conditioning selections reuse the ones chosen
+  /// at the base tuple — the same approximation (and bit-for-bit the same
+  /// numbers) as batched evaluation anchored at the base, at a fraction of
+  /// the cost.  Engines without such state treat this as Exact.
+  FrozenSelection,
+};
+
 /// The conventional tuple: every input stimulated with P(1) = p (paper
 /// sect. 5 uses p = 0.5 for the "not optimized" columns).
 InputProbs uniform_input_probs(const Netlist& net, double p = 0.5);
@@ -20,5 +32,14 @@ InputProbs uniform_input_probs(const Netlist& net, double p = 0.5);
 /// Throws std::invalid_argument unless probs matches the input count and
 /// every entry lies in [0,1].
 void validate_input_probs(const Netlist& net, std::span<const double> probs);
+
+/// The perturb-argument contract shared by every incremental entry point
+/// (engine and estimator): valid base tuple, netlist-sized base node
+/// probabilities, in-range input index, probability in [0,1].  Throws
+/// std::invalid_argument.
+void validate_perturb_args(const Netlist& net,
+                           std::span<const double> base_inputs,
+                           std::span<const double> base_node_probs,
+                           std::size_t input_index, double new_p);
 
 }  // namespace protest

@@ -5,6 +5,7 @@
 #include <ostream>
 #include <sstream>
 
+#include "analysis/json.hpp"
 #include "analysis/table.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/dsl.hpp"
@@ -12,6 +13,7 @@
 #include "optimize/weighted_patterns.hpp"
 #include "prob/engine.hpp"
 #include "protest/protest.hpp"
+#include "protest/session.hpp"
 #include "sim/scan.hpp"
 
 namespace protest {
@@ -22,6 +24,9 @@ struct Args {
   std::string file;
   std::string engine = "protest";
   bool engine_set = false;
+  bool json = false;
+  bool artifacts_set = false;
+  std::string artifacts;  ///< comma list for --artifacts
   double p = 0.5;
   double d = 0.98;
   double e = 0.98;
@@ -35,6 +40,38 @@ class UsageError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Comma-separated artifact names -> request.  Naming an artifact opts in;
+/// artifacts not named are off (signal probabilities are always on — they
+/// are the base of everything else).
+AnalysisRequest parse_artifacts(const Args& a, double d, double e) {
+  AnalysisRequest req;
+  req.d_grid = {d};
+  req.e_grid = {e};
+  if (!a.artifacts_set) {
+    req.test_lengths = true;  // the CLI default: the classic report set
+    return req;
+  }
+  const std::string& list = a.artifacts;
+  req.observability = false;
+  req.detection_probs = false;
+  std::stringstream ss(list);
+  std::string name;
+  while (std::getline(ss, name, ',')) {
+    if (name == "signal_probs") continue;  // always computed
+    else if (name == "observability") req.observability = true;
+    else if (name == "detection_probs") req.detection_probs = true;
+    else if (name == "test_lengths") req.test_lengths = true;
+    else if (name == "scoap") req.scoap = true;
+    else if (name == "stafan") req.stafan = true;
+    else
+      throw UsageError(
+          "unknown artifact '" + name +
+          "' (available: signal_probs observability detection_probs "
+          "test_lengths scoap stafan)");
+  }
+  return req;
+}
 
 Args parse_args(const std::vector<std::string>& argv) {
   if (argv.empty()) throw UsageError("missing command");
@@ -53,6 +90,8 @@ Args parse_args(const std::vector<std::string>& argv) {
     const std::string flag = argv[i++];
     try {
       if (flag == "--engine") { a.engine = need_value(flag); a.engine_set = true; }
+      else if (flag == "--json") a.json = true;
+      else if (flag == "--artifacts") { a.artifacts = need_value(flag); a.artifacts_set = true; }
       else if (flag == "--p") a.p = std::stod(need_value(flag));
       else if (flag == "--d") a.d = std::stod(need_value(flag));
       else if (flag == "--e") a.e = std::stod(need_value(flag));
@@ -66,12 +105,24 @@ Args parse_args(const std::vector<std::string>& argv) {
     }
   }
   // simulate runs weighted patterns through the fault simulator and never
-  // evaluates a probability engine; accepting --engine there would
-  // silently ignore it.
-  if (a.engine_set && a.command == "simulate")
-    throw UsageError("--engine is not valid for 'simulate'");
+  // evaluates a probability engine; accepting these flags there would
+  // silently ignore them.
+  if (a.command == "simulate") {
+    if (a.engine_set) throw UsageError("--engine is not valid for 'simulate'");
+    if (a.json) throw UsageError("--json is not valid for 'simulate'");
+    if (a.artifacts_set)
+      throw UsageError("--artifacts is not valid for 'simulate'");
+  }
+  if (a.artifacts_set && a.command == "optimize")
+    throw UsageError("--artifacts is not valid for 'optimize'");
+  // The text report has a fixed layout; accepting --artifacts there would
+  // compute the extra artifacts and then silently not print them.
+  if (a.artifacts_set && !a.json)
+    throw UsageError("--artifacts requires --json");
   const auto engines = engine_names();
   if (std::find(engines.begin(), engines.end(), a.engine) == engines.end()) {
+    // Exit status 2 with the registered names on stderr — never a raw
+    // exception trace (run_cli turns UsageError into exactly that).
     std::string msg = "unknown engine '" + a.engine + "' (available:";
     for (const std::string& n : engines) msg += " " + n;
     throw UsageError(msg + ")");
@@ -79,8 +130,8 @@ Args parse_args(const std::vector<std::string>& argv) {
   return a;
 }
 
-ProtestOptions tool_options(const Args& a) {
-  ProtestOptions opts;
+SessionOptions session_options(const Args& a) {
+  SessionOptions opts;
   opts.engine = a.engine;
   opts.monte_carlo.seed = a.seed;
   return opts;
@@ -104,32 +155,43 @@ void print_circuit_summary(std::ostream& out, const Netlist& net) {
       << gate_equivalents(net) << " GE)\n";
 }
 
-void print_engine(std::ostream& out, const Protest& tool) {
-  out << "signal-probability engine: " << tool.engine().name() << "\n";
+void print_engine(std::ostream& out, const AnalysisSession& session) {
+  out << "signal-probability engine: " << session.engine().name() << "\n";
 }
 
-void print_hard_faults(std::ostream& out, const Protest& tool,
-                       const ProtestReport& report, std::size_t count) {
-  std::vector<std::size_t> order(tool.faults().size());
+void print_hard_faults(std::ostream& out, const AnalysisResult& result,
+                       std::size_t count) {
+  const std::vector<double>& pf = result.detection_probs();
+  std::vector<std::size_t> order(result.faults().size());
   for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return report.detection_probs[a] < report.detection_probs[b];
+    return pf[a] < pf[b];
   });
   out << "\nleast testable faults:\n";
   for (std::size_t i = 0; i < std::min(count, order.size()); ++i)
-    out << "  " << to_string(tool.netlist(), tool.faults()[order[i]])
-        << "  P_detect = " << fmt(report.detection_probs[order[i]], 6) << "\n";
+    out << "  " << to_string(result.netlist(), result.faults()[order[i]])
+        << "  P_detect = " << fmt(pf[order[i]], 6) << "\n";
 }
 
-int cmd_analyze(const Args& a, std::ostream& out) {
-  const Netlist net = load_netlist(a.file);
-  print_circuit_summary(out, net);
-  const Protest tool(net, tool_options(a));
-  print_engine(out, tool);
-  const auto report = tool.analyze(uniform_input_probs(net, a.p));
-  print_hard_faults(out, tool, report, 10);
-  const std::uint64_t n = tool.test_length(report, a.d, a.e);
-  out << "\nrequired random patterns (p = " << fmt(a.p, 2) << ", d = "
+/// Shared by analyze and scan: one session query, JSON or text rendering.
+int run_analysis(const Args& a, const Netlist& net, std::ostream& out,
+                 const char* testlen_label) {
+  AnalysisSession session(net, session_options(a));
+  if (!a.json) {
+    // Immediate feedback before the (potentially long) analysis.
+    print_circuit_summary(out, net);
+    print_engine(out, session);
+  }
+  const AnalysisRequest req = parse_artifacts(a, a.d, a.e);
+  const AnalysisResult result =
+      session.analyze(uniform_input_probs(net, a.p), req);
+  if (a.json) {
+    out << result.to_json() << "\n";
+    return 0;
+  }
+  print_hard_faults(out, result, a.command == "scan" ? 5 : 10);
+  const std::uint64_t n = result.test_length(a.d, a.e);
+  out << "\n" << testlen_label << " (p = " << fmt(a.p, 2) << ", d = "
       << fmt(a.d, 2) << ", e = " << fmt(a.e, 3) << "): "
       << (n == kInfiniteTestLength ? "unreachable (undetectable faults in F_d)"
                                    : fmt_int(n))
@@ -137,16 +199,59 @@ int cmd_analyze(const Args& a, std::ostream& out) {
   return 0;
 }
 
+int cmd_analyze(const Args& a, std::ostream& out) {
+  const Netlist net = load_netlist(a.file);
+  return run_analysis(a, net, out, "required random patterns");
+}
+
 int cmd_optimize(const Args& a, std::ostream& out) {
   const Netlist net = load_netlist(a.file);
-  print_circuit_summary(out, net);
-  ProtestOptions popts = tool_options(a);
+  SessionOptions popts = session_options(a);
   popts.universe = FaultUniverse::Collapsed;
   const Protest tool(net, popts);
-  print_engine(out, tool);
+  if (!a.json) {
+    // Immediate feedback before the (potentially long) hill climb.
+    print_circuit_summary(out, net);
+    print_engine(out, tool.session());
+  }
   HillClimbOptions opts;
   opts.max_sweeps = a.sweeps;
   const HillClimbResult res = tool.optimize(a.n, opts);
+
+  const auto before = tool.analyze(uniform_input_probs(net, 0.5));
+  const auto after = tool.analyze(res.probs);
+  const std::uint64_t n0 = tool.test_length(before, a.d, a.e);
+  const std::uint64_t n1 = tool.test_length(after, a.d, a.e);
+
+  if (a.json) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("engine").value(tool.engine().name());
+    w.key("n_parameter").value(a.n);
+    w.key("log_objective").value(res.log_objective);
+    w.key("evaluations").value(res.evaluations);
+    w.key("sweeps").value(static_cast<std::uint64_t>(res.sweeps));
+    w.key("optimized_probs").begin_array();
+    const auto inputs = net.inputs();
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      w.begin_object();
+      w.key("input").value(net.name_of(inputs[i]));
+      w.key("p").value(res.probs[i]);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("test_length").begin_object();
+    w.key("d").value(a.d);
+    w.key("e").value(a.e);
+    if (n0 == kInfiniteTestLength) w.key("uniform").null();
+    else w.key("uniform").value(n0);
+    if (n1 == kInfiniteTestLength) w.key("optimized").null();
+    else w.key("optimized").value(n1);
+    w.end_object();
+    w.end_object();
+    out << w.str() << "\n";
+    return 0;
+  }
 
   out << "\noptimized input probabilities (k/16 grid):\n";
   const auto inputs = net.inputs();
@@ -154,10 +259,6 @@ int cmd_optimize(const Args& a, std::ostream& out) {
     out << "  " << net.name_of(inputs[i]) << " = " << fmt(res.probs[i], 4)
         << "\n";
   }
-  const auto before = tool.analyze(uniform_input_probs(net, 0.5));
-  const auto after = tool.analyze(res.probs);
-  const std::uint64_t n0 = tool.test_length(before, a.d, a.e);
-  const std::uint64_t n1 = tool.test_length(after, a.d, a.e);
   out << "\ntest length (d = " << fmt(a.d, 2) << ", e = " << fmt(a.e, 3)
       << "): " << (n0 == kInfiniteTestLength ? "inf" : fmt_int(n0)) << " -> "
       << (n1 == kInfiniteTestLength ? "inf" : fmt_int(n1)) << " patterns\n";
@@ -183,35 +284,35 @@ int cmd_scan(const Args& a, std::ostream& out) {
   std::ostringstream ss;
   ss << f.rdbuf();
   const ScanDesign design = extract_scan_design(ss.str());
-  out << "scan extraction: " << design.num_flops() << " scan cells, "
-      << design.num_primary_inputs << " primary inputs, "
-      << design.num_primary_outputs << " primary outputs\n";
-  print_circuit_summary(out, design.comb);
-  const Protest tool(design.comb, tool_options(a));
-  print_engine(out, tool);
-  const auto report = tool.analyze(uniform_input_probs(design.comb, a.p));
-  print_hard_faults(out, tool, report, 5);
-  const std::uint64_t n = tool.test_length(report, a.d, a.e);
-  out << "\nscan-test length (d = " << fmt(a.d, 2) << ", e = " << fmt(a.e, 3)
-      << "): "
-      << (n == kInfiniteTestLength ? "unreachable" : fmt_int(n))
-      << " scan loads\n";
-  return 0;
+  if (!a.json) {
+    out << "scan extraction: " << design.num_flops() << " scan cells, "
+        << design.num_primary_inputs << " primary inputs, "
+        << design.num_primary_outputs << " primary outputs\n";
+  }
+  return run_analysis(a, design.comb, out, "scan-test length");
 }
 
 void print_help(std::ostream& out) {
   out << "protest — probabilistic testability analysis (Wunderlich, DAC'85)\n"
          "\n"
          "  protest analyze  <file> [--p P] [--d D] [--e E] [--engine E]\n"
+         "                          [--json] [--artifacts LIST]\n"
          "  protest optimize <file> [--n N] [--sweeps S] [--d D] [--e E] "
-         "[--engine E]\n"
+         "[--engine E] [--json]\n"
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
+         "                          [--json] [--artifacts LIST]\n"
          "  protest help\n"
          "\n"
          "<file>: .bench netlist or module DSL (auto-detected).\n"
          "--engine selects the signal-probability engine: protest (default),\n"
-         "naive, exact-bdd, exact-enum, monte-carlo.\n";
+         "naive, exact-bdd, exact-enum, monte-carlo.\n"
+         "--json emits the analysis result as JSON instead of text.\n"
+         "--artifacts (with --json) is a comma list choosing what to\n"
+         "compute/serialize:\n"
+         "signal_probs, observability, detection_probs, test_lengths,\n"
+         "scoap, stafan (default: observability, detection_probs,\n"
+         "test_lengths).\n";
 }
 
 }  // namespace

@@ -1,62 +1,35 @@
 #include "protest/protest.hpp"
 
-#include "observe/detect.hpp"
 #include "optimize/objective.hpp"
 
 namespace protest {
 namespace {
 
-std::vector<Fault> make_fault_list(const Netlist& net, FaultUniverse u) {
-  switch (u) {
-    case FaultUniverse::Structural: return structural_fault_list(net);
-    case FaultUniverse::Full: return full_fault_list(net);
-    case FaultUniverse::Collapsed: return collapsed_fault_list(net);
-  }
-  return structural_fault_list(net);
-}
-
-std::shared_ptr<const SignalProbEngine> make_tool_engine(
-    const Netlist& net, const ProtestOptions& opts) {
-  EngineConfig cfg;
-  cfg.protest = opts.estimator;
-  cfg.monte_carlo = opts.monte_carlo;
-  cfg.bdd_node_limit = opts.bdd_node_limit;
-  return make_engine(opts.engine, net, cfg);
+ProtestReport report_from(const AnalysisResult& result) {
+  ProtestReport r;
+  r.engine = std::string(result.engine());
+  r.input_probs = result.input_probs();
+  r.signal_probs = result.signal_probs();
+  r.observability = result.observability();
+  r.detection_probs = result.detection_probs();
+  return r;
 }
 
 }  // namespace
 
 Protest::Protest(const Netlist& net, ProtestOptions opts)
-    : net_(net),
-      opts_(std::move(opts)),
-      faults_(make_fault_list(net, opts_.universe)),
-      engine_(make_tool_engine(net, opts_)) {}
-
-ProtestReport Protest::make_report(std::span<const double> input_probs,
-                                   std::vector<double> signal_probs) const {
-  ProtestReport r;
-  r.engine = std::string(engine_->name());
-  r.input_probs.assign(input_probs.begin(), input_probs.end());
-  r.signal_probs = std::move(signal_probs);
-  r.observability =
-      compute_observability(net_, r.signal_probs, opts_.observability);
-  r.detection_probs =
-      detection_probs(net_, faults_, r.signal_probs, r.observability);
-  return r;
-}
+    : session_(net, std::move(opts)) {}
 
 ProtestReport Protest::analyze(std::span<const double> input_probs) const {
-  return make_report(input_probs, engine_->signal_probs(input_probs));
+  return report_from(session_.analyze(input_probs));
 }
 
 std::vector<ProtestReport> Protest::analyze_batch(
     std::span<const InputProbs> input_tuples) const {
-  std::vector<std::vector<double>> probs =
-      engine_->signal_probs_batch(input_tuples);
   std::vector<ProtestReport> reports;
-  reports.reserve(probs.size());
-  for (std::size_t i = 0; i < probs.size(); ++i)
-    reports.push_back(make_report(input_tuples[i], std::move(probs[i])));
+  reports.reserve(input_tuples.size());
+  for (const AnalysisResult& r : session_.analyze_batch(input_tuples))
+    reports.push_back(report_from(r));
   return reports;
 }
 
@@ -67,8 +40,8 @@ std::uint64_t Protest::test_length(const ProtestReport& report, double d,
 
 HillClimbResult Protest::optimize(std::uint64_t n_parameter,
                                   HillClimbOptions opts) const {
-  const ObjectiveEvaluator eval(engine_, faults_, n_parameter,
-                                opts_.observability);
+  const ObjectiveEvaluator eval(session_.engine_ptr(), session_.faults(),
+                                n_parameter, options().observability);
   return optimize_input_probs(eval, opts);
 }
 
@@ -80,7 +53,7 @@ PatternSet Protest::generate_patterns(std::span<const double> input_probs,
 
 FaultSimResult Protest::fault_simulate(const PatternSet& ps,
                                        FaultSimMode mode) const {
-  return simulate_faults(net_, faults_, ps, mode);
+  return simulate_faults(netlist(), faults(), ps, mode);
 }
 
 }  // namespace protest

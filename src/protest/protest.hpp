@@ -6,6 +6,13 @@
 //   * optimized input signal probabilities,
 //   * weighted random pattern sets,
 //   * static fault simulation with those patterns.
+//
+// Since the session API landed, the facade is a thin compatibility wrapper
+// over an AnalysisSession: analyze() runs a session query and copies the
+// artifacts into the eager ProtestReport struct.  New code that issues
+// repeated or varied queries should hold an AnalysisSession (or use
+// session() below) — it exposes the request/response interface, the tuple
+// cache, the incremental perturb() path, and JSON serialization.
 #pragma once
 
 #include <cstdint>
@@ -17,6 +24,7 @@
 #include "observe/observability.hpp"
 #include "optimize/hill_climb.hpp"
 #include "prob/engine.hpp"
+#include "protest/session.hpp"
 #include "sim/fault.hpp"
 #include "sim/fault_sim.hpp"
 #include "sim/pattern.hpp"
@@ -24,21 +32,12 @@
 
 namespace protest {
 
-enum class FaultUniverse { Structural, Full, Collapsed };
+/// Facade construction knobs — the session options under their historical
+/// name.
+using ProtestOptions = SessionOptions;
 
-struct ProtestOptions {
-  ProtestParams estimator;
-  ObservabilityOptions observability;
-  FaultUniverse universe = FaultUniverse::Structural;
-  /// Signal-probability engine (a make_engine registry key).  The paper's
-  /// estimator is the default; "naive", "exact-bdd", "exact-enum" and
-  /// "monte-carlo" swap in the alternatives for cross-validation.
-  std::string engine = "protest";
-  MonteCarloEngineParams monte_carlo;     ///< used when engine=="monte-carlo"
-  std::size_t bdd_node_limit = 2'000'000; ///< used when engine=="exact-bdd"
-};
-
-/// Result of one analysis run (fixed input-probability tuple).
+/// Result of one analysis run (fixed input-probability tuple), fully
+/// materialized.  The session API's AnalysisResult is the lazy equivalent.
 struct ProtestReport {
   std::string engine;                     ///< engine that produced it
   std::vector<double> input_probs;
@@ -51,19 +50,25 @@ class Protest {
  public:
   explicit Protest(const Netlist& net, ProtestOptions opts = {});
 
-  const Netlist& netlist() const { return net_; }
-  const std::vector<Fault>& faults() const { return faults_; }
-  const ProtestOptions& options() const { return opts_; }
+  const Netlist& netlist() const { return session_.netlist(); }
+  const std::vector<Fault>& faults() const { return session_.faults(); }
+  const ProtestOptions& options() const { return session_.options(); }
 
   /// The signal-probability engine the tool evaluates through.
-  const SignalProbEngine& engine() const { return *engine_; }
+  const SignalProbEngine& engine() const { return session_.engine(); }
+
+  /// The underlying session: cached plans, incremental perturb(), lazy
+  /// artifact requests, JSON results.
+  AnalysisSession& session() { return session_; }
+  const AnalysisSession& session() const { return session_; }
 
   /// Signal probabilities, observabilities and detection probabilities for
-  /// one input tuple.
+  /// one input tuple.  Repeated tuples hit the session cache.
   ProtestReport analyze(std::span<const double> input_probs) const;
 
-  /// Batched analysis: one report per tuple, evaluated through the
-  /// engine's batched entry point.
+  /// Batched analysis: one report per tuple.  Every report has exact
+  /// single-tuple semantics (the session's cached plan already amortizes
+  /// the per-tuple setup the engine-level batch used to share).
   std::vector<ProtestReport> analyze_batch(
       std::span<const InputProbs> input_tuples) const;
 
@@ -84,13 +89,9 @@ class Protest {
   FaultSimResult fault_simulate(const PatternSet& ps, FaultSimMode mode) const;
 
  private:
-  ProtestReport make_report(std::span<const double> input_probs,
-                            std::vector<double> signal_probs) const;
-
-  const Netlist& net_;
-  ProtestOptions opts_;
-  std::vector<Fault> faults_;
-  std::shared_ptr<const SignalProbEngine> engine_;
+  /// Mutable because the facade keeps its historical const analyze() API
+  /// while the session underneath updates its caches.
+  mutable AnalysisSession session_;
 };
 
 }  // namespace protest

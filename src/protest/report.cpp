@@ -2,28 +2,35 @@
 
 #include <algorithm>
 #include <ostream>
+#include <span>
 #include <sstream>
 
 #include "analysis/table.hpp"
 #include "testlen/test_length.hpp"
 
 namespace protest {
+namespace {
 
-void write_report(std::ostream& out, const Protest& tool,
-                  const ProtestReport& report, ReportOptions opts) {
-  const Netlist& net = tool.netlist();
+/// The shared renderer; both public entry points flatten to this view.
+void write_report_impl(std::ostream& out, const Netlist& net,
+                       std::span<const Fault> faults, const std::string& engine,
+                       std::span<const double> input_probs,
+                       std::span<const double> signal_probs,
+                       std::span<const double> stem_observability,
+                       std::span<const double> detection_probs,
+                       const ReportOptions& opts) {
   out << "PROTEST testability report\n"
       << "==========================\n"
       << "circuit: " << net.inputs().size() << " inputs, "
       << net.outputs().size() << " outputs, " << net.num_gates() << " gates; "
-      << tool.faults().size() << " faults analyzed\n";
-  if (!report.engine.empty())
-    out << "signal-probability engine: " << report.engine << "\n";
+      << faults.size() << " faults analyzed\n";
+  if (!engine.empty())
+    out << "signal-probability engine: " << engine << "\n";
 
   out << "\ninput signal probabilities:\n ";
   const auto inputs = net.inputs();
   for (std::size_t i = 0; i < inputs.size(); ++i) {
-    out << ' ' << net.name_of(inputs[i]) << '=' << fmt(report.input_probs[i], 3);
+    out << ' ' << net.name_of(inputs[i]) << '=' << fmt(input_probs[i], 3);
     if (i % 8 == 7 && i + 1 < inputs.size()) out << "\n ";
   }
   out << '\n';
@@ -33,52 +40,69 @@ void write_report(std::ostream& out, const Protest& tool,
     TextTable t({"node", "P(1)", "s(x)"});
     for (NodeId n = 0; n < net.size(); ++n) {
       if (net.is_input(n)) continue;
-      t.add_row({net.name_of(n), fmt(report.signal_probs[n], 4),
-                 fmt(report.observability.stem[n], 4)});
+      t.add_row({net.name_of(n), fmt(signal_probs[n], 4),
+                 fmt(stem_observability[n], 4)});
     }
     out << t.str();
   }
 
   if (opts.fault_list) {
     out << "\nfault detection probabilities (hardest first):\n";
-    std::vector<std::size_t> order(tool.faults().size());
+    std::vector<std::size_t> order(faults.size());
     for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      return report.detection_probs[a] < report.detection_probs[b];
+      return detection_probs[a] < detection_probs[b];
     });
     const std::size_t rows = opts.max_fault_rows == 0
                                  ? order.size()
                                  : std::min(opts.max_fault_rows, order.size());
     TextTable t({"fault", "P_detect"});
     for (std::size_t i = 0; i < rows; ++i)
-      t.add_row({to_string(net, tool.faults()[order[i]]),
-                 fmt(report.detection_probs[order[i]], 6)});
+      t.add_row({to_string(net, faults[order[i]]),
+                 fmt(detection_probs[order[i]], 6)});
     out << t.str();
     if (rows < order.size())
       out << "(" << order.size() - rows << " easier faults omitted)\n";
   }
 
-  static constexpr double kDefaultD[] = {1.0, 0.98};
-  static constexpr double kDefaultE[] = {0.95, 0.98, 0.999};
-  const std::span<const double> ds =
-      opts.d_grid.empty() ? std::span<const double>(kDefaultD) : opts.d_grid;
-  const std::span<const double> es =
-      opts.e_grid.empty() ? std::span<const double>(kDefaultE) : opts.e_grid;
   out << "\nrequired random-pattern counts:\n";
   TextTable t({"d", "e", "N"});
-  for (double d : ds)
-    for (double e : es) {
-      const std::uint64_t n = required_test_length(report.detection_probs, d, e);
+  for (double d : opts.d_grid)
+    for (double e : opts.e_grid) {
+      const std::uint64_t n = required_test_length(detection_probs, d, e);
       t.add_row({fmt(d, 2), fmt(e, 3),
                  n == kInfiniteTestLength ? "unreachable" : fmt_int(n)});
     }
   out << t.str();
 }
 
+}  // namespace
+
+void write_report(std::ostream& out, const Protest& tool,
+                  const ProtestReport& report, ReportOptions opts) {
+  write_report_impl(out, tool.netlist(), tool.faults(), report.engine,
+                    report.input_probs, report.signal_probs,
+                    report.observability.stem, report.detection_probs, opts);
+}
+
 std::string report_string(const Protest& tool, const ProtestReport& report,
                           ReportOptions opts) {
   std::ostringstream os;
-  write_report(os, tool, report, opts);
+  write_report(os, tool, report, std::move(opts));
+  return os.str();
+}
+
+void write_report(std::ostream& out, const AnalysisResult& result,
+                  ReportOptions opts) {
+  write_report_impl(out, result.netlist(), result.faults(),
+                    std::string(result.engine()), result.input_probs(),
+                    result.signal_probs(), result.observability().stem,
+                    result.detection_probs(), opts);
+}
+
+std::string report_string(const AnalysisResult& result, ReportOptions opts) {
+  std::ostringstream os;
+  write_report(os, result, std::move(opts));
   return os.str();
 }
 

@@ -5,8 +5,8 @@
 #pragma once
 
 #include <iosfwd>
-#include <span>
 #include <string>
+#include <vector>
 
 #include "protest/protest.hpp"
 
@@ -16,8 +16,11 @@ struct ReportOptions {
   bool signal_probabilities = true;   ///< per-node p1 + observability
   bool fault_list = true;             ///< per-fault detection probability
   std::size_t max_fault_rows = 40;    ///< 0 = all (hardest first)
-  std::span<const double> d_grid;     ///< default {1.0, 0.98}
-  std::span<const double> e_grid;     ///< default {0.95, 0.98, 0.999}
+  /// Grids for the required-pattern-count table.  Owned vectors (callers
+  /// used to pass spans that silently dangled on temporaries); the
+  /// defaults are the paper's (d, e) combinations.
+  std::vector<double> d_grid = {1.0, 0.98};
+  std::vector<double> e_grid = {0.95, 0.98, 0.999};
 };
 
 /// Writes the full testability report for one analysis run.
@@ -25,6 +28,14 @@ void write_report(std::ostream& out, const Protest& tool,
                   const ProtestReport& report, ReportOptions opts = {});
 
 std::string report_string(const Protest& tool, const ProtestReport& report,
+                          ReportOptions opts = {});
+
+/// Session-API equivalents: render an AnalysisResult (artifacts are
+/// computed lazily as the report needs them).
+void write_report(std::ostream& out, const AnalysisResult& result,
+                  ReportOptions opts = {});
+
+std::string report_string(const AnalysisResult& result,
                           ReportOptions opts = {});
 
 }  // namespace protest

@@ -1,0 +1,490 @@
+#include "protest/session.hpp"
+
+#include <algorithm>
+#include <list>
+#include <optional>
+#include <stdexcept>
+#include <unordered_map>
+
+#include "analysis/json.hpp"
+#include "observe/detect.hpp"
+#include "sim/pattern.hpp"
+#include "testlen/test_length.hpp"
+
+namespace protest {
+namespace {
+
+std::vector<Fault> make_fault_list(const Netlist& net, FaultUniverse u) {
+  switch (u) {
+    case FaultUniverse::Structural: return structural_fault_list(net);
+    case FaultUniverse::Full: return full_fault_list(net);
+    case FaultUniverse::Collapsed: return collapsed_fault_list(net);
+  }
+  return structural_fault_list(net);
+}
+
+std::shared_ptr<const SignalProbEngine> make_session_engine(
+    const Netlist& net, const SessionOptions& opts) {
+  EngineConfig cfg;
+  cfg.protest = opts.estimator;
+  cfg.monte_carlo = opts.monte_carlo;
+  cfg.bdd_node_limit = opts.bdd_node_limit;
+  return make_engine(opts.engine, net, cfg);
+}
+
+}  // namespace
+
+AnalysisRequest AnalysisRequest::minimal() {
+  AnalysisRequest r;
+  r.observability = false;
+  r.detection_probs = false;
+  return r;
+}
+
+AnalysisRequest AnalysisRequest::everything() {
+  AnalysisRequest r;
+  r.test_lengths = true;
+  r.scoap = true;
+  r.stafan = true;
+  return r;
+}
+
+// --- shared session state ---------------------------------------------------
+
+/// Everything a result needs to compute artifacts after the query
+/// returned: held by shared_ptr so results stay usable independent of the
+/// session's cache (and of the session itself).
+struct detail::SessionShared {
+  const Netlist& net;
+  SessionOptions opts;
+  std::shared_ptr<const SignalProbEngine> engine;
+  std::vector<Fault> faults;
+  std::optional<ScoapMeasures> scoap;  ///< input-independent, session-wide
+};
+
+struct AnalysisResult::State {
+  std::shared_ptr<detail::SessionShared> shared;
+  std::vector<double> input_probs;
+  std::vector<double> signal_probs;
+  /// false for perturb_screen() products (frozen-selection numbers);
+  /// screened results never enter the cache and cannot seed perturbs.
+  bool exact_fidelity = true;
+  // Memoized lazy artifacts.
+  std::optional<Observability> observability;
+  std::optional<std::vector<double>> detection_probs;
+  std::optional<StafanMeasures> stafan;
+};
+
+// --- AnalysisResult ---------------------------------------------------------
+
+AnalysisResult::AnalysisResult(std::shared_ptr<State> state,
+                               AnalysisRequest request)
+    : state_(std::move(state)), request_(std::move(request)) {}
+
+namespace {
+
+AnalysisResult::State& checked(
+    const std::shared_ptr<AnalysisResult::State>& state) {
+  if (!state)
+    throw std::logic_error("AnalysisResult: empty handle (default-"
+                           "constructed or moved-from)");
+  return *state;
+}
+
+}  // namespace
+
+const Netlist& AnalysisResult::netlist() const {
+  return checked(state_).shared->net;
+}
+
+std::string_view AnalysisResult::engine() const {
+  return checked(state_).shared->engine->name();
+}
+
+const std::vector<Fault>& AnalysisResult::faults() const {
+  return checked(state_).shared->faults;
+}
+
+const std::vector<double>& AnalysisResult::input_probs() const {
+  return checked(state_).input_probs;
+}
+
+const std::vector<double>& AnalysisResult::signal_probs() const {
+  return checked(state_).signal_probs;
+}
+
+const Observability& AnalysisResult::observability() const {
+  State& s = checked(state_);
+  if (!s.observability)
+    s.observability = compute_observability(s.shared->net, s.signal_probs,
+                                            s.shared->opts.observability);
+  return *s.observability;
+}
+
+const std::vector<double>& AnalysisResult::detection_probs() const {
+  State& s = checked(state_);
+  if (!s.detection_probs)
+    s.detection_probs = protest::detection_probs(
+        s.shared->net, s.shared->faults, s.signal_probs, observability());
+  return *s.detection_probs;
+}
+
+const ScoapMeasures& AnalysisResult::scoap() const {
+  State& s = checked(state_);
+  if (!s.shared->scoap) s.shared->scoap = compute_scoap(s.shared->net);
+  return *s.shared->scoap;
+}
+
+const StafanMeasures& AnalysisResult::stafan() const {
+  State& s = checked(state_);
+  if (!s.stafan)
+    s.stafan = compute_stafan(
+        s.shared->net,
+        PatternSet::weighted(s.input_probs, s.shared->opts.stafan_patterns,
+                             s.shared->opts.stafan_seed));
+  return *s.stafan;
+}
+
+std::uint64_t AnalysisResult::test_length(double d, double e) const {
+  return required_test_length(detection_probs(), d, e);
+}
+
+std::string AnalysisResult::to_json(int indent) const {
+  State& s = checked(state_);
+  const Netlist& net = s.shared->net;
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("engine").value(engine());
+
+  w.key("circuit").begin_object();
+  w.key("inputs").value(net.inputs().size());
+  w.key("outputs").value(net.outputs().size());
+  w.key("gates").value(net.num_gates());
+  w.key("nodes").value(net.size());
+  w.key("faults").value(s.shared->faults.size());
+  w.end_object();
+
+  w.key("input_probs").begin_array();
+  const auto inputs = net.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    w.begin_object();
+    w.key("input").value(net.name_of(inputs[i]));
+    w.key("p").value(s.input_probs[i]);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("signal_probs").begin_array();
+  for (NodeId n = 0; n < net.size(); ++n) {
+    if (net.is_input(n)) continue;
+    w.begin_object();
+    w.key("node").value(net.name_of(n));
+    w.key("p1").value(s.signal_probs[n]);
+    if (request_.observability)
+      w.key("observability").value(observability().stem[n]);
+    w.end_object();
+  }
+  w.end_array();
+
+  if (request_.detection_probs) {
+    const std::vector<double>& pf = detection_probs();
+    w.key("detection_probs").begin_array();
+    for (std::size_t f = 0; f < s.shared->faults.size(); ++f) {
+      w.begin_object();
+      w.key("fault").value(to_string(net, s.shared->faults[f]));
+      w.key("p_detect").value(pf[f]);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (request_.test_lengths) {
+    w.key("test_lengths").begin_array();
+    for (double d : request_.d_grid)
+      for (double e : request_.e_grid) {
+        w.begin_object();
+        w.key("d").value(d);
+        w.key("e").value(e);
+        const std::uint64_t n = test_length(d, e);
+        if (n == kInfiniteTestLength)
+          w.key("n").null();
+        else
+          w.key("n").value(n);
+        w.end_object();
+      }
+    w.end_array();
+  }
+
+  if (request_.scoap) {
+    const ScoapMeasures& m = scoap();
+    w.key("scoap").begin_array();
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_input(n)) continue;
+      w.begin_object();
+      w.key("node").value(net.name_of(n));
+      w.key("cc0").value(static_cast<std::uint64_t>(m.cc0[n]));
+      w.key("cc1").value(static_cast<std::uint64_t>(m.cc1[n]));
+      w.key("co").value(static_cast<std::uint64_t>(m.co[n]));
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  if (request_.stafan) {
+    const StafanMeasures& m = stafan();
+    w.key("stafan").begin_array();
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (net.is_input(n)) continue;
+      w.begin_object();
+      w.key("node").value(net.name_of(n));
+      w.key("c1").value(m.c1[n]);
+      w.key("observability").value(m.obs[n]);
+      w.end_object();
+    }
+    w.end_array();
+  }
+
+  w.end_object();
+  return w.str();
+}
+
+// --- the result cache -------------------------------------------------------
+
+/// LRU over evaluated tuples.  Entries share their State with every
+/// AnalysisResult handed out, so eviction only drops the cache's
+/// reference — outstanding results stay valid.
+class AnalysisSession::ResultCache {
+ public:
+  explicit ResultCache(std::size_t capacity) : capacity_(capacity) {}
+
+  std::shared_ptr<AnalysisResult::State> find(
+      const std::vector<double>& key) {
+    const auto it = index_.find(key);
+    if (it == index_.end()) return nullptr;
+    entries_.splice(entries_.begin(), entries_, it->second);
+    return entries_.front().state;
+  }
+
+  /// Most-recently-used cached tuple differing from `key` in exactly one
+  /// coordinate; returns the state and the differing index.
+  std::pair<std::shared_ptr<AnalysisResult::State>, std::size_t> find_near(
+      std::span<const double> key) const {
+    for (const Entry& e : entries_) {
+      if (e.key.size() != key.size()) continue;
+      std::size_t diffs = 0, idx = 0;
+      for (std::size_t i = 0; i < key.size() && diffs <= 1; ++i) {
+        if (e.key[i] != key[i]) {
+          ++diffs;
+          idx = i;
+        }
+      }
+      if (diffs == 1) return {e.state, idx};
+    }
+    return {nullptr, 0};
+  }
+
+  void insert(std::vector<double> key,
+              std::shared_ptr<AnalysisResult::State> state) {
+    if (capacity_ == 0) return;
+    if (const auto it = index_.find(key); it != index_.end()) {
+      it->second->state = std::move(state);
+      entries_.splice(entries_.begin(), entries_, it->second);
+      return;
+    }
+    entries_.push_front(Entry{std::move(key), std::move(state)});
+    index_.emplace(entries_.front().key, entries_.begin());
+    if (entries_.size() > capacity_) {
+      index_.erase(entries_.back().key);
+      entries_.pop_back();
+    }
+  }
+
+  void clear() {
+    index_.clear();
+    entries_.clear();
+  }
+
+ private:
+  struct Entry {
+    std::vector<double> key;
+    std::shared_ptr<AnalysisResult::State> state;
+  };
+
+  struct VecHash {
+    std::size_t operator()(const std::vector<double>& v) const {
+      std::size_t h = v.size();
+      for (double x : v)
+        h = h * 1099511628211ull + std::hash<double>{}(x);
+      return h;
+    }
+  };
+
+  std::size_t capacity_;
+  std::list<Entry> entries_;  ///< front = most recent
+  std::unordered_map<std::vector<double>, std::list<Entry>::iterator, VecHash>
+      index_;
+};
+
+// --- AnalysisSession --------------------------------------------------------
+
+AnalysisSession::AnalysisSession(const Netlist& net, SessionOptions opts)
+    : AnalysisSession(net, make_session_engine(net, opts),
+                      make_fault_list(net, opts.universe), opts) {}
+
+AnalysisSession::AnalysisSession(
+    const Netlist& net, std::shared_ptr<const SignalProbEngine> engine,
+    std::vector<Fault> faults, SessionOptions opts) {
+  if (!engine) throw std::invalid_argument("AnalysisSession: null engine");
+  if (&engine->netlist() != &net)
+    throw std::invalid_argument(
+        "AnalysisSession: engine was built on a different netlist");
+  cache_ = std::make_unique<ResultCache>(opts.max_cached_results);
+  shared_ = std::make_shared<detail::SessionShared>(detail::SessionShared{
+      net, std::move(opts), std::move(engine), std::move(faults), {}});
+}
+
+AnalysisSession::~AnalysisSession() = default;
+AnalysisSession::AnalysisSession(AnalysisSession&&) noexcept = default;
+
+const Netlist& AnalysisSession::netlist() const { return shared_->net; }
+const SignalProbEngine& AnalysisSession::engine() const {
+  return *shared_->engine;
+}
+std::shared_ptr<const SignalProbEngine> AnalysisSession::engine_ptr() const {
+  return shared_->engine;
+}
+const std::vector<Fault>& AnalysisSession::faults() const {
+  return shared_->faults;
+}
+const SessionOptions& AnalysisSession::options() const {
+  return shared_->opts;
+}
+
+void AnalysisSession::clear_cache() { cache_->clear(); }
+
+AnalysisResult AnalysisSession::wrap(
+    std::shared_ptr<AnalysisResult::State> state,
+    const AnalysisRequest& request) {
+  AnalysisResult result(std::move(state), request);
+  // Materialize the requested artifacts now; anything else stays lazy.
+  // The test-length grid is derived per (d, e) on demand, but its input —
+  // the detection probabilities — is the expensive part and belongs to
+  // query time, not serialization time.
+  if (request.observability) result.observability();
+  if (request.detection_probs || request.test_lengths)
+    result.detection_probs();
+  if (request.scoap) result.scoap();
+  if (request.stafan) result.stafan();
+  return result;
+}
+
+AnalysisResult AnalysisSession::analyze(std::span<const double> input_probs,
+                                        AnalysisRequest request) {
+  validate_input_probs(shared_->net, input_probs);
+  ++stats_.analyze_calls;
+  std::vector<double> key(input_probs.begin(), input_probs.end());
+
+  if (auto state = cache_->find(key)) {
+    ++stats_.cache_hits;
+    return wrap(std::move(state), request);
+  }
+
+  std::vector<double> probs;
+  if (shared_->engine->incremental()) {
+    // A cached tuple one coordinate away feeds the incremental path,
+    // which is bit-for-bit equivalent to the full evaluation below.
+    if (auto [base, idx] = cache_->find_near(key); base) {
+      probs = shared_->engine->signal_probs_perturb(
+          base->input_probs, base->signal_probs, idx, key[idx]);
+      ++stats_.incremental_evals;
+    }
+  }
+  if (probs.empty()) {
+    probs = shared_->engine->signal_probs(key);
+    ++stats_.full_evals;
+  }
+
+  auto state = std::make_shared<AnalysisResult::State>();
+  state->shared = shared_;
+  state->input_probs = key;
+  state->signal_probs = std::move(probs);
+  cache_->insert(std::move(key), state);
+  return wrap(std::move(state), request);
+}
+
+std::vector<AnalysisResult> AnalysisSession::analyze_batch(
+    std::span<const InputProbs> tuples, AnalysisRequest request) {
+  std::vector<AnalysisResult> out;
+  out.reserve(tuples.size());
+  for (const InputProbs& t : tuples) out.push_back(analyze(t, request));
+  return out;
+}
+
+void AnalysisSession::check_perturb_args(const AnalysisResult& base,
+                                         std::size_t input_index,
+                                         double new_p) const {
+  if (!base.valid() || base.state_->shared != shared_)
+    throw std::invalid_argument(
+        "AnalysisSession::perturb: base result does not belong to this "
+        "session");
+  if (!base.state_->exact_fidelity)
+    throw std::invalid_argument(
+        "AnalysisSession::perturb: base result has screening fidelity "
+        "(perturb_screen product) — re-analyze its tuple exactly first");
+  if (input_index >= shared_->net.inputs().size())
+    throw std::invalid_argument(
+        "AnalysisSession::perturb: input index out of range");
+  if (!(new_p >= 0.0 && new_p <= 1.0))
+    throw std::invalid_argument(
+        "AnalysisSession::perturb: probability outside [0,1]");
+}
+
+AnalysisResult AnalysisSession::perturb(const AnalysisResult& base,
+                                        std::size_t input_index,
+                                        double new_p) {
+  check_perturb_args(base, input_index, new_p);
+  std::vector<double> key = base.state_->input_probs;
+  key[input_index] = new_p;
+  if (auto state = cache_->find(key)) {
+    ++stats_.cache_hits;
+    return wrap(std::move(state), base.request_);
+  }
+
+  std::vector<double> probs = shared_->engine->signal_probs_perturb(
+      base.state_->input_probs, base.state_->signal_probs, input_index,
+      new_p);
+  if (shared_->engine->incremental())
+    ++stats_.incremental_evals;
+  else
+    ++stats_.full_evals;
+
+  auto state = std::make_shared<AnalysisResult::State>();
+  state->shared = shared_;
+  state->input_probs = key;
+  state->signal_probs = std::move(probs);
+  cache_->insert(std::move(key), state);
+  return wrap(std::move(state), base.request_);
+}
+
+AnalysisResult AnalysisSession::perturb_screen(const AnalysisResult& base,
+                                               std::size_t input_index,
+                                               double new_p) {
+  check_perturb_args(base, input_index, new_p);
+  // No cache lookup and no insertion: the cache holds exact-fidelity
+  // tuples only, and screening must yield frozen-selection numbers
+  // deterministically (a cached exact value would differ).
+  std::vector<double> probs = shared_->engine->signal_probs_perturb(
+      base.state_->input_probs, base.state_->signal_probs, input_index,
+      new_p, PerturbMode::FrozenSelection);
+  ++stats_.screen_evals;
+
+  auto state = std::make_shared<AnalysisResult::State>();
+  state->shared = shared_;
+  state->input_probs = base.state_->input_probs;
+  state->input_probs[input_index] = new_p;
+  state->signal_probs = std::move(probs);
+  state->exact_fidelity = false;
+  return wrap(std::move(state), base.request_);
+}
+
+}  // namespace protest

@@ -1,0 +1,219 @@
+// The session-oriented analysis API.
+//
+// An AnalysisSession owns one signal-probability engine plus everything
+// expensive that outlives a single query: the engine's per-netlist plan
+// (cone topology, conditioning-set candidates — cached inside the engine),
+// the tool fault list, and an LRU cache of evaluated input tuples.
+// Callers describe which artifacts they want with an AnalysisRequest and
+// receive an AnalysisResult whose artifacts are computed lazily and
+// memoized — asking only for signal probabilities never pays for
+// observability, detection probabilities, SCOAP/STAFAN measures or the
+// test-length grid.
+//
+//   AnalysisSession session(net);
+//   AnalysisRequest req;
+//   req.test_lengths = true;                       // opt into the (d,e) grid
+//   AnalysisResult r = session.analyze(probs, req);
+//   r.detection_probs();                           // computed on first access
+//   std::string json = r.to_json();                // machine-readable result
+//
+// Repeated tuples are cache hits (the same shared result state comes
+// back); near-duplicate tuples — differing from a cached tuple in exactly
+// one coordinate — are routed through the engine's incremental path, which
+// re-evaluates only the changed input's fanout cone.  perturb() exposes
+// that path explicitly and is the backend for the hill climber's
+// per-coordinate neighborhood sweeps.  Incremental results are bit-for-bit
+// identical to from-scratch evaluation (see SignalProbEngine::
+// signal_probs_perturb), so the cache never mixes approximation levels.
+//
+// Sessions are single-threaded: analyze()/perturb() mutate the session's
+// caches.  The netlist must outlive the session and every result obtained
+// from it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "measures/scoap.hpp"
+#include "measures/stafan.hpp"
+#include "observe/observability.hpp"
+#include "prob/engine.hpp"
+#include "sim/fault.hpp"
+
+namespace protest {
+
+namespace detail {
+struct SessionShared;  ///< netlist + engine + faults + options (internal)
+}  // namespace detail
+
+enum class FaultUniverse { Structural, Full, Collapsed };
+
+/// Session construction knobs; the engine-related fields mirror
+/// EngineConfig, the rest size the session's own caches and samplers.
+struct SessionOptions {
+  ProtestParams estimator;
+  ObservabilityOptions observability;
+  FaultUniverse universe = FaultUniverse::Structural;
+  /// Signal-probability engine (a make_engine registry key).  The paper's
+  /// estimator is the default; "naive", "exact-bdd", "exact-enum" and
+  /// "monte-carlo" swap in the alternatives for cross-validation.
+  std::string engine = "protest";
+  MonteCarloEngineParams monte_carlo;     ///< used when engine=="monte-carlo"
+  std::size_t bdd_node_limit = 2'000'000; ///< used when engine=="exact-bdd"
+  /// LRU bound on cached evaluated tuples (0 disables the result cache;
+  /// perturb() still works, it just never finds cached bases for
+  /// near-duplicate analyze() calls).
+  std::size_t max_cached_results = 32;
+  std::size_t stafan_patterns = 10'000;   ///< STAFAN artifact sample size
+  std::uint64_t stafan_seed = 1;          ///< STAFAN artifact pattern seed
+};
+
+/// Selects the artifacts a query wants.  Requested artifacts are
+/// materialized before analyze() returns and included in to_json() /
+/// write_report(); everything else remains available lazily through the
+/// result's accessors.  Signal probabilities are always computed — they
+/// are the base every other artifact derives from.
+struct AnalysisRequest {
+  bool observability = true;
+  bool detection_probs = true;
+  bool test_lengths = false;  ///< the (d_grid x e_grid) pattern counts
+  bool scoap = false;         ///< SCOAP measures (input-independent)
+  bool stafan = false;        ///< STAFAN measures (simulation-sampled)
+  std::vector<double> d_grid = {1.0, 0.98};
+  std::vector<double> e_grid = {0.95, 0.98, 0.999};
+
+  /// Just signal probabilities — the cheapest request.
+  static AnalysisRequest minimal();
+  /// Every artifact including SCOAP/STAFAN and the test-length grid.
+  static AnalysisRequest everything();
+};
+
+/// Counters for the session's caching behavior (cumulative).
+struct SessionStats {
+  std::size_t analyze_calls = 0;
+  std::size_t cache_hits = 0;         ///< exact-tuple cache hits
+  std::size_t incremental_evals = 0;  ///< exact perturb-path evaluations
+  /// Frozen-selection screening evals.  The first screen after the base
+  /// tuple changes may include a hidden full select run inside the engine
+  /// (re-anchoring the frozen selections to the new base) — one screen
+  /// per base is occasionally netlist-sized, the rest are cone-sized.
+  std::size_t screen_evals = 0;
+  std::size_t full_evals = 0;         ///< from-scratch engine evaluations
+};
+
+/// Handle to one analyzed input tuple.  Cheap to copy (shared state);
+/// artifacts are memoized in the shared state, so computing one through
+/// any copy benefits every other holder, including the session cache.
+class AnalysisResult {
+ public:
+  /// Shared memoization record (opaque; defined in session.cpp).
+  struct State;
+
+  AnalysisResult() = default;  ///< empty handle; accessors throw
+
+  bool valid() const { return state_ != nullptr; }
+  const Netlist& netlist() const;
+  std::string_view engine() const;
+  const AnalysisRequest& request() const { return request_; }
+  const std::vector<Fault>& faults() const;
+
+  const std::vector<double>& input_probs() const;
+  const std::vector<double>& signal_probs() const;
+  const Observability& observability() const;         ///< lazy, memoized
+  const std::vector<double>& detection_probs() const; ///< lazy, memoized
+  const ScoapMeasures& scoap() const;                 ///< lazy, session-shared
+  const StafanMeasures& stafan() const;               ///< lazy, memoized
+
+  /// Smallest N with P_{F_d} >= e for this tuple (paper sect. 5).
+  std::uint64_t test_length(double d, double e) const;
+
+  /// Serializes the requested artifacts (computing any that are missing).
+  /// Unreachable test lengths serialize as null.  indent = 0 for compact.
+  std::string to_json(int indent = 2) const;
+
+ private:
+  friend class AnalysisSession;
+  AnalysisResult(std::shared_ptr<State> state, AnalysisRequest request);
+
+  std::shared_ptr<State> state_;
+  AnalysisRequest request_;
+};
+
+class AnalysisSession {
+ public:
+  explicit AnalysisSession(const Netlist& net, SessionOptions opts = {});
+
+  /// Evaluates through a caller-provided engine (must be built on `net`)
+  /// and an explicit fault list, ignoring opts.engine / opts.universe.
+  /// This is how the ObjectiveEvaluator shares its engine and fault list
+  /// with a session.
+  AnalysisSession(const Netlist& net,
+                  std::shared_ptr<const SignalProbEngine> engine,
+                  std::vector<Fault> faults, SessionOptions opts = {});
+
+  ~AnalysisSession();
+  AnalysisSession(AnalysisSession&&) noexcept;
+
+  const Netlist& netlist() const;
+  const SignalProbEngine& engine() const;
+  std::shared_ptr<const SignalProbEngine> engine_ptr() const;
+  const std::vector<Fault>& faults() const;
+  const SessionOptions& options() const;
+  const SessionStats& stats() const { return stats_; }
+
+  /// Analyzes one input tuple.  Exact repeats return the cached shared
+  /// result; near-duplicates of a cached tuple go through the incremental
+  /// path when the engine supports it; everything else is a full engine
+  /// evaluation.  All three produce identical numbers.
+  AnalysisResult analyze(std::span<const double> input_probs,
+                         AnalysisRequest request = {});
+
+  /// analyze() for every tuple, in order.  Unlike the engine-level
+  /// signal_probs_batch (which may share conditioning selections across
+  /// the batch as an approximation), every element here has exact
+  /// single-tuple semantics — the session's plan cache already amortizes
+  /// the setup cost that batching used to recover.
+  std::vector<AnalysisResult> analyze_batch(std::span<const InputProbs> tuples,
+                                            AnalysisRequest request = {});
+
+  /// Incremental re-analysis: the tuple equal to `base` except input
+  /// `input_index` carries `new_p`.  Only the changed input's fanout cone
+  /// is re-evaluated (for incremental engines); the result is bit-for-bit
+  /// what analyze() would return for the perturbed tuple and is inserted
+  /// into the cache under that tuple.  The request is inherited from
+  /// `base`.  `base` must come from this session and have exact fidelity
+  /// (a perturb_screen() product is rejected — the cache must never mix
+  /// fidelities).
+  AnalysisResult perturb(const AnalysisResult& base, std::size_t input_index,
+                         double new_p);
+
+  /// Screening-fidelity perturb for neighborhood sweeps: engines with
+  /// tuple-dependent conditioning selections reuse the base tuple's sets
+  /// (PerturbMode::FrozenSelection) — bit-for-bit the numbers a batched
+  /// evaluation anchored at `base` would produce, at eval-only cost over
+  /// the changed input's fanout cone.  The result is NOT inserted into
+  /// the session cache (the cache holds exact-fidelity tuples only); use
+  /// perturb()/analyze() to confirm a screened candidate exactly.
+  AnalysisResult perturb_screen(const AnalysisResult& base,
+                                std::size_t input_index, double new_p);
+
+  void clear_cache();
+
+ private:
+  class ResultCache;
+
+  AnalysisResult wrap(std::shared_ptr<AnalysisResult::State> state,
+                      const AnalysisRequest& request);
+  void check_perturb_args(const AnalysisResult& base, std::size_t input_index,
+                          double new_p) const;
+
+  std::shared_ptr<detail::SessionShared> shared_;
+  std::unique_ptr<ResultCache> cache_;
+  SessionStats stats_;
+};
+
+}  // namespace protest

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "circuits/iscas.hpp"
+#include "prob/engine.hpp"
 #include "protest/cli.hpp"
 
 namespace protest {
@@ -84,11 +85,84 @@ TEST(Cli, AnalyzeWithEngineFlag) {
 }
 
 TEST(Cli, UnknownEngineIsAUsageError) {
+  // Status 2 with every registered name on stderr — not a raw exception.
   const TempFile f("c17.bench", c17_bench_text());
   const CliRun r = cli({"analyze", f.path(), "--engine", "bogus"});
   EXPECT_EQ(r.code, 2);
-  EXPECT_NE(r.err.find("unknown engine"), std::string::npos);
-  EXPECT_NE(r.err.find("protest"), std::string::npos);  // lists alternatives
+  EXPECT_NE(r.err.find("unknown engine 'bogus'"), std::string::npos);
+  for (const std::string& name : engine_names())
+    EXPECT_NE(r.err.find(name), std::string::npos) << name;
+}
+
+TEST(Cli, AnalyzeJsonEmitsValidRequestedArtifacts) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"analyze", f.path(), "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  for (const char* key : {"\"engine\"", "\"signal_probs\"",
+                          "\"detection_probs\"", "\"test_lengths\""})
+    EXPECT_NE(r.out.find(key), std::string::npos) << key;
+  EXPECT_EQ(r.out.find("\"scoap\""), std::string::npos);
+}
+
+TEST(Cli, ArtifactsFlagSelectsJsonContent) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"analyze", f.path(), "--json", "--artifacts",
+                        "signal_probs,scoap"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"scoap\""), std::string::npos);
+  EXPECT_EQ(r.out.find("\"detection_probs\""), std::string::npos);
+  EXPECT_EQ(r.out.find("\"test_lengths\""), std::string::npos);
+}
+
+TEST(Cli, UnknownArtifactIsAUsageError) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r =
+      cli({"analyze", f.path(), "--json", "--artifacts", "wibble"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown artifact 'wibble'"), std::string::npos);
+  EXPECT_NE(r.err.find("stafan"), std::string::npos);  // lists alternatives
+}
+
+TEST(Cli, ArtifactsWithoutJsonIsAUsageError) {
+  // The text report has a fixed layout; accepting --artifacts without
+  // --json would silently compute-and-drop the requested artifacts.
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"analyze", f.path(), "--artifacts", "scoap"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--artifacts requires --json"), std::string::npos);
+}
+
+TEST(Cli, OptimizeJsonReportsTupleAndTestLengths) {
+  const TempFile f("c17.bench", c17_bench_text());
+  const CliRun r = cli({"optimize", f.path(), "--n", "100", "--sweeps", "1",
+                        "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* key :
+       {"\"optimized_probs\"", "\"test_length\"", "\"log_objective\""})
+    EXPECT_NE(r.out.find(key), std::string::npos) << key;
+}
+
+TEST(Cli, ScanSupportsJson) {
+  const TempFile f("counter.bench", R"(
+INPUT(en)
+OUTPUT(out)
+q0 = DFF(n0)
+n0 = XOR(q0, en)
+out = BUFF(q0)
+)");
+  const CliRun r = cli({"scan", f.path(), "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_EQ(r.out.front(), '{');
+  EXPECT_NE(r.out.find("\"signal_probs\""), std::string::npos);
+}
+
+TEST(Cli, SimulateRejectsJsonAndArtifacts) {
+  const TempFile f("c17.bench", c17_bench_text());
+  EXPECT_EQ(cli({"simulate", f.path(), "--patterns", "16", "--json"}).code, 2);
+  EXPECT_EQ(cli({"simulate", f.path(), "--patterns", "16", "--artifacts",
+                 "scoap"}).code,
+            2);
 }
 
 TEST(Cli, SimulateRejectsEngineFlag) {

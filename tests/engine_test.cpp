@@ -262,6 +262,61 @@ TEST(EngineBatch, FacadeAnalyzeBatchMatchesPerTupleAnalyze) {
   }
 }
 
+TEST(EnginePerturb, ExactModeMatchesSingleCallOnEveryEngine) {
+  // The perturb contract: Exact mode is bit-for-bit the single call on
+  // the perturbed tuple — incremental engines via fanout-cone
+  // re-evaluation, the rest via deterministic full recomputation.  c17
+  // has reconvergent fanout, so the PROTEST conditioning is exercised.
+  const Netlist net = make_c17();
+  EngineConfig cfg;
+  cfg.monte_carlo.num_patterns = 4096;
+  const InputProbs base = uniform_input_probs(net, 0.5);
+  for (const std::string& name : engine_names()) {
+    const auto engine = make_engine(name, net, cfg);
+    const std::vector<double> base_probs = engine->signal_probs(base);
+    for (std::size_t idx : {std::size_t{0}, std::size_t{4}}) {
+      InputProbs perturbed = base;
+      perturbed[idx] = 0.125;
+      const auto got =
+          engine->signal_probs_perturb(base, base_probs, idx, 0.125);
+      const auto want = engine->signal_probs(perturbed);
+      EXPECT_EQ(got, want) << name << " input " << idx;
+    }
+  }
+}
+
+TEST(EnginePerturb, ValidatesArguments) {
+  const Netlist net = make_c17();
+  const auto engine = make_engine("protest", net);
+  const InputProbs base = uniform_input_probs(net, 0.5);
+  const std::vector<double> probs = engine->signal_probs(base);
+  EXPECT_THROW(engine->signal_probs_perturb(base, probs, 99, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(engine->signal_probs_perturb(base, probs, 0, -0.1),
+               std::invalid_argument);
+  const std::vector<double> short_probs(3, 0.5);
+  EXPECT_THROW(engine->signal_probs_perturb(base, short_probs, 0, 0.5),
+               std::invalid_argument);
+}
+
+TEST(EnginePerturb, FrozenSelectionMatchesBatchElement) {
+  // FrozenSelection reproduces what a batch anchored at the base computes
+  // for the perturbed tuple — even when the selection state belongs to a
+  // different tuple and must be re-anchored first.
+  const Netlist net = make_c17();
+  const auto engine = make_engine("protest", net);
+  const InputProbs base = uniform_input_probs(net, 0.5);
+  const std::vector<double> base_probs = engine->signal_probs(base);
+  InputProbs perturbed = base;
+  perturbed[1] = 0.8125;
+  const auto want = engine->signal_probs_batch(
+      std::vector<InputProbs>{base, perturbed})[1];
+  engine->signal_probs(uniform_input_probs(net, 0.3));  // de-anchor
+  const auto got = engine->signal_probs_perturb(
+      base, base_probs, 1, 0.8125, PerturbMode::FrozenSelection);
+  EXPECT_EQ(got, want);
+}
+
 TEST(EngineBatch, EmptyBatchYieldsEmptyResult) {
   const Netlist net = make_c17();
   for (const std::string& name : engine_names()) {

@@ -3,6 +3,7 @@
 
 #include "circuits/iscas.hpp"
 #include "protest/report.hpp"
+#include "protest/session.hpp"
 
 namespace protest {
 namespace {
@@ -49,16 +50,40 @@ TEST(Report, CustomGrid) {
   const Netlist net = make_c17();
   const Protest tool(net);
   const auto rep = tool.analyze(uniform_input_probs(net, 0.5));
-  const double ds[] = {0.5};
-  const double es[] = {0.9};
   ReportOptions opts;
-  opts.d_grid = ds;
-  opts.e_grid = es;
+  // Owned vectors: temporaries are safe (the old span fields dangled here).
+  opts.d_grid = {0.5};
+  opts.e_grid = {0.9};
   opts.signal_probabilities = false;
   opts.fault_list = false;
   const std::string text = report_string(tool, rep, opts);
   EXPECT_NE(text.find("| 0.50 | 0.900 |"), std::string::npos);
   EXPECT_EQ(text.find("0.999"), std::string::npos);
+}
+
+TEST(Report, ZeroMaxFaultRowsRendersAllFaults) {
+  const Netlist net = make_c17();
+  const Protest tool(net);
+  const auto rep = tool.analyze(uniform_input_probs(net, 0.5));
+  ReportOptions opts;
+  opts.max_fault_rows = 0;  // documented as "all"
+  const std::string text = report_string(tool, rep, opts);
+  EXPECT_EQ(text.find("easier faults omitted"), std::string::npos);
+  // One table row per fault of the tool's list.
+  std::size_t rows = 0;
+  for (const Fault& f : tool.faults())
+    rows += text.find(to_string(net, f)) != std::string::npos;
+  EXPECT_EQ(rows, tool.faults().size());
+}
+
+TEST(Report, SessionResultRendersLikeFacadeReport) {
+  const Netlist net = make_c17();
+  const Protest tool(net);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  const std::string via_facade = report_string(tool, tool.analyze(ip));
+  AnalysisSession session(net);
+  const std::string via_session = report_string(session.analyze(ip));
+  EXPECT_EQ(via_facade, via_session);
 }
 
 }  // namespace

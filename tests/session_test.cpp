@@ -1,0 +1,251 @@
+// The session-oriented analysis API: request/response artifacts, the
+// tuple cache, the incremental perturb() path, and JSON serialization.
+#include <gtest/gtest.h>
+
+#include "circuits/iscas.hpp"
+#include "circuits/zoo.hpp"
+#include "protest/session.hpp"
+
+namespace protest {
+namespace {
+
+InputProbs varied_tuple(const Netlist& net, double base) {
+  InputProbs t = uniform_input_probs(net, base);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = 0.1 + 0.05 * static_cast<double>(i % 16);
+  return t;
+}
+
+TEST(AnalysisSession, RepeatedTupleIsACacheHit) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  const AnalysisResult a = session.analyze(ip);
+  const AnalysisResult b = session.analyze(ip);
+  EXPECT_EQ(session.stats().analyze_calls, 2u);
+  EXPECT_EQ(session.stats().cache_hits, 1u);
+  EXPECT_EQ(session.stats().full_evals, 1u);
+  // Identical vectors — in fact the same shared memoization state.
+  EXPECT_EQ(a.signal_probs(), b.signal_probs());
+  EXPECT_EQ(&a.signal_probs(), &b.signal_probs());
+  EXPECT_EQ(&a.detection_probs(), &b.detection_probs());
+}
+
+TEST(AnalysisSession, NearDuplicateTupleTakesTheIncrementalPath) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  InputProbs ip = uniform_input_probs(net, 0.5);
+  session.analyze(ip);
+  ip[2] = 0.25;  // one coordinate away from the cached tuple
+  const AnalysisResult inc = session.analyze(ip);
+  EXPECT_EQ(session.stats().incremental_evals, 1u);
+  EXPECT_EQ(session.stats().full_evals, 1u);
+  // Bit-for-bit what a cold session computes from scratch.
+  AnalysisSession cold(net);
+  EXPECT_EQ(inc.signal_probs(), cold.analyze(ip).signal_probs());
+}
+
+TEST(AnalysisSession, PerturbMatchesFromScratchAnalyze) {
+  // Acceptance: perturb() == from-scratch analyze() on the same tuple,
+  // bit for bit, on the PROTEST and naive engines.  The ALU has heavy
+  // reconvergence, so the PROTEST conditioning path is fully exercised.
+  const Netlist net = make_circuit("alu");
+  for (const char* engine : {"protest", "naive"}) {
+    SessionOptions opts;
+    opts.engine = engine;
+    AnalysisSession session(net, opts);
+    const AnalysisResult base = session.analyze(varied_tuple(net, 0.5));
+    for (std::size_t idx : {std::size_t{0}, net.inputs().size() - 1}) {
+      for (double new_p : {0.0625, 0.9375}) {
+        const AnalysisResult inc = session.perturb(base, idx, new_p);
+        InputProbs perturbed = base.input_probs();
+        perturbed[idx] = new_p;
+        EXPECT_EQ(inc.input_probs(), perturbed);
+        AnalysisSession cold(net, opts);
+        const AnalysisResult scratch = cold.analyze(perturbed);
+        EXPECT_EQ(inc.signal_probs(), scratch.signal_probs())
+            << engine << " input " << idx << " p " << new_p;
+        EXPECT_EQ(inc.detection_probs(), scratch.detection_probs())
+            << engine << " input " << idx << " p " << new_p;
+      }
+    }
+  }
+}
+
+TEST(AnalysisSession, ScreeningPerturbMatchesBatchSemantics) {
+  // perturb_screen() freezes the conditioning sets selected at the base
+  // tuple — bit-for-bit the engine-level batch semantics anchored there —
+  // and must not pollute the exact-fidelity tuple cache.
+  const Netlist net = make_circuit("alu");
+  AnalysisSession session(net);
+  const InputProbs base = varied_tuple(net, 0.5);
+  const AnalysisResult base_r = session.analyze(base);
+  InputProbs perturbed = base;
+  perturbed[3] = 0.8125;
+
+  const AnalysisResult screened = session.perturb_screen(base_r, 3, 0.8125);
+  EXPECT_EQ(session.stats().screen_evals, 1u);
+
+  const auto reference = make_engine("protest", net);
+  const auto batch = reference->signal_probs_batch(
+      std::vector<InputProbs>{base, perturbed});
+  EXPECT_EQ(screened.signal_probs(), batch[1]);
+
+  // The exact path disagrees with the frozen screening on a reconvergent
+  // circuit (it re-selects), and analyze() must serve the exact value.
+  const AnalysisResult exact = session.analyze(perturbed);
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+  EXPECT_EQ(exact.signal_probs(),
+            reference->signal_probs(perturbed));
+}
+
+TEST(AnalysisSession, PerturbFallsBackOnNonIncrementalEngines) {
+  const Netlist net = make_c17();
+  SessionOptions opts;
+  opts.engine = "exact-enum";
+  AnalysisSession session(net, opts);
+  EXPECT_FALSE(session.engine().incremental());
+  const AnalysisResult base = session.analyze(uniform_input_probs(net, 0.5));
+  const AnalysisResult inc = session.perturb(base, 0, 0.25);
+  InputProbs perturbed = uniform_input_probs(net, 0.5);
+  perturbed[0] = 0.25;
+  AnalysisSession cold(net, opts);
+  EXPECT_EQ(inc.signal_probs(), cold.analyze(perturbed).signal_probs());
+}
+
+TEST(AnalysisSession, PerturbValidatesItsArguments) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  AnalysisSession other(net);
+  const AnalysisResult base = session.analyze(uniform_input_probs(net, 0.5));
+  EXPECT_THROW(session.perturb(base, 99, 0.5), std::invalid_argument);
+  EXPECT_THROW(session.perturb(base, 0, 1.5), std::invalid_argument);
+  EXPECT_THROW(session.perturb(AnalysisResult{}, 0, 0.5),
+               std::invalid_argument);
+  EXPECT_THROW(other.perturb(base, 0, 0.5), std::invalid_argument);
+}
+
+TEST(AnalysisSession, ScreenedResultsCannotSeedPerturbs) {
+  // A perturb() chained off a screening result would smuggle
+  // frozen-selection numbers into the exact-fidelity tuple cache.
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const AnalysisResult base = session.analyze(uniform_input_probs(net, 0.5));
+  const AnalysisResult screened = session.perturb_screen(base, 0, 0.25);
+  EXPECT_THROW(session.perturb(screened, 1, 0.75), std::invalid_argument);
+  EXPECT_THROW(session.perturb_screen(screened, 1, 0.75),
+               std::invalid_argument);
+}
+
+TEST(AnalysisSession, LazyArtifactsAreMemoized) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const AnalysisResult r =
+      session.analyze(uniform_input_probs(net, 0.5), AnalysisRequest::minimal());
+  const std::vector<double>& pf = r.detection_probs();  // computed on access
+  EXPECT_EQ(pf.size(), session.faults().size());
+  EXPECT_EQ(&r.detection_probs(), &pf);  // memoized, not recomputed
+  EXPECT_EQ(r.observability().stem.size(), net.size());
+  EXPECT_EQ(r.scoap().cc0.size(), net.size());
+  EXPECT_EQ(r.stafan().c1.size(), net.size());
+}
+
+TEST(AnalysisSession, ResultsOutliveTheSessionAndItsCache) {
+  const Netlist net = make_c17();
+  AnalysisResult r;
+  {
+    AnalysisSession session(net);
+    r = session.analyze(uniform_input_probs(net, 0.5),
+                        AnalysisRequest::minimal());
+  }
+  EXPECT_EQ(r.detection_probs().size(), r.faults().size());
+}
+
+TEST(AnalysisSession, CacheRespectsItsBound) {
+  const Netlist net = make_c17();
+  SessionOptions opts;
+  opts.max_cached_results = 2;
+  AnalysisSession session(net, opts);
+  const InputProbs a = uniform_input_probs(net, 0.1);
+  session.analyze(a);
+  session.analyze(uniform_input_probs(net, 0.2));
+  session.analyze(uniform_input_probs(net, 0.3));  // evicts the 0.1 tuple
+  session.analyze(a);
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+  EXPECT_EQ(session.stats().full_evals, 4u);
+}
+
+TEST(AnalysisSession, ClearCacheForgetsTuples) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  session.analyze(ip);
+  session.clear_cache();
+  session.analyze(ip);
+  EXPECT_EQ(session.stats().cache_hits, 0u);
+  EXPECT_EQ(session.stats().full_evals, 2u);
+}
+
+TEST(AnalysisSession, BatchHasExactPerTupleSemantics) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const std::vector<InputProbs> tuples = {uniform_input_probs(net, 0.5),
+                                          uniform_input_probs(net, 0.3),
+                                          uniform_input_probs(net, 0.5)};
+  const auto results = session.analyze_batch(tuples);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_EQ(session.stats().cache_hits, 1u);  // the repeated 0.5 tuple
+  for (std::size_t t = 0; t < tuples.size(); ++t) {
+    AnalysisSession cold(net);
+    EXPECT_EQ(results[t].signal_probs(),
+              cold.analyze(tuples[t]).signal_probs())
+        << "tuple " << t;
+  }
+}
+
+TEST(AnalysisSession, JsonContainsRequestedArtifactsOnly) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  AnalysisRequest req = AnalysisRequest::minimal();
+  const std::string minimal =
+      session.analyze(uniform_input_probs(net, 0.5), req).to_json();
+  EXPECT_NE(minimal.find("\"signal_probs\""), std::string::npos);
+  EXPECT_EQ(minimal.find("\"detection_probs\""), std::string::npos);
+  EXPECT_EQ(minimal.find("\"observability\""), std::string::npos);
+  EXPECT_EQ(minimal.find("\"scoap\""), std::string::npos);
+
+  req = AnalysisRequest::everything();
+  const std::string full =
+      session.analyze(uniform_input_probs(net, 0.5), req).to_json();
+  for (const char* key : {"\"engine\"", "\"circuit\"", "\"input_probs\"",
+                          "\"signal_probs\"", "\"observability\"",
+                          "\"detection_probs\"", "\"test_lengths\"",
+                          "\"scoap\"", "\"stafan\""})
+    EXPECT_NE(full.find(key), std::string::npos) << key;
+}
+
+TEST(AnalysisSession, JsonRoundTripsProbabilities) {
+  // The writer must emit enough digits that a reader recovers the exact
+  // doubles; spot-check one node value against its serialization.
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const AnalysisResult r = session.analyze(varied_tuple(net, 0.5));
+  const std::string json = r.to_json(0);  // compact mode, single line
+  const NodeId out0 = net.outputs()[0];
+  const std::string key = "\"node\":\"" + net.name_of(out0) + "\",\"p1\":";
+  const std::size_t pos = json.find(key);
+  ASSERT_NE(pos, std::string::npos) << json;
+  const double parsed = std::stod(json.substr(pos + key.size()));
+  EXPECT_EQ(parsed, r.signal_probs()[out0]);
+}
+
+TEST(AnalysisSession, EngineMismatchIsRejected) {
+  const Netlist a = make_c17();
+  const Netlist b = make_c17();
+  auto engine_on_b = make_engine("naive", b);
+  EXPECT_THROW(AnalysisSession(a, std::move(engine_on_b), {}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protest

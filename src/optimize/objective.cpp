@@ -13,10 +13,11 @@ namespace {
 /// engine handle, the observability options in SessionOptions.
 AnalysisSession make_evaluator_session(
     std::shared_ptr<const SignalProbEngine> engine, std::vector<Fault> faults,
-    ObservabilityOptions obs_opts) {
+    ObservabilityOptions obs_opts, ParallelConfig parallel) {
   if (!engine) throw std::invalid_argument("ObjectiveEvaluator: null engine");
   SessionOptions opts;
   opts.observability = obs_opts;
+  opts.parallel = parallel;
   const Netlist& net = engine->netlist();
   return AnalysisSession(net, std::move(engine), std::move(faults),
                          std::move(opts));
@@ -33,18 +34,20 @@ AnalysisRequest detection_request() {
 
 ObjectiveEvaluator::ObjectiveEvaluator(
     std::shared_ptr<const SignalProbEngine> engine, std::vector<Fault> faults,
-    std::uint64_t n_parameter, ObservabilityOptions obs_opts)
+    std::uint64_t n_parameter, ObservabilityOptions obs_opts,
+    ParallelConfig parallel)
     : n_(n_parameter),
       session_(make_evaluator_session(std::move(engine), std::move(faults),
-                                      obs_opts)) {}
+                                      obs_opts, parallel)) {}
 
 ObjectiveEvaluator::ObjectiveEvaluator(const Netlist& net,
                                        std::vector<Fault> faults,
                                        std::uint64_t n_parameter,
                                        ProtestParams params,
-                                       ObservabilityOptions obs_opts)
+                                       ObservabilityOptions obs_opts,
+                                       ParallelConfig parallel)
     : ObjectiveEvaluator(std::make_shared<ProtestEngine>(net, params),
-                         std::move(faults), n_parameter, obs_opts) {}
+                         std::move(faults), n_parameter, obs_opts, parallel) {}
 
 std::vector<double> ObjectiveEvaluator::detection_probs(
     std::span<const double> input_probs) const {
@@ -106,11 +109,14 @@ ObjectiveEvaluator::log_objectives_neighborhood(
       session_.analyze(base, detection_request());
   NeighborhoodObjectives out;
   out.base = log_objective_from_probs(base_result.detection_probs());
+  // One sweep call: candidates (signal probs + observability + detection)
+  // fan out across the session's worker clones when parallelism is
+  // configured; detection_probs() below is a memoized read either way.
+  const std::vector<AnalysisResult> screened =
+      session_.perturb_screen_sweep(base_result, coord, values);
   out.candidates.reserve(values.size());
-  for (const double v : values) {
-    const AnalysisResult r = session_.perturb_screen(base_result, coord, v);
+  for (const AnalysisResult& r : screened)
     out.candidates.push_back(log_objective_from_probs(r.detection_probs()));
-  }
   return out;
 }
 

@@ -28,14 +28,19 @@ namespace protest {
 class ObjectiveEvaluator {
  public:
   /// Evaluates through the given engine (must outlive the evaluator uses).
+  /// `parallel` sizes the neighborhood fan-out (per-worker engine clones
+  /// inside the session sweep); objective values are bit-identical for
+  /// every thread count.
   ObjectiveEvaluator(std::shared_ptr<const SignalProbEngine> engine,
                      std::vector<Fault> faults, std::uint64_t n_parameter,
-                     ObservabilityOptions obs_opts = {});
+                     ObservabilityOptions obs_opts = {},
+                     ParallelConfig parallel = {});
 
   /// Convenience: evaluates through the paper's PROTEST engine.
   ObjectiveEvaluator(const Netlist& net, std::vector<Fault> faults,
                      std::uint64_t n_parameter, ProtestParams params = {},
-                     ObservabilityOptions obs_opts = {});
+                     ObservabilityOptions obs_opts = {},
+                     ParallelConfig parallel = {});
 
   /// Estimated detection probability of every fault under X.
   std::vector<double> detection_probs(std::span<const double> input_probs) const;
@@ -58,9 +63,12 @@ class ObjectiveEvaluator {
   /// through the session's incremental path: the base is analyzed exactly
   /// once (usually a cache hit within a sweep) and each candidate is a
   /// frozen-selection screening perturb that re-evaluates only coordinate
-  /// `coord`'s fanout cone.  Candidate values are bit-for-bit what the
-  /// engine-level batch anchored at `base` produces (the PR 1 hill-climb
-  /// semantics) at a fraction of the cost; `base` itself is exact.
+  /// `coord`'s fanout cone.  With > 1 configured thread the candidates —
+  /// including their observability and detection-probability stages — fan
+  /// out across per-worker engine clones (session perturb_screen_sweep).
+  /// Candidate values are bit-for-bit what the engine-level batch anchored
+  /// at `base` produces (the PR 1 hill-climb semantics) at a fraction of
+  /// the cost, for any thread count; `base` itself is exact.
   struct NeighborhoodObjectives {
     double base = 0.0;
     std::vector<double> candidates;  ///< one per entry of `values`

@@ -66,6 +66,10 @@ std::vector<double> SignalProbEngine::compute_perturb(
 NaiveEngine::NaiveEngine(const Netlist& net)
     : SignalProbEngine(net, "naive"), fanout_cones_(net) {}
 
+std::unique_ptr<SignalProbEngine> NaiveEngine::clone() const {
+  return std::make_unique<NaiveEngine>(netlist());
+}
+
 std::vector<double> NaiveEngine::compute(
     std::span<const double> input_probs) const {
   return naive_signal_probs(netlist(), input_probs);
@@ -98,6 +102,10 @@ std::vector<double> NaiveEngine::compute_perturb(
 ExactBddEngine::ExactBddEngine(const Netlist& net, std::size_t node_limit)
     : SignalProbEngine(net, "exact-bdd"), node_limit_(node_limit) {}
 
+std::unique_ptr<SignalProbEngine> ExactBddEngine::clone() const {
+  return std::make_unique<ExactBddEngine>(netlist(), node_limit_);
+}
+
 std::vector<double> ExactBddEngine::compute(
     std::span<const double> input_probs) const {
   return exact_signal_probs_bdd(netlist(), input_probs, node_limit_);
@@ -108,12 +116,27 @@ std::vector<double> ExactBddEngine::compute(
 ExactEnumEngine::ExactEnumEngine(const Netlist& net)
     : SignalProbEngine(net, "exact-enum") {}
 
+std::unique_ptr<SignalProbEngine> ExactEnumEngine::clone() const {
+  return std::make_unique<ExactEnumEngine>(netlist());
+}
+
 std::vector<double> ExactEnumEngine::compute(
     std::span<const double> input_probs) const {
   return exact_signal_probs_enum(netlist(), input_probs);
 }
 
 // --- Monte-Carlo ------------------------------------------------------------
+
+/// Per-worker Monte-Carlo scratch, keyed by the pool's stable worker
+/// index: the simulator's netlist-sized value arrays, the shard
+/// one-counts, and the pattern word buffer all live across shards AND
+/// across batch tuples, so the hot loop never allocates.
+struct MonteCarloEngine::Worker {
+  explicit Worker(const Netlist& net) : sim(net), ones(net.size(), 0) {}
+  BlockSimulator sim;
+  std::vector<std::size_t> ones;
+  std::vector<std::uint64_t> word_buf;
+};
 
 MonteCarloEngine::MonteCarloEngine(const Netlist& net,
                                    MonteCarloEngineParams params)
@@ -122,22 +145,61 @@ MonteCarloEngine::MonteCarloEngine(const Netlist& net,
     throw std::invalid_argument("monte-carlo engine: num_patterns must be > 0");
 }
 
+MonteCarloEngine::~MonteCarloEngine() = default;
+
+std::unique_ptr<SignalProbEngine> MonteCarloEngine::clone() const {
+  return std::make_unique<MonteCarloEngine>(netlist(), params_);
+}
+
+bool MonteCarloEngine::internally_parallel() const {
+  return params_.parallel.resolved() > 1;
+}
+
+std::vector<double> MonteCarloEngine::run_tuple(
+    std::span<const double> input_probs) const {
+  const Netlist& net = netlist();
+  const std::size_t num_patterns = params_.num_patterns;
+  const std::size_t shards = monte_carlo_num_shards(num_patterns);
+  const std::vector<std::uint64_t> thresholds =
+      monte_carlo_thresholds(input_probs);
+
+  if (!pool_) pool_ = std::make_unique<ThreadPool>(params_.parallel);
+  workers_.resize(pool_->num_workers());
+  for (const std::unique_ptr<Worker>& w : workers_)
+    if (w) std::fill(w->ones.begin(), w->ones.end(), std::size_t{0});
+
+  // Shard contents depend only on (seed, shard index), never on which
+  // worker runs them, and the integer one-counts merge exactly — so the
+  // result is bit-identical for any thread count.
+  pool_->parallel_for(shards, [&](std::size_t shard, unsigned w) {
+    if (!workers_[w]) workers_[w] = std::make_unique<Worker>(net);
+    Worker& wk = *workers_[w];
+    monte_carlo_accumulate_shard(wk.sim, thresholds, shard, num_patterns,
+                                 params_.seed, wk.ones, wk.word_buf);
+  });
+
+  std::vector<std::size_t> ones(net.size(), 0);
+  for (const std::unique_ptr<Worker>& w : workers_)
+    if (w)
+      for (NodeId n = 0; n < net.size(); ++n) ones[n] += w->ones[n];
+  std::vector<double> p(net.size());
+  for (NodeId n = 0; n < net.size(); ++n)
+    p[n] = static_cast<double>(ones[n]) / static_cast<double>(num_patterns);
+  return p;
+}
+
 std::vector<double> MonteCarloEngine::compute(
     std::span<const double> input_probs) const {
-  return monte_carlo_signal_probs(netlist(), input_probs,
-                                  params_.num_patterns, params_.seed);
+  return run_tuple(input_probs);
 }
 
 std::vector<std::vector<double>> MonteCarloEngine::compute_batch(
     std::span<const InputProbs> batch) const {
-  // One BlockSimulator for the whole batch: its per-node value arrays are
-  // netlist-sized and would otherwise be reallocated per tuple.
-  BlockSimulator sim(netlist());
+  // run_tuple keeps the pool and the per-worker simulators alive across
+  // tuples; only the thresholds and one-counts are per-tuple.
   std::vector<std::vector<double>> out;
   out.reserve(batch.size());
-  for (const InputProbs& t : batch)
-    out.push_back(
-        monte_carlo_signal_probs(sim, t, params_.num_patterns, params_.seed));
+  for (const InputProbs& t : batch) out.push_back(run_tuple(t));
   return out;
 }
 
@@ -145,6 +207,10 @@ std::vector<std::vector<double>> MonteCarloEngine::compute_batch(
 
 ProtestEngine::ProtestEngine(const Netlist& net, ProtestParams params)
     : SignalProbEngine(net, "protest"), estimator_(net, params) {}
+
+std::unique_ptr<SignalProbEngine> ProtestEngine::clone() const {
+  return std::make_unique<ProtestEngine>(netlist(), estimator_.params());
+}
 
 std::vector<double> ProtestEngine::compute(
     std::span<const double> input_probs) const {

@@ -18,11 +18,21 @@
 // Monte-Carlo engine reuses one BlockSimulator.  The hill-climb optimizer
 // evaluates hundreds of neighbor tuples per step through this entry point.
 //
-// Thread safety: engines are NOT safe for concurrent use, even through
-// const methods — the PROTEST engine memoizes its per-netlist plan and
-// selection state across calls, and the naive engine caches fanout cones.
-// Give each thread its own engine (construction is cheap; the plan builds
-// lazily on first evaluation).
+// Thread safety: an engine instance is NOT safe for concurrent use, even
+// through const methods — the PROTEST engine memoizes its per-netlist plan
+// and selection state across calls, the naive engine caches fanout cones,
+// and the Monte-Carlo engine keeps per-worker simulators.  The supported
+// way to parallelize is one engine per thread, and clone() is the seam:
+// it returns a fresh engine of the same type and parameters sharing no
+// mutable state (construction is cheap; plans build lazily on first
+// evaluation).  ParallelBatchEvaluator (prob/parallel_eval.hpp) packages
+// that pattern — a fixed pool of per-worker clones fanning a tuple batch
+// or a neighborhood sweep across cores.  The Monte-Carlo engine instead
+// parallelizes INTERNALLY (internally_parallel() == true when configured
+// with > 1 thread): it shards its pattern budget across a private pool
+// with bit-identical results for any thread count (see
+// prob/monte_carlo.hpp for the stream-derivation rule) — don't stack a
+// clone layer on top of it.
 #pragma once
 
 #include <cstdint>
@@ -35,6 +45,7 @@
 #include "netlist/cone.hpp"
 #include "prob/protest_estimator.hpp"
 #include "prob/signal_prob.hpp"
+#include "util/thread_pool.hpp"
 
 namespace protest {
 
@@ -87,6 +98,17 @@ class SignalProbEngine {
   /// the changed input instead of recomputing the whole netlist.
   virtual bool incremental() const { return false; }
 
+  /// Fresh engine of the same type and parameters on the same netlist,
+  /// sharing no mutable state — the seam for per-thread parallelism (each
+  /// worker evaluates through its own clone; see ParallelBatchEvaluator).
+  virtual std::unique_ptr<SignalProbEngine> clone() const = 0;
+
+  /// True when the engine fans single evaluations across its own thread
+  /// pool (the sharded Monte-Carlo engine with > 1 configured thread).
+  /// Callers that parallelize via per-thread clones should skip such
+  /// engines instead of oversubscribing the machine.
+  virtual bool internally_parallel() const { return false; }
+
  protected:
   /// Throws std::invalid_argument unless `net` is finalized.
   SignalProbEngine(const Netlist& net, std::string name);
@@ -121,6 +143,7 @@ class NaiveEngine final : public SignalProbEngine {
  public:
   explicit NaiveEngine(const Netlist& net);
   bool incremental() const override { return true; }
+  std::unique_ptr<SignalProbEngine> clone() const override;
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;
@@ -140,6 +163,7 @@ class ExactBddEngine final : public SignalProbEngine {
   explicit ExactBddEngine(const Netlist& net,
                           std::size_t node_limit = 2'000'000);
   std::size_t node_limit() const { return node_limit_; }
+  std::unique_ptr<SignalProbEngine> clone() const override;
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;
@@ -152,6 +176,7 @@ class ExactBddEngine final : public SignalProbEngine {
 class ExactEnumEngine final : public SignalProbEngine {
  public:
   explicit ExactEnumEngine(const Netlist& net);
+  std::unique_ptr<SignalProbEngine> clone() const override;
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;
@@ -160,16 +185,24 @@ class ExactEnumEngine final : public SignalProbEngine {
 struct MonteCarloEngineParams {
   std::size_t num_patterns = 100'000;
   std::uint64_t seed = 1;
+  /// Workers the pattern shards fan across (see prob/monte_carlo.hpp for
+  /// the sharding scheme).  Results are bit-identical for every value.
+  ParallelConfig parallel;
 };
 
 /// STAFAN-style Monte-Carlo reference: simulate weighted random patterns
-/// and count ones.  Batch evaluation shares one BlockSimulator across all
-/// tuples.
+/// and count ones.  Evaluation shards the pattern budget across a private
+/// thread pool — counter-based per-shard RNG streams make the estimate
+/// bit-identical for any thread count — and batch evaluation reuses the
+/// per-worker simulators across all tuples.
 class MonteCarloEngine final : public SignalProbEngine {
  public:
   explicit MonteCarloEngine(const Netlist& net,
                             MonteCarloEngineParams params = {});
+  ~MonteCarloEngine() override;
   const MonteCarloEngineParams& params() const { return params_; }
+  std::unique_ptr<SignalProbEngine> clone() const override;
+  bool internally_parallel() const override;
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;
@@ -177,7 +210,14 @@ class MonteCarloEngine final : public SignalProbEngine {
       std::span<const InputProbs> batch) const override;
 
  private:
+  struct Worker;  ///< per-worker simulator + one-counts + word scratch
+  std::vector<double> run_tuple(std::span<const double> input_probs) const;
+
   MonteCarloEngineParams params_;
+  /// Lazy per-evaluation state; an engine is single-caller by contract, so
+  /// these are scratch, not shared state.
+  mutable std::unique_ptr<ThreadPool> pool_;
+  mutable std::vector<std::unique_ptr<Worker>> workers_;
 };
 
 /// The paper's estimator (sect. 2) behind the engine API.  Batch
@@ -192,6 +232,7 @@ class ProtestEngine final : public SignalProbEngine {
   /// Statistics of the most recent evaluation.
   const ProtestStats& stats() const { return estimator_.stats(); }
   bool incremental() const override { return true; }
+  std::unique_ptr<SignalProbEngine> clone() const override;
 
  protected:
   std::vector<double> compute(std::span<const double> input_probs) const override;

@@ -1,10 +1,91 @@
 #include "prob/monte_carlo.hpp"
 
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
 #include "prob/naive.hpp"
 #include "sim/logic_sim.hpp"
-#include "sim/pattern.hpp"
 
 namespace protest {
+namespace {
+
+/// splitmix64 [Steele et al.], the counter-based generator behind the
+/// shard streams: trivially seekable, no warm-up, passes BigCrush.
+constexpr std::uint64_t kGamma = 0x9e3779b97f4a7c15ull;
+
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  return mix64(state += kGamma);
+}
+
+}  // namespace
+
+std::size_t monte_carlo_num_shards(std::size_t num_patterns) {
+  return (num_patterns + kMonteCarloShardPatterns - 1) /
+         kMonteCarloShardPatterns;
+}
+
+std::uint64_t monte_carlo_stream_seed(std::uint64_t seed,
+                                      std::uint64_t shard_index) {
+  // Mixing (seed, shard) through the finalizer scatters the shard streams
+  // pseudo-randomly over the 2^64 splitmix state circle; a shard consumes
+  // ~2^19 states, so window overlaps are birthday-negligible.
+  return mix64(seed ^ ((shard_index + 1) * kGamma));
+}
+
+std::vector<std::uint64_t> monte_carlo_thresholds(
+    std::span<const double> input_probs) {
+  std::vector<std::uint64_t> thresholds(input_probs.size());
+  for (std::size_t i = 0; i < input_probs.size(); ++i) {
+    // Guard here, not just at the engine layer: a negative double to
+    // unsigned is UB, and the pre-shard code threw on out-of-range
+    // probabilities from every entry point (PatternSet::weighted).
+    if (!(input_probs[i] >= 0.0 && input_probs[i] <= 1.0))
+      throw std::invalid_argument(
+          "monte_carlo_thresholds: probability outside [0,1]");
+    thresholds[i] = static_cast<std::uint64_t>(input_probs[i] * 4294967296.0);
+  }
+  return thresholds;
+}
+
+void monte_carlo_accumulate_shard(BlockSimulator& sim,
+                                  std::span<const std::uint64_t> thresholds,
+                                  std::size_t shard_index,
+                                  std::size_t num_patterns, std::uint64_t seed,
+                                  std::span<std::size_t> ones,
+                                  std::vector<std::uint64_t>& word_buf) {
+  const std::size_t begin = shard_index * kMonteCarloShardPatterns;
+  const std::size_t count =
+      std::min(kMonteCarloShardPatterns, num_patterns - begin);
+  const std::size_t num_blocks = (count + 63) / 64;
+  const std::size_t num_inputs = thresholds.size();
+  const std::size_t num_nodes = ones.size();
+  word_buf.resize(num_inputs);
+
+  std::uint64_t state = monte_carlo_stream_seed(seed, shard_index);
+  for (std::size_t b = 0; b < num_blocks; ++b) {
+    for (std::size_t i = 0; i < num_inputs; ++i) {
+      const std::uint64_t threshold = thresholds[i];
+      std::uint64_t w = 0;
+      for (int bit = 0; bit < 64; ++bit)
+        if ((splitmix64_next(state) >> 32) < threshold)
+          w |= std::uint64_t{1} << bit;
+      word_buf[i] = w;
+    }
+    const std::vector<std::uint64_t>& vals = sim.run_words(word_buf);
+    const std::size_t rem = count - b * 64;
+    const std::uint64_t mask =
+        rem >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+    for (std::size_t n = 0; n < num_nodes; ++n)
+      ones[n] += static_cast<std::size_t>(std::popcount(vals[n] & mask));
+  }
+}
 
 std::vector<double> monte_carlo_signal_probs(const Netlist& net,
                                              std::span<const double> input_probs,
@@ -20,8 +101,14 @@ std::vector<double> monte_carlo_signal_probs(BlockSimulator& sim,
                                              std::size_t num_patterns,
                                              std::uint64_t seed) {
   const Netlist& net = sim.netlist();
-  const PatternSet ps = PatternSet::weighted(input_probs, num_patterns, seed);
-  const std::vector<std::size_t> ones = count_ones(sim, ps);
+  const std::vector<std::uint64_t> thresholds =
+      monte_carlo_thresholds(input_probs);
+  std::vector<std::size_t> ones(net.size(), 0);
+  std::vector<std::uint64_t> word_buf;
+  const std::size_t shards = monte_carlo_num_shards(num_patterns);
+  for (std::size_t s = 0; s < shards; ++s)
+    monte_carlo_accumulate_shard(sim, thresholds, s, num_patterns, seed, ones,
+                                 word_buf);
   std::vector<double> p(net.size());
   for (NodeId n = 0; n < net.size(); ++n)
     p[n] = static_cast<double>(ones[n]) / static_cast<double>(num_patterns);

@@ -1,0 +1,69 @@
+#include "prob/parallel_eval.hpp"
+
+namespace protest {
+
+ParallelBatchEvaluator::ParallelBatchEvaluator(
+    const SignalProbEngine& prototype, ParallelConfig parallel)
+    : prototype_(prototype),
+      pool_(parallel),
+      engines_(pool_.num_workers()) {}
+
+ParallelBatchEvaluator::ParallelBatchEvaluator(const Netlist& net,
+                                               const std::string& engine_name,
+                                               const EngineConfig& config,
+                                               ParallelConfig parallel)
+    : owned_prototype_(make_engine(engine_name, net, config)),
+      prototype_(*owned_prototype_),
+      pool_(parallel),
+      engines_(pool_.num_workers()) {}
+
+ParallelBatchEvaluator::~ParallelBatchEvaluator() = default;
+
+unsigned ParallelBatchEvaluator::num_workers() const {
+  return pool_.num_workers();
+}
+
+const SignalProbEngine& ParallelBatchEvaluator::worker_engine(
+    unsigned worker) const {
+  if (!engines_[worker]) engines_[worker] = prototype_.clone();
+  return *engines_[worker];
+}
+
+void ParallelBatchEvaluator::for_each_task(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, const SignalProbEngine&)>& fn)
+    const {
+  pool_.parallel_for(num_tasks, [&](std::size_t task, unsigned worker) {
+    fn(task, worker_engine(worker));
+  });
+}
+
+std::vector<std::vector<double>> ParallelBatchEvaluator::signal_probs_batch(
+    std::span<const InputProbs> batch) const {
+  for (const InputProbs& t : batch) validate_input_probs(netlist(), t);
+  std::vector<std::vector<double>> out(batch.size());
+  for_each_task(batch.size(),
+                [&](std::size_t t, const SignalProbEngine& engine) {
+                  out[t] = engine.signal_probs(batch[t]);
+                });
+  return out;
+}
+
+std::vector<std::vector<double>> ParallelBatchEvaluator::perturb_sweep(
+    std::span<const double> base_inputs,
+    std::span<const double> base_node_probs, std::size_t input_index,
+    std::span<const double> values, PerturbMode mode) const {
+  for (const double v : values)
+    validate_perturb_args(netlist(), base_inputs, base_node_probs, input_index,
+                          v);
+  std::vector<std::vector<double>> out(values.size());
+  for_each_task(values.size(),
+                [&](std::size_t i, const SignalProbEngine& engine) {
+                  out[i] = engine.signal_probs_perturb(
+                      base_inputs, base_node_probs, input_index, values[i],
+                      mode);
+                });
+  return out;
+}
+
+}  // namespace protest

@@ -1,0 +1,91 @@
+// Multi-threaded batch evaluation via per-worker engine clones.
+//
+// Engines are single-threaded by contract (see engine.hpp); the supported
+// parallelism model is one engine per worker.  ParallelBatchEvaluator
+// packages it: a fixed thread pool plus a lazily-cloned engine per worker,
+// fanning independent evaluations (a tuple batch, a neighborhood sweep)
+// across cores.
+//
+// Semantics: every evaluation goes through SignalProbEngine::signal_probs
+// or signal_probs_perturb on SOME clone, and clones share no mutable
+// state, so each result is bit-for-bit the corresponding serial
+// single-call result — independent of the thread count and of how tasks
+// land on workers.  Note the contrast with the engine-level
+// signal_probs_batch of state-sharing engines (the PROTEST engine shares
+// the conditioning selection chosen at the batch's first tuple): the
+// parallel batch here has exact PER-TUPLE semantics for every engine.
+// For the frozen-selection neighborhood fidelity, perturb_sweep anchors
+// every clone at the same base tuple, which reproduces the serial
+// FrozenSelection numbers exactly (the selection depends only on the
+// base; each clone re-derives it once per base).
+//
+// An evaluator instance is itself single-caller (the clones and pool are
+// reused across calls); sessions serialize access behind their mutex.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "prob/engine.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protest {
+
+class ParallelBatchEvaluator {
+ public:
+  /// Clones of `prototype` evaluate the work; the prototype itself is
+  /// never evaluated through and must outlive the evaluator.  Engines
+  /// that parallelize internally (sharded Monte-Carlo) are still handled
+  /// correctly, but prefer their built-in parallelism — stacking this
+  /// layer on top oversubscribes the machine.
+  ParallelBatchEvaluator(const SignalProbEngine& prototype,
+                         ParallelConfig parallel = {});
+
+  /// Convenience: builds (and owns) the prototype via make_engine.
+  ParallelBatchEvaluator(const Netlist& net, const std::string& engine_name,
+                         const EngineConfig& config = {},
+                         ParallelConfig parallel = {});
+
+  ~ParallelBatchEvaluator();
+
+  const Netlist& netlist() const { return prototype_.netlist(); }
+  std::string_view engine_name() const { return prototype_.name(); }
+  unsigned num_workers() const;
+
+  /// The generic fan-out: runs fn(task_index, engine) for every task in
+  /// [0, num_tasks), where `engine` is the claiming worker's private
+  /// clone.  Exceptions propagate (first one wins).  This is the primitive
+  /// the session's parallel neighborhood sweep builds on, with artifact
+  /// materialization inside the task.
+  void for_each_task(
+      std::size_t num_tasks,
+      const std::function<void(std::size_t, const SignalProbEngine&)>& fn) const;
+
+  /// One probability vector per tuple, each bit-identical to
+  /// prototype-style signal_probs(batch[i]) (exact per-tuple semantics —
+  /// see the header comment).  Validates all tuples up front.
+  std::vector<std::vector<double>> signal_probs_batch(
+      std::span<const InputProbs> batch) const;
+
+  /// The neighborhood sweep: result i is signal_probs_perturb(base_inputs,
+  /// base_node_probs, input_index, values[i], mode) — bit-identical to the
+  /// serial sweep for both fidelities.
+  std::vector<std::vector<double>> perturb_sweep(
+      std::span<const double> base_inputs,
+      std::span<const double> base_node_probs, std::size_t input_index,
+      std::span<const double> values,
+      PerturbMode mode = PerturbMode::FrozenSelection) const;
+
+ private:
+  const SignalProbEngine& worker_engine(unsigned worker) const;
+
+  std::unique_ptr<SignalProbEngine> owned_prototype_;  ///< name-based ctor
+  const SignalProbEngine& prototype_;
+  mutable ThreadPool pool_;
+  /// Slot w is touched only by worker w (stable pool indices), so lazy
+  /// creation needs no lock.
+  mutable std::vector<std::unique_ptr<SignalProbEngine>> engines_;
+};
+
+}  // namespace protest

@@ -34,6 +34,8 @@ struct Args {
   unsigned sweeps = 4;
   std::size_t patterns = 1'000;
   std::uint64_t seed = 1;
+  unsigned threads = 0;  ///< --threads: 0 = all hardware threads, 1 = serial
+  bool threads_set = false;
 };
 
 class UsageError : public std::runtime_error {
@@ -99,8 +101,21 @@ Args parse_args(const std::vector<std::string>& argv) {
       else if (flag == "--sweeps") a.sweeps = static_cast<unsigned>(std::stoul(need_value(flag)));
       else if (flag == "--patterns") a.patterns = std::stoull(need_value(flag));
       else if (flag == "--seed") a.seed = std::stoull(need_value(flag));
+      else if (flag == "--threads") {
+        // Cap before narrowing: a 64-bit stoul result (incl. "-1" wrapping
+        // to ULONG_MAX) must not truncate to a small, silently-accepted
+        // worker count.
+        const unsigned long v = std::stoul(need_value(flag));
+        if (v > 1024)
+          throw UsageError("--threads must be between 0 (= all hardware "
+                           "threads) and 1024");
+        a.threads = static_cast<unsigned>(v);
+        a.threads_set = true;
+      }
       else throw UsageError("unknown flag '" + flag + "'");
     } catch (const std::invalid_argument&) {
+      throw UsageError("bad value for flag " + flag);
+    } catch (const std::out_of_range&) {
       throw UsageError("bad value for flag " + flag);
     }
   }
@@ -112,6 +127,8 @@ Args parse_args(const std::vector<std::string>& argv) {
     if (a.json) throw UsageError("--json is not valid for 'simulate'");
     if (a.artifacts_set)
       throw UsageError("--artifacts is not valid for 'simulate'");
+    if (a.threads_set)
+      throw UsageError("--threads is not valid for 'simulate'");
   }
   if (a.artifacts_set && a.command == "optimize")
     throw UsageError("--artifacts is not valid for 'optimize'");
@@ -134,6 +151,7 @@ SessionOptions session_options(const Args& a) {
   SessionOptions opts;
   opts.engine = a.engine;
   opts.monte_carlo.seed = a.seed;
+  opts.parallel.num_threads = a.threads;
   return opts;
 }
 
@@ -296,17 +314,21 @@ void print_help(std::ostream& out) {
   out << "protest — probabilistic testability analysis (Wunderlich, DAC'85)\n"
          "\n"
          "  protest analyze  <file> [--p P] [--d D] [--e E] [--engine E]\n"
-         "                          [--json] [--artifacts LIST]\n"
+         "                          [--json] [--artifacts LIST] [--threads T]\n"
          "  protest optimize <file> [--n N] [--sweeps S] [--d D] [--e E] "
          "[--engine E] [--json]\n"
+         "                          [--threads T]\n"
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
-         "                          [--json] [--artifacts LIST]\n"
+         "                          [--json] [--artifacts LIST] [--threads T]\n"
          "  protest help\n"
          "\n"
          "<file>: .bench netlist or module DSL (auto-detected).\n"
          "--engine selects the signal-probability engine: protest (default),\n"
          "naive, exact-bdd, exact-enum, monte-carlo.\n"
+         "--threads T sizes the worker pool (Monte-Carlo pattern shards,\n"
+         "optimize neighborhood sweeps); 0 = all hardware threads (default),\n"
+         "1 = serial.  Results are bit-identical for every thread count.\n"
          "--json emits the analysis result as JSON instead of text.\n"
          "--artifacts (with --json) is a comma list choosing what to\n"
          "compute/serialize:\n"

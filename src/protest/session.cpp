@@ -8,6 +8,7 @@
 
 #include "analysis/json.hpp"
 #include "observe/detect.hpp"
+#include "prob/parallel_eval.hpp"
 #include "sim/pattern.hpp"
 #include "testlen/test_length.hpp"
 
@@ -28,6 +29,7 @@ std::shared_ptr<const SignalProbEngine> make_session_engine(
   EngineConfig cfg;
   cfg.protest = opts.estimator;
   cfg.monte_carlo = opts.monte_carlo;
+  cfg.monte_carlo.parallel = opts.parallel;
   cfg.bdd_node_limit = opts.bdd_node_limit;
   return make_engine(opts.engine, net, cfg);
 }
@@ -55,10 +57,16 @@ AnalysisRequest AnalysisRequest::everything() {
 /// returned: held by shared_ptr so results stay usable independent of the
 /// session's cache (and of the session itself).
 struct detail::SessionShared {
+  SessionShared(const Netlist& n, SessionOptions o,
+                std::shared_ptr<const SignalProbEngine> e,
+                std::vector<Fault> f)
+      : net(n), opts(std::move(o)), engine(std::move(e)), faults(std::move(f)) {}
+
   const Netlist& net;
   SessionOptions opts;
   std::shared_ptr<const SignalProbEngine> engine;
   std::vector<Fault> faults;
+  std::mutex scoap_mu;  ///< guards the lazy init below
   std::optional<ScoapMeasures> scoap;  ///< input-independent, session-wide
 };
 
@@ -69,7 +77,11 @@ struct AnalysisResult::State {
   /// false for perturb_screen() products (frozen-selection numbers);
   /// screened results never enter the cache and cannot seed perturbs.
   bool exact_fidelity = true;
-  // Memoized lazy artifacts.
+  /// Guards the lazy artifacts: results are shared across copies (and the
+  /// session cache), so concurrent accessors memoize exactly once.  Never
+  /// held while another lock is taken.
+  std::mutex mu;
+  // Memoized lazy artifacts (read/written under mu).
   std::optional<Observability> observability;
   std::optional<std::vector<double>> detection_probs;
   std::optional<StafanMeasures> stafan;
@@ -89,6 +101,16 @@ AnalysisResult::State& checked(
     throw std::logic_error("AnalysisResult: empty handle (default-"
                            "constructed or moved-from)");
   return *state;
+}
+
+/// Lazy-init helper for the accessors below; the caller holds s.mu.  Once
+/// materialized, the optionals are never reset, so references handed out
+/// stay valid after the lock is released.
+const Observability& ensure_observability(AnalysisResult::State& s) {
+  if (!s.observability)
+    s.observability = compute_observability(s.shared->net, s.signal_probs,
+                                            s.shared->opts.observability);
+  return *s.observability;
 }
 
 }  // namespace
@@ -115,28 +137,30 @@ const std::vector<double>& AnalysisResult::signal_probs() const {
 
 const Observability& AnalysisResult::observability() const {
   State& s = checked(state_);
-  if (!s.observability)
-    s.observability = compute_observability(s.shared->net, s.signal_probs,
-                                            s.shared->opts.observability);
-  return *s.observability;
+  const std::lock_guard<std::mutex> lock(s.mu);
+  return ensure_observability(s);
 }
 
 const std::vector<double>& AnalysisResult::detection_probs() const {
   State& s = checked(state_);
+  const std::lock_guard<std::mutex> lock(s.mu);
   if (!s.detection_probs)
-    s.detection_probs = protest::detection_probs(
-        s.shared->net, s.shared->faults, s.signal_probs, observability());
+    s.detection_probs =
+        protest::detection_probs(s.shared->net, s.shared->faults,
+                                 s.signal_probs, ensure_observability(s));
   return *s.detection_probs;
 }
 
 const ScoapMeasures& AnalysisResult::scoap() const {
   State& s = checked(state_);
+  const std::lock_guard<std::mutex> lock(s.shared->scoap_mu);
   if (!s.shared->scoap) s.shared->scoap = compute_scoap(s.shared->net);
   return *s.shared->scoap;
 }
 
 const StafanMeasures& AnalysisResult::stafan() const {
   State& s = checked(state_);
+  const std::lock_guard<std::mutex> lock(s.mu);
   if (!s.stafan)
     s.stafan = compute_stafan(
         s.shared->net,
@@ -339,8 +363,9 @@ AnalysisSession::AnalysisSession(
     throw std::invalid_argument(
         "AnalysisSession: engine was built on a different netlist");
   cache_ = std::make_unique<ResultCache>(opts.max_cached_results);
-  shared_ = std::make_shared<detail::SessionShared>(detail::SessionShared{
-      net, std::move(opts), std::move(engine), std::move(faults), {}});
+  mu_ = std::make_unique<std::mutex>();
+  shared_ = std::make_shared<detail::SessionShared>(
+      net, std::move(opts), std::move(engine), std::move(faults));
 }
 
 AnalysisSession::~AnalysisSession() = default;
@@ -360,7 +385,15 @@ const SessionOptions& AnalysisSession::options() const {
   return shared_->opts;
 }
 
-void AnalysisSession::clear_cache() { cache_->clear(); }
+SessionStats AnalysisSession::stats() const {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  return stats_;
+}
+
+void AnalysisSession::clear_cache() {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  cache_->clear();
+}
 
 AnalysisResult AnalysisSession::wrap(
     std::shared_ptr<AnalysisResult::State> state,
@@ -381,34 +414,40 @@ AnalysisResult AnalysisSession::wrap(
 AnalysisResult AnalysisSession::analyze(std::span<const double> input_probs,
                                         AnalysisRequest request) {
   validate_input_probs(shared_->net, input_probs);
-  ++stats_.analyze_calls;
-  std::vector<double> key(input_probs.begin(), input_probs.end());
+  std::shared_ptr<AnalysisResult::State> state;
+  {
+    // The engine is single-threaded by contract, so the whole lookup/
+    // evaluate/insert step serializes; artifact materialization (wrap)
+    // happens outside the session lock.
+    const std::lock_guard<std::mutex> lock(*mu_);
+    ++stats_.analyze_calls;
+    std::vector<double> key(input_probs.begin(), input_probs.end());
 
-  if (auto state = cache_->find(key)) {
-    ++stats_.cache_hits;
-    return wrap(std::move(state), request);
-  }
+    if ((state = cache_->find(key))) {
+      ++stats_.cache_hits;
+    } else {
+      std::vector<double> probs;
+      if (shared_->engine->incremental()) {
+        // A cached tuple one coordinate away feeds the incremental path,
+        // which is bit-for-bit equivalent to the full evaluation below.
+        if (auto [base, idx] = cache_->find_near(key); base) {
+          probs = shared_->engine->signal_probs_perturb(
+              base->input_probs, base->signal_probs, idx, key[idx]);
+          ++stats_.incremental_evals;
+        }
+      }
+      if (probs.empty()) {
+        probs = shared_->engine->signal_probs(key);
+        ++stats_.full_evals;
+      }
 
-  std::vector<double> probs;
-  if (shared_->engine->incremental()) {
-    // A cached tuple one coordinate away feeds the incremental path,
-    // which is bit-for-bit equivalent to the full evaluation below.
-    if (auto [base, idx] = cache_->find_near(key); base) {
-      probs = shared_->engine->signal_probs_perturb(
-          base->input_probs, base->signal_probs, idx, key[idx]);
-      ++stats_.incremental_evals;
+      state = std::make_shared<AnalysisResult::State>();
+      state->shared = shared_;
+      state->input_probs = key;
+      state->signal_probs = std::move(probs);
+      cache_->insert(std::move(key), state);
     }
   }
-  if (probs.empty()) {
-    probs = shared_->engine->signal_probs(key);
-    ++stats_.full_evals;
-  }
-
-  auto state = std::make_shared<AnalysisResult::State>();
-  state->shared = shared_;
-  state->input_probs = key;
-  state->signal_probs = std::move(probs);
-  cache_->insert(std::move(key), state);
   return wrap(std::move(state), request);
 }
 
@@ -443,41 +482,42 @@ AnalysisResult AnalysisSession::perturb(const AnalysisResult& base,
                                         std::size_t input_index,
                                         double new_p) {
   check_perturb_args(base, input_index, new_p);
-  std::vector<double> key = base.state_->input_probs;
-  key[input_index] = new_p;
-  if (auto state = cache_->find(key)) {
-    ++stats_.cache_hits;
-    return wrap(std::move(state), base.request_);
+  std::shared_ptr<AnalysisResult::State> state;
+  {
+    const std::lock_guard<std::mutex> lock(*mu_);
+    std::vector<double> key = base.state_->input_probs;
+    key[input_index] = new_p;
+    if ((state = cache_->find(key))) {
+      ++stats_.cache_hits;
+    } else {
+      std::vector<double> probs = shared_->engine->signal_probs_perturb(
+          base.state_->input_probs, base.state_->signal_probs, input_index,
+          new_p);
+      if (shared_->engine->incremental())
+        ++stats_.incremental_evals;
+      else
+        ++stats_.full_evals;
+
+      state = std::make_shared<AnalysisResult::State>();
+      state->shared = shared_;
+      state->input_probs = key;
+      state->signal_probs = std::move(probs);
+      cache_->insert(std::move(key), state);
+    }
   }
-
-  std::vector<double> probs = shared_->engine->signal_probs_perturb(
-      base.state_->input_probs, base.state_->signal_probs, input_index,
-      new_p);
-  if (shared_->engine->incremental())
-    ++stats_.incremental_evals;
-  else
-    ++stats_.full_evals;
-
-  auto state = std::make_shared<AnalysisResult::State>();
-  state->shared = shared_;
-  state->input_probs = key;
-  state->signal_probs = std::move(probs);
-  cache_->insert(std::move(key), state);
   return wrap(std::move(state), base.request_);
 }
 
-AnalysisResult AnalysisSession::perturb_screen(const AnalysisResult& base,
-                                               std::size_t input_index,
-                                               double new_p) {
-  check_perturb_args(base, input_index, new_p);
+AnalysisResult AnalysisSession::screen_one(const SignalProbEngine& engine,
+                                           const AnalysisResult& base,
+                                           std::size_t input_index,
+                                           double new_p) {
   // No cache lookup and no insertion: the cache holds exact-fidelity
   // tuples only, and screening must yield frozen-selection numbers
   // deterministically (a cached exact value would differ).
-  std::vector<double> probs = shared_->engine->signal_probs_perturb(
+  std::vector<double> probs = engine.signal_probs_perturb(
       base.state_->input_probs, base.state_->signal_probs, input_index,
       new_p, PerturbMode::FrozenSelection);
-  ++stats_.screen_evals;
-
   auto state = std::make_shared<AnalysisResult::State>();
   state->shared = shared_;
   state->input_probs = base.state_->input_probs;
@@ -485,6 +525,51 @@ AnalysisResult AnalysisSession::perturb_screen(const AnalysisResult& base,
   state->signal_probs = std::move(probs);
   state->exact_fidelity = false;
   return wrap(std::move(state), base.request_);
+}
+
+AnalysisResult AnalysisSession::perturb_screen(const AnalysisResult& base,
+                                               std::size_t input_index,
+                                               double new_p) {
+  check_perturb_args(base, input_index, new_p);
+  const std::lock_guard<std::mutex> lock(*mu_);
+  ++stats_.screen_evals;
+  return screen_one(*shared_->engine, base, input_index, new_p);
+}
+
+std::vector<AnalysisResult> AnalysisSession::perturb_screen_sweep(
+    const AnalysisResult& base, std::size_t input_index,
+    std::span<const double> values) {
+  for (const double v : values) check_perturb_args(base, input_index, v);
+  std::vector<AnalysisResult> out(values.size());
+  if (values.empty()) return out;
+
+  const std::lock_guard<std::mutex> lock(*mu_);
+  stats_.screen_evals += values.size();
+  const SignalProbEngine& engine = *shared_->engine;
+  const bool serial = shared_->opts.parallel.resolved() == 1 ||
+                      engine.internally_parallel() || values.size() == 1;
+  if (serial) {
+    // Exactly the perturb_screen loop (internally-parallel engines
+    // already fan each candidate across every core).
+    for (std::size_t i = 0; i < values.size(); ++i)
+      out[i] = screen_one(engine, base, input_index, values[i]);
+    return out;
+  }
+
+  // Candidates fan out across per-worker engine clones; each worker also
+  // materializes the requested artifacts (observability, detection
+  // probabilities) inside wrap(), so the whole screening pipeline — not
+  // just the signal probabilities — runs in parallel.  Frozen selections
+  // depend only on the base tuple, which every clone anchors at, so
+  // element i is bit-for-bit the serial perturb_screen result.
+  if (!sweep_eval_)
+    sweep_eval_ = std::make_unique<ParallelBatchEvaluator>(
+        engine, shared_->opts.parallel);
+  sweep_eval_->for_each_task(
+      values.size(), [&](std::size_t i, const SignalProbEngine& worker) {
+        out[i] = screen_one(worker, base, input_index, values[i]);
+      });
+  return out;
 }
 
 }  // namespace protest

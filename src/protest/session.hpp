@@ -26,13 +26,22 @@
 // identical to from-scratch evaluation (see SignalProbEngine::
 // signal_probs_perturb), so the cache never mixes approximation levels.
 //
-// Sessions are single-threaded: analyze()/perturb() mutate the session's
-// caches.  The netlist must outlive the session and every result obtained
-// from it.
+// Thread safety: a session is safe for CONCURRENT callers.  analyze(),
+// perturb(), perturb_screen() and the sweep serialize on an internal
+// mutex (the session owns one engine, and engines are single-threaded by
+// contract), and lazy artifact materialization on shared AnalysisResults
+// is guarded per result — two threads asking the same result for
+// detection probabilities compute them once.  Concurrency therefore gives
+// SAFETY, not speed-up, at the query level; throughput comes from inside
+// a query: the Monte-Carlo engine shards its patterns across threads, and
+// perturb_screen_sweep() fans a whole neighborhood across per-worker
+// engine clones (SessionOptions::parallel sizes both).  The netlist must
+// outlive the session and every result obtained from it.
 #pragma once
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -43,8 +52,11 @@
 #include "observe/observability.hpp"
 #include "prob/engine.hpp"
 #include "sim/fault.hpp"
+#include "util/thread_pool.hpp"
 
 namespace protest {
+
+class ParallelBatchEvaluator;
 
 namespace detail {
 struct SessionShared;  ///< netlist + engine + faults + options (internal)
@@ -70,6 +82,11 @@ struct SessionOptions {
   std::size_t max_cached_results = 32;
   std::size_t stafan_patterns = 10'000;   ///< STAFAN artifact sample size
   std::uint64_t stafan_seed = 1;          ///< STAFAN artifact pattern seed
+  /// Worker count for everything the session parallelizes: the sharded
+  /// Monte-Carlo engine (when engine == "monte-carlo") and the
+  /// perturb_screen_sweep neighborhood fan-out.  Results are bit-identical
+  /// for every value; 1 is the serial path.
+  ParallelConfig parallel;
 };
 
 /// Selects the artifacts a query wants.  Requested artifacts are
@@ -163,7 +180,9 @@ class AnalysisSession {
   std::shared_ptr<const SignalProbEngine> engine_ptr() const;
   const std::vector<Fault>& faults() const;
   const SessionOptions& options() const;
-  const SessionStats& stats() const { return stats_; }
+  /// Snapshot of the cumulative counters (by value: safe to call while
+  /// other threads query the session).
+  SessionStats stats() const;
 
   /// Analyzes one input tuple.  Exact repeats return the cached shared
   /// result; near-duplicates of a cached tuple go through the incremental
@@ -201,6 +220,19 @@ class AnalysisSession {
   AnalysisResult perturb_screen(const AnalysisResult& base,
                                 std::size_t input_index, double new_p);
 
+  /// perturb_screen() for every value of `values` (same base, same
+  /// coordinate) — the hill climber's per-coordinate neighborhood in one
+  /// call.  With > 1 configured worker the candidates fan out across
+  /// per-worker engine clones, and the requested artifacts (observability,
+  /// detection probabilities) are materialized inside the workers, so the
+  /// whole screening pipeline parallelizes.  Element i is bit-for-bit
+  /// perturb_screen(base, input_index, values[i]) for any thread count.
+  /// Engines that parallelize internally (sharded Monte-Carlo) sweep
+  /// serially — each candidate already uses every core.
+  std::vector<AnalysisResult> perturb_screen_sweep(
+      const AnalysisResult& base, std::size_t input_index,
+      std::span<const double> values);
+
   void clear_cache();
 
  private:
@@ -208,12 +240,24 @@ class AnalysisSession {
 
   AnalysisResult wrap(std::shared_ptr<AnalysisResult::State> state,
                       const AnalysisRequest& request);
+  /// One frozen-selection screen through `engine` (the session's own or a
+  /// sweep worker's clone): evaluate, build the screening-fidelity state,
+  /// materialize the base request's artifacts.  The single body behind
+  /// perturb_screen and both perturb_screen_sweep branches.
+  AnalysisResult screen_one(const SignalProbEngine& engine,
+                            const AnalysisResult& base,
+                            std::size_t input_index, double new_p);
   void check_perturb_args(const AnalysisResult& base, std::size_t input_index,
                           double new_p) const;
 
   std::shared_ptr<detail::SessionShared> shared_;
   std::unique_ptr<ResultCache> cache_;
   SessionStats stats_;
+  /// Serializes cache + stats + engine access across concurrent callers
+  /// (unique_ptr so the session stays movable).
+  std::unique_ptr<std::mutex> mu_;
+  /// Lazily-built per-worker engine clones for perturb_screen_sweep.
+  std::unique_ptr<ParallelBatchEvaluator> sweep_eval_;
 };
 
 }  // namespace protest

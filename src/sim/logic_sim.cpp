@@ -61,15 +61,22 @@ std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps) {
 }
 
 std::vector<std::size_t> count_ones(BlockSimulator& sim, const PatternSet& ps) {
+  std::vector<std::size_t> ones(sim.netlist().size(), 0);
+  count_ones(sim, ps, ones);
+  return ones;
+}
+
+void count_ones(BlockSimulator& sim, const PatternSet& ps,
+                std::vector<std::size_t>& ones) {
   const Netlist& net = sim.netlist();
-  std::vector<std::size_t> ones(net.size(), 0);
+  if (ones.size() != net.size())
+    throw std::invalid_argument("count_ones: accumulator/netlist size mismatch");
   for (std::size_t b = 0; b < ps.num_blocks(); ++b) {
     const auto& vals = sim.run(ps, b);
     const std::uint64_t mask = ps.valid_mask(b);
     for (NodeId n = 0; n < net.size(); ++n)
       ones[n] += static_cast<std::size_t>(std::popcount(vals[n] & mask));
   }
-  return ones;
 }
 
 }  // namespace protest

@@ -47,4 +47,10 @@ std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps);
 /// BlockSimulator across many pattern sets.
 std::vector<std::size_t> count_ones(BlockSimulator& sim, const PatternSet& ps);
 
+/// Same, ACCUMULATING into a caller-provided netlist-sized vector (not
+/// cleared) — per-shard workers merge partial counts without per-call
+/// allocation.  Throws std::invalid_argument on a size mismatch.
+void count_ones(BlockSimulator& sim, const PatternSet& ps,
+                std::vector<std::size_t>& ones);
+
 }  // namespace protest

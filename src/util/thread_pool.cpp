@@ -1,0 +1,140 @@
+#include "util/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace protest {
+
+unsigned ParallelConfig::resolved() const {
+  if (num_threads != 0) return num_threads;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;  ///< workers: a new job (or shutdown)
+  std::condition_variable done_cv;  ///< caller: all workers left the job
+  const std::function<void(std::size_t, unsigned)>* job = nullptr;
+  std::size_t num_tasks = 0;
+  std::atomic<std::size_t> next_task{0};
+  std::atomic<bool> failed{false};
+  std::exception_ptr error;      ///< first exception (guarded by mu)
+  std::uint64_t generation = 0;  ///< bumps per job; workers wait on it
+  unsigned workers_in_job = 0;   ///< pool threads still inside the job
+  bool shutdown = false;
+  std::vector<std::thread> threads;
+
+  /// Claims tasks until the cursor runs out or a task failed.  Runs on
+  /// pool threads and on the caller (worker 0).
+  void drain(const std::function<void(std::size_t, unsigned)>& fn,
+             std::size_t ntasks, unsigned worker) {
+    while (!failed.load(std::memory_order_relaxed)) {
+      const std::size_t t = next_task.fetch_add(1, std::memory_order_relaxed);
+      if (t >= ntasks) return;
+      try {
+        fn(t, worker);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!error) error = std::current_exception();
+        failed.store(true, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
+
+  void worker_main(unsigned worker) {
+    std::uint64_t seen = 0;
+    for (;;) {
+      const std::function<void(std::size_t, unsigned)>* fn;
+      std::size_t ntasks;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return shutdown || generation != seen; });
+        if (shutdown) return;
+        seen = generation;
+        fn = job;
+        ntasks = num_tasks;
+      }
+      drain(*fn, ntasks, worker);
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (--workers_in_job == 0) done_cv.notify_one();
+      }
+    }
+  }
+};
+
+ThreadPool::ThreadPool(unsigned num_workers) : impl_(std::make_unique<Impl>()) {
+  if (num_workers == 0) num_workers = 1;
+  impl_->threads.reserve(num_workers - 1);
+  try {
+    for (unsigned w = 1; w < num_workers; ++w)
+      impl_->threads.emplace_back([impl = impl_.get(), w] {
+        impl->worker_main(w);
+      });
+  } catch (...) {
+    // Thread spawning can fail under resource pressure; join what was
+    // started so the std::system_error surfaces instead of the
+    // joinable-thread std::terminate.
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mu);
+      impl_->shutdown = true;
+    }
+    impl_->work_cv.notify_all();
+    for (std::thread& t : impl_->threads) t.join();
+    throw;
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->shutdown = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& t : impl_->threads) t.join();
+}
+
+unsigned ThreadPool::num_workers() const {
+  return static_cast<unsigned>(impl_->threads.size()) + 1;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t num_tasks,
+    const std::function<void(std::size_t, unsigned)>& fn) {
+  if (num_tasks == 0) return;
+  Impl& im = *impl_;
+  if (im.threads.empty() || num_tasks == 1) {
+    // The serial path: identical results (work is indexed by task, never
+    // by worker), no synchronization, exceptions propagate directly.
+    for (std::size_t t = 0; t < num_tasks; ++t) fn(t, 0);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(im.mu);
+    im.job = &fn;
+    im.num_tasks = num_tasks;
+    im.next_task.store(0, std::memory_order_relaxed);
+    im.failed.store(false, std::memory_order_relaxed);
+    im.error = nullptr;
+    im.workers_in_job = static_cast<unsigned>(im.threads.size());
+    ++im.generation;
+  }
+  im.work_cv.notify_all();
+  im.drain(fn, num_tasks, 0);
+  std::unique_lock<std::mutex> lock(im.mu);
+  im.done_cv.wait(lock, [&] { return im.workers_in_job == 0; });
+  if (im.error) {
+    std::exception_ptr e = im.error;
+    im.error = nullptr;
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace protest

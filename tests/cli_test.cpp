@@ -84,6 +84,31 @@ TEST(Cli, AnalyzeWithEngineFlag) {
   }
 }
 
+TEST(Cli, ThreadsFlagIsValidatedAndDeterministic) {
+  const TempFile f("c17.bench", c17_bench_text());
+  // Same numbers at every thread count (the documented guarantee), for
+  // both the internally-parallel engine and the default.
+  const CliRun serial =
+      cli({"analyze", f.path(), "--engine", "monte-carlo", "--threads", "1"});
+  EXPECT_EQ(serial.code, 0) << serial.err;
+  const CliRun threaded =
+      cli({"analyze", f.path(), "--engine", "monte-carlo", "--threads", "4"});
+  EXPECT_EQ(threaded.code, 0) << threaded.err;
+  EXPECT_EQ(serial.out, threaded.out);
+  // Out-of-range values are usage errors (status 2), including "-1"
+  // wrapping through stoul and 2^32+1 (which must not truncate to a
+  // silently-accepted 1), not a thread-spawn attempt.
+  for (const char* bad :
+       {"-1", "4294967295", "4294967297", "99999999999999999999"}) {
+    const CliRun r = cli({"analyze", f.path(), "--threads", bad});
+    EXPECT_EQ(r.code, 2) << bad;
+  }
+  // simulate never evaluates an engine; --threads there is a usage error.
+  const CliRun sim = cli({"simulate", f.path(), "--patterns", "64",
+                          "--threads", "2"});
+  EXPECT_EQ(sim.code, 2);
+}
+
 TEST(Cli, UnknownEngineIsAUsageError) {
   // Status 2 with every registered name on stderr — not a raw exception.
   const TempFile f("c17.bench", c17_bench_text());

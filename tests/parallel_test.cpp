@@ -1,0 +1,274 @@
+// The parallel evaluation layer: the thread pool, the sharded Monte-Carlo
+// engine (thread-count invariance + the seeding contract), the per-clone
+// ParallelBatchEvaluator, the parallel neighborhood sweep, and concurrent
+// AnalysisSession access.  This suite (with session_test) is what the CI
+// ThreadSanitizer job runs.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "circuits/iscas.hpp"
+#include "circuits/zoo.hpp"
+#include "optimize/objective.hpp"
+#include "prob/engine.hpp"
+#include "prob/monte_carlo.hpp"
+#include "prob/parallel_eval.hpp"
+#include "protest/session.hpp"
+#include "util/thread_pool.hpp"
+
+namespace protest {
+namespace {
+
+InputProbs varied_tuple(const Netlist& net, double base) {
+  InputProbs t = uniform_input_probs(net, base);
+  for (std::size_t i = 0; i < t.size(); ++i)
+    t[i] = 0.1 + 0.05 * static_cast<double>(i % 16);
+  return t;
+}
+
+// --- thread pool ------------------------------------------------------------
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
+  for (const unsigned workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    EXPECT_EQ(pool.num_workers(), workers);
+    constexpr std::size_t kTasks = 1000;
+    std::vector<std::atomic<int>> hits(kTasks);
+    pool.parallel_for(kTasks, [&](std::size_t t, unsigned w) {
+      ASSERT_LT(w, workers);
+      hits[t].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t t = 0; t < kTasks; ++t)
+      EXPECT_EQ(hits[t].load(), 1) << "task " << t << " @ " << workers;
+  }
+}
+
+TEST(ThreadPool, ResolvesZeroToHardwareConcurrency) {
+  EXPECT_GE(ParallelConfig{0}.resolved(), 1u);
+  EXPECT_EQ(ParallelConfig{1}.resolved(), 1u);
+  EXPECT_EQ(ParallelConfig{5}.resolved(), 5u);
+}
+
+TEST(ThreadPool, PropagatesTheFirstException) {
+  for (const unsigned workers : {1u, 4u}) {
+    ThreadPool pool(workers);
+    EXPECT_THROW(
+        pool.parallel_for(64,
+                          [&](std::size_t t, unsigned) {
+                            if (t == 7) throw std::runtime_error("task 7");
+                          }),
+        std::runtime_error);
+    // The pool survives a failed job.
+    std::atomic<std::size_t> done{0};
+    pool.parallel_for(64, [&](std::size_t, unsigned) { ++done; });
+    EXPECT_EQ(done.load(), 64u);
+  }
+}
+
+// --- sharded Monte-Carlo ----------------------------------------------------
+
+TEST(ParallelMonteCarlo, BitIdenticalForAnyThreadCount) {
+  // Acceptance: the sharded estimate must not depend on the worker count
+  // — same shards, same per-shard streams, exact integer reduction.
+  const Netlist net = make_circuit("alu");
+  const InputProbs ip = varied_tuple(net, 0.5);
+  MonteCarloEngineParams params;
+  params.num_patterns = 50'000;  // 7 shards: more shards than workers
+  params.seed = 99;
+  params.parallel.num_threads = 1;
+  const std::vector<double> serial =
+      MonteCarloEngine(net, params).signal_probs(ip);
+  for (const unsigned threads : {2u, 8u}) {
+    params.parallel.num_threads = threads;
+    const MonteCarloEngine engine(net, params);
+    EXPECT_TRUE(engine.internally_parallel());
+    EXPECT_EQ(engine.signal_probs(ip), serial) << threads << " threads";
+  }
+}
+
+TEST(ParallelMonteCarlo, BatchBitIdenticalAcrossThreadCountsAndToSingles) {
+  const Netlist net = make_c17();
+  std::vector<InputProbs> batch = {uniform_input_probs(net, 0.5),
+                                   varied_tuple(net, 0.3),
+                                   uniform_input_probs(net, 0.125)};
+  MonteCarloEngineParams params;
+  params.num_patterns = 20'000;
+  params.parallel.num_threads = 1;
+  const MonteCarloEngine serial(net, params);
+  const auto want = serial.signal_probs_batch(batch);
+  // Regression for the seeding contract: batch element i equals the
+  // single-call evaluation of tuple i (both derive shard streams from
+  // (seed, shard) only — nothing depends on the position in the batch).
+  for (std::size_t t = 0; t < batch.size(); ++t)
+    EXPECT_EQ(want[t], serial.signal_probs(batch[t])) << "tuple " << t;
+  params.parallel.num_threads = 4;
+  EXPECT_EQ(MonteCarloEngine(net, params).signal_probs_batch(batch), want);
+}
+
+TEST(ParallelMonteCarlo, FreeFunctionSharesTheEngineDerivation) {
+  // monte_carlo_signal_probs and the engine follow one stream-derivation
+  // rule, so the scalable reference stays comparable across entry points.
+  const Netlist net = make_c17();
+  const InputProbs ip = uniform_input_probs(net, 0.25);
+  MonteCarloEngineParams params;
+  params.num_patterns = 10'000;
+  params.seed = 7;
+  params.parallel.num_threads = 2;
+  EXPECT_EQ(monte_carlo_signal_probs(net, ip, 10'000, 7),
+            MonteCarloEngine(net, params).signal_probs(ip));
+}
+
+TEST(ParallelMonteCarlo, StreamSeedsAreShardUnique) {
+  // Pin the derivation rule: distinct shards of one seed — and the same
+  // shard of adjacent seeds — start distinct RNG streams.
+  EXPECT_NE(monte_carlo_stream_seed(1, 0), monte_carlo_stream_seed(1, 1));
+  EXPECT_NE(monte_carlo_stream_seed(1, 0), monte_carlo_stream_seed(2, 0));
+  EXPECT_EQ(monte_carlo_num_shards(1), 1u);
+  EXPECT_EQ(monte_carlo_num_shards(kMonteCarloShardPatterns), 1u);
+  EXPECT_EQ(monte_carlo_num_shards(kMonteCarloShardPatterns + 1), 2u);
+  // Out-of-range probabilities throw on every entry point (a negative
+  // double cast to the unsigned threshold would be UB).
+  const std::vector<double> bad = {-0.5};
+  EXPECT_THROW(monte_carlo_thresholds(bad), std::invalid_argument);
+}
+
+// --- per-clone batch evaluation ---------------------------------------------
+
+TEST(ParallelBatchEval, MatchesSerialSingleCallsOnEveryEngine) {
+  const Netlist net = make_c17();
+  std::vector<InputProbs> batch;
+  for (double p : {0.5, 0.25, 0.125, 0.75, 0.0625})
+    batch.push_back(uniform_input_probs(net, p));
+  EngineConfig cfg;
+  cfg.monte_carlo.num_patterns = 4096;
+  for (const std::string& name : engine_names()) {
+    const auto engine = make_engine(name, net, cfg);
+    const ParallelBatchEvaluator eval(*engine, ParallelConfig{4});
+    const auto got = eval.signal_probs_batch(batch);
+    ASSERT_EQ(got.size(), batch.size()) << name;
+    for (std::size_t t = 0; t < batch.size(); ++t)
+      EXPECT_EQ(got[t], engine->signal_probs(batch[t]))
+          << name << " tuple " << t;
+  }
+}
+
+TEST(ParallelBatchEval, CloneSharesParametersNotState) {
+  const Netlist net = make_c17();
+  ProtestParams params;
+  params.maxvers = 2;
+  const ProtestEngine engine(net, params);
+  const auto clone = engine.clone();
+  EXPECT_EQ(clone->name(), "protest");
+  EXPECT_EQ(dynamic_cast<const ProtestEngine&>(*clone).params().maxvers, 2u);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  EXPECT_EQ(clone->signal_probs(ip), engine.signal_probs(ip));
+}
+
+// --- parallel neighborhood sweep --------------------------------------------
+
+TEST(ParallelSweep, BitIdenticalForAnyThreadCount) {
+  // Acceptance: session perturb_screen_sweep — and through it the hill
+  // climber's neighborhoods — must be bit-identical at 1/2/8 threads.
+  const Netlist net = make_circuit("alu");
+  const InputProbs base = varied_tuple(net, 0.5);
+  const std::vector<double> values = {0.0625, 0.25, 0.4375, 0.625, 0.9375};
+  const std::size_t coord = 3;
+
+  std::vector<std::vector<std::vector<double>>> probs_by_threads;
+  for (const unsigned threads : {1u, 2u, 8u}) {
+    SessionOptions opts;
+    opts.parallel.num_threads = threads;
+    AnalysisSession session(net, opts);
+    const AnalysisResult base_result = session.analyze(base);
+    const std::vector<AnalysisResult> swept =
+        session.perturb_screen_sweep(base_result, coord, values);
+    ASSERT_EQ(swept.size(), values.size());
+    std::vector<std::vector<double>> probs;
+    for (const AnalysisResult& r : swept) probs.push_back(r.signal_probs());
+    probs_by_threads.push_back(std::move(probs));
+    // The sweep has perturb_screen semantics element by element.
+    for (std::size_t i = 0; i < values.size(); ++i)
+      EXPECT_EQ(swept[i].signal_probs(),
+                session.perturb_screen(base_result, coord, values[i])
+                    .signal_probs())
+          << threads << " threads, value " << i;
+  }
+  EXPECT_EQ(probs_by_threads[1], probs_by_threads[0]);
+  EXPECT_EQ(probs_by_threads[2], probs_by_threads[0]);
+}
+
+TEST(ParallelSweep, NeighborhoodObjectivesInvariantUnderThreads) {
+  const Netlist net = make_c17();
+  const std::vector<Fault> faults = structural_fault_list(net);
+  const InputProbs base = uniform_input_probs(net, 0.5);
+  const std::vector<double> values = {0.125, 0.375, 0.875};
+
+  ObjectiveEvaluator serial(net, faults, 1000, {}, {}, ParallelConfig{1});
+  const auto want = serial.log_objectives_neighborhood(base, 1, values);
+  for (const unsigned threads : {2u, 8u}) {
+    ObjectiveEvaluator parallel(net, faults, 1000, {}, {},
+                                ParallelConfig{threads});
+    const auto got = parallel.log_objectives_neighborhood(base, 1, values);
+    EXPECT_EQ(got.base, want.base) << threads;
+    EXPECT_EQ(got.candidates, want.candidates) << threads;
+  }
+}
+
+// --- concurrent session access ----------------------------------------------
+
+TEST(ConcurrentSession, ParallelCallersMatchTheSerialResults) {
+  // Four threads hammer one session with overlapping analyze/perturb
+  // queries; every answer must equal the serial reference.  Run under
+  // TSan in CI to prove the mutex tier actually covers the caches.
+  const Netlist net = make_c17();
+  AnalysisSession reference(net);
+  std::vector<InputProbs> tuples;
+  std::vector<std::vector<double>> want;
+  for (double p : {0.5, 0.25, 0.75, 0.125})
+    tuples.push_back(uniform_input_probs(net, p));
+  for (const InputProbs& t : tuples)
+    want.push_back(reference.analyze(t).signal_probs());
+
+  AnalysisSession session(net);
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int th = 0; th < 4; ++th)
+    threads.emplace_back([&, th] {
+      for (int rep = 0; rep < 8; ++rep) {
+        const std::size_t i = static_cast<std::size_t>(th + rep) % tuples.size();
+        const AnalysisResult r = session.analyze(tuples[i]);
+        if (r.signal_probs() != want[i]) ++mismatches;
+        // Shared lazy artifacts memoize once under the result lock.
+        if (r.detection_probs().size() != session.faults().size())
+          ++mismatches;
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(session.stats().analyze_calls, 32u);
+}
+
+TEST(ConcurrentSession, ParallelPerturbsMatchFromScratch) {
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const AnalysisResult base = session.analyze(uniform_input_probs(net, 0.5));
+  std::vector<std::vector<double>> got(net.inputs().size());
+  std::vector<std::thread> threads;
+  for (std::size_t idx = 0; idx < net.inputs().size(); ++idx)
+    threads.emplace_back([&, idx] {
+      got[idx] = session.perturb(base, idx, 0.2).signal_probs();
+    });
+  for (std::thread& t : threads) t.join();
+  for (std::size_t idx = 0; idx < net.inputs().size(); ++idx) {
+    InputProbs ip = uniform_input_probs(net, 0.5);
+    ip[idx] = 0.2;
+    AnalysisSession cold(net);
+    EXPECT_EQ(got[idx], cold.analyze(ip).signal_probs()) << "input " << idx;
+  }
+}
+
+}  // namespace
+}  // namespace protest

@@ -1,0 +1,158 @@
+// Requests/sec through the service layer: resident registry sessions vs
+// a cold service per request.
+//
+// The workload is an interactive client loop on one netlist — an analyze
+// of the base tuple followed by single-coordinate perturbs — sent as
+// NDJSON lines through ProtestService::handle_line, i.e. the full daemon
+// path (parse, dispatch, evaluate, serialize).  Resident mode keeps one
+// service (and thus one hot session: cached plans, tuple cache,
+// incremental perturbs); cold mode builds a fresh service and reloads the
+// netlist for every request, the way a batch binary would.  Both modes
+// must produce byte-identical analyze payloads (exit 1 otherwise).
+//
+// Emits BENCH_service_throughput.json; hardware_threads is recorded
+// alongside, as the executor size affects absolute numbers.  Run with
+// --quick for a CI smoke.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "circuits/zoo.hpp"
+#include "protest/service.hpp"
+
+namespace protest {
+namespace {
+
+bool g_parity_ok = true;
+
+std::string load_line(const std::string& circuit) {
+  ServiceRequest load;
+  load.verb = ServiceVerb::LoadNetlist;
+  load.netlist = circuit;
+  load.circuit = circuit;
+  return load.to_json(0);
+}
+
+/// The client loop: one base analyze, then perturbs cycling over inputs
+/// and a few grid values (every perturb re-analyzes the base — a cache
+/// hit on a resident session, a full evaluation on a cold one).
+std::vector<std::string> request_script(const std::string& circuit,
+                                        std::size_t num_inputs,
+                                        std::size_t num_requests) {
+  std::vector<std::string> lines;
+  lines.reserve(num_requests);
+  ServiceRequest analyze;
+  analyze.verb = ServiceVerb::Analyze;
+  analyze.netlist = circuit;
+  analyze.p = 0.5;
+  lines.push_back(analyze.to_json(0));
+  const double values[] = {0.25, 0.75, 0.125, 0.875};
+  for (std::size_t i = 1; i < num_requests; ++i) {
+    ServiceRequest perturb;
+    perturb.verb = ServiceVerb::Perturb;
+    perturb.netlist = circuit;
+    perturb.p = 0.5;
+    perturb.input_index = i % num_inputs;
+    perturb.new_p = values[i % (sizeof values / sizeof values[0])];
+    lines.push_back(perturb.to_json(0));
+  }
+  return lines;
+}
+
+/// Runs every line through one resident service; returns the first
+/// (analyze) response for the parity check.
+std::string run_resident(const std::string& circuit,
+                         std::span<const std::string> lines) {
+  ProtestService service;
+  service.handle_line(load_line(circuit));
+  std::string first;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string resp = service.handle_line(lines[i]);
+    if (i == 0) first = resp;
+    if (resp.find("\"ok\":true") == std::string::npos) {
+      std::printf("ERROR: request failed: %s\n", resp.c_str());
+      g_parity_ok = false;
+    }
+  }
+  return first;
+}
+
+/// One fresh service (and netlist load) per request — the no-registry
+/// baseline.
+std::string run_cold(const std::string& circuit,
+                     std::span<const std::string> lines) {
+  std::string first;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    ProtestService service;
+    service.handle_line(load_line(circuit));
+    const std::string resp = service.handle_line(lines[i]);
+    if (i == 0) first = resp;
+  }
+  return first;
+}
+
+void run_circuit(bench::BenchJson& json, const std::string& circuit,
+                 std::size_t resident_requests, std::size_t cold_requests) {
+  const Netlist net = make_circuit(circuit);
+  const std::vector<std::string> script =
+      request_script(circuit, net.inputs().size(), resident_requests);
+  const std::span<const std::string> cold_script(
+      script.data(), std::min(cold_requests, script.size()));
+
+  std::string resident_first, cold_first;
+  const double t_resident =
+      bench::time_seconds([&] { resident_first = run_resident(circuit, script); });
+  const double t_cold =
+      bench::time_seconds([&] { cold_first = run_cold(circuit, cold_script); });
+
+  const double resident_rps =
+      static_cast<double>(script.size()) / t_resident;
+  const double cold_rps = static_cast<double>(cold_script.size()) / t_cold;
+
+  std::printf("\n%s: %zu gates, %zu resident / %zu cold requests\n",
+              circuit.c_str(), net.num_gates(), script.size(),
+              cold_script.size());
+  TextTable t({"mode", "requests/sec", "ms/request"});
+  t.add_row({"resident", fmt(resident_rps, 1),
+             fmt(1000.0 * t_resident / static_cast<double>(script.size()), 3)});
+  t.add_row({"cold", fmt(cold_rps, 1),
+             fmt(1000.0 * t_cold / static_cast<double>(cold_script.size()), 3)});
+  std::printf("%s", t.str().c_str());
+  std::printf("resident/cold speedup: %.2fx\n",
+              cold_rps > 0.0 ? resident_rps / cold_rps : 0.0);
+
+  if (resident_first != cold_first) {
+    std::printf("ERROR: resident and cold analyze payloads differ!\n");
+    g_parity_ok = false;
+  }
+
+  json.metric(circuit + ".resident.requests", static_cast<double>(script.size()));
+  json.metric(circuit + ".resident.requests_per_sec", resident_rps);
+  json.metric(circuit + ".cold.requests", static_cast<double>(cold_script.size()));
+  json.metric(circuit + ".cold.requests_per_sec", cold_rps);
+  json.metric(circuit + ".speedup",
+              cold_rps > 0.0 ? resident_rps / cold_rps : 0.0);
+}
+
+}  // namespace
+}  // namespace protest
+
+int main(int argc, char** argv) {
+  using namespace protest;
+  const bool quick = argc > 1 && std::strcmp(argv[1], "--quick") == 0;
+  bench::print_header("service throughput (resident registry vs cold)");
+  const unsigned hw = ParallelConfig{}.resolved();
+  std::printf("hardware threads: %u\n", hw);
+  bench::BenchJson json("service_throughput");
+  json.metric("hardware_threads", static_cast<double>(hw));
+  if (quick) {
+    run_circuit(json, "alu", 20, 4);
+  } else {
+    run_circuit(json, "alu", 400, 40);
+    run_circuit(json, "div", 120, 12);
+  }
+  json.write();
+  return g_parity_ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 #include "prob/monte_carlo.hpp"
 #include "prob/naive.hpp"
 #include "sim/logic_sim.hpp"
+#include "util/executor.hpp"
 
 namespace protest {
 
@@ -163,15 +164,15 @@ std::vector<double> MonteCarloEngine::run_tuple(
   const std::vector<std::uint64_t> thresholds =
       monte_carlo_thresholds(input_probs);
 
-  if (!pool_) pool_ = std::make_unique<ThreadPool>(params_.parallel);
-  workers_.resize(pool_->num_workers());
+  if (!exec_) exec_ = make_executor(params_.parallel);
+  workers_.resize(exec_->num_workers());
   for (const std::unique_ptr<Worker>& w : workers_)
     if (w) std::fill(w->ones.begin(), w->ones.end(), std::size_t{0});
 
   // Shard contents depend only on (seed, shard index), never on which
   // worker runs them, and the integer one-counts merge exactly — so the
   // result is bit-identical for any thread count.
-  pool_->parallel_for(shards, [&](std::size_t shard, unsigned w) {
+  exec_->parallel_for(shards, [&](std::size_t shard, unsigned w) {
     if (!workers_[w]) workers_[w] = std::make_unique<Worker>(net);
     Worker& wk = *workers_[w];
     monte_carlo_accumulate_shard(wk.sim, thresholds, shard, num_patterns,

@@ -215,8 +215,10 @@ class MonteCarloEngine final : public SignalProbEngine {
 
   MonteCarloEngineParams params_;
   /// Lazy per-evaluation state; an engine is single-caller by contract, so
-  /// these are scratch, not shared state.
-  mutable std::unique_ptr<ThreadPool> pool_;
+  /// these are scratch, not shared state.  The executor itself may be a
+  /// SHARED one injected through params_.parallel.executor — it serializes
+  /// jobs internally, so clones sharing it stay race-free.
+  mutable std::shared_ptr<Executor> exec_;
   mutable std::vector<std::unique_ptr<Worker>> workers_;
 };
 

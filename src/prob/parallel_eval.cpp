@@ -5,8 +5,8 @@ namespace protest {
 ParallelBatchEvaluator::ParallelBatchEvaluator(
     const SignalProbEngine& prototype, ParallelConfig parallel)
     : prototype_(prototype),
-      pool_(parallel),
-      engines_(pool_.num_workers()) {}
+      exec_(make_executor(parallel)),
+      engines_(exec_->num_workers()) {}
 
 ParallelBatchEvaluator::ParallelBatchEvaluator(const Netlist& net,
                                                const std::string& engine_name,
@@ -14,13 +14,13 @@ ParallelBatchEvaluator::ParallelBatchEvaluator(const Netlist& net,
                                                ParallelConfig parallel)
     : owned_prototype_(make_engine(engine_name, net, config)),
       prototype_(*owned_prototype_),
-      pool_(parallel),
-      engines_(pool_.num_workers()) {}
+      exec_(make_executor(parallel)),
+      engines_(exec_->num_workers()) {}
 
 ParallelBatchEvaluator::~ParallelBatchEvaluator() = default;
 
 unsigned ParallelBatchEvaluator::num_workers() const {
-  return pool_.num_workers();
+  return exec_->num_workers();
 }
 
 const SignalProbEngine& ParallelBatchEvaluator::worker_engine(
@@ -33,7 +33,7 @@ void ParallelBatchEvaluator::for_each_task(
     std::size_t num_tasks,
     const std::function<void(std::size_t, const SignalProbEngine&)>& fn)
     const {
-  pool_.parallel_for(num_tasks, [&](std::size_t task, unsigned worker) {
+  exec_->parallel_for(num_tasks, [&](std::size_t task, unsigned worker) {
     fn(task, worker_engine(worker));
   });
 }

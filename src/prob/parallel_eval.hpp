@@ -28,7 +28,7 @@
 #include <vector>
 
 #include "prob/engine.hpp"
-#include "util/thread_pool.hpp"
+#include "util/executor.hpp"
 
 namespace protest {
 
@@ -82,7 +82,10 @@ class ParallelBatchEvaluator {
 
   std::unique_ptr<SignalProbEngine> owned_prototype_;  ///< name-based ctor
   const SignalProbEngine& prototype_;
-  mutable ThreadPool pool_;
+  /// Private by default; a SHARED executor when ParallelConfig::executor
+  /// was injected (the service layer's one-pool-for-all-sessions seam —
+  /// it serializes jobs internally, so evaluators sharing it never race).
+  std::shared_ptr<Executor> exec_;
   /// Slot w is touched only by worker w (stable pool indices), so lazy
   /// creation needs no lock.
   mutable std::vector<std::unique_ptr<SignalProbEngine>> engines_;

@@ -2,7 +2,7 @@
 
 #include <algorithm>
 #include <fstream>
-#include <ostream>
+#include <iostream>
 #include <sstream>
 
 #include "analysis/json.hpp"
@@ -13,6 +13,7 @@
 #include "optimize/weighted_patterns.hpp"
 #include "prob/engine.hpp"
 #include "protest/protest.hpp"
+#include "protest/service.hpp"
 #include "protest/session.hpp"
 #include "sim/scan.hpp"
 
@@ -36,6 +37,13 @@ struct Args {
   std::uint64_t seed = 1;
   unsigned threads = 0;  ///< --threads: 0 = all hardware threads, 1 = serial
   bool threads_set = false;
+  std::size_t cap = 8;   ///< --cap: serve's resident-session bound
+  bool cap_set = false;
+  unsigned port = 0;     ///< --port: serve over TCP instead of stdin/stdout
+  bool port_set = false;
+  /// Per-query value flags seen (--p/--d/--e/--n/--sweeps/--patterns/
+  /// --seed) — rejected by commands that would silently ignore them.
+  std::vector<std::string> query_flags;
 };
 
 class UsageError : public std::runtime_error {
@@ -80,7 +88,7 @@ Args parse_args(const std::vector<std::string>& argv) {
   Args a;
   a.command = argv[0];
   std::size_t i = 1;
-  if (a.command != "help") {
+  if (a.command != "help" && a.command != "serve") {
     if (i >= argv.size()) throw UsageError("missing <file> argument");
     a.file = argv[i++];
   }
@@ -94,13 +102,13 @@ Args parse_args(const std::vector<std::string>& argv) {
       if (flag == "--engine") { a.engine = need_value(flag); a.engine_set = true; }
       else if (flag == "--json") a.json = true;
       else if (flag == "--artifacts") { a.artifacts = need_value(flag); a.artifacts_set = true; }
-      else if (flag == "--p") a.p = std::stod(need_value(flag));
-      else if (flag == "--d") a.d = std::stod(need_value(flag));
-      else if (flag == "--e") a.e = std::stod(need_value(flag));
-      else if (flag == "--n") a.n = std::stoull(need_value(flag));
-      else if (flag == "--sweeps") a.sweeps = static_cast<unsigned>(std::stoul(need_value(flag)));
-      else if (flag == "--patterns") a.patterns = std::stoull(need_value(flag));
-      else if (flag == "--seed") a.seed = std::stoull(need_value(flag));
+      else if (flag == "--p") { a.p = std::stod(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--d") { a.d = std::stod(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--e") { a.e = std::stod(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--n") { a.n = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--sweeps") { a.sweeps = static_cast<unsigned>(std::stoul(need_value(flag))); a.query_flags.push_back(flag); }
+      else if (flag == "--patterns") { a.patterns = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--seed") { a.seed = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
       else if (flag == "--threads") {
         // Cap before narrowing: a 64-bit stoul result (incl. "-1" wrapping
         // to ULONG_MAX) must not truncate to a small, silently-accepted
@@ -111,6 +119,16 @@ Args parse_args(const std::vector<std::string>& argv) {
                            "threads) and 1024");
         a.threads = static_cast<unsigned>(v);
         a.threads_set = true;
+      }
+      else if (flag == "--cap") {
+        a.cap = std::stoull(need_value(flag));
+        a.cap_set = true;
+      }
+      else if (flag == "--port") {
+        const unsigned long v = std::stoul(need_value(flag));
+        if (v > 65535) throw UsageError("--port must be between 0 and 65535");
+        a.port = static_cast<unsigned>(v);
+        a.port_set = true;
       }
       else throw UsageError("unknown flag '" + flag + "'");
     } catch (const std::invalid_argument&) {
@@ -132,6 +150,23 @@ Args parse_args(const std::vector<std::string>& argv) {
   }
   if (a.artifacts_set && a.command == "optimize")
     throw UsageError("--artifacts is not valid for 'optimize'");
+  // serve speaks the JSON protocol by construction and loads netlists per
+  // request; every per-query flag would be silently ignored, so all of
+  // them are rejected, not just the tracked boolean ones.
+  if (a.command == "serve") {
+    if (a.engine_set) throw UsageError("--engine is not valid for 'serve' "
+                                       "(pick the engine per load_netlist "
+                                       "request)");
+    if (a.json) throw UsageError("--json is not valid for 'serve'");
+    if (a.artifacts_set)
+      throw UsageError("--artifacts is not valid for 'serve'");
+    if (!a.query_flags.empty())
+      throw UsageError(a.query_flags.front() +
+                       " is not valid for 'serve' (per-query values travel "
+                       "in the JSON requests)");
+  } else if (a.cap_set || a.port_set) {
+    throw UsageError("--cap/--port are only valid for 'serve'");
+  }
   // The text report has a fixed layout; accepting --artifacts there would
   // compute the extra artifacts and then silently not print them.
   if (a.artifacts_set && !a.json)
@@ -153,6 +188,14 @@ SessionOptions session_options(const Args& a) {
   opts.monte_carlo.seed = a.seed;
   opts.parallel.num_threads = a.threads;
   return opts;
+}
+
+ServiceConfig service_config(const Args& a) {
+  ServiceConfig cfg;
+  cfg.max_resident_sessions = a.cap;
+  cfg.parallel.num_threads = a.threads;
+  cfg.session_defaults = session_options(a);
+  return cfg;
 }
 
 Netlist load_netlist(const std::string& path) {
@@ -192,17 +235,23 @@ void print_hard_faults(std::ostream& out, const AnalysisResult& result,
 }
 
 /// Shared by analyze and scan: one session query, JSON or text rendering.
+/// The session is leased from a service-layer registry — the same code
+/// path `protest serve` dispatches into — so the CLI is a one-shot client
+/// of the served API.
 int run_analysis(const Args& a, const Netlist& net, std::ostream& out,
                  const char* testlen_label) {
-  AnalysisSession session(net, session_options(a));
+  ProtestService service(service_config(a));
+  service.registry().register_external("cli", net, session_options(a));
+  const std::shared_ptr<AnalysisSession> session =
+      service.registry().open("cli");
   if (!a.json) {
     // Immediate feedback before the (potentially long) analysis.
     print_circuit_summary(out, net);
-    print_engine(out, session);
+    print_engine(out, *session);
   }
   const AnalysisRequest req = parse_artifacts(a, a.d, a.e);
   const AnalysisResult result =
-      session.analyze(uniform_input_probs(net, a.p), req);
+      session->analyze(uniform_input_probs(net, a.p), req);
   if (a.json) {
     out << result.to_json() << "\n";
     return 0;
@@ -296,6 +345,20 @@ int cmd_simulate(const Args& a, std::ostream& out) {
   return 0;
 }
 
+int cmd_serve(const Args& a, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  ProtestService service(service_config(a));
+  if (a.port_set) {
+    if (!tcp_serve_supported())
+      throw UsageError("--port is not supported on this platform "
+                       "(no POSIX sockets); use stdin/stdout mode");
+    return serve_tcp(service, static_cast<std::uint16_t>(a.port), err);
+  }
+  // NDJSON over stdin/stdout: requests in, responses out, diagnostics on
+  // stderr only (stdout must stay machine-parseable).
+  return serve_ndjson(service, in, out);
+}
+
 int cmd_scan(const Args& a, std::ostream& out) {
   std::ifstream f(a.file);
   if (!f) throw UsageError("cannot open '" + a.file + "'");
@@ -321,6 +384,7 @@ void print_help(std::ostream& out) {
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "                          [--json] [--artifacts LIST] [--threads T]\n"
+         "  protest serve           [--cap N] [--threads T] [--port P]\n"
          "  protest help\n"
          "\n"
          "<file>: .bench netlist or module DSL (auto-detected).\n"
@@ -334,7 +398,11 @@ void print_help(std::ostream& out) {
          "compute/serialize:\n"
          "signal_probs, observability, detection_probs, test_lengths,\n"
          "scoap, stafan (default: observability, detection_probs,\n"
-         "test_lengths).\n";
+         "test_lengths).\n"
+         "serve runs the resident-session daemon: newline-delimited JSON\n"
+         "requests on stdin (or TCP with --port), one response line each;\n"
+         "--cap bounds resident sessions (LRU-evicted, default 8).  See\n"
+         "the README's Serving section for the protocol.\n";
 }
 
 }  // namespace
@@ -351,6 +419,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (a.command == "optimize") return cmd_optimize(a, out);
     if (a.command == "simulate") return cmd_simulate(a, out);
     if (a.command == "scan") return cmd_scan(a, out);
+    if (a.command == "serve") return cmd_serve(a, std::cin, out, err);
     throw UsageError("unknown command '" + a.command + "'");
   } catch (const UsageError& e) {
     err << "error: " << e.what() << "\n";

@@ -5,7 +5,13 @@
 //   protest optimize <file> [--n N] [--sweeps S]
 //   protest simulate <file> --patterns N [--p P] [--seed S]
 //   protest scan     <file>
+//   protest serve           [--cap N] [--threads T] [--port P]
 //   protest help
+//
+// analyze/scan lease their session from a service-layer registry
+// (protest/service.hpp) — the same dispatch path the `serve` daemon
+// exposes over NDJSON; `serve` reads requests from stdin (responses on
+// `out`) unless --port selects the TCP front end.
 //
 // <file> is a .bench netlist or a DSL description (auto-detected by the
 // presence of a 'module' definition).

@@ -1,6 +1,7 @@
 #include "protest/protest.hpp"
 
 #include "optimize/objective.hpp"
+#include "protest/service.hpp"
 
 namespace protest {
 namespace {
@@ -17,18 +18,30 @@ ProtestReport report_from(const AnalysisResult& result) {
 
 }  // namespace
 
-Protest::Protest(const Netlist& net, ProtestOptions opts)
-    : session_(net, std::move(opts)) {}
+Protest::Protest(const Netlist& net, ProtestOptions opts) {
+  // The facade is a single-netlist client of the service layer: its
+  // session lives in a private registry under the name "default", runs on
+  // the service's shared executor, and `net` stays caller-owned (external
+  // registration — no copy, netlist() identity preserved).
+  ServiceConfig cfg;
+  cfg.parallel = opts.parallel;
+  service_ = std::make_unique<ProtestService>(std::move(cfg));
+  service_->registry().register_external("default", net, std::move(opts));
+  session_ = service_->registry().open("default");
+}
+
+Protest::~Protest() = default;
+Protest::Protest(Protest&&) noexcept = default;
 
 ProtestReport Protest::analyze(std::span<const double> input_probs) const {
-  return report_from(session_.analyze(input_probs));
+  return report_from(session_->analyze(input_probs));
 }
 
 std::vector<ProtestReport> Protest::analyze_batch(
     std::span<const InputProbs> input_tuples) const {
   std::vector<ProtestReport> reports;
   reports.reserve(input_tuples.size());
-  for (const AnalysisResult& r : session_.analyze_batch(input_tuples))
+  for (const AnalysisResult& r : session_->analyze_batch(input_tuples))
     reports.push_back(report_from(r));
   return reports;
 }
@@ -45,8 +58,8 @@ HillClimbResult Protest::optimize(std::uint64_t n_parameter,
   // parameters, no shared mutable state) keeps concurrent analyze() /
   // optimize() callers race-free.
   const ObjectiveEvaluator eval(
-      std::shared_ptr<const SignalProbEngine>(session_.engine().clone()),
-      session_.faults(), n_parameter, options().observability,
+      std::shared_ptr<const SignalProbEngine>(session_->engine().clone()),
+      session_->faults(), n_parameter, options().observability,
       options().parallel);
   return optimize_input_probs(eval, opts);
 }

@@ -9,10 +9,15 @@
 //
 // Since the session API landed, the facade is a thin compatibility wrapper
 // over an AnalysisSession: analyze() runs a session query and copies the
-// artifacts into the eager ProtestReport struct.  New code that issues
-// repeated or varied queries should hold an AnalysisSession (or use
-// session() below) — it exposes the request/response interface, the tuple
-// cache, the incremental perturb() path, and JSON serialization.
+// artifacts into the eager ProtestReport struct.  Since the service layer
+// landed, that session is leased from a private ProtestService — the
+// facade is a single-netlist in-process client of the same registry the
+// `protest serve` daemon dispatches into, sharing its executor seam.  New
+// code that issues repeated or varied queries should hold an
+// AnalysisSession (or use session() below) — it exposes the
+// request/response interface, the tuple cache, the incremental perturb()
+// path, and JSON serialization; multi-netlist callers should hold a
+// ProtestService / SessionRegistry directly (protest/service.hpp).
 #pragma once
 
 #include <cstdint>
@@ -32,6 +37,8 @@
 
 namespace protest {
 
+class ProtestService;
+
 /// Facade construction knobs — the session options under their historical
 /// name.
 using ProtestOptions = SessionOptions;
@@ -49,18 +56,24 @@ struct ProtestReport {
 class Protest {
  public:
   explicit Protest(const Netlist& net, ProtestOptions opts = {});
+  ~Protest();
+  Protest(Protest&&) noexcept;
 
-  const Netlist& netlist() const { return session_.netlist(); }
-  const std::vector<Fault>& faults() const { return session_.faults(); }
-  const ProtestOptions& options() const { return session_.options(); }
+  const Netlist& netlist() const { return session_->netlist(); }
+  const std::vector<Fault>& faults() const { return session_->faults(); }
+  const ProtestOptions& options() const { return session_->options(); }
 
   /// The signal-probability engine the tool evaluates through.
-  const SignalProbEngine& engine() const { return session_.engine(); }
+  const SignalProbEngine& engine() const { return session_->engine(); }
 
   /// The underlying session: cached plans, incremental perturb(), lazy
   /// artifact requests, JSON results.
-  AnalysisSession& session() { return session_; }
-  const AnalysisSession& session() const { return session_; }
+  AnalysisSession& session() { return *session_; }
+  const AnalysisSession& session() const { return *session_; }
+
+  /// The service the facade's session is registered in (netlist name
+  /// "default") — the seam to the daemon-facing request protocol.
+  ProtestService& service() { return *service_; }
 
   /// Signal probabilities, observabilities and detection probabilities for
   /// one input tuple.  Repeated tuples hit the session cache.
@@ -89,9 +102,12 @@ class Protest {
   FaultSimResult fault_simulate(const PatternSet& ps, FaultSimMode mode) const;
 
  private:
-  /// Mutable because the facade keeps its historical const analyze() API
-  /// while the session underneath updates its caches.
-  mutable AnalysisSession session_;
+  /// The facade's private service instance; the session is leased from
+  /// its registry (registered externally over the caller's netlist, so
+  /// netlist() identity is preserved).  The const analyze() API stays —
+  /// sessions are internally synchronized and logically const.
+  std::unique_ptr<ProtestService> service_;
+  std::shared_ptr<AnalysisSession> session_;
 };
 
 }  // namespace protest

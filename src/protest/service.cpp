@@ -1,0 +1,843 @@
+#include "protest/service.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <istream>
+#include <ostream>
+#include <thread>
+
+#include "analysis/json.hpp"
+#include "circuits/zoo.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/dsl.hpp"
+#include "optimize/hill_climb.hpp"
+#include "optimize/objective.hpp"
+
+namespace protest {
+
+// --- the registry -----------------------------------------------------------
+
+/// The expensive resident state: for owned registrations the netlist copy
+/// the session was built on (sessions hold references, so the copy must
+/// live exactly as long as the session), plus the session itself.
+/// Held by shared_ptr and co-owned by every handed-out session pointer,
+/// so eviction can never pull state out from under an in-flight query.
+struct SessionRegistry::Resident {
+  Resident(std::unique_ptr<Netlist> own, const Netlist* ext, SessionOptions o)
+      : owned(std::move(own)), session(owned ? *owned : *ext, std::move(o)) {}
+
+  std::unique_ptr<Netlist> owned;  ///< null for external registrations
+  AnalysisSession session;
+};
+
+std::shared_ptr<AnalysisSession> SessionRegistry::lease(
+    const std::shared_ptr<Resident>& r) {
+  return std::shared_ptr<AnalysisSession>(r, &r->session);
+}
+
+SessionRegistry::SessionRegistry(std::size_t max_resident,
+                                 ParallelConfig parallel)
+    : max_resident_(max_resident), exec_(make_executor(parallel)) {}
+
+void SessionRegistry::register_netlist(std::string name, Netlist net,
+                                       SessionOptions opts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[std::move(name)];
+  e = Entry{};  // replacing a registration drops its resident session
+  e.prototype = std::move(net);
+  e.opts = std::move(opts);
+}
+
+void SessionRegistry::register_external(std::string name, const Netlist& net,
+                                        SessionOptions opts) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = entries_[std::move(name)];
+  e = Entry{};
+  e.external = &net;
+  e.opts = std::move(opts);
+}
+
+std::shared_ptr<AnalysisSession> SessionRegistry::open(
+    const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end())
+    throw ServiceError("unknown_netlist",
+                       "no netlist registered under '" + name + "'");
+  Entry& e = it->second;
+  e.last_use = ++use_counter_;
+  if (!e.resident) {
+    // Revival builds the engine and fault list under the registry lock —
+    // concurrent opens of OTHER names briefly queue behind it; the
+    // expensive per-netlist plans build lazily inside the session later.
+    SessionOptions opts = e.opts;
+    opts.parallel.executor = exec_;
+    std::unique_ptr<Netlist> own =
+        e.prototype ? std::make_unique<Netlist>(*e.prototype) : nullptr;
+    e.resident = std::make_shared<Resident>(std::move(own), e.external,
+                                            std::move(opts));
+    enforce_cap_locked(&e);
+  }
+  return lease(e.resident);
+}
+
+std::shared_ptr<AnalysisSession> SessionRegistry::find_resident(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.resident) return nullptr;
+  return lease(it->second.resident);
+}
+
+void SessionRegistry::enforce_cap_locked(const Entry* keep) {
+  if (max_resident_ == 0) return;
+  for (;;) {
+    std::size_t resident = 0;
+    Entry* lru = nullptr;
+    for (auto& [name, e] : entries_) {
+      if (!e.resident) continue;
+      ++resident;
+      if (&e != keep && (!lru || e.last_use < lru->last_use)) lru = &e;
+    }
+    if (resident <= max_resident_ || !lru) return;
+    lru->resident.reset();  // in-flight leases keep their state alive
+  }
+}
+
+bool SessionRegistry::evict(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = entries_.find(name);
+  if (it == entries_.end() || !it->second.resident) return false;
+  it->second.resident.reset();
+  return true;
+}
+
+bool SessionRegistry::unregister(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return entries_.erase(name) > 0;
+}
+
+std::vector<std::string> SessionRegistry::registered_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, e] : entries_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+std::vector<std::string> SessionRegistry::resident_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::uint64_t, std::string>> by_use;
+  for (const auto& [name, e] : entries_)
+    if (e.resident) by_use.emplace_back(e.last_use, name);
+  std::sort(by_use.begin(), by_use.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  std::vector<std::string> names;
+  names.reserve(by_use.size());
+  for (auto& [use, name] : by_use) names.push_back(std::move(name));
+  return names;
+}
+
+std::size_t SessionRegistry::num_resident() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& [name, e] : entries_)
+    if (e.resident) ++n;
+  return n;
+}
+
+// --- the protocol -----------------------------------------------------------
+
+namespace {
+
+constexpr std::pair<ServiceVerb, std::string_view> kVerbNames[] = {
+    {ServiceVerb::LoadNetlist, "load_netlist"},
+    {ServiceVerb::Analyze, "analyze"},
+    {ServiceVerb::Perturb, "perturb"},
+    {ServiceVerb::Optimize, "optimize"},
+    {ServiceVerb::Stats, "stats"},
+    {ServiceVerb::Evict, "evict"},
+    {ServiceVerb::Shutdown, "shutdown"},
+};
+
+/// Artifact flag <-> wire name (the CLI's --artifacts vocabulary).
+constexpr std::pair<bool AnalysisRequest::*, std::string_view>
+    kArtifactFlags[] = {
+        {&AnalysisRequest::observability, "observability"},
+        {&AnalysisRequest::detection_probs, "detection_probs"},
+        {&AnalysisRequest::test_lengths, "test_lengths"},
+        {&AnalysisRequest::scoap, "scoap"},
+        {&AnalysisRequest::stafan, "stafan"},
+};
+
+/// Strictly integral, non-negative number (doubles carry protocol
+/// integers; exact up to 2^53).
+std::uint64_t to_uint(const JsonValue& v) {
+  const double d = v.as_number();
+  if (!(d >= 0.0) || d != std::floor(d) || d > 9007199254740992.0)
+    throw std::runtime_error("expected a non-negative integer");
+  return static_cast<std::uint64_t>(d);
+}
+
+std::vector<double> to_number_list(const JsonValue& v) {
+  std::vector<double> out;
+  out.reserve(v.as_array().size());
+  for (const JsonValue& e : v.as_array()) out.push_back(e.as_number());
+  return out;
+}
+
+AnalysisRequest artifacts_from_names(const JsonValue& list) {
+  AnalysisRequest req;
+  for (auto [flag, name] : kArtifactFlags) req.*flag = false;
+  for (const JsonValue& e : list.as_array()) {
+    const std::string& name = e.as_string();
+    if (name == "signal_probs") continue;  // always computed
+    bool known = false;
+    for (auto [flag, flag_name] : kArtifactFlags)
+      if (name == flag_name) {
+        req.*flag = true;
+        known = true;
+        break;
+      }
+    if (!known)
+      throw std::runtime_error("unknown artifact '" + name + "'");
+  }
+  return req;
+}
+
+void write_number_list(JsonWriter& w, std::string_view key,
+                       std::span<const double> values) {
+  w.key(key).begin_array();
+  for (const double v : values) w.value(v);
+  w.end_array();
+}
+
+void write_string_list(JsonWriter& w, std::string_view key,
+                       std::span<const std::string> values) {
+  w.key(key).begin_array();
+  for (const std::string& v : values) w.value(v);
+  w.end_array();
+}
+
+}  // namespace
+
+std::string_view to_string(ServiceVerb verb) {
+  for (auto [v, name] : kVerbNames)
+    if (v == verb) return name;
+  return "?";
+}
+
+ServiceVerb verb_from_string(std::string_view name) {
+  for (auto [v, verb_name] : kVerbNames)
+    if (name == verb_name) return v;
+  std::string known;
+  for (auto [v, verb_name] : kVerbNames) {
+    known += known.empty() ? "" : " ";
+    known += verb_name;
+  }
+  throw ServiceError("unknown_verb", "unknown verb '" + std::string(name) +
+                                         "' (available: " + known + ")");
+}
+
+std::string ServiceRequest::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("verb").value(to_string(verb));
+  w.key("id").value(id);
+  if (!netlist.empty()) w.key("netlist").value(netlist);
+  if (!circuit.empty()) w.key("circuit").value(circuit);
+  if (!source.empty()) w.key("source").value(source);
+  if (!engine.empty()) w.key("engine").value(engine);
+  if (seed) w.key("seed").value(*seed);
+  if (max_cached_results)
+    w.key("max_cached_results").value(*max_cached_results);
+  if (p) w.key("p").value(*p);
+  if (!input_probs.empty()) write_number_list(w, "input_probs", input_probs);
+  if (artifacts) {
+    std::vector<std::string> names;
+    for (auto [flag, name] : kArtifactFlags)
+      if ((*artifacts).*flag) names.emplace_back(name);
+    write_string_list(w, "artifacts", names);
+    write_number_list(w, "d_grid", artifacts->d_grid);
+    write_number_list(w, "e_grid", artifacts->e_grid);
+  }
+  if (verb == ServiceVerb::Perturb) {
+    w.key("input_index").value(input_index);
+    w.key("new_p").value(new_p);
+    if (screen) w.key("screen").value(true);
+  }
+  if (n_parameter) w.key("n").value(*n_parameter);
+  if (sweeps) w.key("sweeps").value(*sweeps);
+  w.end_object();
+  return w.str();
+}
+
+ServiceRequest ServiceRequest::from_json_value(const JsonValue& doc) {
+  if (!doc.is_object())
+    throw ServiceError("bad_request", "request must be a JSON object");
+  ServiceRequest r;
+  bool saw_verb = false;
+  std::optional<AnalysisRequest> artifact_flags;
+  std::optional<std::vector<double>> d_grid, e_grid;
+  for (const JsonValue::Member& m : doc.as_object()) {
+    const std::string& key = m.first;
+    const JsonValue& v = m.second;
+    try {
+      if (key == "verb") {
+        r.verb = verb_from_string(v.as_string());
+        saw_verb = true;
+      } else if (key == "id") {
+        r.id = to_uint(v);
+      } else if (key == "netlist") {
+        r.netlist = v.as_string();
+      } else if (key == "circuit") {
+        r.circuit = v.as_string();
+      } else if (key == "source") {
+        r.source = v.as_string();
+      } else if (key == "engine") {
+        r.engine = v.as_string();
+      } else if (key == "seed") {
+        r.seed = to_uint(v);
+      } else if (key == "max_cached_results") {
+        r.max_cached_results = static_cast<std::size_t>(to_uint(v));
+      } else if (key == "p") {
+        r.p = v.as_number();
+      } else if (key == "input_probs") {
+        r.input_probs = to_number_list(v);
+      } else if (key == "artifacts") {
+        artifact_flags = artifacts_from_names(v);
+      } else if (key == "d_grid") {
+        d_grid = to_number_list(v);
+      } else if (key == "e_grid") {
+        e_grid = to_number_list(v);
+      } else if (key == "input_index") {
+        r.input_index = static_cast<std::size_t>(to_uint(v));
+      } else if (key == "new_p") {
+        r.new_p = v.as_number();
+      } else if (key == "screen") {
+        r.screen = v.as_bool();
+      } else if (key == "n") {
+        r.n_parameter = to_uint(v);
+      } else if (key == "sweeps") {
+        r.sweeps = static_cast<unsigned>(to_uint(v));
+      } else {
+        throw std::runtime_error("unknown request member");
+      }
+    } catch (const ServiceError&) {
+      throw;
+    } catch (const std::exception& e) {
+      throw ServiceError("bad_request",
+                         "member '" + key + "': " + e.what());
+    }
+  }
+  if (!saw_verb) throw ServiceError("bad_request", "missing 'verb'");
+  // Grids imply an artifact request (with the default artifact set when
+  // none was named explicitly).
+  if (artifact_flags || d_grid || e_grid) {
+    r.artifacts = artifact_flags.value_or(AnalysisRequest{});
+    if (d_grid) r.artifacts->d_grid = std::move(*d_grid);
+    if (e_grid) r.artifacts->e_grid = std::move(*e_grid);
+  }
+  return r;
+}
+
+ServiceRequest ServiceRequest::from_json(std::string_view text) {
+  try {
+    return from_json_value(parse_json(text));
+  } catch (const ServiceError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ServiceError("bad_request", e.what());
+  }
+}
+
+ServiceResponse ServiceResponse::success(const ServiceRequest& req,
+                                         std::string result_json) {
+  ServiceResponse resp;
+  resp.id = req.id;
+  resp.verb = std::string(to_string(req.verb));
+  resp.ok = true;
+  resp.result_json = std::move(result_json);
+  return resp;
+}
+
+ServiceResponse ServiceResponse::failure(std::uint64_t id,
+                                         std::string_view verb,
+                                         const std::string& code,
+                                         const std::string& message) {
+  ServiceResponse resp;
+  resp.id = id;
+  resp.verb = std::string(verb);
+  resp.ok = false;
+  resp.error_code = code;
+  resp.error_message = message;
+  return resp;
+}
+
+std::string ServiceResponse::to_json(int indent) const {
+  JsonWriter w(indent);
+  w.begin_object();
+  w.key("id").value(id);
+  w.key("verb").value(verb);
+  w.key("ok").value(ok);
+  if (ok) {
+    w.key("result");
+    if (result_json.empty())
+      w.null();
+    else
+      w.raw(result_json);
+  } else {
+    w.key("error").begin_object();
+    w.key("code").value(error_code);
+    w.key("message").value(error_message);
+    w.end_object();
+  }
+  w.end_object();
+  return w.str();
+}
+
+ServiceResponse ServiceResponse::from_json_value(const JsonValue& doc) {
+  if (!doc.is_object())
+    throw ServiceError("bad_request", "response must be a JSON object");
+  ServiceResponse resp;
+  try {
+    resp.id = to_uint(doc.at("id"));
+    resp.verb = doc.at("verb").as_string();
+    resp.ok = doc.at("ok").as_bool();
+    if (resp.ok) {
+      const JsonValue& result = doc.at("result");
+      // Re-serializing reproduces the original bytes: both sides use the
+      // same writer and its double format round-trips.
+      if (!result.is_null()) resp.result_json = protest::to_json(result, 0);
+    } else {
+      const JsonValue& error = doc.at("error");
+      resp.error_code = error.at("code").as_string();
+      resp.error_message = error.at("message").as_string();
+    }
+  } catch (const ServiceError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ServiceError("bad_request", e.what());
+  }
+  return resp;
+}
+
+ServiceResponse ServiceResponse::from_json(std::string_view text) {
+  try {
+    return from_json_value(parse_json(text));
+  } catch (const ServiceError&) {
+    throw;
+  } catch (const std::exception& e) {
+    throw ServiceError("bad_request", e.what());
+  }
+}
+
+// --- the service ------------------------------------------------------------
+
+Netlist netlist_from_text(const std::string& text) {
+  // DSL descriptions contain a 'module' definition; .bench never does.
+  if (text.find("module ") != std::string::npos) return elaborate_dsl(text);
+  return read_bench_string(text);
+}
+
+ProtestService::ProtestService(ServiceConfig config)
+    : config_(std::move(config)),
+      registry_(config_.max_resident_sessions, config_.parallel) {}
+
+namespace {
+
+/// The tuple an analyze/perturb request targets.
+InputProbs request_tuple(const ServiceRequest& req, const Netlist& net) {
+  if (!req.input_probs.empty()) return req.input_probs;
+  return uniform_input_probs(net, req.p.value_or(0.5));
+}
+
+void require_netlist_name(const ServiceRequest& req) {
+  if (req.netlist.empty())
+    throw ServiceError("bad_request",
+                       "verb '" + std::string(to_string(req.verb)) +
+                           "' requires a 'netlist' name");
+}
+
+}  // namespace
+
+std::string ProtestService::dispatch(const ServiceRequest& req) {
+  switch (req.verb) {
+    case ServiceVerb::LoadNetlist: {
+      require_netlist_name(req);
+      if (req.circuit.empty() == req.source.empty())
+        throw ServiceError("bad_request",
+                           "load_netlist requires exactly one of 'circuit' "
+                           "(registry name) or 'source' (netlist text)");
+      Netlist net = req.circuit.empty() ? netlist_from_text(req.source)
+                                        : make_circuit(req.circuit);
+      SessionOptions opts = config_.session_defaults;
+      if (!req.engine.empty()) opts.engine = req.engine;
+      if (req.seed) opts.monte_carlo.seed = *req.seed;
+      if (req.max_cached_results)
+        opts.max_cached_results = *req.max_cached_results;
+      registry_.register_netlist(req.netlist, std::move(net), std::move(opts));
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.open(req.netlist);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("netlist").value(req.netlist);
+      w.key("engine").value(session->engine().name());
+      const Netlist& n = session->netlist();
+      w.key("inputs").value(n.inputs().size());
+      w.key("outputs").value(n.outputs().size());
+      w.key("gates").value(n.num_gates());
+      w.key("faults").value(session->faults().size());
+      const std::vector<std::string> resident = registry_.resident_names();
+      write_string_list(w, "resident", resident);
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Analyze: {
+      require_netlist_name(req);
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.open(req.netlist);
+      const AnalysisRequest artifacts =
+          req.artifacts.value_or(AnalysisRequest{});
+      return session
+          ->analyze(request_tuple(req, session->netlist()), artifacts)
+          .to_json(0);
+    }
+
+    case ServiceVerb::Perturb: {
+      require_netlist_name(req);
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.open(req.netlist);
+      const AnalysisRequest artifacts =
+          req.artifacts.value_or(AnalysisRequest{});
+      // The base analyze is a cache hit when the client analyzed the
+      // tuple before — the resident-session payoff: the perturb then
+      // re-evaluates only the changed input's fanout cone.
+      const AnalysisResult base =
+          session->analyze(request_tuple(req, session->netlist()), artifacts);
+      const AnalysisResult perturbed =
+          req.screen
+              ? session->perturb_screen(base, req.input_index, req.new_p)
+              : session->perturb(base, req.input_index, req.new_p);
+      return perturbed.to_json(0);
+    }
+
+    case ServiceVerb::Optimize: {
+      require_netlist_name(req);
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.open(req.netlist);
+      const std::uint64_t n_param = req.n_parameter.value_or(10'000);
+      // A clone keeps the resident session's engine free for concurrent
+      // analyze callers (same reasoning as Protest::optimize).
+      const ObjectiveEvaluator eval(
+          std::shared_ptr<const SignalProbEngine>(session->engine().clone()),
+          session->faults(), n_param, session->options().observability,
+          session->options().parallel);
+      HillClimbOptions opts;
+      if (req.sweeps) opts.max_sweeps = *req.sweeps;
+      const HillClimbResult res = optimize_input_probs(eval, opts);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("netlist").value(req.netlist);
+      w.key("engine").value(session->engine().name());
+      w.key("n_parameter").value(n_param);
+      w.key("log_objective").value(res.log_objective);
+      w.key("evaluations").value(res.evaluations);
+      w.key("sweeps").value(static_cast<std::uint64_t>(res.sweeps));
+      w.key("optimized_probs").begin_array();
+      const Netlist& net = session->netlist();
+      const auto inputs = net.inputs();
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        w.begin_object();
+        w.key("input").value(net.name_of(inputs[i]));
+        w.key("p").value(res.probs[i]);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Stats: {
+      JsonWriter w(0);
+      if (req.netlist.empty()) {
+        // Registry overview.
+        w.begin_object();
+        const std::vector<std::string> registered =
+            registry_.registered_names();
+        const std::vector<std::string> resident = registry_.resident_names();
+        write_string_list(w, "registered", registered);
+        write_string_list(w, "resident", resident);
+        w.key("max_resident").value(registry_.max_resident());
+        w.key("executor_workers").value(registry_.executor()->num_workers());
+        w.end_object();
+        return w.str();
+      }
+      // Named probe: never revives an evicted session (that would defeat
+      // the point of asking) and never touches LRU order.
+      const std::vector<std::string> registered = registry_.registered_names();
+      if (std::find(registered.begin(), registered.end(), req.netlist) ==
+          registered.end())
+        throw ServiceError("unknown_netlist",
+                           "no netlist registered under '" + req.netlist +
+                               "'");
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.find_resident(req.netlist);
+      w.begin_object();
+      w.key("netlist").value(req.netlist);
+      w.key("resident").value(session != nullptr);
+      if (session) {
+        w.key("engine").value(session->engine().name());
+        w.key("faults").value(session->faults().size());
+        w.key("stats");
+        session->stats().write(w);
+      }
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Evict: {
+      require_netlist_name(req);
+      const bool evicted = registry_.evict(req.netlist);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("netlist").value(req.netlist);
+      w.key("evicted").value(evicted);
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Shutdown: {
+      shutdown_.store(true, std::memory_order_release);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("shutting_down").value(true);
+      w.end_object();
+      return w.str();
+    }
+  }
+  throw ServiceError("unknown_verb", "unhandled verb");
+}
+
+ServiceResponse ProtestService::handle(const ServiceRequest& request) {
+  const std::string_view verb = to_string(request.verb);
+  try {
+    return ServiceResponse::success(request, dispatch(request));
+  } catch (const ServiceError& e) {
+    return ServiceResponse::failure(request.id, verb, e.code(), e.what());
+  } catch (const std::invalid_argument& e) {
+    // Validation thrown by the layers below (bad tuple arity, probability
+    // out of range, unknown engine/circuit names, ...).
+    return ServiceResponse::failure(request.id, verb, "bad_request", e.what());
+  } catch (const std::exception& e) {
+    return ServiceResponse::failure(request.id, verb, "internal", e.what());
+  }
+}
+
+std::string ProtestService::handle_line(std::string_view line) {
+  std::uint64_t id = 0;
+  std::string verb;
+  try {
+    const JsonValue doc = parse_json(line);
+    // Best-effort id/verb extraction so even undecodable requests get a
+    // correlatable error response.
+    if (doc.is_object()) {
+      if (const JsonValue* v = doc.find("id"); v && v->is_number())
+        id = to_uint(*v);
+      if (const JsonValue* v = doc.find("verb"); v && v->is_string())
+        verb = v->as_string();
+    }
+    return handle(ServiceRequest::from_json_value(doc)).to_json(0);
+  } catch (const ServiceError& e) {
+    return ServiceResponse::failure(id, verb, e.code(), e.what()).to_json(0);
+  } catch (const std::exception& e) {
+    return ServiceResponse::failure(id, verb, "bad_request", e.what())
+        .to_json(0);
+  }
+}
+
+// --- the daemon loops -------------------------------------------------------
+
+int serve_ndjson(ProtestService& service, std::istream& in,
+                 std::ostream& out) {
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    out << service.handle_line(line) << "\n" << std::flush;
+    if (service.shutdown_requested()) break;
+  }
+  return 0;
+}
+
+}  // namespace protest
+
+// --- TCP front end (POSIX only) ---------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace protest {
+namespace {
+
+/// Sends the whole buffer, retrying on partial writes and EINTR.  A peer
+/// that resets the connection must surface as a failed send on THIS
+/// connection, never as a process-wide SIGPIPE killing the daemon —
+/// hence MSG_NOSIGNAL (SO_NOSIGPIPE is set on the socket where that
+/// flag doesn't exist).
+bool write_all(int fd, std::string_view data) {
+#ifdef MSG_NOSIGNAL
+  constexpr int kSendFlags = MSG_NOSIGNAL;
+#else
+  constexpr int kSendFlags = 0;
+#endif
+  while (!data.empty()) {
+    const ssize_t n = ::send(fd, data.data(), data.size(), kSendFlags);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data.remove_prefix(static_cast<std::size_t>(n));
+  }
+  return true;
+}
+
+/// True when the fd has readable data (or EOF) within `timeout_ms`.
+bool wait_readable(int fd, int timeout_ms) {
+  struct pollfd pfd = {fd, POLLIN, 0};
+  return ::poll(&pfd, 1, timeout_ms) > 0;
+}
+
+/// One client connection: NDJSON request lines in, response lines out.
+/// Polls so the thread notices a shutdown triggered by another client.
+void serve_connection(ProtestService& service, int fd) {
+#ifdef SO_NOSIGPIPE
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
+#endif
+  std::string pending;
+  char buf[4096];
+  while (!service.shutdown_requested()) {
+    if (!wait_readable(fd, 200)) continue;
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // client closed (or error)
+    pending.append(buf, static_cast<std::size_t>(n));
+    bool io_ok = true;
+    std::size_t start = 0;
+    for (std::size_t nl;
+         io_ok && (nl = pending.find('\n', start)) != std::string::npos;
+         start = nl + 1) {
+      std::string_view line(pending.data() + start, nl - start);
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      if (line.find_first_not_of(" \t") == std::string_view::npos) continue;
+      const std::string response = service.handle_line(line) + "\n";
+      io_ok = write_all(fd, response);
+      if (service.shutdown_requested()) break;
+    }
+    pending.erase(0, start);
+    if (!io_ok) break;
+  }
+  ::close(fd);
+}
+
+}  // namespace
+
+bool tcp_serve_supported() { return true; }
+
+int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
+              std::atomic<std::uint16_t>* bound_port) {
+  const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0)
+    throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd, 16) < 0) {
+    const std::string err = std::strerror(errno);
+    ::close(listen_fd);
+    throw std::runtime_error("bind/listen 127.0.0.1:" + std::to_string(port) +
+                             ": " + err);
+  }
+  socklen_t len = sizeof addr;
+  ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr), &len);
+  const std::uint16_t actual_port = ntohs(addr.sin_port);
+  if (bound_port) *bound_port = actual_port;
+  log << "protest serve: listening on 127.0.0.1:" << actual_port << "\n"
+      << std::flush;
+
+  // One thread per live connection.  Finished threads are reaped on
+  // every accept-loop pass (their `done` flag flips as the last thing the
+  // connection does), so a long-lived daemon serving many short-lived
+  // clients never accumulates exited-but-unjoined threads.
+  struct Connection {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> connections;
+  const auto reap = [&connections](bool all) {
+    for (auto it = connections.begin(); it != connections.end();) {
+      if (all || it->done->load(std::memory_order_acquire)) {
+        it->thread.join();
+        it = connections.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
+  while (!service.shutdown_requested()) {
+    reap(/*all=*/false);
+    // Poll so the accept loop notices a shutdown handled on a connection
+    // thread without needing a wake-up connection.
+    if (!wait_readable(listen_fd, 200)) continue;
+    const int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    connections.push_back({std::thread([&service, fd, done] {
+                             serve_connection(service, fd);
+                             done->store(true, std::memory_order_release);
+                           }),
+                           done});
+  }
+  ::close(listen_fd);
+  reap(/*all=*/true);
+  log << "protest serve: shut down\n" << std::flush;
+  return 0;
+}
+
+}  // namespace protest
+
+#else  // no POSIX sockets
+
+namespace protest {
+
+bool tcp_serve_supported() { return false; }
+
+int serve_tcp(ProtestService&, std::uint16_t, std::ostream&,
+              std::atomic<std::uint16_t>*) {
+  throw ServiceError("unsupported",
+                     "TCP serving is not available on this platform; use "
+                     "stdin/stdout NDJSON mode");
+}
+
+}  // namespace protest
+
+#endif

@@ -1,0 +1,289 @@
+// The service layer: PROTEST as a long-lived, queried back end.
+//
+// The paper frames PROTEST as an interactive tool a designer queries
+// repeatedly while iterating on a circuit.  The session API (PR 2/3) made
+// one netlist's analysis state resident and thread-safe; this layer makes
+// it SERVED: a SessionRegistry maps caller-chosen netlist names to
+// resident AnalysisSessions (LRU-evicted beyond a cap, revivable from
+// their registration), a typed ServiceRequest/ServiceResponse protocol
+// with a JSON wire encoding carries queries in and results out, and
+// ProtestService dispatches requests — from in-process callers, from the
+// `protest serve` NDJSON daemon, or from TCP clients — against the
+// registry.  All resident sessions run their parallel work on ONE shared
+// Executor, so a registry full of hot sessions uses exactly one worker
+// pool instead of oversubscribing the machine N-fold.
+//
+// Wire format (newline-delimited JSON, one request and one response per
+// line; `result` payloads for analyze/perturb are byte-identical to the
+// corresponding AnalysisResult::to_json(0)):
+//
+//   > {"verb":"load_netlist","id":1,"netlist":"alu","circuit":"alu"}
+//   < {"id":1,"verb":"load_netlist","ok":true,"result":{...}}
+//   > {"verb":"analyze","id":2,"netlist":"alu","p":0.5}
+//   < {"id":2,"verb":"analyze","ok":true,"result":{"engine":"protest",...}}
+//   > {"verb":"bogus","id":3}
+//   < {"id":3,"verb":"bogus","ok":false,"error":{"code":"unknown_verb",...}}
+//
+// Thread safety: ProtestService::handle / handle_line are safe for
+// concurrent callers — the registry serializes its map behind a mutex,
+// sessions are internally thread-safe (PR 3), and the shared executor
+// serializes parallel jobs.  Malformed input yields a structured error
+// response, never an exception escaping handle_line.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "protest/session.hpp"
+#include "util/executor.hpp"
+
+namespace protest {
+
+class JsonValue;
+
+/// A protocol-level failure with a machine-readable code ("bad_request",
+/// "unknown_verb", "unknown_netlist", "internal").  Thrown by the typed
+/// layer; the dispatch loop converts it into an ok:false response.
+class ServiceError : public std::runtime_error {
+ public:
+  ServiceError(std::string code, const std::string& message)
+      : std::runtime_error(message), code_(std::move(code)) {}
+  const std::string& code() const { return code_; }
+
+ private:
+  std::string code_;
+};
+
+// --- the registry -----------------------------------------------------------
+
+/// Thread-safe map of caller-chosen names -> resident AnalysisSessions.
+///
+/// A REGISTRATION (name, netlist, options) is cheap and persists until
+/// unregister(); a RESIDENT session (engine plans, tuple cache, memoized
+/// artifacts) is the expensive part and is bounded: at most max_resident
+/// sessions stay live, evicted least-recently-used.  open() revives an
+/// evicted name from its registration — the caches start cold, but the
+/// name keeps working.  Handed-out session pointers co-own the resident
+/// state, so eviction never invalidates a session another thread is
+/// mid-query on; it only drops the registry's reference.
+///
+/// Every session opened here gets the registry's shared Executor injected
+/// (SessionOptions::parallel.executor), so N resident sessions share one
+/// worker pool.
+class SessionRegistry {
+ public:
+  /// max_resident = 0 means unbounded.  `parallel` sizes the shared
+  /// executor (0 = hardware concurrency).
+  explicit SessionRegistry(std::size_t max_resident = 8,
+                           ParallelConfig parallel = {});
+
+  /// Registers (or replaces) `name` with an owned copy of the netlist.
+  /// Does not make it resident; the first open() does.
+  void register_netlist(std::string name, Netlist net,
+                        SessionOptions opts = {});
+
+  /// Registers `name` over a caller-owned netlist WITHOUT copying; `net`
+  /// must outlive the registry and every session opened under this name.
+  /// This is the in-process facade path.
+  void register_external(std::string name, const Netlist& net,
+                         SessionOptions opts = {});
+
+  /// The resident session for `name`, reviving it from the registration
+  /// if it was evicted (LRU-evicting another resident session beyond the
+  /// cap) and marking it most-recently-used.  Throws ServiceError
+  /// ("unknown_netlist") for unregistered names.
+  std::shared_ptr<AnalysisSession> open(const std::string& name);
+
+  /// The resident session for `name`, or nullptr when not resident /
+  /// unregistered.  Never revives and never touches LRU order (a stats
+  /// probe must not change eviction behavior).
+  std::shared_ptr<AnalysisSession> find_resident(const std::string& name) const;
+
+  /// Drops the resident session (caches, plans) but keeps the
+  /// registration; returns false when it was not resident.
+  bool evict(const std::string& name);
+
+  /// Drops registration AND resident session; returns false when unknown.
+  bool unregister(const std::string& name);
+
+  std::vector<std::string> registered_names() const;  ///< sorted
+  std::vector<std::string> resident_names() const;    ///< most recent first
+
+  std::size_t max_resident() const { return max_resident_; }
+  std::size_t num_resident() const;
+  const std::shared_ptr<Executor>& executor() const { return exec_; }
+
+ private:
+  struct Resident;  ///< netlist copy + session (opaque; service.cpp)
+
+  struct Entry {
+    /// Owned registrations keep a prototype to copy on revival; external
+    /// registrations keep the caller's pointer instead.
+    std::optional<Netlist> prototype;
+    const Netlist* external = nullptr;
+    SessionOptions opts;
+    std::shared_ptr<Resident> resident;  ///< null when evicted
+    std::uint64_t last_use = 0;          ///< LRU clock value of last open
+  };
+
+  /// Session co-owning its resident state (netlist + session) via the
+  /// aliasing constructor — eviction drops only the registry's reference.
+  static std::shared_ptr<AnalysisSession> lease(
+      const std::shared_ptr<Resident>& r);
+  void enforce_cap_locked(const Entry* keep);
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+  std::uint64_t use_counter_ = 0;  ///< LRU clock (bumped per open)
+  std::size_t max_resident_;
+  std::shared_ptr<Executor> exec_;
+};
+
+// --- the protocol -----------------------------------------------------------
+
+enum class ServiceVerb {
+  LoadNetlist,  ///< register + open a netlist (zoo circuit or inline source)
+  Analyze,      ///< one tuple through the named session
+  Perturb,      ///< single-coordinate perturbation of a base tuple
+  Optimize,     ///< hill-climb optimized input probabilities
+  Stats,        ///< session counters (named) or registry overview (unnamed)
+  Evict,        ///< drop the named resident session
+  Shutdown,     ///< stop the serving loop after responding
+};
+
+std::string_view to_string(ServiceVerb verb);
+/// Throws ServiceError("unknown_verb") for unrecognized names.
+ServiceVerb verb_from_string(std::string_view name);
+
+/// One decoded request.  Optional fields mirror the wire format: absent
+/// members stay nullopt / empty and take verb-specific defaults at
+/// dispatch.  `artifacts` (+ the grids inside it) selects what analyze /
+/// perturb results compute and serialize, exactly like AnalysisRequest.
+struct ServiceRequest {
+  ServiceVerb verb = ServiceVerb::Stats;
+  std::uint64_t id = 0;      ///< echoed verbatim in the response
+  std::string netlist;       ///< target name ("" = service-wide for stats)
+
+  // load_netlist: exactly one of `circuit` (zoo name) or `source`
+  // (inline .bench / module-DSL text, auto-detected).
+  std::string circuit;
+  std::string source;
+  std::string engine;                        ///< "" = service default
+  std::optional<std::uint64_t> seed;         ///< monte-carlo seed
+  std::optional<std::size_t> max_cached_results;
+
+  // analyze / perturb: the tuple, either explicit or uniform(p).
+  std::vector<double> input_probs;
+  std::optional<double> p;
+  std::optional<AnalysisRequest> artifacts;
+
+  // perturb
+  std::size_t input_index = 0;
+  double new_p = 0.5;
+  bool screen = false;  ///< frozen-selection screening fidelity
+
+  // optimize
+  std::optional<std::uint64_t> n_parameter;  ///< default 10'000
+  std::optional<unsigned> sweeps;            ///< default 4
+
+  std::string to_json(int indent = 0) const;
+  /// Decodes a parsed document.  Throws ServiceError on unknown verbs,
+  /// wrong member types, or out-of-range values.
+  static ServiceRequest from_json_value(const JsonValue& doc);
+  /// parse_json + from_json_value (JsonParseError surfaces as
+  /// ServiceError "bad_request").
+  static ServiceRequest from_json(std::string_view text);
+};
+
+struct ServiceResponse {
+  std::uint64_t id = 0;
+  std::string verb;  ///< echoed verb name ("" when undecodable)
+  bool ok = false;
+  /// Pre-serialized verb-specific payload, spliced into the response
+  /// byte-for-byte (empty = null).  For analyze/perturb this is exactly
+  /// AnalysisResult::to_json(0).
+  std::string result_json;
+  std::string error_code;     ///< set when !ok
+  std::string error_message;  ///< set when !ok
+
+  static ServiceResponse success(const ServiceRequest& req,
+                                 std::string result_json);
+  static ServiceResponse failure(std::uint64_t id, std::string_view verb,
+                                 const std::string& code,
+                                 const std::string& message);
+
+  std::string to_json(int indent = 0) const;
+  static ServiceResponse from_json_value(const JsonValue& doc);
+  static ServiceResponse from_json(std::string_view text);
+};
+
+// --- the service ------------------------------------------------------------
+
+struct ServiceConfig {
+  std::size_t max_resident_sessions = 8;  ///< registry cap (0 = unbounded)
+  ParallelConfig parallel;                ///< sizes the shared executor
+  SessionOptions session_defaults;        ///< base options for load_netlist
+};
+
+/// Dispatches requests against a SessionRegistry.  One instance per
+/// process/daemon; safe for concurrent handle()/handle_line() callers.
+class ProtestService {
+ public:
+  explicit ProtestService(ServiceConfig config = {});
+
+  SessionRegistry& registry() { return registry_; }
+  const SessionRegistry& registry() const { return registry_; }
+  const ServiceConfig& config() const { return config_; }
+
+  /// Typed dispatch.  Never throws for protocol-level failures — they
+  /// come back as ok:false responses with a structured error.
+  ServiceResponse handle(const ServiceRequest& request);
+
+  /// One NDJSON line in, one compact JSON response line out (no trailing
+  /// newline).  Never throws.
+  std::string handle_line(std::string_view line);
+
+  /// True once a shutdown request has been handled.
+  bool shutdown_requested() const {
+    return shutdown_.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::string dispatch(const ServiceRequest& request);  ///< result payload
+
+  ServiceConfig config_;
+  SessionRegistry registry_;
+  std::atomic<bool> shutdown_{false};
+};
+
+/// Auto-detects .bench vs module-DSL text (the CLI's file heuristic) and
+/// elaborates it.
+Netlist netlist_from_text(const std::string& text);
+
+/// The daemon loop: reads one request per line from `in` (blank lines are
+/// skipped), writes one response line to `out` (flushed per response),
+/// returns 0 when the stream ends or a shutdown verb was handled.
+int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out);
+
+/// True when this build can serve TCP (POSIX sockets).
+bool tcp_serve_supported();
+
+/// Listens on 127.0.0.1:`port` (0 = OS-assigned) and speaks the NDJSON
+/// protocol per connection, each on its own thread — concurrent clients
+/// dispatch into the shared registry.  If `bound_port` is non-null it
+/// receives the actual port before accepting begins (atomic so an
+/// embedding thread can poll it).  Returns 0 after a shutdown verb (from
+/// any client) stops the loop; throws std::runtime_error on socket
+/// failures and ServiceError("unsupported") on platforms without sockets.
+int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
+              std::atomic<std::uint16_t>* bound_port = nullptr);
+
+}  // namespace protest

@@ -36,6 +36,24 @@ std::shared_ptr<const SignalProbEngine> make_session_engine(
 
 }  // namespace
 
+void SessionStats::write(JsonWriter& w) const {
+  w.begin_object();
+  w.key("analyze_calls").value(analyze_calls);
+  w.key("cache_hits").value(cache_hits);
+  w.key("cache_misses").value(cache_misses());
+  w.key("incremental_evals").value(incremental_evals);
+  w.key("screen_evals").value(screen_evals);
+  w.key("full_evals").value(full_evals);
+  w.key("resident_results").value(resident_results);
+  w.end_object();
+}
+
+std::string SessionStats::to_json(int indent) const {
+  JsonWriter w(indent);
+  write(w);
+  return w.str();
+}
+
 AnalysisRequest AnalysisRequest::minimal() {
   AnalysisRequest r;
   r.observability = false;
@@ -328,6 +346,8 @@ class AnalysisSession::ResultCache {
     entries_.clear();
   }
 
+  std::size_t size() const { return entries_.size(); }
+
  private:
   struct Entry {
     std::vector<double> key;
@@ -387,7 +407,9 @@ const SessionOptions& AnalysisSession::options() const {
 
 SessionStats AnalysisSession::stats() const {
   const std::lock_guard<std::mutex> lock(*mu_);
-  return stats_;
+  SessionStats s = stats_;
+  s.resident_results = cache_->size();
+  return s;
 }
 
 void AnalysisSession::clear_cache() {

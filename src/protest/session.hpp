@@ -109,7 +109,10 @@ struct AnalysisRequest {
   static AnalysisRequest everything();
 };
 
-/// Counters for the session's caching behavior (cumulative).
+class JsonWriter;
+
+/// Counters for the session's caching behavior (cumulative), plus a
+/// point-in-time view of what is resident.  stats() fills both.
 struct SessionStats {
   std::size_t analyze_calls = 0;
   std::size_t cache_hits = 0;         ///< exact-tuple cache hits
@@ -120,6 +123,18 @@ struct SessionStats {
   /// per base is occasionally netlist-sized, the rest are cone-sized.
   std::size_t screen_evals = 0;
   std::size_t full_evals = 0;         ///< from-scratch engine evaluations
+  /// Tuples currently held by the LRU result cache (snapshot, not
+  /// cumulative): together with full/incremental counts this is the
+  /// resident plan state a service 'stats' query reports.
+  std::size_t resident_results = 0;
+
+  /// Misses = analyze calls that had to evaluate (full or incremental).
+  std::size_t cache_misses() const { return analyze_calls - cache_hits; }
+
+  /// Writes the counters as an object in value position (the wire form
+  /// the daemon's `stats` verb embeds).
+  void write(JsonWriter& w) const;
+  std::string to_json(int indent = 2) const;
 };
 
 /// Handle to one analyzed input tuple.  Cheap to copy (shared state);

@@ -8,9 +8,12 @@
 #include <thread>
 #include <vector>
 
+#include "util/executor.hpp"
+
 namespace protest {
 
 unsigned ParallelConfig::resolved() const {
+  if (executor) return executor->num_workers();
   if (num_threads != 0) return num_threads;
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

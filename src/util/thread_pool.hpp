@@ -28,6 +28,8 @@
 
 namespace protest {
 
+class Executor;
+
 /// Thread-count knob plumbed from SessionOptions / CLI --threads into
 /// every parallel entry point.
 struct ParallelConfig {
@@ -36,7 +38,15 @@ struct ParallelConfig {
   /// bit-identical for every value; only wall-clock changes.
   unsigned num_threads = 0;
 
-  /// The effective worker count (resolves 0; never returns 0).
+  /// Injectable shared executor (util/executor.hpp).  When set, components
+  /// reached by this config run their parallel jobs on it instead of
+  /// spawning a private pool — the seam the service layer uses to keep N
+  /// resident sessions on ONE set of worker threads.  Its worker count
+  /// overrides num_threads.  Results are identical either way.
+  std::shared_ptr<Executor> executor;
+
+  /// The effective worker count (the executor's when one is injected,
+  /// otherwise resolves num_threads; never returns 0).
   unsigned resolved() const;
 };
 

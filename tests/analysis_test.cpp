@@ -1,6 +1,11 @@
-// Statistics and table formatting used by the experiment harnesses.
+// Statistics and table formatting used by the experiment harnesses, plus
+// the JSON layer (writer hardening + the recursive-descent reader).
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "analysis/json.hpp"
 #include "analysis/stats.hpp"
 #include "analysis/table.hpp"
 
@@ -89,6 +94,155 @@ TEST(Table, Formatters) {
   EXPECT_EQ(fmt(2.0, 1), "2.0");
   EXPECT_EQ(fmt_int(1234567), "1 234 567");
   EXPECT_EQ(fmt_int(42), "42");
+}
+
+// --- JsonWriter hardening ---------------------------------------------------
+
+TEST(JsonWriter, EscapesControlCharacters) {
+  // Every control character < 0x20 must come out escaped — either as the
+  // short form or as \u00XX — so NDJSON consumers never see a raw
+  // control byte inside a string.
+  EXPECT_EQ(JsonWriter::quote("a\nb\tc\rd"), "\"a\\nb\\tc\\rd\"");
+  EXPECT_EQ(JsonWriter::quote(std::string_view("x\x01y\x1f", 4)),
+            "\"x\\u0001y\\u001f\"");
+  EXPECT_EQ(JsonWriter::quote("quote\" back\\slash"),
+            "\"quote\\\" back\\\\slash\"");
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitNull) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(std::numeric_limits<double>::quiet_NaN());
+  w.value(std::numeric_limits<double>::infinity());
+  w.value(-std::numeric_limits<double>::infinity());
+  w.value(1.5);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[null,null,null,1.5]");
+}
+
+TEST(JsonWriter, DoublesRoundTripShortest) {
+  JsonWriter w(0);
+  w.begin_array();
+  w.value(0.1);
+  w.value(1.0 / 3.0);
+  w.value(1e-300);
+  w.end_array();
+  const JsonValue doc = parse_json(w.str());
+  const JsonValue::Array& a = doc.as_array();
+  ASSERT_EQ(a.size(), 3u);
+  EXPECT_EQ(a[0].as_number(), 0.1);
+  EXPECT_EQ(a[1].as_number(), 1.0 / 3.0);
+  EXPECT_EQ(a[2].as_number(), 1e-300);
+}
+
+TEST(JsonWriter, RawSplicesVerbatim) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("result").raw("{\"p\":0.25}");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"result\":{\"p\":0.25}}");
+}
+
+// --- JsonValue / parse_json -------------------------------------------------
+
+TEST(JsonReader, ParsesScalars) {
+  EXPECT_TRUE(parse_json("null").is_null());
+  EXPECT_EQ(parse_json("true").as_bool(), true);
+  EXPECT_EQ(parse_json("false").as_bool(), false);
+  EXPECT_EQ(parse_json("42").as_number(), 42.0);
+  EXPECT_EQ(parse_json("-0.5e2").as_number(), -50.0);
+  EXPECT_EQ(parse_json("\"hi\"").as_string(), "hi");
+  EXPECT_TRUE(parse_json("  [ ]\n").as_array().empty());
+  EXPECT_TRUE(parse_json("{}").as_object().empty());
+}
+
+TEST(JsonReader, ParsesNestedAndPreservesOrder) {
+  const JsonValue doc =
+      parse_json("{\"b\":[1,2,{\"c\":null}],\"a\":{\"x\":true}}");
+  const JsonValue::Object& o = doc.as_object();
+  ASSERT_EQ(o.size(), 2u);
+  EXPECT_EQ(o[0].first, "b");  // insertion order, not sorted
+  EXPECT_EQ(o[1].first, "a");
+  EXPECT_EQ(doc.at("b").as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(doc.at("b").as_array()[2].at("c").is_null());
+  EXPECT_EQ(doc.find("missing"), nullptr);
+  EXPECT_THROW(doc.at("missing"), std::runtime_error);
+}
+
+TEST(JsonReader, DecodesEscapes) {
+  EXPECT_EQ(parse_json("\"a\\n\\t\\\\\\\"\\/\"").as_string(), "a\n\t\\\"/");
+  EXPECT_EQ(parse_json("\"\\u0041\\u00e9\"").as_string(), "A\xc3\xa9");
+  // Surrogate pair U+1F600 -> 4-byte UTF-8.
+  EXPECT_EQ(parse_json("\"\\ud83d\\ude00\"").as_string(),
+            "\xf0\x9f\x98\x80");
+  // Writer's control-character form decodes back.
+  EXPECT_EQ(parse_json(JsonWriter::quote("x\x01y")).as_string(), "x\x01y");
+}
+
+TEST(JsonReader, RejectsMalformedInput) {
+  EXPECT_THROW(parse_json(""), JsonParseError);
+  EXPECT_THROW(parse_json("{\"a\":1,}"), JsonParseError);   // trailing comma
+  EXPECT_THROW(parse_json("{\"a\" 1}"), JsonParseError);    // missing colon
+  EXPECT_THROW(parse_json("[1 2]"), JsonParseError);
+  EXPECT_THROW(parse_json("\"unterminated"), JsonParseError);
+  EXPECT_THROW(parse_json("\"bad\\q\""), JsonParseError);
+  EXPECT_THROW(parse_json("\"\\ud83d\""), JsonParseError);  // lone surrogate
+  EXPECT_THROW(parse_json("\"raw\ntab\""), JsonParseError); // bare control
+  EXPECT_THROW(parse_json("01"), JsonParseError);           // leading zero
+  EXPECT_THROW(parse_json("1."), JsonParseError);
+  EXPECT_THROW(parse_json("nul"), JsonParseError);
+  EXPECT_THROW(parse_json("{} trailing"), JsonParseError);
+  try {
+    parse_json("[1,");
+    FAIL() << "expected JsonParseError";
+  } catch (const JsonParseError& e) {
+    EXPECT_EQ(e.offset(), 3u);  // failure position is reported
+  }
+}
+
+TEST(JsonReader, DepthBombFailsCleanly) {
+  // 100k unclosed arrays must raise JsonParseError, not overflow the
+  // stack — the parser caps nesting.
+  const std::string bomb(100'000, '[');
+  EXPECT_THROW(parse_json(bomb), JsonParseError);
+}
+
+TEST(JsonReader, TypeMismatchesThrowDescriptively) {
+  const JsonValue v = parse_json("[1]");
+  EXPECT_THROW(v.as_bool(), std::runtime_error);
+  EXPECT_THROW(v.as_string(), std::runtime_error);
+  EXPECT_THROW(v.as_object(), std::runtime_error);
+  EXPECT_THROW(v.find("k"), std::runtime_error);  // not an object
+  try {
+    v.as_number();
+    FAIL() << "expected type error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("array"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("number"), std::string::npos);
+  }
+}
+
+TEST(JsonReader, ParseWriteRoundTripIsByteIdentical) {
+  // Writer output -> parse -> write must reproduce the exact bytes (the
+  // property the service protocol's embedded payloads rely on).
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("engine").value("protest");
+  w.key("probs").begin_array();
+  w.value(0.1);
+  w.value(1.0 / 3.0);
+  w.value(true);
+  w.null();
+  w.end_array();
+  w.key("count").value(std::uint64_t{123456789});
+  w.key("text").value("line\nbreak \x01 end");
+  w.end_object();
+  const std::string original = w.str();
+  EXPECT_EQ(to_json(parse_json(original), 0), original);
+  // Indented output parses to the same tree as compact.
+  JsonWriter wi(2);
+  write_value(wi, parse_json(original));
+  EXPECT_EQ(to_json(parse_json(wi.str()), 0), original);
 }
 
 }  // namespace

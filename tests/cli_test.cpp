@@ -42,6 +42,25 @@ TEST(Cli, HelpPrintsUsage) {
   const CliRun r = cli({"help"});
   EXPECT_EQ(r.code, 0);
   EXPECT_NE(r.out.find("protest analyze"), std::string::npos);
+  EXPECT_NE(r.out.find("protest serve"), std::string::npos);
+}
+
+TEST(Cli, ServeFlagValidation) {
+  const TempFile f("c17.bench", c17_bench_text());
+  // serve's flags are daemon-scoped; per-query flags are rejected rather
+  // than silently ignored, and vice versa.
+  EXPECT_EQ(cli({"serve", "--json"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--engine", "naive"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--artifacts", "scoap"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--port", "65536"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--p", "0.3"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--sweeps", "9"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--seed", "7"}).code, 2);
+  EXPECT_EQ(cli({"analyze", f.path(), "--cap", "4"}).code, 2);
+  EXPECT_EQ(cli({"analyze", f.path(), "--port", "9000"}).code, 2);
+  const CliRun r = cli({"serve", "--wibble"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
 }
 
 TEST(Cli, AnalyzeBenchFile) {

@@ -1,0 +1,565 @@
+// The service layer: SessionRegistry residency/LRU, the
+// ServiceRequest/ServiceResponse wire protocol, ProtestService dispatch,
+// and the NDJSON daemon loop.  The parity test pins the acceptance
+// guarantee: a scripted serve conversation produces byte-identical
+// artifact payloads to the equivalent direct AnalysisSession calls.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "circuits/zoo.hpp"
+#include "protest/service.hpp"
+
+namespace protest {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+// --- protocol round-trips ---------------------------------------------------
+
+TEST(ServiceProtocol, RequestRoundTripsEveryVerb) {
+  std::vector<ServiceRequest> requests;
+
+  ServiceRequest load;
+  load.verb = ServiceVerb::LoadNetlist;
+  load.id = 1;
+  load.netlist = "alu";
+  load.circuit = "alu";
+  load.engine = "monte-carlo";
+  load.seed = 7;
+  load.max_cached_results = 64;
+  requests.push_back(load);
+
+  ServiceRequest load_src;
+  load_src.verb = ServiceVerb::LoadNetlist;
+  load_src.id = 2;
+  load_src.netlist = "inline";
+  load_src.source = "module m(input a, output y);\n  assign y = !a;\n";
+  requests.push_back(load_src);
+
+  ServiceRequest analyze;
+  analyze.verb = ServiceVerb::Analyze;
+  analyze.id = 3;
+  analyze.netlist = "alu";
+  analyze.input_probs = {0.5, 0.25, 0.125};
+  AnalysisRequest artifacts = AnalysisRequest::everything();
+  artifacts.d_grid = {1.0, 0.98};
+  artifacts.e_grid = {0.95};
+  analyze.artifacts = artifacts;
+  requests.push_back(analyze);
+
+  ServiceRequest perturb;
+  perturb.verb = ServiceVerb::Perturb;
+  perturb.id = 4;
+  perturb.netlist = "alu";
+  perturb.p = 0.5;
+  perturb.input_index = 3;
+  perturb.new_p = 0.8125;
+  perturb.screen = true;
+  requests.push_back(perturb);
+
+  ServiceRequest optimize;
+  optimize.verb = ServiceVerb::Optimize;
+  optimize.id = 5;
+  optimize.netlist = "alu";
+  optimize.n_parameter = 20'000;
+  optimize.sweeps = 2;
+  requests.push_back(optimize);
+
+  ServiceRequest stats;
+  stats.verb = ServiceVerb::Stats;
+  stats.id = 6;
+  requests.push_back(stats);
+
+  ServiceRequest evict;
+  evict.verb = ServiceVerb::Evict;
+  evict.id = 7;
+  evict.netlist = "alu";
+  requests.push_back(evict);
+
+  ServiceRequest shutdown;
+  shutdown.verb = ServiceVerb::Shutdown;
+  shutdown.id = 8;
+  requests.push_back(shutdown);
+
+  for (const ServiceRequest& req : requests) {
+    const std::string wire = req.to_json(0);
+    const ServiceRequest decoded = ServiceRequest::from_json(wire);
+    // Encode(decode(encode(x))) == encode(x): the canonical form is a
+    // fixed point, which pins both directions of the codec at once.
+    EXPECT_EQ(decoded.to_json(0), wire) << wire;
+    // And the indented rendering decodes to the same canonical form.
+    EXPECT_EQ(ServiceRequest::from_json(req.to_json(2)).to_json(0), wire);
+  }
+}
+
+TEST(ServiceProtocol, ResponseRoundTrips) {
+  ServiceRequest req;
+  req.verb = ServiceVerb::Analyze;
+  req.id = 42;
+
+  for (const char* payload :
+       {"{\"engine\":\"protest\",\"p\":[0.5,0.125]}", ""}) {
+    const ServiceResponse ok = ServiceResponse::success(req, payload);
+    const std::string wire = ok.to_json(0);
+    const ServiceResponse decoded = ServiceResponse::from_json(wire);
+    EXPECT_TRUE(decoded.ok);
+    EXPECT_EQ(decoded.id, 42u);
+    EXPECT_EQ(decoded.verb, "analyze");
+    EXPECT_EQ(decoded.result_json, payload);
+    EXPECT_EQ(decoded.to_json(0), wire);
+  }
+
+  const ServiceResponse err = ServiceResponse::failure(
+      7, "analyze", "unknown_netlist", "no netlist registered under 'x'");
+  const ServiceResponse decoded = ServiceResponse::from_json(err.to_json(0));
+  EXPECT_FALSE(decoded.ok);
+  EXPECT_EQ(decoded.error_code, "unknown_netlist");
+  EXPECT_EQ(decoded.error_message, "no netlist registered under 'x'");
+  EXPECT_EQ(decoded.to_json(0), err.to_json(0));
+}
+
+// --- malformed requests: structured errors, never a crash -------------------
+
+TEST(ServiceProtocol, MalformedRequestsYieldStructuredErrors) {
+  ProtestService service;
+  const struct {
+    const char* line;
+    const char* code;
+  } cases[] = {
+      {"this is not json", "bad_request"},
+      {"{\"verb\":\"analyze\",\"id\":1,", "bad_request"},    // truncated
+      {"[1,2,3]", "bad_request"},                            // not an object
+      {"{\"id\":1}", "bad_request"},                         // missing verb
+      {"{\"verb\":\"frobnicate\",\"id\":1}", "unknown_verb"},
+      {"{\"verb\":\"analyze\",\"id\":\"seven\"}", "bad_request"},  // bad type
+      {"{\"verb\":\"analyze\",\"id\":1,\"input_probs\":[0.5,\"x\"]}",
+       "bad_request"},
+      {"{\"verb\":\"analyze\",\"id\":1,\"wibble\":true}", "bad_request"},
+      {"{\"verb\":\"analyze\",\"id\":1,\"artifacts\":[\"wibble\"]}",
+       "bad_request"},
+      {"{\"verb\":\"analyze\",\"id\":1}", "bad_request"},  // missing netlist
+      {"{\"verb\":\"analyze\",\"id\":1,\"netlist\":\"ghost\"}",
+       "unknown_netlist"},
+      {"{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"x\"}",
+       "bad_request"},  // neither circuit nor source
+      {"{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"x\","
+       "\"circuit\":\"no-such-circuit\"}",
+       "bad_request"},
+      {"{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"x\","
+       "\"circuit\":\"c17\",\"engine\":\"no-such-engine\"}",
+       "bad_request"},
+  };
+  for (const auto& c : cases) {
+    const std::string out = service.handle_line(c.line);
+    const ServiceResponse resp = ServiceResponse::from_json(out);
+    EXPECT_FALSE(resp.ok) << c.line;
+    EXPECT_EQ(resp.error_code, c.code) << c.line << " -> " << out;
+  }
+  // The id is echoed even when the request cannot be fully decoded.
+  const ServiceResponse resp = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"frobnicate\",\"id\":33}"));
+  EXPECT_EQ(resp.id, 33u);
+  EXPECT_EQ(resp.verb, "frobnicate");
+}
+
+TEST(ServiceProtocol, OutOfRangeValuesYieldErrorsNotCrashes) {
+  ProtestService service;
+  service.handle_line(
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c\","
+      "\"circuit\":\"c17\"}");
+  // Probability outside [0,1], tuple arity mismatch, perturb index out of
+  // range: all structured failures.
+  for (const char* line :
+       {"{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"c\",\"p\":1.5}",
+        "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"c\","
+        "\"input_probs\":[0.5]}",
+        "{\"verb\":\"perturb\",\"id\":4,\"netlist\":\"c\",\"p\":0.5,"
+        "\"input_index\":99,\"new_p\":0.5}",
+        "{\"verb\":\"perturb\",\"id\":5,\"netlist\":\"c\",\"p\":0.5,"
+        "\"input_index\":0,\"new_p\":-2}"}) {
+    const ServiceResponse resp =
+        ServiceResponse::from_json(service.handle_line(line));
+    EXPECT_FALSE(resp.ok) << line;
+    EXPECT_EQ(resp.error_code, "bad_request") << line;
+  }
+}
+
+// --- the registry -----------------------------------------------------------
+
+TEST(SessionRegistry, CapEvictsLeastRecentlyUsed) {
+  SessionRegistry registry(/*max_resident=*/2, ParallelConfig{1});
+  for (const char* name : {"a", "b", "c"})
+    registry.register_netlist(name, make_circuit("c17"));
+
+  registry.open("a");
+  registry.open("b");
+  EXPECT_EQ(registry.num_resident(), 2u);
+  EXPECT_EQ(registry.resident_names(), (std::vector<std::string>{"b", "a"}));
+
+  // Touch a so b becomes the LRU victim when c arrives.
+  registry.open("a");
+  registry.open("c");
+  EXPECT_EQ(registry.num_resident(), 2u);
+  EXPECT_EQ(registry.resident_names(), (std::vector<std::string>{"c", "a"}));
+  EXPECT_EQ(registry.find_resident("b"), nullptr);
+
+  // b revives from its registration (cold caches, same name), evicting a.
+  EXPECT_NE(registry.open("b"), nullptr);
+  EXPECT_EQ(registry.resident_names(), (std::vector<std::string>{"b", "c"}));
+
+  // All three names stay registered throughout.
+  EXPECT_EQ(registry.registered_names(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(SessionRegistry, EvictionNeverInvalidatesLeasedSessions) {
+  SessionRegistry registry(1, ParallelConfig{1});
+  registry.register_netlist("x", make_circuit("c17"));
+  const std::shared_ptr<AnalysisSession> leased = registry.open("x");
+  const AnalysisResult before =
+      leased->analyze(uniform_input_probs(leased->netlist(), 0.5));
+
+  EXPECT_TRUE(registry.evict("x"));
+  EXPECT_FALSE(registry.evict("x"));  // already gone
+  EXPECT_EQ(registry.find_resident("x"), nullptr);
+
+  // The lease co-owns the resident state: still queryable after eviction.
+  const AnalysisResult after =
+      leased->analyze(uniform_input_probs(leased->netlist(), 0.5));
+  EXPECT_EQ(before.signal_probs(), after.signal_probs());
+
+  // Reopening builds a FRESH session (cold stats) on the same name.
+  const std::shared_ptr<AnalysisSession> revived = registry.open("x");
+  EXPECT_EQ(revived->stats().analyze_calls, 0u);
+  EXPECT_NE(revived.get(), leased.get());
+}
+
+TEST(SessionRegistry, UnknownNamesAndUnregister) {
+  SessionRegistry registry(0, ParallelConfig{1});  // 0 = unbounded
+  EXPECT_THROW(registry.open("ghost"), ServiceError);
+  registry.register_netlist("x", make_circuit("c17"));
+  registry.open("x");
+  EXPECT_TRUE(registry.unregister("x"));
+  EXPECT_FALSE(registry.unregister("x"));
+  EXPECT_THROW(registry.open("x"), ServiceError);
+}
+
+TEST(SessionRegistry, ResidentSessionsShareOneExecutor) {
+  SessionRegistry registry(4, ParallelConfig{2});
+  const Netlist external = make_circuit("c17");
+  registry.register_netlist("a", make_circuit("c17"));
+  registry.register_external("b", external);
+  const std::shared_ptr<AnalysisSession> a = registry.open("a");
+  const std::shared_ptr<AnalysisSession> b = registry.open("b");
+  ASSERT_NE(registry.executor(), nullptr);
+  EXPECT_EQ(registry.executor()->num_workers(), 2u);
+  EXPECT_EQ(a->options().parallel.executor, registry.executor());
+  EXPECT_EQ(b->options().parallel.executor, registry.executor());
+  // External registration: no netlist copy, identity preserved.
+  EXPECT_EQ(&b->netlist(), &external);
+}
+
+// --- the acceptance conversation --------------------------------------------
+
+TEST(ServeNdjson, ConversationMatchesDirectSessionByteForByte) {
+  // Direct equivalent of the scripted conversation below.
+  const Netlist net = make_circuit("alu");
+  AnalysisSession direct(net);
+  const AnalysisResult base =
+      direct.analyze(uniform_input_probs(net, 0.5), AnalysisRequest{});
+  const AnalysisResult perturbed = direct.perturb(base, 0, 0.25);
+
+  std::istringstream in(
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"alu\","
+      "\"circuit\":\"alu\"}\n"
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"alu\",\"p\":0.5}\n"
+      "{\"verb\":\"perturb\",\"id\":3,\"netlist\":\"alu\",\"p\":0.5,"
+      "\"input_index\":0,\"new_p\":0.25}\n"
+      "{\"verb\":\"stats\",\"id\":4,\"netlist\":\"alu\"}\n"
+      "{\"verb\":\"evict\",\"id\":5,\"netlist\":\"alu\"}\n"
+      "{\"verb\":\"shutdown\",\"id\":6}\n"
+      "{\"verb\":\"stats\",\"id\":7}\n");  // after shutdown: unanswered
+  std::ostringstream out;
+  ProtestService service;
+  EXPECT_EQ(serve_ndjson(service, in, out), 0);
+
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 6u);  // the post-shutdown request was not served
+
+  // The analyze/perturb payloads embed the direct results byte for byte.
+  EXPECT_NE(lines[1].find("\"result\":" + base.to_json(0)),
+            std::string::npos);
+  EXPECT_NE(lines[2].find("\"result\":" + perturbed.to_json(0)),
+            std::string::npos);
+
+  // The stats verb reports the resident-session counters: the perturb's
+  // base analyze was a cache hit and the perturbation went incremental.
+  const ServiceResponse stats = ServiceResponse::from_json(lines[3]);
+  ASSERT_TRUE(stats.ok);
+  const JsonValue doc = parse_json(stats.result_json);
+  EXPECT_TRUE(doc.at("resident").as_bool());
+  EXPECT_EQ(doc.at("stats").at("analyze_calls").as_number(), 2.0);
+  EXPECT_EQ(doc.at("stats").at("cache_hits").as_number(), 1.0);
+  EXPECT_EQ(doc.at("stats").at("incremental_evals").as_number(), 1.0);
+  EXPECT_GE(doc.at("stats").at("resident_results").as_number(), 2.0);
+
+  for (const std::size_t i : {std::size_t{4}, std::size_t{5}})
+    EXPECT_TRUE(ServiceResponse::from_json(lines[i]).ok) << lines[i];
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ServeNdjson, BlankLinesAndCrLfAreTolerated) {
+  std::istringstream in(
+      "\n"
+      "   \n"
+      "{\"verb\":\"stats\",\"id\":1}\r\n"
+      "{\"verb\":\"shutdown\",\"id\":2}\n");
+  std::ostringstream out;
+  ProtestService service;
+  serve_ndjson(service, in, out);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_TRUE(ServiceResponse::from_json(lines[0]).ok);
+}
+
+// --- concurrency ------------------------------------------------------------
+
+TEST(ProtestService, ConcurrentMultiNetlistRequests) {
+  // Several threads hammer two resident netlists through every hot verb;
+  // every response must be ok and analyze payloads must equal the serial
+  // answer.  Run under TSan in CI, with all sessions sharing one
+  // executor.
+  ServiceConfig cfg;
+  cfg.parallel.num_threads = 2;
+  ProtestService service(cfg);
+  for (const char* name : {"c17", "mult4"}) {
+    ServiceRequest load;
+    load.verb = ServiceVerb::LoadNetlist;
+    load.netlist = name;
+    load.circuit = name;
+    ASSERT_TRUE(service.handle(load).ok);
+  }
+
+  std::string expected[2];
+  for (int c = 0; c < 2; ++c) {
+    ServiceRequest analyze;
+    analyze.verb = ServiceVerb::Analyze;
+    analyze.netlist = c == 0 ? "c17" : "mult4";
+    analyze.p = 0.5;
+    const ServiceResponse resp = service.handle(analyze);
+    ASSERT_TRUE(resp.ok);
+    expected[c] = resp.result_json;
+  }
+
+  constexpr int kThreads = 4, kRounds = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const int c = (t + r) % 2;
+        const std::string name = c == 0 ? "c17" : "mult4";
+        ServiceRequest req;
+        req.netlist = name;
+        switch (r % 3) {
+          case 0:
+            req.verb = ServiceVerb::Analyze;
+            req.p = 0.5;
+            break;
+          case 1:
+            req.verb = ServiceVerb::Perturb;
+            req.p = 0.5;
+            req.input_index = 0;
+            req.new_p = 0.25;
+            break;
+          default:
+            req.verb = ServiceVerb::Stats;
+            break;
+        }
+        const ServiceResponse resp = service.handle(req);
+        if (!resp.ok) ++failures;
+        if (req.verb == ServiceVerb::Analyze && resp.result_json != expected[c])
+          ++failures;
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// --- TCP front end ----------------------------------------------------------
+
+#if defined(__unix__) || defined(__APPLE__)
+}  // namespace
+}  // namespace protest
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace protest {
+namespace {
+
+TEST(ServeTcp, LoopbackConversation) {
+  ASSERT_TRUE(tcp_serve_supported());
+  ProtestService service;
+  std::atomic<std::uint16_t> port{0};
+  std::atomic<bool> serve_failed{false};
+  std::ostringstream log;
+  std::thread server([&] {
+    try {
+      serve_tcp(service, 0, log, &port);
+    } catch (const std::exception&) {
+      serve_failed.store(true);
+    }
+  });
+  while (port.load() == 0 && !serve_failed.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (serve_failed.load()) {
+    server.join();
+    GTEST_SKIP() << "loopback sockets unavailable in this environment";
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval timeout{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port.load());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    // Stop the server and bail out rather than hang.
+    ServiceRequest shutdown;
+    shutdown.verb = ServiceVerb::Shutdown;
+    service.handle(shutdown);
+    server.join();
+    ::close(fd);
+    GTEST_SKIP() << "cannot connect over loopback in this environment";
+  }
+
+  const std::string script =
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c17\","
+      "\"circuit\":\"c17\"}\n"
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"c17\",\"p\":0.5}\n"
+      "{\"verb\":\"shutdown\",\"id\":3}\n";
+  ASSERT_EQ(::send(fd, script.data(), script.size(), 0),
+            static_cast<ssize_t>(script.size()));
+
+  std::string received;
+  char buf[4096];
+  while (std::count(received.begin(), received.end(), '\n') < 3) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  const std::vector<std::string> lines = lines_of(received);
+  ASSERT_EQ(lines.size(), 3u) << received;
+  for (const std::string& line : lines)
+    EXPECT_TRUE(ServiceResponse::from_json(line).ok) << line;
+  EXPECT_NE(log.str().find("listening on 127.0.0.1:"), std::string::npos);
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ServeTcp, EarlyDisconnectDoesNotKillTheDaemon) {
+  // A client that sends requests and resets the connection without
+  // reading the (large) responses must only fail ITS connection — the
+  // daemon's writes into the dead socket must not raise a process-wide
+  // SIGPIPE.  Without MSG_NOSIGNAL this whole test binary dies.
+  ProtestService service;
+  std::atomic<std::uint16_t> port{0};
+  std::atomic<bool> serve_failed{false};
+  std::ostringstream log;
+  std::thread server([&] {
+    try {
+      serve_tcp(service, 0, log, &port);
+    } catch (const std::exception&) {
+      serve_failed.store(true);
+    }
+  });
+  while (port.load() == 0 && !serve_failed.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (serve_failed.load()) {
+    server.join();
+    GTEST_SKIP() << "loopback sockets unavailable in this environment";
+  }
+
+  const auto connect_client = [&]() -> int {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port.load());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  const int rude = connect_client();
+  if (rude < 0) {
+    ServiceRequest shutdown;
+    shutdown.verb = ServiceVerb::Shutdown;
+    service.handle(shutdown);
+    server.join();
+    GTEST_SKIP() << "cannot connect over loopback in this environment";
+  }
+  // SO_LINGER(0) turns close() into a hard RST, so the daemon's next
+  // write into this socket fails immediately instead of buffering.
+  const linger hard_reset{1, 0};
+  ::setsockopt(rude, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof hard_reset);
+  const std::string rude_script =
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"alu\","
+      "\"circuit\":\"alu\"}\n"
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"alu\",\"p\":0.5}\n"
+      "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"alu\",\"p\":0.25}\n";
+  ::send(rude, rude_script.data(), rude_script.size(), 0);
+  ::close(rude);  // never reads a byte of the ~35 KB responses
+
+  // The daemon must still serve a well-behaved client afterwards.
+  std::string received;
+  for (int attempt = 0; attempt < 50 && received.empty(); ++attempt) {
+    const int polite = connect_client();
+    ASSERT_GE(polite, 0);
+    timeval timeout{10, 0};
+    ::setsockopt(polite, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    const std::string script = "{\"verb\":\"stats\",\"id\":4}\n";
+    ::send(polite, script.data(), script.size(), 0);
+    char buf[4096];
+    const ssize_t n = ::recv(polite, buf, sizeof buf, 0);
+    if (n > 0) received.assign(buf, static_cast<std::size_t>(n));
+    ::close(polite);
+  }
+  ASSERT_FALSE(received.empty());
+  EXPECT_TRUE(ServiceResponse::from_json(lines_of(received)[0]).ok)
+      << received;
+
+  ServiceRequest shutdown;
+  shutdown.verb = ServiceVerb::Shutdown;
+  EXPECT_TRUE(service.handle(shutdown).ok);
+  server.join();
+}
+#endif  // POSIX sockets
+
+}  // namespace
+}  // namespace protest

@@ -2,6 +2,7 @@
 // tuple cache, the incremental perturb() path, and JSON serialization.
 #include <gtest/gtest.h>
 
+#include "analysis/json.hpp"
 #include "circuits/iscas.hpp"
 #include "circuits/zoo.hpp"
 #include "protest/session.hpp"
@@ -29,6 +30,29 @@ TEST(AnalysisSession, RepeatedTupleIsACacheHit) {
   EXPECT_EQ(a.signal_probs(), b.signal_probs());
   EXPECT_EQ(&a.signal_probs(), &b.signal_probs());
   EXPECT_EQ(&a.detection_probs(), &b.detection_probs());
+}
+
+TEST(AnalysisSession, StatsSerializeToJson) {
+  // The wire form behind the daemon's `stats` verb: all counters plus the
+  // resident cache occupancy, parseable by the library's own reader.
+  const Netlist net = make_c17();
+  AnalysisSession session(net);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  const AnalysisResult base = session.analyze(ip);
+  session.analyze(ip);             // hit
+  session.perturb(base, 0, 0.25);  // incremental route
+  session.perturb_screen(base, 0, 0.75);
+
+  const JsonValue doc = parse_json(session.stats().to_json(0));
+  EXPECT_EQ(doc.at("analyze_calls").as_number(), 2.0);
+  EXPECT_EQ(doc.at("cache_hits").as_number(), 1.0);
+  EXPECT_EQ(doc.at("cache_misses").as_number(), 1.0);
+  EXPECT_EQ(doc.at("incremental_evals").as_number(), 1.0);
+  EXPECT_EQ(doc.at("screen_evals").as_number(), 1.0);
+  EXPECT_EQ(doc.at("full_evals").as_number(), 1.0);
+  // Base tuple + exact perturb product are resident; the screened result
+  // never enters the cache.
+  EXPECT_EQ(doc.at("resident_results").as_number(), 2.0);
 }
 
 TEST(AnalysisSession, NearDuplicateTupleTakesTheIncrementalPath) {

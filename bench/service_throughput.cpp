@@ -1,5 +1,5 @@
 // Requests/sec through the service layer: resident registry sessions vs
-// a cold service per request.
+// a cold service per request, and serial vs pipelined dispatch.
 //
 // The workload is an interactive client loop on one netlist — an analyze
 // of the base tuple followed by single-coordinate perturbs — sent as
@@ -10,11 +10,18 @@
 // netlist for every request, the way a batch binary would.  Both modes
 // must produce byte-identical analyze payloads (exit 1 otherwise).
 //
-// Emits BENCH_service_throughput.json; hardware_threads is recorded
-// alongside, as the executor size affects absolute numbers.  Run with
-// --quick for a CI smoke.
+// The pipelined section feeds the SAME conversation through serve_ndjson
+// twice — serial dispatch (--inflight 0) and pipelined out-of-order
+// dispatch (--inflight 4) — and records sync vs pipelined requests/sec.
+// The response SETS must match byte for byte (exit 1 otherwise); only the
+// order may differ.  With one hardware core the pipelined numbers mostly
+// measure dispatch overhead — hardware_threads is recorded alongside.
+//
+// Emits BENCH_service_throughput.json.  Run with --quick for a CI smoke.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -46,6 +53,7 @@ std::vector<std::string> request_script(const std::string& circuit,
   ServiceRequest analyze;
   analyze.verb = ServiceVerb::Analyze;
   analyze.netlist = circuit;
+  analyze.id = 2;  // correlatable ids: the load line takes 1
   analyze.p = 0.5;
   lines.push_back(analyze.to_json(0));
   const double values[] = {0.25, 0.75, 0.125, 0.875};
@@ -53,6 +61,7 @@ std::vector<std::string> request_script(const std::string& circuit,
     ServiceRequest perturb;
     perturb.verb = ServiceVerb::Perturb;
     perturb.netlist = circuit;
+    perturb.id = i + 2;
     perturb.p = 0.5;
     perturb.input_index = i % num_inputs;
     perturb.new_p = values[i % (sizeof values / sizeof values[0])];
@@ -93,6 +102,63 @@ std::string run_cold(const std::string& circuit,
   return first;
 }
 
+/// Feeds the whole conversation (load + script) through serve_ndjson with
+/// the given dispatch options; returns the response lines.
+std::vector<std::string> run_serve(const std::string& circuit,
+                                   std::span<const std::string> lines,
+                                   ServeOptions options) {
+  std::string conversation = load_line(circuit) + "\n";
+  for (const std::string& line : lines) conversation += line + "\n";
+  std::istringstream in(conversation);
+  std::ostringstream out;
+  ProtestService service;
+  serve_ndjson(service, in, out, options);
+  std::vector<std::string> responses;
+  std::istringstream split(out.str());
+  std::string response;
+  while (std::getline(split, response)) responses.push_back(response);
+  return responses;
+}
+
+/// Serial vs pipelined serve over the same conversation: records sync and
+/// pipelined requests/sec and enforces response-set equality byte for
+/// byte (order is the only permitted difference).
+void run_pipelined(bench::BenchJson& json, const std::string& circuit,
+                   std::span<const std::string> script) {
+  constexpr std::size_t kInflight = 4;
+  std::vector<std::string> serial, pipelined;
+  const double t_serial = bench::time_seconds(
+      [&] { serial = run_serve(circuit, script, ServeOptions{}); });
+  const double t_pipelined = bench::time_seconds([&] {
+    pipelined = run_serve(circuit, script, ServeOptions{kInflight});
+  });
+  const double requests = static_cast<double>(script.size()) + 1;  // + load
+  const double sync_rps = requests / t_serial;
+  const double pipe_rps = requests / t_pipelined;
+
+  std::sort(serial.begin(), serial.end());
+  std::sort(pipelined.begin(), pipelined.end());
+  if (serial != pipelined) {
+    std::printf("ERROR: pipelined response set differs from serial!\n");
+    g_parity_ok = false;
+  }
+
+  TextTable t({"dispatch", "requests/sec", "ms/request"});
+  t.add_row({"serial", fmt(sync_rps, 1), fmt(1000.0 * t_serial / requests, 3)});
+  t.add_row({"pipelined(" + fmt_int(kInflight) + ")", fmt(pipe_rps, 1),
+             fmt(1000.0 * t_pipelined / requests, 3)});
+  std::printf("%s", t.str().c_str());
+  std::printf("pipelined/serial speedup: %.2fx\n",
+              sync_rps > 0.0 ? pipe_rps / sync_rps : 0.0);
+
+  json.metric(circuit + ".sync.requests_per_sec", sync_rps);
+  json.metric(circuit + ".pipelined.requests_per_sec", pipe_rps);
+  json.metric(circuit + ".pipelined.inflight",
+              static_cast<double>(kInflight));
+  json.metric(circuit + ".pipelined.speedup",
+              sync_rps > 0.0 ? pipe_rps / sync_rps : 0.0);
+}
+
 void run_circuit(bench::BenchJson& json, const std::string& circuit,
                  std::size_t resident_requests, std::size_t cold_requests) {
   const Netlist net = make_circuit(circuit);
@@ -127,6 +193,8 @@ void run_circuit(bench::BenchJson& json, const std::string& circuit,
     std::printf("ERROR: resident and cold analyze payloads differ!\n");
     g_parity_ok = false;
   }
+
+  run_pipelined(json, circuit, script);
 
   json.metric(circuit + ".resident.requests", static_cast<double>(script.size()));
   json.metric(circuit + ".resident.requests_per_sec", resident_rps);

@@ -1,0 +1,107 @@
+// The async job API in one tour — submit/poll/cancel tickets against a
+// ProtestService, the way a pipelining `protest serve` client uses them:
+//
+//   * `submit` wraps any work verb into a ticketed job and returns
+//     immediately (the long Monte-Carlo analyze below keeps crunching in
+//     the background),
+//   * `poll` observes progress without blocking; `wait` blocks until the
+//     ticket is terminal and embeds the inner verb's ServiceResponse
+//     byte-identically to the synchronous path,
+//   * `cancel` stops a job cooperatively at its next checkpoint (a
+//     Monte-Carlo shard boundary here) — a cancelled ticket reports
+//     `cancelled` and never a partial result.
+//
+//   ./async_jobs
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "analysis/json.hpp"
+#include "protest/service.hpp"
+
+namespace {
+
+using protest::JsonValue;
+using protest::ProtestService;
+using protest::ServiceResponse;
+
+/// The `wait` client helper: blocks until the ticket finishes and returns
+/// the job payload ({"job":...,"state":...,"response":{...}}).  This is
+/// one NDJSON line on the wire — any client language can do the same.
+JsonValue wait_for_job(ProtestService& service, std::uint64_t job) {
+  const std::string line = service.handle_line(
+      "{\"verb\":\"wait\",\"id\":0,\"job\":" + std::to_string(job) + "}");
+  return protest::parse_json(ServiceResponse::from_json(line).result_json);
+}
+
+std::uint64_t submit(ProtestService& service, const std::string& inner) {
+  const std::string line = service.handle_line(
+      "{\"verb\":\"submit\",\"id\":0,\"request\":" + inner + "}");
+  const JsonValue ticket =
+      protest::parse_json(ServiceResponse::from_json(line).result_json);
+  std::printf("submitted %s -> job %d (%s)\n",
+              ticket.at("verb").as_string().c_str(),
+              static_cast<int>(ticket.at("job").as_number()),
+              ticket.at("state").as_string().c_str());
+  return static_cast<std::uint64_t>(ticket.at("job").as_number());
+}
+
+}  // namespace
+
+int main() {
+  using namespace std::chrono_literals;
+
+  // A Monte-Carlo session with a hefty pattern budget makes the analyze
+  // genuinely long-running — the point of ticketing it.
+  protest::ServiceConfig config;
+  config.session_defaults.monte_carlo.num_patterns = 20'000'000;
+  ProtestService service(config);
+  service.handle_line(
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"alu\","
+      "\"circuit\":\"alu\",\"engine\":\"monte-carlo\"}");
+
+  // 1. Ticket two long analyzes.  submit returns before either runs.
+  const std::uint64_t keep = submit(
+      service,
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"alu\",\"p\":0.5}");
+  const std::uint64_t doomed = submit(
+      service,
+      "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"alu\",\"p\":0.25}");
+
+  // 2. Poll while the jobs crunch shards.
+  for (int i = 0; i < 3; ++i) {
+    const std::string line = service.handle_line(
+        "{\"verb\":\"poll\",\"id\":4,\"job\":" + std::to_string(keep) + "}");
+    const JsonValue snap =
+        protest::parse_json(ServiceResponse::from_json(line).result_json);
+    std::printf("poll job %d: %s\n", static_cast<int>(keep),
+                snap.at("state").as_string().c_str());
+    std::this_thread::sleep_for(20ms);
+  }
+
+  // 3. Cancel the second ticket: cooperative, prompt (next shard), and
+  //    terminal — the wait below reports `cancelled`, never a partial
+  //    result.
+  service.handle_line("{\"verb\":\"cancel\",\"id\":5,\"job\":" +
+                      std::to_string(doomed) + "}");
+  const JsonValue cancelled = wait_for_job(service, doomed);
+  std::printf("job %d ended %s\n", static_cast<int>(doomed),
+              cancelled.at("state").as_string().c_str());
+
+  // 4. Wait out the first ticket and compare against the synchronous
+  //    verb: the embedded response is byte-identical.
+  const JsonValue finished = wait_for_job(service, keep);
+  std::printf("job %d ended %s\n", static_cast<int>(keep),
+              finished.at("state").as_string().c_str());
+  const std::string sync = service.handle_line(
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"alu\",\"p\":0.5}");
+  const std::string embedded = protest::to_json(finished.at("response"), 0);
+  std::printf("embedded response == synchronous response: %s\n",
+              embedded == sync ? "yes" : "NO");
+
+  const bool ok = cancelled.at("state").as_string() == "cancelled" &&
+                  finished.at("state").as_string() == "done" &&
+                  embedded == sync;
+  return ok ? 0 : 1;
+}

@@ -4,6 +4,8 @@
 #include <random>
 #include <stdexcept>
 
+#include "util/cancel.hpp"
+
 namespace protest {
 namespace {
 
@@ -60,6 +62,10 @@ struct Climber {
     for (; sweep < opts.max_sweeps; ++sweep) {
       bool improved = false;
       for (std::size_t i = 0; i < ni; ++i) {
+        // Cancellation checkpoint per coordinate: a cancelled optimize
+        // job abandons the climb well within one sweep (the accepted
+        // moves so far are simply discarded by the unwind).
+        check_cancelled();
         const int cur = k[i];
         cand_vals.clear();
         cand_k.clear();

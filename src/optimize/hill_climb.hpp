@@ -29,7 +29,10 @@ struct HillClimbResult {
 };
 
 /// Maximizes evaluator.log_objective over the grid, starting from the
-/// conventional tuple (0.5, ..., 0.5).
+/// conventional tuple (0.5, ..., 0.5).  Cooperatively cancellable: when
+/// the calling thread's CancelToken (util/cancel.hpp) is cancelled, the
+/// climb throws OperationCancelled at the next coordinate — well within
+/// one sweep — which is how an async `optimize` job stops early.
 HillClimbResult optimize_input_probs(const ObjectiveEvaluator& evaluator,
                                      HillClimbOptions opts = {});
 

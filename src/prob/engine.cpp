@@ -10,6 +10,7 @@
 #include "prob/monte_carlo.hpp"
 #include "prob/naive.hpp"
 #include "sim/logic_sim.hpp"
+#include "util/cancel.hpp"
 #include "util/executor.hpp"
 
 namespace protest {
@@ -24,6 +25,11 @@ SignalProbEngine::SignalProbEngine(const Netlist& net, std::string name)
 
 std::vector<double> SignalProbEngine::signal_probs(
     std::span<const double> input_probs) const {
+  // Entry checkpoint: a job cancelled before (or between) evaluations
+  // never starts another one, whatever the engine type.  The long-running
+  // engines add finer-grained checkpoints of their own (the Monte-Carlo
+  // shard loop).
+  check_cancelled();
   validate_input_probs(net_, input_probs);
   return compute(input_probs);
 }
@@ -38,7 +44,10 @@ std::vector<std::vector<double>> SignalProbEngine::compute_batch(
     std::span<const InputProbs> batch) const {
   std::vector<std::vector<double>> out;
   out.reserve(batch.size());
-  for (const InputProbs& t : batch) out.push_back(compute(t));
+  for (const InputProbs& t : batch) {
+    check_cancelled();  // between tuples: batches stop at a tuple boundary
+    out.push_back(compute(t));
+  }
   return out;
 }
 
@@ -46,6 +55,7 @@ std::vector<double> SignalProbEngine::signal_probs_perturb(
     std::span<const double> base_inputs,
     std::span<const double> base_node_probs, std::size_t input_index,
     double new_p, PerturbMode mode) const {
+  check_cancelled();
   validate_perturb_args(net_, base_inputs, base_node_probs, input_index,
                         new_p);
   return compute_perturb(base_inputs, base_node_probs, input_index, new_p,

@@ -33,6 +33,13 @@
 // with bit-identical results for any thread count (see
 // prob/monte_carlo.hpp for the stream-derivation rule) — don't stack a
 // clone layer on top of it.
+//
+// Cancellation: every public entry point checkpoints the calling
+// thread's CancelToken (util/cancel.hpp) before evaluating — and between
+// batch tuples — throwing OperationCancelled when an async job has been
+// cancelled; the Monte-Carlo engine additionally checkpoints at every
+// shard boundary.  Under the inert default token the checks cost one
+// branch.
 #pragma once
 
 #include <cstdint>

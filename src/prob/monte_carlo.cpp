@@ -6,6 +6,7 @@
 
 #include "prob/naive.hpp"
 #include "sim/logic_sim.hpp"
+#include "util/cancel.hpp"
 
 namespace protest {
 namespace {
@@ -60,6 +61,11 @@ void monte_carlo_accumulate_shard(BlockSimulator& sim,
                                   std::size_t num_patterns, std::uint64_t seed,
                                   std::span<std::size_t> ones,
                                   std::vector<std::uint64_t>& word_buf) {
+  // The shard boundary is the Monte-Carlo cancellation checkpoint: a
+  // cancelled analyze stops before simulating another 8192 patterns, and
+  // because a shard either completes or contributes nothing, the partial
+  // one-counts are simply discarded by the unwind.
+  check_cancelled();
   const std::size_t begin = shard_index * kMonteCarloShardPatterns;
   const std::size_t count =
       std::min(kMonteCarloShardPatterns, num_patterns - begin);

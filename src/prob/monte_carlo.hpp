@@ -55,7 +55,11 @@ std::vector<std::uint64_t> monte_carlo_thresholds(
 /// Simulates one shard and ACCUMULATES per-node one-counts into `ones`
 /// (netlist-sized; not cleared).  `word_buf` is caller-provided scratch for
 /// the per-input pattern words — reusing it across shards and tuples keeps
-/// the hot loop allocation-free (no PatternSet is materialized).
+/// the hot loop allocation-free (no PatternSet is materialized).  The
+/// shard boundary doubles as the cancellation checkpoint (util/cancel.hpp):
+/// when the calling thread's CancelToken is cancelled this throws
+/// OperationCancelled before simulating, so a cancelled Monte-Carlo job
+/// stops within one shard.
 void monte_carlo_accumulate_shard(BlockSimulator& sim,
                                   std::span<const std::uint64_t> thresholds,
                                   std::size_t shard_index,

@@ -1,5 +1,7 @@
 #include "prob/parallel_eval.hpp"
 
+#include "util/cancel.hpp"
+
 namespace protest {
 
 ParallelBatchEvaluator::ParallelBatchEvaluator(
@@ -34,6 +36,7 @@ void ParallelBatchEvaluator::for_each_task(
     const std::function<void(std::size_t, const SignalProbEngine&)>& fn)
     const {
   exec_->parallel_for(num_tasks, [&](std::size_t task, unsigned worker) {
+    check_cancelled();  // task boundary: sweeps stop within one candidate
     fn(task, worker_engine(worker));
   });
 }

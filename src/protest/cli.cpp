@@ -41,6 +41,10 @@ struct Args {
   bool cap_set = false;
   unsigned port = 0;     ///< --port: serve over TCP instead of stdin/stdout
   bool port_set = false;
+  /// --inflight: serve's pipelined dispatch slots (0 = serial, the
+  /// default; N = out-of-order responses with reads stalling at N).
+  std::size_t inflight = 0;
+  bool inflight_set = false;
   /// Per-query value flags seen (--p/--d/--e/--n/--sweeps/--patterns/
   /// --seed) — rejected by commands that would silently ignore them.
   std::vector<std::string> query_flags;
@@ -62,23 +66,16 @@ AnalysisRequest parse_artifacts(const Args& a, double d, double e) {
     req.test_lengths = true;  // the CLI default: the classic report set
     return req;
   }
-  const std::string& list = a.artifacts;
+  // Names resolve through the same artifact_name_table() the service's
+  // JSON decoder uses — one vocabulary for both surfaces.
   req.observability = false;
   req.detection_probs = false;
-  std::stringstream ss(list);
+  std::stringstream ss(a.artifacts);
   std::string name;
   while (std::getline(ss, name, ',')) {
-    if (name == "signal_probs") continue;  // always computed
-    else if (name == "observability") req.observability = true;
-    else if (name == "detection_probs") req.detection_probs = true;
-    else if (name == "test_lengths") req.test_lengths = true;
-    else if (name == "scoap") req.scoap = true;
-    else if (name == "stafan") req.stafan = true;
-    else
-      throw UsageError(
-          "unknown artifact '" + name +
-          "' (available: signal_probs observability detection_probs "
-          "test_lengths scoap stafan)");
+    if (!set_artifact(req, name))
+      throw UsageError("unknown artifact '" + name +
+                       "' (available: " + known_artifact_names() + ")");
   }
   return req;
 }
@@ -130,6 +127,16 @@ Args parse_args(const std::vector<std::string>& argv) {
         a.port = static_cast<unsigned>(v);
         a.port_set = true;
       }
+      else if (flag == "--inflight") {
+        // Same cap-before-narrowing discipline as --threads: each slot is
+        // a dispatch thread, so a wrapped "-1" must not be accepted.
+        const unsigned long v = std::stoul(need_value(flag));
+        if (v > 1024)
+          throw UsageError("--inflight must be between 0 (= serial "
+                           "dispatch) and 1024");
+        a.inflight = static_cast<std::size_t>(v);
+        a.inflight_set = true;
+      }
       else throw UsageError("unknown flag '" + flag + "'");
     } catch (const std::invalid_argument&) {
       throw UsageError("bad value for flag " + flag);
@@ -164,8 +171,8 @@ Args parse_args(const std::vector<std::string>& argv) {
       throw UsageError(a.query_flags.front() +
                        " is not valid for 'serve' (per-query values travel "
                        "in the JSON requests)");
-  } else if (a.cap_set || a.port_set) {
-    throw UsageError("--cap/--port are only valid for 'serve'");
+  } else if (a.cap_set || a.port_set || a.inflight_set) {
+    throw UsageError("--cap/--port/--inflight are only valid for 'serve'");
   }
   // The text report has a fixed layout; accepting --artifacts there would
   // compute the extra artifacts and then silently not print them.
@@ -348,15 +355,18 @@ int cmd_simulate(const Args& a, std::ostream& out) {
 int cmd_serve(const Args& a, std::istream& in, std::ostream& out,
               std::ostream& err) {
   ProtestService service(service_config(a));
+  ServeOptions serve_opts;
+  serve_opts.max_inflight = a.inflight;
   if (a.port_set) {
     if (!tcp_serve_supported())
       throw UsageError("--port is not supported on this platform "
                        "(no POSIX sockets); use stdin/stdout mode");
-    return serve_tcp(service, static_cast<std::uint16_t>(a.port), err);
+    return serve_tcp(service, static_cast<std::uint16_t>(a.port), err,
+                     nullptr, serve_opts);
   }
   // NDJSON over stdin/stdout: requests in, responses out, diagnostics on
   // stderr only (stdout must stay machine-parseable).
-  return serve_ndjson(service, in, out);
+  return serve_ndjson(service, in, out, serve_opts);
 }
 
 int cmd_scan(const Args& a, std::ostream& out) {
@@ -384,7 +394,8 @@ void print_help(std::ostream& out) {
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "                          [--json] [--artifacts LIST] [--threads T]\n"
-         "  protest serve           [--cap N] [--threads T] [--port P]\n"
+         "  protest serve           [--cap N] [--threads T] [--port P] "
+         "[--inflight N]\n"
          "  protest help\n"
          "\n"
          "<file>: .bench netlist or module DSL (auto-detected).\n"
@@ -401,8 +412,12 @@ void print_help(std::ostream& out) {
          "test_lengths).\n"
          "serve runs the resident-session daemon: newline-delimited JSON\n"
          "requests on stdin (or TCP with --port), one response line each;\n"
-         "--cap bounds resident sessions (LRU-evicted, default 8).  See\n"
-         "the README's Serving section for the protocol.\n";
+         "--cap bounds resident sessions (LRU-evicted, default 8), and\n"
+         "--inflight N enables pipelined dispatch: up to N work requests\n"
+         "run concurrently, responses return out of order (correlate by\n"
+         "id) and reads stall at N in-flight (backpressure).  Long jobs\n"
+         "can also be ticketed explicitly: submit/poll/wait/cancel/jobs\n"
+         "verbs (see the README's Serving section for the protocol).\n";
 }
 
 }  // namespace

@@ -1,0 +1,246 @@
+#include "protest/jobs.hpp"
+
+#include <condition_variable>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+namespace protest {
+
+std::string_view to_string(JobState state) {
+  switch (state) {
+    case JobState::Queued: return "queued";
+    case JobState::Running: return "running";
+    case JobState::Done: return "done";
+    case JobState::Failed: return "failed";
+    case JobState::Cancelled: return "cancelled";
+  }
+  return "?";
+}
+
+bool job_finished(JobState state) {
+  return state == JobState::Done || state == JobState::Failed ||
+         state == JobState::Cancelled;
+}
+
+struct JobManager::Job {
+  std::uint64_t id = 0;
+  std::string label;
+  JobState state = JobState::Queued;
+  CancelToken token = CancelToken::source();
+  std::function<std::string()> fn;  ///< cleared once claimed
+  std::string payload;
+  std::string error;
+};
+
+struct JobManager::Impl {
+  mutable std::mutex mu;
+  /// Signalled on every state transition (poll-to-terminal waiters).
+  mutable std::condition_variable state_cv;
+  /// Signalled when the queue gains work or stopping flips.
+  std::condition_variable work_cv;
+  std::map<std::uint64_t, std::shared_ptr<Job>> jobs;  ///< id order
+  std::deque<std::shared_ptr<Job>> queue;
+  std::vector<std::thread> workers;  ///< spawned on first submit
+  std::uint64_t next_id = 1;
+  std::size_t max_retained = 1024;
+  bool stopping = false;
+
+  /// Erases the oldest FINISHED jobs beyond max_retained (0 = keep all).
+  /// Queued/running jobs are untouched — the queue's pointers stay valid.
+  void prune_locked() {
+    if (max_retained == 0) return;
+    std::size_t finished = 0;
+    for (const auto& [id, job] : jobs)
+      if (job_finished(job->state)) ++finished;
+    for (auto it = jobs.begin(); finished > max_retained && it != jobs.end();)
+      if (job_finished(it->second->state)) {
+        it = jobs.erase(it);
+        --finished;
+      } else {
+        ++it;
+      }
+  }
+
+  static JobInfo snapshot_locked(const Job& j, bool with_payload) {
+    JobInfo info;
+    info.id = j.id;
+    info.label = j.label;
+    info.state = j.state;
+    if (with_payload && j.state == JobState::Done) info.payload = j.payload;
+    if (j.state == JobState::Failed) info.error = j.error;
+    return info;
+  }
+
+  /// Flips every unfinished job's token (running jobs stop at their next
+  /// checkpoint) and marks queued jobs cancelled outright.
+  void cancel_all_locked() {
+    for (auto& [id, job] : jobs) {
+      if (job_finished(job->state)) continue;
+      job->token.request_cancel();
+      if (job->state == JobState::Queued) {
+        job->state = JobState::Cancelled;
+        job->fn = nullptr;
+      }
+    }
+    state_cv.notify_all();
+  }
+};
+
+JobManager::JobManager(unsigned num_workers, std::size_t max_retained)
+    : num_workers_(num_workers == 0 ? 1 : num_workers),
+      impl_(std::make_unique<Impl>()) {
+  impl_->max_retained = max_retained;
+}
+
+std::size_t JobManager::max_retained() const { return impl_->max_retained; }
+
+JobManager::~JobManager() {
+  {
+    const std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+    impl_->cancel_all_locked();
+    impl_->work_cv.notify_all();
+  }
+  for (std::thread& t : impl_->workers) t.join();
+}
+
+void JobManager::worker_loop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    std::function<std::string()> fn;
+    {
+      std::unique_lock<std::mutex> lock(impl_->mu);
+      impl_->work_cv.wait(lock, [&] {
+        return impl_->stopping || !impl_->queue.empty();
+      });
+      while (!impl_->queue.empty()) {
+        job = std::move(impl_->queue.front());
+        impl_->queue.pop_front();
+        // A job cancelled while queued stays in the deque but was already
+        // marked; skip it.
+        if (job->state == JobState::Queued) break;
+        job.reset();
+      }
+      if (!job) {
+        if (impl_->stopping) return;
+        continue;
+      }
+      job->state = JobState::Running;
+      fn = std::move(job->fn);
+      job->fn = nullptr;
+      impl_->state_cv.notify_all();
+    }
+    JobState end = JobState::Done;
+    std::string payload;
+    std::string error;
+    try {
+      // The scope makes every checkpoint reached by fn — including ones
+      // forwarded onto executor workers — observe THIS job's token.
+      const CancelScope scope(job->token);
+      payload = fn();
+    } catch (const OperationCancelled&) {
+      end = JobState::Cancelled;
+    } catch (const std::exception& e) {
+      end = JobState::Failed;
+      error = e.what();
+    } catch (...) {
+      end = JobState::Failed;
+      error = "unknown error";
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(impl_->mu);
+      // Completion beats a cancel request that no checkpoint observed:
+      // the work finished, so the result is valid and reported as done.
+      job->state = end;
+      job->payload = std::move(payload);
+      job->error = std::move(error);
+      impl_->state_cv.notify_all();
+    }
+  }
+}
+
+JobTicket JobManager::submit(std::string label,
+                             std::function<std::string()> fn) {
+  if (!fn) throw std::invalid_argument("JobManager::submit: null job");
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  if (impl_->stopping)
+    throw std::runtime_error("JobManager::submit: manager is shutting down");
+  if (impl_->workers.empty()) {
+    impl_->workers.reserve(num_workers_);
+    for (unsigned w = 0; w < num_workers_; ++w)
+      impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+  auto job = std::make_shared<Job>();
+  job->id = impl_->next_id++;
+  job->label = std::move(label);
+  job->fn = std::move(fn);
+  impl_->jobs.emplace(job->id, job);
+  impl_->queue.push_back(job);
+  impl_->prune_locked();
+  impl_->work_cv.notify_one();
+  return JobTicket{job->id, JobState::Queued};
+}
+
+std::optional<JobInfo> JobManager::poll(std::uint64_t id) const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return std::nullopt;
+  return Impl::snapshot_locked(*it->second, /*with_payload=*/true);
+}
+
+std::optional<JobInfo> JobManager::wait(
+    std::uint64_t id, std::optional<std::chrono::milliseconds> timeout) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return std::nullopt;
+  const std::shared_ptr<Job> job = it->second;
+  const auto finished = [&] { return job_finished(job->state); };
+  if (timeout)
+    impl_->state_cv.wait_for(lock, *timeout, finished);
+  else
+    impl_->state_cv.wait(lock, finished);
+  return Impl::snapshot_locked(*job, /*with_payload=*/true);
+}
+
+bool JobManager::cancel(std::uint64_t id) {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(id);
+  if (it == impl_->jobs.end()) return false;
+  Job& job = *it->second;
+  if (job_finished(job.state)) return false;
+  job.token.request_cancel();
+  if (job.state == JobState::Queued) {
+    job.state = JobState::Cancelled;
+    job.fn = nullptr;
+    impl_->state_cv.notify_all();
+  }
+  return true;
+}
+
+std::vector<JobInfo> JobManager::jobs() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::vector<JobInfo> out;
+  out.reserve(impl_->jobs.size());
+  for (const auto& [id, job] : impl_->jobs)
+    out.push_back(Impl::snapshot_locked(*job, /*with_payload=*/false));
+  return out;
+}
+
+std::size_t JobManager::num_pending() const {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  std::size_t n = 0;
+  for (const auto& [id, job] : impl_->jobs)
+    if (!job_finished(job->state)) ++n;
+  return n;
+}
+
+void JobManager::cancel_all() {
+  const std::lock_guard<std::mutex> lock(impl_->mu);
+  impl_->cancel_all_locked();
+}
+
+}  // namespace protest

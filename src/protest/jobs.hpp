@@ -1,0 +1,146 @@
+// The async job layer: every service verb as a ticketed, cancellable job.
+//
+// The service API up to PR 4 was strictly synchronous — a Monte-Carlo
+// analyze or an optimize hill climb blocked its caller (and, in `protest
+// serve`, the whole request stream) until it finished.  JobManager turns
+// any unit of work into a TICKET: submit() enqueues a closure and
+// immediately returns a JobTicket (id + state); a small pool of job
+// worker threads drains the queue; poll()/wait() observe progress and
+// retrieve the finished payload; cancel() stops the work cooperatively at
+// its next checkpoint (see util/cancel.hpp) — a queued job is cancelled
+// before it ever runs, a running job's CancelToken is flipped and the
+// work unwinds with OperationCancelled at the next shard/sweep boundary.
+//
+// State machine (one-way):
+//
+//   queued ──> running ──> done      (fn returned a payload)
+//     │           ├──────> failed    (fn threw; error recorded)
+//     │           └──────> cancelled (fn threw OperationCancelled)
+//     └─────────────────> cancelled  (cancel() before a worker claimed it)
+//
+// A CANCELLED job never carries a payload: cancellation that loses the
+// race with completion simply leaves the job done (the work finished; the
+// result is valid), and cancellation that wins discards everything the
+// job computed.
+//
+// The payload is an opaque string.  The service layer stores the inner
+// ServiceResponse serialized compactly, which is what lets poll/wait
+// splice it back into their responses BYTE-IDENTICALLY to the synchronous
+// verb (asserted in tests/service_test.cpp) — JobManager itself knows
+// nothing about the protocol and has no dependency on service.hpp.
+//
+// Finished jobs are RETAINED so repeated poll()s keep answering — but
+// bounded: beyond `max_retained` finished jobs the oldest are pruned on
+// the next submit (their ids answer unknown thereafter), so a resident
+// daemon fed submits forever cannot grow without bound — the same
+// reasoning as the registry's resident-session cap.  Queued and running
+// jobs are never pruned.
+//
+// Thread safety: every public member is safe for concurrent callers; the
+// worker threads are spawned lazily on the first submit(), so a manager
+// that never sees an async verb costs nothing.  The destructor cancels
+// all unfinished jobs and joins the workers (running jobs unwind at their
+// next checkpoint).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/cancel.hpp"
+
+namespace protest {
+
+enum class JobState { Queued, Running, Done, Failed, Cancelled };
+
+/// Wire name ("queued", "running", "done", "failed", "cancelled").
+std::string_view to_string(JobState state);
+
+/// True for the terminal states (done/failed/cancelled).
+bool job_finished(JobState state);
+
+/// What submit() hands back: the id correlates every later poll/wait/
+/// cancel with this job.
+struct JobTicket {
+  std::uint64_t id = 0;
+  JobState state = JobState::Queued;
+};
+
+/// Snapshot of one job, as poll()/wait()/jobs() report it.
+struct JobInfo {
+  std::uint64_t id = 0;
+  std::string label;   ///< caller-chosen (the service uses the inner verb)
+  JobState state = JobState::Queued;
+  std::string payload;  ///< set only when state == Done
+  std::string error;    ///< set only when state == Failed
+};
+
+class JobManager {
+ public:
+  /// `num_workers` job threads drain the queue (0 is treated as 1).  This
+  /// bounds how many jobs RUN concurrently; sessions and the shared
+  /// executor below serialize their own critical sections, so workers
+  /// beyond the number of distinct resident sessions mostly add overlap
+  /// between one job's compute and another's setup/serialization.
+  /// `max_retained` bounds FINISHED jobs kept for polling (0 = unbounded;
+  /// see the header comment).
+  explicit JobManager(unsigned num_workers = 2,
+                      std::size_t max_retained = 1024);
+
+  /// Cancels every unfinished job and joins the workers.
+  ~JobManager();
+
+  JobManager(const JobManager&) = delete;
+  JobManager& operator=(const JobManager&) = delete;
+
+  /// Enqueues `fn` and returns its ticket immediately.  `fn` runs on a
+  /// job worker under this job's CancelScope: checkpoints inside it
+  /// (check_cancelled()) observe cancel() calls for this ticket.  A
+  /// throwing fn marks the job failed; OperationCancelled marks it
+  /// cancelled.
+  JobTicket submit(std::string label, std::function<std::string()> fn);
+
+  /// Snapshot of job `id`, or nullopt for unknown ids.  Never blocks.
+  std::optional<JobInfo> poll(std::uint64_t id) const;
+
+  /// Blocks until job `id` reaches a terminal state (or `timeout` expires,
+  /// when given) and returns its snapshot — a timed-out wait returns the
+  /// current, non-terminal snapshot, exactly like poll().  nullopt for
+  /// unknown ids.
+  std::optional<JobInfo> wait(
+      std::uint64_t id,
+      std::optional<std::chrono::milliseconds> timeout = std::nullopt);
+
+  /// Requests cancellation of job `id`.  Returns true when the job was
+  /// still unfinished (queued jobs flip to cancelled immediately; running
+  /// jobs stop at their next checkpoint), false when it was unknown or
+  /// already finished.
+  bool cancel(std::uint64_t id);
+
+  /// Snapshots of every job this manager has seen, in submission order.
+  /// Payloads are omitted (poll the job you want the payload of).
+  std::vector<JobInfo> jobs() const;
+
+  /// Jobs not yet in a terminal state (queued + running).
+  std::size_t num_pending() const;
+
+  unsigned num_workers() const { return num_workers_; }
+  std::size_t max_retained() const;
+
+  /// cancel() for every unfinished job (the shutdown path).
+  void cancel_all();
+
+ private:
+  struct Job;
+  struct Impl;
+  void worker_loop();
+
+  unsigned num_workers_;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace protest

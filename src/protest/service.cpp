@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
 #include <istream>
 #include <ostream>
 #include <thread>
@@ -158,16 +160,11 @@ constexpr std::pair<ServiceVerb, std::string_view> kVerbNames[] = {
     {ServiceVerb::Stats, "stats"},
     {ServiceVerb::Evict, "evict"},
     {ServiceVerb::Shutdown, "shutdown"},
-};
-
-/// Artifact flag <-> wire name (the CLI's --artifacts vocabulary).
-constexpr std::pair<bool AnalysisRequest::*, std::string_view>
-    kArtifactFlags[] = {
-        {&AnalysisRequest::observability, "observability"},
-        {&AnalysisRequest::detection_probs, "detection_probs"},
-        {&AnalysisRequest::test_lengths, "test_lengths"},
-        {&AnalysisRequest::scoap, "scoap"},
-        {&AnalysisRequest::stafan, "stafan"},
+    {ServiceVerb::Submit, "submit"},
+    {ServiceVerb::Poll, "poll"},
+    {ServiceVerb::Wait, "wait"},
+    {ServiceVerb::Cancel, "cancel"},
+    {ServiceVerb::Jobs, "jobs"},
 };
 
 /// Strictly integral, non-negative number (doubles carry protocol
@@ -187,20 +184,16 @@ std::vector<double> to_number_list(const JsonValue& v) {
 }
 
 AnalysisRequest artifacts_from_names(const JsonValue& list) {
+  // Decodes through the artifact_name_table() shared with the CLI's
+  // --artifacts parser, so the two surfaces can never drift apart.
   AnalysisRequest req;
-  for (auto [flag, name] : kArtifactFlags) req.*flag = false;
+  for (const ArtifactName& a : artifact_name_table()) req.*a.flag = false;
   for (const JsonValue& e : list.as_array()) {
     const std::string& name = e.as_string();
-    if (name == "signal_probs") continue;  // always computed
-    bool known = false;
-    for (auto [flag, flag_name] : kArtifactFlags)
-      if (name == flag_name) {
-        req.*flag = true;
-        known = true;
-        break;
-      }
-    if (!known)
-      throw std::runtime_error("unknown artifact '" + name + "'");
+    if (!set_artifact(req, name))
+      throw std::runtime_error("unknown artifact '" + name +
+                               "' (available: " + known_artifact_names() +
+                               ")");
   }
   return req;
 }
@@ -249,14 +242,15 @@ std::string ServiceRequest::to_json(int indent) const {
   if (!source.empty()) w.key("source").value(source);
   if (!engine.empty()) w.key("engine").value(engine);
   if (seed) w.key("seed").value(*seed);
+  if (patterns) w.key("patterns").value(*patterns);
   if (max_cached_results)
     w.key("max_cached_results").value(*max_cached_results);
   if (p) w.key("p").value(*p);
   if (!input_probs.empty()) write_number_list(w, "input_probs", input_probs);
   if (artifacts) {
     std::vector<std::string> names;
-    for (auto [flag, name] : kArtifactFlags)
-      if ((*artifacts).*flag) names.emplace_back(name);
+    for (const ArtifactName& a : artifact_name_table())
+      if ((*artifacts).*a.flag) names.emplace_back(a.name);
     write_string_list(w, "artifacts", names);
     write_number_list(w, "d_grid", artifacts->d_grid);
     write_number_list(w, "e_grid", artifacts->e_grid);
@@ -268,6 +262,14 @@ std::string ServiceRequest::to_json(int indent) const {
   }
   if (n_parameter) w.key("n").value(*n_parameter);
   if (sweeps) w.key("sweeps").value(*sweeps);
+  if (subrequest) {
+    // The wrapped verb rides along as a compact raw splice: its own
+    // to_json is already canonical, so re-encoding stays a fixed point.
+    w.key("request");
+    w.raw(subrequest->to_json(0));
+  }
+  if (job) w.key("job").value(*job);
+  if (timeout_ms) w.key("timeout_ms").value(*timeout_ms);
   w.end_object();
   return w.str();
 }
@@ -298,6 +300,8 @@ ServiceRequest ServiceRequest::from_json_value(const JsonValue& doc) {
         r.engine = v.as_string();
       } else if (key == "seed") {
         r.seed = to_uint(v);
+      } else if (key == "patterns") {
+        r.patterns = static_cast<std::size_t>(to_uint(v));
       } else if (key == "max_cached_results") {
         r.max_cached_results = static_cast<std::size_t>(to_uint(v));
       } else if (key == "p") {
@@ -320,6 +324,12 @@ ServiceRequest ServiceRequest::from_json_value(const JsonValue& doc) {
         r.n_parameter = to_uint(v);
       } else if (key == "sweeps") {
         r.sweeps = static_cast<unsigned>(to_uint(v));
+      } else if (key == "request") {
+        r.subrequest = std::make_shared<ServiceRequest>(from_json_value(v));
+      } else if (key == "job") {
+        r.job = to_uint(v);
+      } else if (key == "timeout_ms") {
+        r.timeout_ms = to_uint(v);
       } else {
         throw std::runtime_error("unknown request member");
       }
@@ -442,7 +452,8 @@ Netlist netlist_from_text(const std::string& text) {
 
 ProtestService::ProtestService(ServiceConfig config)
     : config_(std::move(config)),
-      registry_(config_.max_resident_sessions, config_.parallel) {}
+      registry_(config_.max_resident_sessions, config_.parallel),
+      jobs_(config_.job_workers) {}
 
 namespace {
 
@@ -457,6 +468,63 @@ void require_netlist_name(const ServiceRequest& req) {
     throw ServiceError("bad_request",
                        "verb '" + std::string(to_string(req.verb)) +
                            "' requires a 'netlist' name");
+}
+
+std::uint64_t require_job_id(const ServiceRequest& req) {
+  if (!req.job)
+    throw ServiceError("bad_request",
+                       "verb '" + std::string(to_string(req.verb)) +
+                           "' requires a 'job' ticket id");
+  return *req.job;
+}
+
+/// Only the three WORK verbs run as jobs — the same class the pipelined
+/// front end fans out.  Job-control verbs nesting inside jobs would
+/// deadlock (a waiting job occupying the worker its target needs);
+/// shutdown must act on the serving loop directly; and the registry-
+/// mutating verbs (load_netlist/evict) plus stats are instant and must
+/// keep their deterministic ordering relative to the request stream —
+/// a ticketed load racing a pipelined analyze would reintroduce exactly
+/// the reordering hazard the barrier class rules out.
+bool submittable(ServiceVerb verb) {
+  switch (verb) {
+    case ServiceVerb::Analyze:
+    case ServiceVerb::Perturb:
+    case ServiceVerb::Optimize:
+      return true;
+    case ServiceVerb::LoadNetlist:
+    case ServiceVerb::Stats:
+    case ServiceVerb::Evict:
+    case ServiceVerb::Shutdown:
+    case ServiceVerb::Submit:
+    case ServiceVerb::Poll:
+    case ServiceVerb::Wait:
+    case ServiceVerb::Cancel:
+    case ServiceVerb::Jobs:
+      return false;
+  }
+  return false;
+}
+
+/// The poll/wait result payload.  A done job splices the inner verb's
+/// ServiceResponse back BYTE-IDENTICALLY under "response" — the central
+/// async-API guarantee; a cancelled job carries no payload at all.
+std::string job_payload(const JobInfo& info) {
+  JsonWriter w(0);
+  w.begin_object();
+  w.key("job").value(info.id);
+  w.key("verb").value(info.label);
+  w.key("state").value(to_string(info.state));
+  if (info.state == JobState::Done) {
+    w.key("response");
+    if (info.payload.empty())
+      w.null();
+    else
+      w.raw(info.payload);
+  }
+  if (info.state == JobState::Failed) w.key("error").value(info.error);
+  w.end_object();
+  return w.str();
 }
 
 }  // namespace
@@ -474,6 +542,7 @@ std::string ProtestService::dispatch(const ServiceRequest& req) {
       SessionOptions opts = config_.session_defaults;
       if (!req.engine.empty()) opts.engine = req.engine;
       if (req.seed) opts.monte_carlo.seed = *req.seed;
+      if (req.patterns) opts.monte_carlo.num_patterns = *req.patterns;
       if (req.max_cached_results)
         opts.max_cached_results = *req.max_cached_results;
       registry_.register_netlist(req.netlist, std::move(net), std::move(opts));
@@ -610,9 +679,87 @@ std::string ProtestService::dispatch(const ServiceRequest& req) {
 
     case ServiceVerb::Shutdown: {
       shutdown_.store(true, std::memory_order_release);
+      // Unfinished jobs stop at their next checkpoint instead of pinning
+      // the daemon's exit on a long Monte-Carlo budget.
+      jobs_.cancel_all();
       JsonWriter w(0);
       w.begin_object();
       w.key("shutting_down").value(true);
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Submit: {
+      if (!req.subrequest)
+        throw ServiceError("bad_request",
+                           "submit requires a 'request' object (the verb to "
+                           "run as a job)");
+      const ServiceRequest inner = *req.subrequest;
+      if (!submittable(inner.verb))
+        throw ServiceError("bad_request",
+                           "verb '" + std::string(to_string(inner.verb)) +
+                               "' cannot run as a job (only the work verbs "
+                               "analyze/perturb/optimize are submittable)");
+      // The job re-enters handle(): the stored payload IS the synchronous
+      // verb's ServiceResponse, serialized compactly — which is what
+      // makes poll/wait byte-identical to the synchronous path.
+      const JobTicket ticket =
+          jobs_.submit(std::string(to_string(inner.verb)),
+                       [this, inner] { return handle(inner).to_json(0); });
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("job").value(ticket.id);
+      w.key("verb").value(to_string(inner.verb));
+      w.key("state").value(to_string(ticket.state));
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Poll:
+    case ServiceVerb::Wait: {
+      const std::uint64_t id = require_job_id(req);
+      const std::optional<JobInfo> info =
+          req.verb == ServiceVerb::Poll
+              ? jobs_.poll(id)
+              : jobs_.wait(id, req.timeout_ms
+                                   ? std::optional<std::chrono::milliseconds>(
+                                         std::chrono::milliseconds(
+                                             *req.timeout_ms))
+                                   : std::nullopt);
+      if (!info)
+        throw ServiceError("unknown_job",
+                           "no job with ticket id " + std::to_string(id));
+      return job_payload(*info);
+    }
+
+    case ServiceVerb::Cancel: {
+      const std::uint64_t id = require_job_id(req);
+      if (!jobs_.poll(id))
+        throw ServiceError("unknown_job",
+                           "no job with ticket id " + std::to_string(id));
+      // requested == false means the job had already finished — the
+      // result stands; a poll will return it.
+      const bool requested = jobs_.cancel(id);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("job").value(id);
+      w.key("requested").value(requested);
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Jobs: {
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("jobs").begin_array();
+      for (const JobInfo& j : jobs_.jobs()) {
+        w.begin_object();
+        w.key("job").value(j.id);
+        w.key("verb").value(j.label);
+        w.key("state").value(to_string(j.state));
+        w.end_object();
+      }
+      w.end_array();
       w.end_object();
       return w.str();
     }
@@ -624,6 +771,11 @@ ServiceResponse ProtestService::handle(const ServiceRequest& request) {
   const std::string_view verb = to_string(request.verb);
   try {
     return ServiceResponse::success(request, dispatch(request));
+  } catch (const OperationCancelled&) {
+    // Not an error response: propagate to the job layer, which records
+    // the job as cancelled (a synchronous caller can only see this when
+    // it cancelled the work itself).
+    throw;
   } catch (const ServiceError& e) {
     return ServiceResponse::failure(request.id, verb, e.code(), e.what());
   } catch (const std::invalid_argument& e) {
@@ -640,15 +792,26 @@ std::string ProtestService::handle_line(std::string_view line) {
   std::string verb;
   try {
     const JsonValue doc = parse_json(line);
-    // Best-effort id/verb extraction so even undecodable requests get a
-    // correlatable error response.
+    // Best-effort verb/id extraction so even undecodable requests get a
+    // correlatable error response.  The verb comes FIRST and the id is
+    // guarded separately: a malformed id (negative, fractional, beyond
+    // 2^53, wrong type) must echo id:0 alongside the bad_request error —
+    // never a partially-converted value, and never at the cost of the
+    // verb echo.
     if (doc.is_object()) {
-      if (const JsonValue* v = doc.find("id"); v && v->is_number())
-        id = to_uint(*v);
       if (const JsonValue* v = doc.find("verb"); v && v->is_string())
         verb = v->as_string();
+      if (const JsonValue* v = doc.find("id"); v && v->is_number()) {
+        try {
+          id = to_uint(*v);
+        } catch (const std::exception&) {
+          id = 0;  // from_json_value below reports the bad member
+        }
+      }
     }
     return handle(ServiceRequest::from_json_value(doc)).to_json(0);
+  } catch (const OperationCancelled&) {
+    throw;  // see handle()
   } catch (const ServiceError& e) {
     return ServiceResponse::failure(id, verb, e.code(), e.what()).to_json(0);
   } catch (const std::exception& e) {
@@ -659,15 +822,174 @@ std::string ProtestService::handle_line(std::string_view line) {
 
 // --- the daemon loops -------------------------------------------------------
 
-int serve_ndjson(ProtestService& service, std::istream& in,
-                 std::ostream& out) {
+namespace {
+
+/// Verb classes of pipelined dispatch (see ServeOptions): work verbs fan
+/// out, control verbs answer inline in request order, registry-mutating
+/// verbs barrier.  Classification parses the line once more — noise next
+/// to a work verb's evaluation, and the other classes are cheap anyway.
+enum class LineClass { Work, Inline, Barrier };
+
+LineClass classify_line(std::string_view line) {
+  try {
+    const JsonValue doc = parse_json(line);
+    if (doc.is_object())
+      if (const JsonValue* v = doc.find("verb"); v && v->is_string()) {
+        const std::string& name = v->as_string();
+        if (name == "analyze" || name == "perturb" || name == "optimize")
+          return LineClass::Work;
+        if (name == "load_netlist" || name == "evict" || name == "shutdown")
+          return LineClass::Barrier;
+      }
+  } catch (const std::exception&) {
+    // Malformed lines answer inline with their structured error.
+  }
+  return LineClass::Inline;
+}
+
+/// Pipelined out-of-order dispatch for one connection: up to `slots` work
+/// lines run concurrently on private threads, responses interleave on the
+/// sink (serialized per line), and dispatch() BLOCKS while every slot is
+/// busy — the connection-level backpressure that throttles a flooding
+/// client by its own unfinished work.
+class LineDispatcher {
+ public:
+  /// `sink` writes one complete response line (it is called under an
+  /// internal lock, so lines never interleave) and returns false once the
+  /// connection is dead.
+  LineDispatcher(ProtestService& service, std::size_t slots,
+                 std::function<bool(const std::string&)> sink)
+      : service_(service),
+        slots_(slots == 0 ? 1 : slots),
+        sink_(std::move(sink)) {}
+
+  ~LineDispatcher() {
+    drain();
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stopping_ = true;
+      work_cv_.notify_all();
+    }
+    for (std::thread& t : threads_) t.join();
+  }
+
+  /// Routes one trimmed, non-blank request line.  Returns false once the
+  /// sink has failed.
+  bool dispatch(std::string line) {
+    switch (classify_line(line)) {
+      case LineClass::Work: {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (threads_.empty()) {
+          threads_.reserve(slots_);
+          for (std::size_t i = 0; i < slots_; ++i)
+            threads_.emplace_back([this] { worker_loop(); });
+        }
+        // Backpressure: stall the reader until a slot frees up.
+        capacity_cv_.wait(lock, [&] {
+          return inflight_ < slots_ || sink_failed_.load();
+        });
+        if (sink_failed_.load()) return false;
+        ++inflight_;
+        queue_.push_back(std::move(line));
+        work_cv_.notify_one();
+        return true;
+      }
+      case LineClass::Barrier:
+        // In-flight work completes first, so "load then query" scripts
+        // and evict-after-analyze mean the same thing as in serial mode.
+        drain();
+        return respond(service_.handle_line(line));
+      case LineClass::Inline:
+        return respond(service_.handle_line(line));
+    }
+    return true;
+  }
+
+  /// Blocks until every dispatched work line has been answered.
+  void drain() {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return inflight_ == 0; });
+  }
+
+ private:
+  void worker_loop() {
+    for (;;) {
+      std::string line;
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        work_cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // stopping, nothing left
+        line = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      const std::string response = service_.handle_line(line);
+      respond(response);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        --inflight_;
+        done_cv_.notify_all();
+        capacity_cv_.notify_one();
+      }
+    }
+  }
+
+  bool respond(const std::string& response) {
+    const std::lock_guard<std::mutex> lock(out_mu_);
+    if (sink_failed_.load()) return false;
+    if (!sink_(response)) {
+      sink_failed_.store(true);
+      // Unblock a reader stalled on backpressure; workers still drain the
+      // queue (their writes fail fast above).
+      capacity_cv_.notify_all();
+      return false;
+    }
+    return true;
+  }
+
+  ProtestService& service_;
+  const std::size_t slots_;
+  const std::function<bool(const std::string&)> sink_;
+  std::mutex mu_;                       ///< queue + inflight + stopping
+  std::mutex out_mu_;                   ///< serializes sink writes
+  std::condition_variable work_cv_;     ///< queue gained work / stopping
+  std::condition_variable capacity_cv_; ///< a slot freed up
+  std::condition_variable done_cv_;     ///< inflight hit zero
+  std::deque<std::string> queue_;
+  std::vector<std::thread> threads_;    ///< spawned on first work line
+  std::size_t inflight_ = 0;            ///< queued + running work lines
+  bool stopping_ = false;
+  std::atomic<bool> sink_failed_{false};
+};
+
+}  // namespace
+
+int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out,
+                 ServeOptions options) {
+  if (options.max_inflight == 0) {
+    // Serial mode: one request at a time, responses in request order.
+    std::string line;
+    while (std::getline(in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.find_first_not_of(" \t") == std::string::npos) continue;
+      out << service.handle_line(line) << "\n" << std::flush;
+      if (service.shutdown_requested()) break;
+    }
+    return 0;
+  }
+
+  LineDispatcher dispatcher(service, options.max_inflight,
+                            [&out](const std::string& response) {
+                              out << response << "\n" << std::flush;
+                              return static_cast<bool>(out);
+                            });
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
-    out << service.handle_line(line) << "\n" << std::flush;
+    if (!dispatcher.dispatch(std::move(line))) break;
     if (service.shutdown_requested()) break;
   }
+  dispatcher.drain();  // in-flight responses land before we return
   return 0;
 }
 
@@ -718,11 +1040,21 @@ bool wait_readable(int fd, int timeout_ms) {
 
 /// One client connection: NDJSON request lines in, response lines out.
 /// Polls so the thread notices a shutdown triggered by another client.
-void serve_connection(ProtestService& service, int fd) {
+/// With options.max_inflight > 0 the connection pipelines: work-verb
+/// responses return out of order and reading stalls while every dispatch
+/// slot is busy (see ServeOptions).
+void serve_connection(ProtestService& service, int fd,
+                      const ServeOptions& options) {
 #ifdef SO_NOSIGPIPE
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
 #endif
+  std::optional<LineDispatcher> dispatcher;
+  if (options.max_inflight > 0)
+    dispatcher.emplace(service, options.max_inflight,
+                       [fd](const std::string& response) {
+                         return write_all(fd, response + "\n");
+                       });
   std::string pending;
   char buf[4096];
   while (!service.shutdown_requested()) {
@@ -739,13 +1071,18 @@ void serve_connection(ProtestService& service, int fd) {
       std::string_view line(pending.data() + start, nl - start);
       if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
       if (line.find_first_not_of(" \t") == std::string_view::npos) continue;
-      const std::string response = service.handle_line(line) + "\n";
-      io_ok = write_all(fd, response);
+      if (dispatcher) {
+        io_ok = dispatcher->dispatch(std::string(line));
+      } else {
+        const std::string response = service.handle_line(line) + "\n";
+        io_ok = write_all(fd, response);
+      }
       if (service.shutdown_requested()) break;
     }
     pending.erase(0, start);
     if (!io_ok) break;
   }
+  if (dispatcher) dispatcher->drain();  // flush in-flight responses
   ::close(fd);
 }
 
@@ -754,7 +1091,7 @@ void serve_connection(ProtestService& service, int fd) {
 bool tcp_serve_supported() { return true; }
 
 int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
-              std::atomic<std::uint16_t>* bound_port) {
+              std::atomic<std::uint16_t>* bound_port, ServeOptions options) {
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0)
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
@@ -811,8 +1148,8 @@ int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
       break;
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
-    connections.push_back({std::thread([&service, fd, done] {
-                             serve_connection(service, fd);
+    connections.push_back({std::thread([&service, fd, done, options] {
+                             serve_connection(service, fd, options);
                              done->store(true, std::memory_order_release);
                            }),
                            done});
@@ -832,7 +1169,7 @@ namespace protest {
 bool tcp_serve_supported() { return false; }
 
 int serve_tcp(ProtestService&, std::uint16_t, std::ostream&,
-              std::atomic<std::uint16_t>*) {
+              std::atomic<std::uint16_t>*, ServeOptions) {
   throw ServiceError("unsupported",
                      "TCP serving is not available on this platform; use "
                      "stdin/stdout NDJSON mode");

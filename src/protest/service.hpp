@@ -24,11 +24,26 @@
 //   > {"verb":"bogus","id":3}
 //   < {"id":3,"verb":"bogus","ok":false,"error":{"code":"unknown_verb",...}}
 //
+// Async jobs (PR 5): `submit` wraps any work verb into a ticketed job on
+// the service's JobManager (protest/jobs.hpp) and returns immediately;
+// `poll`/`wait` observe the ticket and, once done, embed the inner verb's
+// ServiceResponse BYTE-IDENTICALLY under "response"; `cancel` stops the
+// work cooperatively at its next checkpoint (Monte-Carlo shard, hill-
+// climb coordinate); `jobs` lists every ticket.  The synchronous verbs
+// are unchanged — they are the degenerate submit+wait.
+//
+//   > {"verb":"submit","id":4,"request":{"verb":"analyze","id":2,...}}
+//   < {"id":4,"verb":"submit","ok":true,"result":{"job":1,"verb":"analyze","state":"queued"}}
+//   > {"verb":"wait","id":5,"job":1}
+//   < {"id":5,"verb":"wait","ok":true,"result":{"job":1,"verb":"analyze","state":"done","response":{"id":2,"verb":"analyze","ok":true,"result":{...}}}}
+//
 // Thread safety: ProtestService::handle / handle_line are safe for
 // concurrent callers — the registry serializes its map behind a mutex,
 // sessions are internally thread-safe (PR 3), and the shared executor
 // serializes parallel jobs.  Malformed input yields a structured error
-// response, never an exception escaping handle_line.
+// response, never an exception escaping handle_line (the one deliberate
+// exception: OperationCancelled propagates to the job layer so a
+// cancelled job is recorded as cancelled, not as an error response).
 #pragma once
 
 #include <atomic>
@@ -42,6 +57,7 @@
 #include <string_view>
 #include <vector>
 
+#include "protest/jobs.hpp"
 #include "protest/session.hpp"
 #include "util/executor.hpp"
 
@@ -50,8 +66,9 @@ namespace protest {
 class JsonValue;
 
 /// A protocol-level failure with a machine-readable code ("bad_request",
-/// "unknown_verb", "unknown_netlist", "internal").  Thrown by the typed
-/// layer; the dispatch loop converts it into an ok:false response.
+/// "unknown_verb", "unknown_netlist", "unknown_job", "internal").  Thrown
+/// by the typed layer; the dispatch loop converts it into an ok:false
+/// response.
 class ServiceError : public std::runtime_error {
  public:
   ServiceError(std::string code, const std::string& message)
@@ -157,6 +174,11 @@ enum class ServiceVerb {
   Stats,        ///< session counters (named) or registry overview (unnamed)
   Evict,        ///< drop the named resident session
   Shutdown,     ///< stop the serving loop after responding
+  Submit,       ///< run a wrapped work verb as an async ticketed job
+  Poll,         ///< job snapshot (never blocks); done jobs embed the response
+  Wait,         ///< block until the job finishes (optional timeout_ms)
+  Cancel,       ///< request cooperative cancellation of a job
+  Jobs,         ///< list every job ticket this service has issued
 };
 
 std::string_view to_string(ServiceVerb verb);
@@ -178,6 +200,7 @@ struct ServiceRequest {
   std::string source;
   std::string engine;                        ///< "" = service default
   std::optional<std::uint64_t> seed;         ///< monte-carlo seed
+  std::optional<std::size_t> patterns;       ///< monte-carlo pattern budget
   std::optional<std::size_t> max_cached_results;
 
   // analyze / perturb: the tuple, either explicit or uniform(p).
@@ -193,6 +216,14 @@ struct ServiceRequest {
   // optimize
   std::optional<std::uint64_t> n_parameter;  ///< default 10'000
   std::optional<unsigned> sweeps;            ///< default 4
+
+  // submit: the wrapped work verb (shared so requests stay cheap to
+  // copy; decoded from the wire member "request").
+  std::shared_ptr<ServiceRequest> subrequest;
+
+  // poll / wait / cancel
+  std::optional<std::uint64_t> job;         ///< the ticket id
+  std::optional<std::uint64_t> timeout_ms;  ///< wait only; absent = forever
 
   std::string to_json(int indent = 0) const;
   /// Decodes a parsed document.  Throws ServiceError on unknown verbs,
@@ -231,6 +262,10 @@ struct ServiceConfig {
   std::size_t max_resident_sessions = 8;  ///< registry cap (0 = unbounded)
   ParallelConfig parallel;                ///< sizes the shared executor
   SessionOptions session_defaults;        ///< base options for load_netlist
+  /// Threads draining the async job queue (the `submit` verb) — how many
+  /// jobs RUN concurrently.  They are spawned lazily on the first submit,
+  /// so purely synchronous services never pay for them.
+  unsigned job_workers = 2;
 };
 
 /// Dispatches requests against a SessionRegistry.  One instance per
@@ -242,6 +277,8 @@ class ProtestService {
   SessionRegistry& registry() { return registry_; }
   const SessionRegistry& registry() const { return registry_; }
   const ServiceConfig& config() const { return config_; }
+  JobManager& jobs() { return jobs_; }
+  const JobManager& jobs() const { return jobs_; }
 
   /// Typed dispatch.  Never throws for protocol-level failures — they
   /// come back as ok:false responses with a structured error.
@@ -262,16 +299,44 @@ class ProtestService {
   ServiceConfig config_;
   SessionRegistry registry_;
   std::atomic<bool> shutdown_{false};
+  /// Declared last: its destructor cancels and joins in-flight jobs,
+  /// which still dispatch against the registry above.
+  JobManager jobs_;
 };
 
 /// Auto-detects .bench vs module-DSL text (the CLI's file heuristic) and
 /// elaborates it.
 Netlist netlist_from_text(const std::string& text);
 
+/// Front-end dispatch knobs (`protest serve --inflight N`).
+struct ServeOptions {
+  /// 0 (default): serial dispatch — one request at a time, responses in
+  /// request order (the historical behavior).
+  ///
+  /// N >= 1: PIPELINED dispatch.  Work verbs (analyze/perturb/optimize)
+  /// fan out across up to N in-flight dispatch slots and their responses
+  /// return OUT OF ORDER, correlated by `id`; reading stalls while all N
+  /// slots are busy — connection-level backpressure, so a client that
+  /// floods requests is throttled by its own unfinished work.  Response
+  /// BYTES are identical to serial mode; only the order changes.  Two
+  /// verb classes keep deterministic ordering: job-control verbs
+  /// (submit/poll/wait/cancel/jobs) and stats run inline on the reading
+  /// thread in request order (they are cheap; a `wait` deliberately
+  /// blocks the stream — pipelining clients should poll), and registry-
+  /// mutating verbs (load_netlist/evict/shutdown) BARRIER: in-flight work
+  /// drains first, then they run inline.  That makes scripted
+  /// conversations (load, then queries) mean the same thing pipelined as
+  /// serial.
+  std::size_t max_inflight = 0;
+};
+
 /// The daemon loop: reads one request per line from `in` (blank lines are
 /// skipped), writes one response line to `out` (flushed per response),
-/// returns 0 when the stream ends or a shutdown verb was handled.
-int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out);
+/// returns 0 when the stream ends or a shutdown verb was handled.  With
+/// options.max_inflight > 0, work-verb responses may return out of order
+/// (see ServeOptions).
+int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out,
+                 ServeOptions options = {});
 
 /// True when this build can serve TCP (POSIX sockets).
 bool tcp_serve_supported();
@@ -280,10 +345,13 @@ bool tcp_serve_supported();
 /// protocol per connection, each on its own thread — concurrent clients
 /// dispatch into the shared registry.  If `bound_port` is non-null it
 /// receives the actual port before accepting begins (atomic so an
-/// embedding thread can poll it).  Returns 0 after a shutdown verb (from
-/// any client) stops the loop; throws std::runtime_error on socket
-/// failures and ServiceError("unsupported") on platforms without sockets.
+/// embedding thread can poll it).  `options` applies per connection
+/// (pipelined dispatch slots and backpressure are connection-level).
+/// Returns 0 after a shutdown verb (from any client) stops the loop;
+/// throws std::runtime_error on socket failures and
+/// ServiceError("unsupported") on platforms without sockets.
 int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
-              std::atomic<std::uint16_t>* bound_port = nullptr);
+              std::atomic<std::uint16_t>* bound_port = nullptr,
+              ServeOptions options = {});
 
 }  // namespace protest

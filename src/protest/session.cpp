@@ -69,6 +69,39 @@ AnalysisRequest AnalysisRequest::everything() {
   return r;
 }
 
+namespace {
+
+constexpr ArtifactName kArtifactNames[] = {
+    {"observability", &AnalysisRequest::observability},
+    {"detection_probs", &AnalysisRequest::detection_probs},
+    {"test_lengths", &AnalysisRequest::test_lengths},
+    {"scoap", &AnalysisRequest::scoap},
+    {"stafan", &AnalysisRequest::stafan},
+};
+
+}  // namespace
+
+std::span<const ArtifactName> artifact_name_table() { return kArtifactNames; }
+
+bool set_artifact(AnalysisRequest& req, std::string_view name) {
+  if (name == "signal_probs") return true;  // always computed
+  for (const ArtifactName& a : kArtifactNames)
+    if (name == a.name) {
+      req.*a.flag = true;
+      return true;
+    }
+  return false;
+}
+
+std::string known_artifact_names() {
+  std::string names = "signal_probs";
+  for (const ArtifactName& a : kArtifactNames) {
+    names += ' ';
+    names += a.name;
+  }
+  return names;
+}
+
 // --- shared session state ---------------------------------------------------
 
 /// Everything a result needs to compute artifacts after the query

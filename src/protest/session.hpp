@@ -109,6 +109,30 @@ struct AnalysisRequest {
   static AnalysisRequest everything();
 };
 
+/// One row of the artifact-name vocabulary: the wire/CLI name of an
+/// optional artifact and the AnalysisRequest flag it selects.
+struct ArtifactName {
+  std::string_view name;
+  bool AnalysisRequest::* flag;
+};
+
+/// THE artifact name⇄flag table, shared by every front end — the CLI's
+/// `--artifacts` comma list and the service's JSON `artifacts` array both
+/// decode through it (and the service encoder iterates it), so an
+/// artifact added here is automatically spellable on every surface
+/// instead of silently missing from one.  "signal_probs" is not listed:
+/// it is always computed (the base every other artifact derives from) and
+/// set_artifact() accepts it as a no-op.
+std::span<const ArtifactName> artifact_name_table();
+
+/// Sets the flag named `name` on `req`; returns false for unknown names
+/// (true for the always-on "signal_probs").
+bool set_artifact(AnalysisRequest& req, std::string_view name);
+
+/// Space-separated list of every accepted name, "signal_probs" first —
+/// the vocabulary both front ends print in their unknown-artifact errors.
+std::string known_artifact_names();
+
 class JsonWriter;
 
 /// Counters for the session's caching behavior (cumulative), plus a

@@ -1,0 +1,27 @@
+#include "util/cancel.hpp"
+
+#include <utility>
+
+namespace protest {
+namespace {
+
+thread_local CancelToken tl_current_token;
+
+}  // namespace
+
+CancelToken CancelToken::source() {
+  CancelToken t;
+  t.flag_ = std::make_shared<std::atomic<bool>>(false);
+  return t;
+}
+
+CancelScope::CancelScope(CancelToken token)
+    : prev_(std::exchange(tl_current_token, std::move(token))) {}
+
+CancelScope::~CancelScope() { tl_current_token = std::move(prev_); }
+
+const CancelToken& current_cancel_token() { return tl_current_token; }
+
+void check_cancelled() { tl_current_token.check(); }
+
+}  // namespace protest

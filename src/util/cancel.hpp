@@ -1,0 +1,101 @@
+// Cooperative cancellation: the substrate behind the async job API.
+//
+// A CancelToken is a cheap, copyable handle on a shared cancellation flag.
+// Long-running work (the Monte-Carlo shard loop, the hill-climb sweep,
+// the per-clone batch evaluator) polls the flag at natural CHECKPOINTS —
+// shard boundaries, sweep coordinates, batch tasks — and aborts by
+// throwing OperationCancelled, which unwinds through the ordinary
+// exception-propagation paths (ThreadPool rethrows the first task
+// exception on the caller).  Cancellation is therefore cooperative and
+// prompt to within one checkpoint, never preemptive: no locks are broken,
+// no partial state is published, and caches are only updated by work that
+// ran to completion.
+//
+// Plumbing is AMBIENT rather than parameter-threaded: CancelScope installs
+// a token as the calling thread's current token (thread-local), and
+// check_cancelled() polls it.  This keeps deep call chains — session ->
+// engine -> executor -> shard loop — free of signature churn.  The one
+// seam that must forward the token across threads is Executor::
+// parallel_for, which captures the submitting thread's current token and
+// re-installs it around every pool task, so a checkpoint inside a worker
+// observes the same cancellation the submitting job does.
+//
+// A default-constructed token is INERT: it can never be cancelled,
+// request_cancel() is a no-op, and checks against it are two predictable
+// branches.  All pre-existing synchronous entry points run under the
+// inert token and are unaffected.
+//
+// Thread safety: request_cancel() / cancel_requested() are atomic and may
+// race freely across threads; CancelScope and current_cancel_token() are
+// per-thread by construction.
+#pragma once
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace protest {
+
+/// Thrown by cancellation checkpoints.  Deliberately NOT derived from
+/// std::runtime_error: the service layer converts runtime errors into
+/// structured error responses, while cancellation must propagate past
+/// those handlers to the job layer (which records the job as cancelled,
+/// never as failed).
+class OperationCancelled : public std::exception {
+ public:
+  const char* what() const noexcept override { return "operation cancelled"; }
+};
+
+class CancelToken {
+ public:
+  /// Inert token: never cancelled, request_cancel() is a no-op.
+  CancelToken() = default;
+
+  /// A fresh cancellable token (the only way to obtain one).
+  static CancelToken source();
+
+  /// True for source() tokens, false for inert ones.
+  bool cancellable() const { return flag_ != nullptr; }
+
+  /// Flips the shared flag; every copy of this token observes it.  Safe
+  /// from any thread; no-op on an inert token.
+  void request_cancel() const {
+    if (flag_) flag_->store(true, std::memory_order_release);
+  }
+
+  bool cancel_requested() const {
+    return flag_ && flag_->load(std::memory_order_acquire);
+  }
+
+  /// Throws OperationCancelled when cancellation was requested.
+  void check() const {
+    if (cancel_requested()) throw OperationCancelled();
+  }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;  ///< null = inert
+};
+
+/// Installs `token` as the calling thread's current token for the scope's
+/// lifetime (restoring the previous one on exit).  Scopes nest; the
+/// innermost wins.
+class CancelScope {
+ public:
+  explicit CancelScope(CancelToken token);
+  ~CancelScope();
+  CancelScope(const CancelScope&) = delete;
+  CancelScope& operator=(const CancelScope&) = delete;
+
+ private:
+  CancelToken prev_;
+};
+
+/// The calling thread's current token (inert outside any CancelScope).
+const CancelToken& current_cancel_token();
+
+/// The checkpoint primitive: throws OperationCancelled when the current
+/// token has been cancelled.  Cost when no scope is installed: one
+/// null-pointer test.
+void check_cancelled();
+
+}  // namespace protest

@@ -1,5 +1,7 @@
 #include "util/executor.hpp"
 
+#include "util/cancel.hpp"
+
 namespace protest {
 namespace {
 
@@ -34,12 +36,18 @@ void Executor::parallel_for(
     for (std::size_t t = 0; t < num_tasks; ++t) fn(t, 0);
     return;
   }
+  // Capture the submitting thread's cancellation token BEFORE queueing
+  // behind another job: checkpoints inside our tasks must observe the
+  // submitting JOB's cancellation, and pool threads have no scope of
+  // their own.
+  const CancelToken cancel = current_cancel_token();
   const std::lock_guard<std::mutex> job(job_mu_);
   if (!pool_) pool_ = std::make_unique<ThreadPool>(num_workers_);
   // Mark every task (pool workers AND the caller acting as worker 0) so a
   // nested submission is detected no matter which worker it comes from.
   pool_->parallel_for(num_tasks, [&](std::size_t t, unsigned w) {
     const CurrentExecutorGuard guard(this);
+    const CancelScope scope(cancel);
     fn(t, w);
   });
 }

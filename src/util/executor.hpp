@@ -23,6 +23,13 @@
 // runs nested jobs inline on the submitting worker instead — degraded to
 // serial, but correct.  Current components never nest; the guard is
 // insurance for future compositions.
+//
+// Cancellation: parallel_for captures the submitting thread's current
+// CancelToken (util/cancel.hpp) and re-installs it around every task, so
+// checkpoints inside shard loops and batch tasks observe the submitting
+// job's cancellation even though they run on pool threads.  A cancelled
+// task throws OperationCancelled, which the pool rethrows on the
+// submitting thread after abandoning the unclaimed tasks.
 #pragma once
 
 #include <cstddef>

@@ -58,6 +58,12 @@ TEST(Cli, ServeFlagValidation) {
   EXPECT_EQ(cli({"serve", "--seed", "7"}).code, 2);
   EXPECT_EQ(cli({"analyze", f.path(), "--cap", "4"}).code, 2);
   EXPECT_EQ(cli({"analyze", f.path(), "--port", "9000"}).code, 2);
+  // --inflight is serve-only, and its value is capped before narrowing
+  // (each slot is a dispatch thread).
+  EXPECT_EQ(cli({"analyze", f.path(), "--inflight", "4"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--inflight", "1025"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--inflight", "-1"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--inflight", "many"}).code, 2);
   const CliRun r = cli({"serve", "--wibble"});
   EXPECT_EQ(r.code, 2);
   EXPECT_NE(r.err.find("unknown flag"), std::string::npos);

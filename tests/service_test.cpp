@@ -38,6 +38,7 @@ TEST(ServiceProtocol, RequestRoundTripsEveryVerb) {
   load.circuit = "alu";
   load.engine = "monte-carlo";
   load.seed = 7;
+  load.patterns = 200'000;
   load.max_cached_results = 64;
   requests.push_back(load);
 
@@ -92,6 +93,36 @@ TEST(ServiceProtocol, RequestRoundTripsEveryVerb) {
   shutdown.verb = ServiceVerb::Shutdown;
   shutdown.id = 8;
   requests.push_back(shutdown);
+
+  ServiceRequest submit;
+  submit.verb = ServiceVerb::Submit;
+  submit.id = 9;
+  submit.subrequest = std::make_shared<ServiceRequest>(analyze);
+  requests.push_back(submit);
+
+  ServiceRequest poll;
+  poll.verb = ServiceVerb::Poll;
+  poll.id = 10;
+  poll.job = 3;
+  requests.push_back(poll);
+
+  ServiceRequest wait;
+  wait.verb = ServiceVerb::Wait;
+  wait.id = 11;
+  wait.job = 3;
+  wait.timeout_ms = 2'500;
+  requests.push_back(wait);
+
+  ServiceRequest cancel;
+  cancel.verb = ServiceVerb::Cancel;
+  cancel.id = 12;
+  cancel.job = 3;
+  requests.push_back(cancel);
+
+  ServiceRequest jobs;
+  jobs.verb = ServiceVerb::Jobs;
+  jobs.id = 13;
+  requests.push_back(jobs);
 
   for (const ServiceRequest& req : requests) {
     const std::string wire = req.to_json(0);
@@ -172,6 +203,33 @@ TEST(ServiceProtocol, MalformedRequestsYieldStructuredErrors) {
       service.handle_line("{\"verb\":\"frobnicate\",\"id\":33}"));
   EXPECT_EQ(resp.id, 33u);
   EXPECT_EQ(resp.verb, "frobnicate");
+}
+
+TEST(ServiceProtocol, MalformedIdEchoesZeroWithBadRequest) {
+  // A request whose id is not a non-negative integer must answer with
+  // id:0 and a bad_request error — never a partially-converted value —
+  // while still echoing the verb.
+  ProtestService service;
+  const struct {
+    const char* line;
+    const char* verb;
+  } cases[] = {
+      {"{\"verb\":\"analyze\",\"id\":-3,\"netlist\":\"x\"}", "analyze"},
+      {"{\"verb\":\"analyze\",\"id\":2.5,\"netlist\":\"x\"}", "analyze"},
+      {"{\"verb\":\"stats\",\"id\":1e300}", "stats"},
+      {"{\"verb\":\"stats\",\"id\":\"7\"}", "stats"},
+      {"{\"verb\":\"stats\",\"id\":18446744073709551615}", "stats"},
+      {"{\"verb\":\"stats\",\"id\":true}", "stats"},
+      {"{\"id\":-1,\"verb\":\"stats\"}", "stats"},  // id decoded before verb
+  };
+  for (const auto& c : cases) {
+    const ServiceResponse resp =
+        ServiceResponse::from_json(service.handle_line(c.line));
+    EXPECT_FALSE(resp.ok) << c.line;
+    EXPECT_EQ(resp.error_code, "bad_request") << c.line;
+    EXPECT_EQ(resp.id, 0u) << c.line;
+    EXPECT_EQ(resp.verb, c.verb) << c.line;
+  }
 }
 
 TEST(ServiceProtocol, OutOfRangeValuesYieldErrorsNotCrashes) {
@@ -318,6 +376,199 @@ TEST(ServeNdjson, ConversationMatchesDirectSessionByteForByte) {
   for (const std::size_t i : {std::size_t{4}, std::size_t{5}})
     EXPECT_TRUE(ServiceResponse::from_json(lines[i]).ok) << lines[i];
   EXPECT_TRUE(service.shutdown_requested());
+}
+
+// --- async job verbs --------------------------------------------------------
+
+TEST(AsyncVerbs, WaitAndPollEmbedTheSynchronousResponseByteForByte) {
+  ProtestService service;
+  ASSERT_TRUE(ServiceResponse::from_json(
+                  service.handle_line(
+                      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c\","
+                      "\"circuit\":\"c17\"}"))
+                  .ok);
+
+  // The synchronous answer is the reference; the async ticket must hand
+  // back the exact same ServiceResponse bytes under "response".
+  const std::string inner =
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"c\",\"p\":0.5}";
+  const std::string sync = service.handle_line(inner);
+
+  const ServiceResponse submit = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"submit\",\"id\":3,\"request\":" +
+                          inner + "}"));
+  ASSERT_TRUE(submit.ok);
+  const JsonValue ticket = parse_json(submit.result_json);
+  EXPECT_EQ(ticket.at("verb").as_string(), "analyze");
+  EXPECT_EQ(ticket.at("state").as_string(), "queued");
+  const std::string job = std::to_string(
+      static_cast<std::uint64_t>(ticket.at("job").as_number()));
+
+  const ServiceResponse waited = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"wait\",\"id\":4,\"job\":" + job + "}"));
+  ASSERT_TRUE(waited.ok);
+  EXPECT_NE(waited.result_json.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(waited.result_json.find("\"response\":" + sync),
+            std::string::npos)
+      << waited.result_json;
+
+  // poll() after completion returns the identical payload, repeatedly.
+  const ServiceResponse polled = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"poll\",\"id\":5,\"job\":" + job + "}"));
+  ASSERT_TRUE(polled.ok);
+  EXPECT_EQ(polled.result_json, waited.result_json);
+
+  // The jobs listing shows the finished ticket (payloads omitted).
+  const ServiceResponse listing = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"jobs\",\"id\":6}"));
+  ASSERT_TRUE(listing.ok);
+  const JsonValue jobs_doc = parse_json(listing.result_json);
+  ASSERT_EQ(jobs_doc.at("jobs").as_array().size(), 1u);
+  EXPECT_EQ(jobs_doc.at("jobs").as_array()[0].at("state").as_string(),
+            "done");
+}
+
+TEST(AsyncVerbs, SubmittedFailuresEmbedTheErrorResponse) {
+  // A submitted verb that FAILS (unknown netlist) still completes as a
+  // done job whose embedded response is the synchronous error response —
+  // protocol failures are results, not job crashes.
+  ProtestService service;
+  const std::string inner =
+      "{\"verb\":\"analyze\",\"id\":7,\"netlist\":\"ghost\"}";
+  const std::string sync = service.handle_line(inner);
+  const ServiceResponse submit = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"submit\",\"id\":8,\"request\":" +
+                          inner + "}"));
+  ASSERT_TRUE(submit.ok);
+  const std::string job = std::to_string(static_cast<std::uint64_t>(
+      parse_json(submit.result_json).at("job").as_number()));
+  const ServiceResponse waited = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"wait\",\"id\":9,\"job\":" + job + "}"));
+  ASSERT_TRUE(waited.ok);
+  EXPECT_NE(waited.result_json.find("\"state\":\"done\""), std::string::npos);
+  EXPECT_NE(waited.result_json.find("\"response\":" + sync),
+            std::string::npos);
+  EXPECT_NE(waited.result_json.find("unknown_netlist"), std::string::npos);
+}
+
+TEST(AsyncVerbs, JobControlErrorsAreStructured) {
+  ProtestService service;
+  const struct {
+    const char* line;
+    const char* code;
+  } cases[] = {
+      // poll/wait/cancel of a ticket that was never issued
+      {"{\"verb\":\"poll\",\"id\":1,\"job\":42}", "unknown_job"},
+      {"{\"verb\":\"wait\",\"id\":2,\"job\":42}", "unknown_job"},
+      {"{\"verb\":\"cancel\",\"id\":3,\"job\":42}", "unknown_job"},
+      // missing members
+      {"{\"verb\":\"poll\",\"id\":4}", "bad_request"},
+      {"{\"verb\":\"submit\",\"id\":5}", "bad_request"},
+      // only the work verbs analyze/perturb/optimize are submittable
+      {"{\"verb\":\"submit\",\"id\":6,\"request\":{\"verb\":\"shutdown\"}}",
+       "bad_request"},
+      {"{\"verb\":\"submit\",\"id\":7,\"request\":{\"verb\":\"submit\"}}",
+       "bad_request"},
+      {"{\"verb\":\"submit\",\"id\":8,\"request\":{\"verb\":\"wait\","
+       "\"job\":1}}",
+       "bad_request"},
+      {"{\"verb\":\"submit\",\"id\":11,\"request\":{\"verb\":\"load_netlist\","
+       "\"netlist\":\"x\",\"circuit\":\"c17\"}}",
+       "bad_request"},
+      {"{\"verb\":\"submit\",\"id\":12,\"request\":{\"verb\":\"evict\","
+       "\"netlist\":\"x\"}}",
+       "bad_request"},
+      // a malformed wrapped request surfaces at decode time
+      {"{\"verb\":\"submit\",\"id\":9,\"request\":{\"wibble\":1}}",
+       "bad_request"},
+      {"{\"verb\":\"submit\",\"id\":10,\"request\":7}", "bad_request"},
+  };
+  for (const auto& c : cases) {
+    const ServiceResponse resp =
+        ServiceResponse::from_json(service.handle_line(c.line));
+    EXPECT_FALSE(resp.ok) << c.line;
+    EXPECT_EQ(resp.error_code, c.code) << c.line << " -> "
+                                       << service.handle_line(c.line);
+  }
+}
+
+// --- pipelined dispatch -----------------------------------------------------
+
+/// The workload both dispatch modes must answer identically: a load, a
+/// spread of analyzes/perturbs (distinct ids), an evict (a barrier in
+/// pipelined mode) with a revival analyze behind it, and a shutdown.
+std::string pipelined_script() {
+  return
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"alu\","
+      "\"circuit\":\"alu\"}\n"
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"alu\",\"p\":0.5}\n"
+      "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"alu\",\"p\":0.25}\n"
+      "{\"verb\":\"perturb\",\"id\":4,\"netlist\":\"alu\",\"p\":0.5,"
+      "\"input_index\":0,\"new_p\":0.125}\n"
+      "{\"verb\":\"analyze\",\"id\":5,\"netlist\":\"alu\",\"p\":0.75}\n"
+      "{\"verb\":\"perturb\",\"id\":6,\"netlist\":\"alu\",\"p\":0.5,"
+      "\"input_index\":1,\"new_p\":0.875}\n"
+      "{\"verb\":\"evict\",\"id\":7,\"netlist\":\"alu\"}\n"
+      "{\"verb\":\"analyze\",\"id\":8,\"netlist\":\"alu\",\"p\":0.5}\n"
+      "{\"verb\":\"shutdown\",\"id\":9}\n";
+}
+
+TEST(ServePipelined, OutOfOrderConversationYieldsTheSerialResponseSet) {
+  // Serial reference run.
+  std::istringstream serial_in(pipelined_script());
+  std::ostringstream serial_out;
+  ProtestService serial_service;
+  EXPECT_EQ(serve_ndjson(serial_service, serial_in, serial_out), 0);
+  std::vector<std::string> serial_lines = lines_of(serial_out.str());
+  ASSERT_EQ(serial_lines.size(), 9u);
+
+  // Pipelined run: up to 3 work verbs in flight, responses correlated by
+  // id with UNSPECIFIED order — the response SET must match byte for
+  // byte.
+  std::istringstream pipe_in(pipelined_script());
+  std::ostringstream pipe_out;
+  ProtestService pipe_service;
+  ServeOptions options;
+  options.max_inflight = 3;
+  EXPECT_EQ(serve_ndjson(pipe_service, pipe_in, pipe_out, options), 0);
+  std::vector<std::string> pipe_lines = lines_of(pipe_out.str());
+  ASSERT_EQ(pipe_lines.size(), 9u);
+  EXPECT_TRUE(pipe_service.shutdown_requested());
+
+  std::sort(serial_lines.begin(), serial_lines.end());
+  std::sort(pipe_lines.begin(), pipe_lines.end());
+  EXPECT_EQ(serial_lines, pipe_lines);
+}
+
+TEST(ServePipelined, TicketConversationInterleavesWithWorkVerbs) {
+  // submit/poll/wait are INLINE in pipelined mode (deterministic order),
+  // so a ticketed long job rides alongside out-of-order work verbs.
+  const std::string script =
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c\","
+      "\"circuit\":\"c17\"}\n"
+      "{\"verb\":\"submit\",\"id\":2,\"request\":{\"verb\":\"analyze\","
+      "\"id\":100,\"netlist\":\"c\",\"p\":0.5}}\n"
+      "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"c\",\"p\":0.25}\n"
+      "{\"verb\":\"wait\",\"id\":4,\"job\":1}\n"
+      "{\"verb\":\"shutdown\",\"id\":5}\n";
+  std::istringstream in(script);
+  std::ostringstream out;
+  ProtestService service;
+  ServeOptions options;
+  options.max_inflight = 2;
+  EXPECT_EQ(serve_ndjson(service, in, out, options), 0);
+  const std::vector<std::string> lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 5u);
+  for (const std::string& line : lines)
+    EXPECT_TRUE(ServiceResponse::from_json(line).ok) << line;
+
+  // The waited ticket embeds the analyze response with the inner id.
+  const std::string direct = service.handle_line(
+      "{\"verb\":\"analyze\",\"id\":100,\"netlist\":\"c\",\"p\":0.5}");
+  bool found = false;
+  for (const std::string& line : lines)
+    if (line.find("\"response\":" + direct) != std::string::npos) found = true;
+  EXPECT_TRUE(found);
 }
 
 TEST(ServeNdjson, BlankLinesAndCrLfAreTolerated) {
@@ -475,6 +726,83 @@ TEST(ServeTcp, LoopbackConversation) {
   for (const std::string& line : lines)
     EXPECT_TRUE(ServiceResponse::from_json(line).ok) << line;
   EXPECT_NE(log.str().find("listening on 127.0.0.1:"), std::string::npos);
+  EXPECT_TRUE(service.shutdown_requested());
+}
+
+TEST(ServeTcp, PipelinedLoopbackConversation) {
+  // The TCP front end with --inflight: work responses may arrive out of
+  // order; every request must still be answered exactly once, correlated
+  // by id, before the connection winds down.
+  ASSERT_TRUE(tcp_serve_supported());
+  ProtestService service;
+  std::atomic<std::uint16_t> port{0};
+  std::atomic<bool> serve_failed{false};
+  std::ostringstream log;
+  ServeOptions options;
+  options.max_inflight = 2;
+  std::thread server([&] {
+    try {
+      serve_tcp(service, 0, log, &port, options);
+    } catch (const std::exception&) {
+      serve_failed.store(true);
+    }
+  });
+  while (port.load() == 0 && !serve_failed.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (serve_failed.load()) {
+    server.join();
+    GTEST_SKIP() << "loopback sockets unavailable in this environment";
+  }
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  timeval timeout{10, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port.load());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    ServiceRequest shutdown;
+    shutdown.verb = ServiceVerb::Shutdown;
+    service.handle(shutdown);
+    server.join();
+    ::close(fd);
+    GTEST_SKIP() << "cannot connect over loopback in this environment";
+  }
+
+  const std::string script =
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c17\","
+      "\"circuit\":\"c17\"}\n"
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"c17\",\"p\":0.5}\n"
+      "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"c17\",\"p\":0.25}\n"
+      "{\"verb\":\"perturb\",\"id\":4,\"netlist\":\"c17\",\"p\":0.5,"
+      "\"input_index\":0,\"new_p\":0.75}\n"
+      "{\"verb\":\"shutdown\",\"id\":5}\n";
+  ASSERT_EQ(::send(fd, script.data(), script.size(), 0),
+            static_cast<ssize_t>(script.size()));
+
+  std::string received;
+  char buf[4096];
+  while (std::count(received.begin(), received.end(), '\n') < 5) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    received.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  server.join();
+
+  const std::vector<std::string> lines = lines_of(received);
+  ASSERT_EQ(lines.size(), 5u) << received;
+  std::vector<std::uint64_t> ids;
+  for (const std::string& line : lines) {
+    const ServiceResponse resp = ServiceResponse::from_json(line);
+    EXPECT_TRUE(resp.ok) << line;
+    ids.push_back(resp.id);
+  }
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
   EXPECT_TRUE(service.shutdown_requested());
 }
 

@@ -15,6 +15,7 @@ Netlist make_random_circuit(const RandomCircuitParams& params) {
   std::uniform_real_distribution<double> uni(0.0, 1.0);
 
   Netlist net;
+  net.reserve(params.num_inputs + params.num_gates);
   for (std::size_t i = 0; i < params.num_inputs; ++i)
     net.add_input("I" + std::to_string(i));
 
@@ -66,6 +67,18 @@ Netlist make_random_circuit(const RandomCircuitParams& params) {
   if (!any) net.mark_output(static_cast<NodeId>(net.size() - 1));
   net.finalize();
   return net;
+}
+
+RandomCircuitParams stress_circuit_params(std::size_t num_gates,
+                                          std::uint64_t seed) {
+  RandomCircuitParams p;
+  p.num_inputs = 64;
+  p.num_gates = num_gates;
+  p.max_fanin = 4;
+  p.inverter_fraction = 0.15;
+  p.xor_fraction = 0.10;
+  p.seed = seed;
+  return p;
 }
 
 }  // namespace protest

@@ -22,4 +22,10 @@ struct RandomCircuitParams {
 /// reaches an output.
 Netlist make_random_circuit(const RandomCircuitParams& params);
 
+/// Preset for the 100k+-gate stress tier used by the throughput benchmarks
+/// and the large round-trip tests: 64 inputs, mixed fanin up to 4, mild
+/// XOR content.  Deterministic for a given (num_gates, seed).
+RandomCircuitParams stress_circuit_params(std::size_t num_gates = 100'000,
+                                          std::uint64_t seed = 1);
+
 }  // namespace protest

@@ -5,37 +5,47 @@
 #include <fstream>
 #include <optional>
 #include <sstream>
+#include <string_view>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 namespace protest {
 namespace {
 
-std::string trim(const std::string& s) {
+// The parser is allocation-lean for 100k+-line files: the whole stream is
+// slurped once and every net name is a string_view into that buffer —
+// std::strings materialize only when nodes are created.  Definitions
+// resolve in FILE ORDER (forward references via DFS), so node ids follow
+// the textual order and write_bench(read_bench(write_bench(net))) is
+// byte-stable.
+
+std::string_view trim(std::string_view s) {
   std::size_t b = 0, e = s.size();
   while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
   while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
   return s.substr(b, e - b);
 }
 
-std::string upper(std::string s) {
-  std::transform(s.begin(), s.end(), s.begin(),
-                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
-  return s;
+/// Case-insensitive equality against an UPPERCASE reference, no allocation.
+bool ieq(std::string_view s, std::string_view upper_ref) {
+  if (s.size() != upper_ref.size()) return false;
+  for (std::size_t i = 0; i < s.size(); ++i)
+    if (std::toupper(static_cast<unsigned char>(s[i])) != upper_ref[i])
+      return false;
+  return true;
 }
 
-std::optional<GateType> gate_type_from(const std::string& op_upper) {
-  if (op_upper == "AND") return GateType::And;
-  if (op_upper == "NAND") return GateType::Nand;
-  if (op_upper == "OR") return GateType::Or;
-  if (op_upper == "NOR") return GateType::Nor;
-  if (op_upper == "XOR") return GateType::Xor;
-  if (op_upper == "XNOR") return GateType::Xnor;
-  if (op_upper == "NOT" || op_upper == "INV") return GateType::Not;
-  if (op_upper == "BUF" || op_upper == "BUFF") return GateType::Buf;
-  if (op_upper == "CONST0") return GateType::Const0;
-  if (op_upper == "CONST1") return GateType::Const1;
+std::optional<GateType> gate_type_from(std::string_view op) {
+  if (ieq(op, "AND")) return GateType::And;
+  if (ieq(op, "NAND")) return GateType::Nand;
+  if (ieq(op, "OR")) return GateType::Or;
+  if (ieq(op, "NOR")) return GateType::Nor;
+  if (ieq(op, "XOR")) return GateType::Xor;
+  if (ieq(op, "XNOR")) return GateType::Xnor;
+  if (ieq(op, "NOT") || ieq(op, "INV")) return GateType::Not;
+  if (ieq(op, "BUF") || ieq(op, "BUFF")) return GateType::Buf;
+  if (ieq(op, "CONST0")) return GateType::Const0;
+  if (ieq(op, "CONST1")) return GateType::Const1;
   return std::nullopt;
 }
 
@@ -44,205 +54,261 @@ std::optional<GateType> gate_type_from(const std::string& op_upper) {
 }
 
 struct Def {
+  std::string_view name;
   GateType type;
-  std::vector<std::string> args;
+  std::uint32_t args_begin;  ///< slice of the shared args arena
+  std::uint32_t args_end;
   int line;
 };
 
-}  // namespace
+Netlist read_bench_text(std::string_view text) {
+  // Reserve from a first-pass line count: every definition occupies one
+  // line, and almost every line is a definition.
+  const std::size_t lines =
+      static_cast<std::size_t>(std::count(text.begin(), text.end(), '\n')) + 1;
 
-Netlist read_bench(std::istream& in) {
-  std::vector<std::string> input_order;
-  std::vector<std::string> output_order;
-  std::unordered_map<std::string, Def> defs;
-  std::unordered_set<std::string> inputs;
+  std::vector<std::string_view> input_order;
+  std::vector<std::string_view> output_order;
+  std::vector<Def> defs;
+  std::vector<std::string_view> args_arena;
+  std::unordered_map<std::string_view, std::uint32_t> def_index;
+  std::unordered_map<std::string_view, NodeId> ids;
+  defs.reserve(lines);
+  args_arena.reserve(3 * lines);
+  def_index.reserve(lines);
+  ids.reserve(lines);
 
-  std::string raw;
+  constexpr NodeId kInputPending = kNoNode - 1;
+
   int lineno = 0;
-  while (std::getline(in, raw)) {
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = std::min(text.find('\n', pos), text.size());
+    std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
     ++lineno;
-    std::string line = raw;
-    if (auto pos = line.find('#'); pos != std::string::npos) line.resize(pos);
+    if (const auto hash = line.find('#'); hash != std::string_view::npos)
+      line = line.substr(0, hash);
     line = trim(line);
     if (line.empty()) continue;
 
     const auto eq = line.find('=');
-    if (eq == std::string::npos) {
+    if (eq == std::string_view::npos) {
       // INPUT(x) or OUTPUT(x)
       const auto lp = line.find('(');
       const auto rp = line.rfind(')');
-      if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+      if (lp == std::string_view::npos || rp == std::string_view::npos ||
+          rp < lp)
         fail(lineno, "expected INPUT(...), OUTPUT(...), or an assignment");
-      const std::string kw = upper(trim(line.substr(0, lp)));
-      const std::string arg = trim(line.substr(lp + 1, rp - lp - 1));
-      if (arg.empty()) fail(lineno, kw + " needs a net name");
-      if (kw == "INPUT") {
-        if (!inputs.insert(arg).second) fail(lineno, "duplicate INPUT " + arg);
+      const std::string_view kw = trim(line.substr(0, lp));
+      const std::string_view arg = trim(line.substr(lp + 1, rp - lp - 1));
+      if (arg.empty()) fail(lineno, std::string(kw) + " needs a net name");
+      if (ieq(kw, "INPUT")) {
+        if (!ids.emplace(arg, kInputPending).second)
+          fail(lineno, "duplicate INPUT " + std::string(arg));
         input_order.push_back(arg);
-      } else if (kw == "OUTPUT") {
+      } else if (ieq(kw, "OUTPUT")) {
         output_order.push_back(arg);
       } else {
-        fail(lineno, "unknown declaration '" + kw + "'");
+        std::string up(kw);
+        for (char& c : up) c = static_cast<char>(std::toupper(
+            static_cast<unsigned char>(c)));
+        fail(lineno, "unknown declaration '" + up + "'");
       }
       continue;
     }
 
-    const std::string lhs = trim(line.substr(0, eq));
-    const std::string rhs = trim(line.substr(eq + 1));
+    const std::string_view lhs = trim(line.substr(0, eq));
+    const std::string_view rhs = trim(line.substr(eq + 1));
     if (lhs.empty()) fail(lineno, "missing net name before '='");
     const auto lp = rhs.find('(');
     const auto rp = rhs.rfind(')');
-    if (lp == std::string::npos || rp == std::string::npos || rp < lp)
+    if (lp == std::string_view::npos || rp == std::string_view::npos || rp < lp)
       fail(lineno, "expected <net> = OP(args)");
-    const std::string op = upper(trim(rhs.substr(0, lp)));
+    const std::string_view op = trim(rhs.substr(0, lp));
     const auto type = gate_type_from(op);
     if (!type) {
-      if (op == "DFF" || op == "DFFSR" || op == "LATCH")
-        fail(lineno, "sequential element '" + op +
+      if (ieq(op, "DFF") || ieq(op, "DFFSR") || ieq(op, "LATCH"))
+        fail(lineno, "sequential element '" + std::string(op) +
                          "' not supported: PROTEST analyses combinational "
                          "circuits (use scan extraction first)");
-      fail(lineno, "unknown gate type '" + op + "'");
+      fail(lineno, "unknown gate type '" + std::string(op) + "'");
     }
 
-    std::vector<std::string> args;
-    std::string body = rhs.substr(lp + 1, rp - lp - 1);
-    std::stringstream ss(body);
-    std::string tok;
-    while (std::getline(ss, tok, ',')) {
-      tok = trim(tok);
-      if (tok.empty()) fail(lineno, "empty operand in argument list");
-      args.push_back(tok);
+    const std::uint32_t args_begin = static_cast<std::uint32_t>(args_arena.size());
+    std::string_view body = rhs.substr(lp + 1, rp - lp - 1);
+    while (!body.empty()) {
+      const std::size_t comma = body.find(',');
+      const std::string_view tok = trim(body.substr(0, comma));
+      if (tok.empty()) {
+        if (comma == std::string_view::npos && args_arena.size() == args_begin)
+          break;  // empty argument list: CONST0()
+        fail(lineno, "empty operand in argument list");
+      }
+      args_arena.push_back(tok);
+      if (comma == std::string_view::npos) break;
+      body = body.substr(comma + 1);
     }
-    if (inputs.count(lhs)) fail(lineno, "net '" + lhs + "' already an INPUT");
-    if (!defs.emplace(lhs, Def{*type, std::move(args), lineno}).second)
-      fail(lineno, "net '" + lhs + "' defined twice");
+    if (auto it = ids.find(lhs); it != ids.end() && it->second == kInputPending)
+      fail(lineno, "net '" + std::string(lhs) + "' already an INPUT");
+    const std::uint32_t args_end = static_cast<std::uint32_t>(args_arena.size());
+    if (!def_index
+             .emplace(lhs, static_cast<std::uint32_t>(defs.size()))
+             .second)
+      fail(lineno, "net '" + std::string(lhs) + "' defined twice");
+    defs.push_back(Def{lhs, *type, args_begin, args_end, lineno});
   }
 
   Netlist net;
-  std::unordered_map<std::string, NodeId> ids;
-  for (const std::string& name : input_order)
-    ids.emplace(name, net.add_input(name));
+  net.reserve(input_order.size() + defs.size());
+  for (const std::string_view name : input_order)
+    ids[name] = net.add_input(std::string(name));
 
-  // Resolve definitions depth-first (forward references are legal in .bench).
+  // Resolve definitions depth-first IN FILE ORDER (forward references are
+  // legal in .bench).  File-order ids make write -> read -> write
+  // byte-stable.
   enum class Mark : char { White, Grey, Black };
-  std::unordered_map<std::string, Mark> marks;
+  std::vector<Mark> marks(defs.size(), Mark::White);
   // Explicit stack to keep deep netlists from overflowing the call stack.
   struct Frame {
-    std::string name;
-    std::size_t next_arg = 0;
+    std::uint32_t def;
+    std::uint32_t next_arg = 0;
   };
-  auto resolve = [&](const std::string& root) {
-    if (ids.count(root)) return;
-    std::vector<Frame> stack;
+  std::vector<Frame> stack;
+  std::vector<NodeId> fanin;
+  auto resolve = [&](std::uint32_t root) {
+    stack.clear();
     stack.push_back({root, 0});
     while (!stack.empty()) {
       Frame& fr = stack.back();
-      auto dit = defs.find(fr.name);
-      if (dit == defs.end())
-        throw BenchParseError("bench: net '" + fr.name +
-                              "' is referenced but never defined");
-      const Def& d = dit->second;
+      const Def& d = defs[fr.def];
       if (fr.next_arg == 0) {
-        Mark& m = marks[fr.name];
+        Mark& m = marks[fr.def];
         if (m == Mark::Grey)
-          fail(d.line, "combinational cycle through net '" + fr.name + "'");
-        if (m == Mark::Black || ids.count(fr.name)) {
+          fail(d.line, "combinational cycle through net '" +
+                           std::string(d.name) + "'");
+        if (m == Mark::Black) {
           stack.pop_back();
           continue;
         }
         m = Mark::Grey;
       }
       bool descended = false;
-      while (fr.next_arg < d.args.size()) {
-        const std::string& a = d.args[fr.next_arg];
+      while (fr.next_arg < d.args_end - d.args_begin) {
+        const std::string_view a = args_arena[d.args_begin + fr.next_arg];
         ++fr.next_arg;
-        if (!ids.count(a)) {
-          if (marks[a] == Mark::Grey)
-            fail(d.line, "combinational cycle through net '" + a + "'");
-          stack.push_back({a, 0});
-          descended = true;
-          break;
-        }
+        if (ids.count(a)) continue;
+        const auto dit = def_index.find(a);
+        if (dit == def_index.end())
+          throw BenchParseError("bench: net '" + std::string(a) +
+                                "' is referenced but never defined");
+        if (marks[dit->second] == Mark::Grey)
+          fail(d.line,
+               "combinational cycle through net '" + std::string(a) + "'");
+        stack.push_back({dit->second, 0});
+        descended = true;
+        break;
       }
       if (descended) continue;
-      std::vector<NodeId> fanin;
-      fanin.reserve(d.args.size());
-      for (const std::string& a : d.args) fanin.push_back(ids.at(a));
+      fanin.clear();
+      for (std::uint32_t k = d.args_begin; k < d.args_end; ++k)
+        fanin.push_back(ids.at(args_arena[k]));
       try {
-        ids.emplace(fr.name, net.add_gate(d.type, std::move(fanin), fr.name));
+        ids[d.name] = net.add_gate(d.type, fanin, std::string(d.name));
       } catch (const std::invalid_argument& e) {
         fail(d.line, e.what());
       }
-      marks[fr.name] = Mark::Black;
+      marks[fr.def] = Mark::Black;
       stack.pop_back();
     }
   };
 
-  for (const auto& [name, def] : defs) {
-    (void)def;
-    resolve(name);
-  }
+  for (std::uint32_t i = 0; i < defs.size(); ++i) resolve(i);
   if (output_order.empty())
     throw BenchParseError("bench: no OUTPUT declarations");
-  for (const std::string& o : output_order) {
-    auto it = ids.find(o);
-    if (it == ids.end())
-      throw BenchParseError("bench: OUTPUT net '" + o + "' never defined");
+  for (const std::string_view o : output_order) {
+    const auto it = ids.find(o);
+    if (it == ids.end() || it->second == kInputPending) {
+      if (it == ids.end())
+        throw BenchParseError("bench: OUTPUT net '" + std::string(o) +
+                              "' never defined");
+    }
     net.mark_output(it->second);
   }
   net.finalize();
   return net;
 }
 
+}  // namespace
+
+Netlist read_bench(std::istream& in) {
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = std::move(buf).str();
+  return read_bench_text(text);
+}
+
 Netlist read_bench_string(const std::string& text) {
-  std::istringstream ss(text);
-  return read_bench(ss);
+  return read_bench_text(text);
 }
 
 Netlist read_bench_file(const std::string& path) {
-  std::ifstream f(path);
+  std::ifstream f(path, std::ios::binary);
   if (!f) throw BenchParseError("bench: cannot open file '" + path + "'");
   return read_bench(f);
 }
 
 void write_bench(std::ostream& out, const Netlist& net) {
   // Assign unique printable names.
-  std::unordered_set<std::string> used;
+  std::unordered_map<std::string_view, NodeId> used;
+  used.reserve(net.size());
   std::vector<std::string> names(net.size());
   for (NodeId n = 0; n < net.size(); ++n) {
     const std::string& nm = net.gate(n).name;
     if (!nm.empty()) {
       names[n] = nm;
-      used.insert(nm);
+      used.emplace(names[n], n);
     }
   }
   for (NodeId n = 0; n < net.size(); ++n) {
     if (!names[n].empty()) continue;
     std::string cand = "n" + std::to_string(n);
     while (used.count(cand)) cand += "_";
-    names[n] = cand;
-    used.insert(cand);
+    names[n] = std::move(cand);
+    used.emplace(names[n], n);
   }
 
-  out << "# written by protest\n";
-  for (NodeId i : net.inputs()) out << "INPUT(" << names[i] << ")\n";
-  for (NodeId o : net.outputs()) out << "OUTPUT(" << names[o] << ")\n";
+  std::string buf;
+  buf.reserve(24 * net.size());
+  buf += "# written by protest\n";
+  for (NodeId i : net.inputs()) {
+    buf += "INPUT(";
+    buf += names[i];
+    buf += ")\n";
+  }
+  for (NodeId o : net.outputs()) {
+    buf += "OUTPUT(";
+    buf += names[o];
+    buf += ")\n";
+  }
   for (NodeId n = 0; n < net.size(); ++n) {
     const Gate& g = net.gate(n);
     if (g.type == GateType::Input) continue;
-    out << names[n] << " = ";
+    buf += names[n];
+    buf += " = ";
     switch (g.type) {
-      case GateType::Buf: out << "BUFF"; break;
-      case GateType::Not: out << "NOT"; break;
-      default: out << to_string(g.type); break;
+      case GateType::Buf: buf += "BUFF"; break;
+      case GateType::Not: buf += "NOT"; break;
+      default: buf += to_string(g.type); break;
     }
-    out << '(';
+    buf += '(';
     for (std::size_t i = 0; i < g.fanin.size(); ++i) {
-      if (i) out << ", ";
-      out << names[g.fanin[i]];
+      if (i) buf += ", ";
+      buf += names[g.fanin[i]];
     }
-    out << ")\n";
+    buf += ")\n";
   }
+  out << buf;
 }
 
 std::string write_bench_string(const Netlist& net) {

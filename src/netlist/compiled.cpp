@@ -1,0 +1,76 @@
+#include "netlist/compiled.hpp"
+
+#include <algorithm>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+CompiledNetlist::CompiledNetlist(const Netlist& net) {
+  const std::size_t n = net.size();
+  num_inputs_ = net.inputs().size();
+  depth_ = net.depth();
+
+  types_.resize(n);
+  fanin_offset_.resize(n + 1);
+  std::size_t edges = 0;
+  for (NodeId id = 0; id < n; ++id) {
+    const Gate& g = net.gate(id);
+    types_[id] = g.type;
+    fanin_offset_[id] = static_cast<std::uint32_t>(edges);
+    edges += g.fanin.size();
+    max_fanin_ = std::max(max_fanin_, g.fanin.size());
+  }
+  fanin_offset_[n] = static_cast<std::uint32_t>(edges);
+  fanin_edges_.reserve(edges);
+  for (NodeId id = 0; id < n; ++id)
+    for (NodeId f : net.gate(id).fanin) fanin_edges_.push_back(f);
+
+  // Levelized order: counting sort by level, then type-sort within each
+  // level so same-type gates form maximal runs.  Inputs and constants are
+  // excluded — they have no per-pass evaluation.
+  level_begin_.assign(depth_ + 2, 0);
+  for (NodeId id = 0; id < n; ++id) {
+    const GateType t = types_[id];
+    if (t == GateType::Input) continue;
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      constants_.push_back(id);
+      continue;
+    }
+    ++level_begin_[net.level(id) + 1];
+  }
+  for (unsigned l = 1; l < level_begin_.size(); ++l)
+    level_begin_[l] += level_begin_[l - 1];
+  order_.resize(level_begin_.back());
+  std::vector<std::uint32_t> cursor(level_begin_.begin(),
+                                    level_begin_.end() - 1);
+  for (NodeId id = 0; id < n; ++id) {
+    const GateType t = types_[id];
+    if (t == GateType::Input || t == GateType::Const0 ||
+        t == GateType::Const1)
+      continue;
+    order_[cursor[net.level(id)]++] = id;
+  }
+  for (unsigned l = 0; l + 1 < level_begin_.size(); ++l) {
+    const auto begin = order_.begin() + level_begin_[l];
+    const auto end = order_.begin() + level_begin_[l + 1];
+    std::stable_sort(begin, end, [&](NodeId a, NodeId b) {
+      return static_cast<int>(types_[a]) < static_cast<int>(types_[b]);
+    });
+  }
+
+  // Type runs within each level.
+  for (unsigned l = 0; l + 1 < level_begin_.size(); ++l) {
+    std::uint32_t i = level_begin_[l];
+    const std::uint32_t end = level_begin_[l + 1];
+    while (i < end) {
+      const GateType t = types_[order_[i]];
+      std::uint32_t j = i + 1;
+      while (j < end && types_[order_[j]] == t) ++j;
+      runs_.push_back(Run{t, i, j});
+      i = j;
+    }
+  }
+}
+
+}  // namespace protest

@@ -1,0 +1,100 @@
+// Columnar (structure-of-arrays) view of a finalized Netlist: the
+// simulation core every pattern-throughput path rides.
+//
+// The Gate-struct representation is built for construction ergonomics —
+// one heap-allocated fanin vector and one name string per node.  Walking
+// it per 64-pattern block is pointer-chasing: every gate evaluation
+// dereferences a separate vector, and the per-gate data (type, arity,
+// fanin) is scattered across the heap.  CompiledNetlist flattens all of
+// it once, at finalize() time:
+//
+//   types()          one byte per node, indexed by NodeId
+//   fanin CSR        fanin_offset()/fanin_edges(): every gate's fanin ids
+//                    contiguous in one flat array
+//   order()          all evaluatable gates (everything except primary
+//                    inputs and constants) sorted by (level, type, id) —
+//                    a valid topological order, since every fanin of a
+//                    level-L gate has level < L
+//   level_range()    per-level slices of order(): the wavefronts of the
+//                    levelized schedule (level 0 holds inputs/constants
+//                    only and is always empty in order())
+//   runs()           maximal same-type segments of order() inside one
+//                    level: the unit of type-dispatched evaluation —
+//                    WordSimulator hoists the gate-type switch out of the
+//                    per-gate path and runs one tight kernel per run
+//
+// The view is immutable and shared: Netlist::finalize() builds it once
+// and copies of the Netlist alias it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "netlist/gate.hpp"
+
+namespace protest {
+
+class Netlist;
+
+class CompiledNetlist {
+ public:
+  /// Maximal run of same-type gates within one level of order().
+  struct Run {
+    GateType type;
+    std::uint32_t begin;  ///< first index into order()
+    std::uint32_t end;    ///< one past the last index into order()
+  };
+
+  /// Builds the columnar view.  Called by Netlist::finalize() once the
+  /// levels and fanouts are in place; the netlist structure must be
+  /// complete (it need not be flagged finalized yet).
+  explicit CompiledNetlist(const Netlist& net);
+
+  std::size_t num_nodes() const { return types_.size(); }
+  std::size_t num_inputs() const { return num_inputs_; }
+  /// Gates in order(): every node that needs evaluation per pass.
+  std::size_t num_eval_gates() const { return order_.size(); }
+  unsigned depth() const { return depth_; }
+  std::size_t max_fanin() const { return max_fanin_; }
+
+  GateType type(NodeId n) const { return types_[n]; }
+  std::span<const GateType> types() const { return types_; }
+
+  /// Fanin ids of node n (empty for inputs/constants), CSR slice.
+  std::span<const NodeId> fanin(NodeId n) const {
+    return {fanin_edges_.data() + fanin_offset_[n],
+            fanin_offset_[n + 1] - fanin_offset_[n]};
+  }
+  std::span<const std::uint32_t> fanin_offsets() const { return fanin_offset_; }
+  std::span<const NodeId> fanin_edges() const { return fanin_edges_; }
+
+  /// Levelized evaluation order (see header comment).
+  std::span<const NodeId> order() const { return order_; }
+
+  /// Slice of order() holding the gates of logic level `level` (1-based;
+  /// level 0 is always empty — inputs and constants are not evaluated).
+  std::span<const NodeId> level_range(unsigned level) const {
+    return {order_.data() + level_begin_[level],
+            level_begin_[level + 1] - level_begin_[level]};
+  }
+
+  std::span<const Run> runs() const { return runs_; }
+
+  /// Constant nodes and their values — evaluated once, not per pass.
+  std::span<const NodeId> constants() const { return constants_; }
+
+ private:
+  std::size_t num_inputs_ = 0;
+  unsigned depth_ = 0;
+  std::size_t max_fanin_ = 0;
+  std::vector<GateType> types_;
+  std::vector<std::uint32_t> fanin_offset_;  ///< [num_nodes + 1]
+  std::vector<NodeId> fanin_edges_;
+  std::vector<NodeId> order_;
+  std::vector<std::uint32_t> level_begin_;   ///< [depth + 2]
+  std::vector<Run> runs_;
+  std::vector<NodeId> constants_;
+};
+
+}  // namespace protest

@@ -4,6 +4,8 @@
 #include <bit>
 #include <queue>
 
+#include "netlist/compiled.hpp"
+
 namespace protest {
 
 std::vector<NodeId> transitive_fanin(const Netlist& net,
@@ -71,10 +73,11 @@ void ConeWorkspace::compute(std::span<const NodeId> roots, unsigned max_depth) {
       return true;
     };
     visit(roots[i], 0);
+    const CompiledNetlist& cn = net_.compiled();
     while (head < queue.size()) {
       const auto [n, d] = queue[head++];
       if (max_depth != 0 && d >= max_depth) continue;
-      for (NodeId f : net_.gate(n).fanin) visit(f, d + 1);
+      for (NodeId f : cn.fanin(n)) visit(f, d + 1);
     }
   }
   std::sort(cone_.begin(), cone_.end());
@@ -87,7 +90,7 @@ std::vector<NodeId> ConeWorkspace::conditioning_points(NodeId consumer) const {
     if (branches.size() < 2) continue;
     std::uint32_t consumer_pin_mask = 0;
     if (consumer != kNoNode) {
-      const auto& fanin = net_.gate(consumer).fanin;
+      const auto fanin = net_.compiled().fanin(consumer);
       for (std::size_t i = 0; i < std::min<std::size_t>(fanin.size(), 32); ++i)
         if (fanin[i] == s) consumer_pin_mask |= std::uint32_t{1} << i;
     }
@@ -114,7 +117,7 @@ std::vector<NodeId> ConeWorkspace::joining_points(NodeId consumer) const {
     if (branches.size() < 2) continue;
     if (consumer != kNoNode) {
       consumer_pin_mask_for = 0;
-      const auto& fanin = net_.gate(consumer).fanin;
+      const auto fanin = net_.compiled().fanin(consumer);
       for (std::size_t i = 0; i < std::min<std::size_t>(fanin.size(), 32); ++i)
         if (fanin[i] == s) consumer_pin_mask_for |= std::uint32_t{1} << i;
     }

@@ -3,11 +3,18 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "netlist/compiled.hpp"
+
 namespace protest {
 
 void Netlist::check_open() const {
   if (finalized_)
     throw std::logic_error("Netlist: structure is frozen after finalize()");
+}
+
+void Netlist::reserve(std::size_t num_nodes) {
+  check_open();
+  gates_.reserve(num_nodes);
 }
 
 NodeId Netlist::add_input(std::string name) {
@@ -59,25 +66,35 @@ void Netlist::finalize() {
     throw std::logic_error("Netlist: no primary outputs marked");
   output_flag_.resize(n, 0);
 
-  fanouts_.assign(n, {});
   levels_.assign(n, 0);
   depth_ = 0;
+  // Fanout CSR: count branch degrees, prefix-sum, then fill.
+  fanout_offset_.assign(n + 1, 0);
   for (NodeId id = 0; id < n; ++id) {
     const Gate& g = gates_[id];
     unsigned lvl = 0;
     for (NodeId f : g.fanin) {
-      fanouts_[f].push_back(id);
+      ++fanout_offset_[f + 1];
       lvl = std::max(lvl, levels_[f] + 1);
     }
     levels_[id] = g.fanin.empty() ? 0 : lvl;
     depth_ = std::max(depth_, levels_[id]);
+  }
+  for (std::size_t i = 1; i <= n; ++i) fanout_offset_[i] += fanout_offset_[i - 1];
+  fanout_edges_.resize(fanout_offset_[n]);
+  {
+    std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                      fanout_offset_.end() - 1);
+    for (NodeId id = 0; id < n; ++id)
+      for (NodeId f : gates_[id].fanin) fanout_edges_[cursor[f]++] = id;
   }
 
   stems_.clear();
   for (NodeId id = 0; id < n; ++id) {
     // A primary-output node with extra fanout also branches: the output pin
     // itself counts as one branch.
-    const std::size_t branches = fanouts_[id].size() + (output_flag_[id] ? 1 : 0);
+    const std::size_t branches = fanout_offset_[id + 1] - fanout_offset_[id] +
+                                 (output_flag_[id] ? 1 : 0);
     if (branches >= 2) stems_.push_back(id);
   }
 
@@ -89,7 +106,14 @@ void Netlist::finalize() {
       throw std::logic_error("Netlist: duplicate net name '" + nm + "'");
   }
 
+  compiled_ = std::make_shared<const CompiledNetlist>(*this);
   finalized_ = true;
+}
+
+const CompiledNetlist& Netlist::compiled() const {
+  if (!compiled_)
+    throw std::logic_error("Netlist: compiled() requires finalize()");
+  return *compiled_;
 }
 
 NodeId Netlist::find(const std::string& name) const {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -16,6 +17,8 @@
 #include "netlist/gate.hpp"
 
 namespace protest {
+
+class CompiledNetlist;
 
 /// One node of the netlist: a primary input, constant, or logic gate.
 struct Gate {
@@ -26,6 +29,9 @@ struct Gate {
 
 class Netlist {
  public:
+  /// Pre-sizes the node store (loaders that know the node count up front).
+  void reserve(std::size_t num_nodes);
+
   /// Adds a primary input node.
   NodeId add_input(std::string name = {});
 
@@ -59,7 +65,15 @@ class Netlist {
   // --- derived structure (valid after finalize) -------------------------
   /// Immediate successors of n: gates that have n as a fanin.  A gate with
   /// n on two pins appears twice (two distinct branches of the stem).
-  std::span<const NodeId> fanout(NodeId n) const { return fanouts_[n]; }
+  /// Flat CSR storage — one contiguous edge array for the whole netlist.
+  std::span<const NodeId> fanout(NodeId n) const {
+    return {fanout_edges_.data() + fanout_offset_[n],
+            fanout_offset_[n + 1] - fanout_offset_[n]};
+  }
+
+  /// Columnar simulation view (netlist/compiled.hpp), built by finalize()
+  /// and shared by copies of this netlist.  Throws before finalize().
+  const CompiledNetlist& compiled() const;
 
   /// Logic level: inputs/constants are 0, gates are 1 + max fanin level.
   unsigned level(NodeId n) const { return levels_[n]; }
@@ -81,10 +95,12 @@ class Netlist {
   std::vector<NodeId> inputs_;
   std::vector<NodeId> outputs_;
   std::vector<char> output_flag_;
-  std::vector<std::vector<NodeId>> fanouts_;
+  std::vector<std::uint32_t> fanout_offset_;  ///< [size + 1], CSR
+  std::vector<NodeId> fanout_edges_;
   std::vector<unsigned> levels_;
   std::vector<NodeId> stems_;
   std::unordered_map<std::string, NodeId> by_name_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   unsigned depth_ = 0;
   bool finalized_ = false;
 };

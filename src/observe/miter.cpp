@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "netlist/compiled.hpp"
 #include "netlist/cone.hpp"
 #include "prob/engine.hpp"
 #include "prob/exact.hpp"
@@ -10,15 +11,17 @@
 namespace protest {
 
 Netlist build_fault_miter(const Netlist& net, const Fault& f) {
+  const CompiledNetlist& cn = net.compiled();
   Netlist m;
+  m.reserve(2 * net.size() + net.outputs().size() + 2);
   // Good copy (identical node ids, since construction order is preserved).
   std::vector<NodeId> good(net.size());
   for (NodeId n = 0; n < net.size(); ++n) {
-    const Gate& g = net.gate(n);
-    if (g.type == GateType::Input) {
-      good[n] = m.add_input(g.name);
+    const auto fanin = cn.fanin(n);
+    if (cn.type(n) == GateType::Input) {
+      good[n] = m.add_input(net.gate(n).name);
     } else {
-      good[n] = m.add_gate(g.type, g.fanin, {});
+      good[n] = m.add_gate(cn.type(n), {fanin.begin(), fanin.end()}, {});
     }
   }
 
@@ -28,7 +31,7 @@ Netlist build_fault_miter(const Netlist& net, const Fault& f) {
   const NodeId forced =
       m.add_gate(f.sa == StuckAt::One ? GateType::Const1 : GateType::Const0, {});
   for (NodeId n : cone) {
-    const Gate& g = net.gate(n);
+    const auto fanin = cn.fanin(n);
     if (n == f.node) {
       if (f.is_stem()) {
         faulty[n] = forced;
@@ -36,17 +39,17 @@ Netlist build_fault_miter(const Netlist& net, const Fault& f) {
       }
       // Branch fault: re-instantiate the gate with the faulty pin forced.
       std::vector<NodeId> fi;
-      for (std::size_t k = 0; k < g.fanin.size(); ++k)
-        fi.push_back(static_cast<int>(k) == f.pin ? forced : good[g.fanin[k]]);
-      faulty[n] = m.add_gate(g.type, std::move(fi), {});
+      for (std::size_t k = 0; k < fanin.size(); ++k)
+        fi.push_back(static_cast<int>(k) == f.pin ? forced : good[fanin[k]]);
+      faulty[n] = m.add_gate(cn.type(n), std::move(fi), {});
       continue;
     }
     std::vector<NodeId> fi;
-    for (NodeId x : g.fanin) {
+    for (NodeId x : fanin) {
       auto it = faulty.find(x);
       fi.push_back(it != faulty.end() ? it->second : good[x]);
     }
-    faulty[n] = m.add_gate(g.type, std::move(fi), {});
+    faulty[n] = m.add_gate(cn.type(n), std::move(fi), {});
   }
 
   // XOR each affected primary output with its good twin; OR them together.

@@ -10,6 +10,7 @@
 #include "prob/monte_carlo.hpp"
 #include "prob/naive.hpp"
 #include "sim/logic_sim.hpp"
+#include "sim/word_sim.hpp"
 #include "util/cancel.hpp"
 #include "util/executor.hpp"
 
@@ -139,14 +140,15 @@ std::vector<double> ExactEnumEngine::compute(
 // --- Monte-Carlo ------------------------------------------------------------
 
 /// Per-worker Monte-Carlo scratch, keyed by the pool's stable worker
-/// index: the simulator's netlist-sized value arrays, the shard
-/// one-counts, and the pattern word buffer all live across shards AND
-/// across batch tuples, so the hot loop never allocates.
+/// index: the word simulator's netlist-sized value store (its input word
+/// slots double as the pattern buffer) and the shard one-counts live
+/// across shards AND across batch tuples, so the hot loop never
+/// allocates.
 struct MonteCarloEngine::Worker {
-  explicit Worker(const Netlist& net) : sim(net), ones(net.size(), 0) {}
-  BlockSimulator sim;
+  Worker(const Netlist& net, std::size_t words)
+      : sim(net, words), ones(net.size(), 0) {}
+  WordSimulator sim;
   std::vector<std::size_t> ones;
-  std::vector<std::uint64_t> word_buf;
 };
 
 MonteCarloEngine::MonteCarloEngine(const Netlist& net,
@@ -154,6 +156,10 @@ MonteCarloEngine::MonteCarloEngine(const Netlist& net,
     : SignalProbEngine(net, "monte-carlo"), params_(params) {
   if (params_.num_patterns == 0)
     throw std::invalid_argument("monte-carlo engine: num_patterns must be > 0");
+  if (params_.words_per_block < 1 ||
+      params_.words_per_block > WordSimulator::kMaxWordsPerBlock)
+    throw std::invalid_argument(
+        "monte-carlo engine: words_per_block must be in [1, 64]");
 }
 
 MonteCarloEngine::~MonteCarloEngine() = default;
@@ -183,10 +189,11 @@ std::vector<double> MonteCarloEngine::run_tuple(
   // worker runs them, and the integer one-counts merge exactly — so the
   // result is bit-identical for any thread count.
   exec_->parallel_for(shards, [&](std::size_t shard, unsigned w) {
-    if (!workers_[w]) workers_[w] = std::make_unique<Worker>(net);
+    if (!workers_[w])
+      workers_[w] = std::make_unique<Worker>(net, params_.words_per_block);
     Worker& wk = *workers_[w];
     monte_carlo_accumulate_shard(wk.sim, thresholds, shard, num_patterns,
-                                 params_.seed, wk.ones, wk.word_buf);
+                                 params_.seed, wk.ones);
   });
 
   std::vector<std::size_t> ones(net.size(), 0);

@@ -6,6 +6,7 @@
 
 #include "prob/naive.hpp"
 #include "sim/logic_sim.hpp"
+#include "sim/word_sim.hpp"
 #include "util/cancel.hpp"
 
 namespace protest {
@@ -93,13 +94,69 @@ void monte_carlo_accumulate_shard(BlockSimulator& sim,
   }
 }
 
+void monte_carlo_accumulate_shard(WordSimulator& sim,
+                                  std::span<const std::uint64_t> thresholds,
+                                  std::size_t shard_index,
+                                  std::size_t num_patterns, std::uint64_t seed,
+                                  std::span<std::size_t> ones) {
+  check_cancelled();
+  const std::size_t begin = shard_index * kMonteCarloShardPatterns;
+  const std::size_t count =
+      std::min(kMonteCarloShardPatterns, num_patterns - begin);
+  const std::size_t num_blocks = (count + 63) / 64;
+  const std::size_t num_inputs = thresholds.size();
+  const std::size_t num_nodes = ones.size();
+  const std::size_t W = sim.words_per_block();
+
+  std::uint64_t state = monte_carlo_stream_seed(seed, shard_index);
+  for (std::size_t b = 0; b < num_blocks; b += W) {
+    const std::size_t wb = std::min(W, num_blocks - b);
+    // Stream contract order: per block, per input, 64 per-bit draws.
+    // Words beyond wb keep stale values; their node results are never
+    // accumulated.
+    for (std::size_t w = 0; w < wb; ++w) {
+      for (std::size_t i = 0; i < num_inputs; ++i) {
+        const std::uint64_t threshold = thresholds[i];
+        std::uint64_t word = 0;
+        for (int bit = 0; bit < 64; ++bit)
+          if ((splitmix64_next(state) >> 32) < threshold)
+            word |= std::uint64_t{1} << bit;
+        sim.input_words(i)[w] = word;
+      }
+    }
+    sim.run();
+    const std::vector<std::uint64_t>& vals = sim.values();
+    // Only the last block of the shard can be partial.
+    const std::size_t rem = count - (b + wb - 1) * 64;
+    const std::uint64_t last_mask =
+        rem >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << rem) - 1;
+    for (std::size_t n = 0; n < num_nodes; ++n) {
+      const std::uint64_t* v = vals.data() + n * W;
+      std::size_t acc = 0;
+      for (std::size_t w = 0; w + 1 < wb; ++w)
+        acc += static_cast<std::size_t>(std::popcount(v[w]));
+      acc += static_cast<std::size_t>(std::popcount(v[wb - 1] & last_mask));
+      ones[n] += acc;
+    }
+  }
+}
+
 std::vector<double> monte_carlo_signal_probs(const Netlist& net,
                                              std::span<const double> input_probs,
                                              std::size_t num_patterns,
                                              std::uint64_t seed) {
   validate_input_probs(net, input_probs);
-  BlockSimulator sim(net);
-  return monte_carlo_signal_probs(sim, input_probs, num_patterns, seed);
+  const std::vector<std::uint64_t> thresholds =
+      monte_carlo_thresholds(input_probs);
+  WordSimulator sim(net);
+  std::vector<std::size_t> ones(net.size(), 0);
+  const std::size_t shards = monte_carlo_num_shards(num_patterns);
+  for (std::size_t s = 0; s < shards; ++s)
+    monte_carlo_accumulate_shard(sim, thresholds, s, num_patterns, seed, ones);
+  std::vector<double> p(net.size());
+  for (NodeId n = 0; n < net.size(); ++n)
+    p[n] = static_cast<double>(ones[n]) / static_cast<double>(num_patterns);
+  return p;
 }
 
 std::vector<double> monte_carlo_signal_probs(BlockSimulator& sim,

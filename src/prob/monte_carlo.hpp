@@ -32,6 +32,7 @@
 namespace protest {
 
 class BlockSimulator;
+class WordSimulator;
 
 /// Patterns per Monte-Carlo shard (128 blocks of 64).  Small enough that
 /// the default 100k-pattern budget yields a dozen shards to balance across
@@ -66,6 +67,18 @@ void monte_carlo_accumulate_shard(BlockSimulator& sim,
                                   std::size_t num_patterns, std::uint64_t seed,
                                   std::span<std::size_t> ones,
                                   std::vector<std::uint64_t>& word_buf);
+
+/// Word-blocked shard simulation: generates W = words_per_block() blocks
+/// of pattern words per pass straight into the simulator's input slots
+/// and evaluates them in one compiled-core sweep.  The draw order (per
+/// block, per input, 64 bits) is EXACTLY the documented stream contract,
+/// so the one-counts — and therefore every Monte-Carlo estimate — are
+/// bit-identical to the one-block-per-pass path for every width.
+void monte_carlo_accumulate_shard(WordSimulator& sim,
+                                  std::span<const std::uint64_t> thresholds,
+                                  std::size_t shard_index,
+                                  std::size_t num_patterns, std::uint64_t seed,
+                                  std::span<std::size_t> ones);
 
 std::vector<double> monte_carlo_signal_probs(const Netlist& net,
                                              std::span<const double> input_probs,

@@ -4,6 +4,7 @@
 #include <bit>
 #include <stdexcept>
 
+#include "netlist/compiled.hpp"
 #include "sim/logic_sim.hpp"
 
 namespace protest {
@@ -34,10 +35,14 @@ std::vector<double> FaultSimResult::detection_probs() const {
 namespace {
 
 /// Per-fault faulty-cone propagation state, reused across faults/blocks.
+/// Fanin/type lookups ride the compiled columnar view — the event-driven
+/// loop touches a handful of gates per fault, and the flat CSR avoids a
+/// Gate-struct pointer chase per event.
 class ConeSim {
  public:
   explicit ConeSim(const Netlist& net)
       : net_(net),
+        cn_(net.compiled()),
         fval_(net.size(), 0),
         val_epoch_(net.size(), 0),
         queued_epoch_(net.size(), 0) {}
@@ -62,10 +67,9 @@ class ConeSim {
       std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
       const NodeId n = heap_.back();
       heap_.pop_back();
-      const Gate& g = net_.gate(n);
       ins_.clear();
-      for (NodeId f : g.fanin) ins_.push_back(value(f, good));
-      const std::uint64_t v = eval_gate_word(g.type, ins_);
+      for (NodeId f : cn_.fanin(n)) ins_.push_back(value(f, good));
+      const std::uint64_t v = eval_gate_word(cn_.type(n), ins_);
       fval_[n] = v;
       val_epoch_[n] = epoch_;
       const std::uint64_t diff = v ^ good[n];
@@ -87,6 +91,7 @@ class ConeSim {
   }
 
   const Netlist& net_;
+  const CompiledNetlist& cn_;
   std::vector<std::uint64_t> fval_;
   std::vector<std::uint32_t> val_epoch_;
   std::vector<std::uint32_t> queued_epoch_;
@@ -101,12 +106,12 @@ std::uint64_t site_value(const Netlist& net, const Fault& f,
                          std::vector<std::uint64_t>& scratch) {
   const std::uint64_t forced = f.sa == StuckAt::One ? ~std::uint64_t{0} : 0;
   if (f.is_stem()) return forced;
-  const Gate& g = net.gate(f.node);
+  const CompiledNetlist& cn = net.compiled();
+  const std::span<const NodeId> fanin = cn.fanin(f.node);
   scratch.clear();
-  for (std::size_t k = 0; k < g.fanin.size(); ++k)
-    scratch.push_back(static_cast<int>(k) == f.pin ? forced
-                                                   : good[g.fanin[k]]);
-  return eval_gate_word(g.type, scratch);
+  for (std::size_t k = 0; k < fanin.size(); ++k)
+    scratch.push_back(static_cast<int>(k) == f.pin ? forced : good[fanin[k]]);
+  return eval_gate_word(cn.type(f.node), scratch);
 }
 
 }  // namespace

@@ -1,47 +1,108 @@
 #include "sim/logic_sim.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <stdexcept>
 
 namespace protest {
 
-BlockSimulator::BlockSimulator(const Netlist& net)
-    : net_(net), values_(net.size(), 0) {
-  if (!net.finalized())
-    throw std::logic_error("BlockSimulator: netlist must be finalized");
-}
-
-void BlockSimulator::eval_gates() {
-  for (NodeId n = 0; n < net_.size(); ++n) {
-    const Gate& g = net_.gate(n);
-    if (g.type == GateType::Input) continue;
-    scratch_.clear();
-    for (NodeId f : g.fanin) scratch_.push_back(values_[f]);
-    values_[n] = eval_gate_word(g.type, scratch_);
-  }
-}
+// --- BlockSimulator (W = 1 adapter) -----------------------------------------
 
 const std::vector<std::uint64_t>& BlockSimulator::run(const PatternSet& ps,
                                                       std::size_t block) {
+  return sim_.run_blocks(ps, block, 1);
+}
+
+const std::vector<std::uint64_t>& BlockSimulator::run_words(
+    const std::vector<std::uint64_t>& input_words) {
+  const auto inputs = sim_.netlist().inputs();
+  if (input_words.size() != inputs.size())
+    throw std::invalid_argument("BlockSimulator: word/input arity mismatch");
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    sim_.input_words(i)[0] = input_words[i];
+  sim_.run();
+  return sim_.values();
+}
+
+// --- LegacyBlockSimulator ---------------------------------------------------
+
+LegacyBlockSimulator::LegacyBlockSimulator(const Netlist& net)
+    : net_(net), values_(net.size(), 0) {
+  if (!net.finalized())
+    throw std::logic_error("LegacyBlockSimulator: netlist must be finalized");
+}
+
+void LegacyBlockSimulator::eval_gates() {
+  // Indexes straight into values_ per fanin — no per-gate scratch copy
+  // (the original copied every fanin word into a scratch vector per gate
+  // per block, which dominated the profile).
+  for (NodeId n = 0; n < net_.size(); ++n) {
+    const Gate& g = net_.gate(n);
+    switch (g.type) {
+      case GateType::Input:
+        break;
+      case GateType::Const0:
+        values_[n] = 0;
+        break;
+      case GateType::Const1:
+        values_[n] = ~std::uint64_t{0};
+        break;
+      case GateType::Buf:
+        values_[n] = values_[g.fanin[0]];
+        break;
+      case GateType::Not:
+        values_[n] = ~values_[g.fanin[0]];
+        break;
+      case GateType::And:
+      case GateType::Nand: {
+        std::uint64_t acc = ~std::uint64_t{0};
+        for (NodeId f : g.fanin) acc &= values_[f];
+        values_[n] = g.type == GateType::Nand ? ~acc : acc;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        std::uint64_t acc = 0;
+        for (NodeId f : g.fanin) acc |= values_[f];
+        values_[n] = g.type == GateType::Nor ? ~acc : acc;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        std::uint64_t acc = 0;
+        for (NodeId f : g.fanin) acc ^= values_[f];
+        values_[n] = g.type == GateType::Xnor ? ~acc : acc;
+        break;
+      }
+    }
+  }
+}
+
+const std::vector<std::uint64_t>& LegacyBlockSimulator::run(
+    const PatternSet& ps, std::size_t block) {
   const auto inputs = net_.inputs();
   if (ps.num_inputs() != inputs.size())
-    throw std::invalid_argument("BlockSimulator: pattern/input arity mismatch");
+    throw std::invalid_argument(
+        "LegacyBlockSimulator: pattern/input arity mismatch");
   for (std::size_t i = 0; i < inputs.size(); ++i)
     values_[inputs[i]] = ps.word(i, block);
   eval_gates();
   return values_;
 }
 
-const std::vector<std::uint64_t>& BlockSimulator::run_words(
+const std::vector<std::uint64_t>& LegacyBlockSimulator::run_words(
     const std::vector<std::uint64_t>& input_words) {
   const auto inputs = net_.inputs();
   if (input_words.size() != inputs.size())
-    throw std::invalid_argument("BlockSimulator: word/input arity mismatch");
+    throw std::invalid_argument(
+        "LegacyBlockSimulator: word/input arity mismatch");
   for (std::size_t i = 0; i < inputs.size(); ++i)
     values_[inputs[i]] = input_words[i];
   eval_gates();
   return values_;
 }
+
+// --- free functions ---------------------------------------------------------
 
 std::vector<bool> simulate_single(const Netlist& net,
                                   const std::vector<bool>& input_values) {
@@ -56,7 +117,7 @@ std::vector<bool> simulate_single(const Netlist& net,
 }
 
 std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps) {
-  BlockSimulator sim(net);
+  WordSimulator sim(net);
   return count_ones(sim, ps);
 }
 
@@ -76,6 +137,38 @@ void count_ones(BlockSimulator& sim, const PatternSet& ps,
     const std::uint64_t mask = ps.valid_mask(b);
     for (NodeId n = 0; n < net.size(); ++n)
       ones[n] += static_cast<std::size_t>(std::popcount(vals[n] & mask));
+  }
+}
+
+std::vector<std::size_t> count_ones(WordSimulator& sim, const PatternSet& ps) {
+  std::vector<std::size_t> ones(sim.netlist().size(), 0);
+  count_ones(sim, ps, ones);
+  return ones;
+}
+
+void count_ones(WordSimulator& sim, const PatternSet& ps,
+                std::vector<std::size_t>& ones) {
+  const Netlist& net = sim.netlist();
+  if (ones.size() != net.size())
+    throw std::invalid_argument("count_ones: accumulator/netlist size mismatch");
+  const std::size_t W = sim.words_per_block();
+  for (std::size_t b = 0; b < ps.num_blocks(); b += W) {
+    const std::size_t wb = std::min(W, ps.num_blocks() - b);
+    const auto& vals = sim.run_blocks(ps, b, wb);
+    // All blocks but possibly the last are full; only the final word of
+    // the final group needs masking.
+    const bool partial =
+        b + wb == ps.num_blocks() && ps.valid_mask(b + wb - 1) != ~std::uint64_t{0};
+    for (NodeId n = 0; n < net.size(); ++n) {
+      const std::uint64_t* v = vals.data() + std::size_t{n} * W;
+      std::size_t acc = 0;
+      for (std::size_t w = 0; w < wb; ++w)
+        acc += static_cast<std::size_t>(std::popcount(v[w]));
+      if (partial)
+        acc -= static_cast<std::size_t>(std::popcount(
+            v[wb - 1] & ~ps.valid_mask(b + wb - 1)));
+      ones[n] += acc;
+    }
   }
 }
 

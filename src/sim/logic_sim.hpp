@@ -1,6 +1,13 @@
 // 64-way parallel-pattern logic simulation over a finalized netlist.  This
 // is the substrate for the "static fault simulation" PROTEST validates
 // against (sect. 4/5/6) and for the Monte-Carlo / STAFAN estimators.
+//
+// BlockSimulator is the width-1 adapter over the compiled simulation core
+// (sim/word_sim.hpp): it keeps the historical one-word-per-node API while
+// evaluation rides the columnar CompiledNetlist layout.  The pre-compiled
+// Gate-struct walker survives as LegacyBlockSimulator — the reference
+// implementation the parity tests and the throughput bench compare
+// against.
 #pragma once
 
 #include <cstdint>
@@ -8,13 +15,15 @@
 
 #include "netlist/netlist.hpp"
 #include "sim/pattern.hpp"
+#include "sim/word_sim.hpp"
 
 namespace protest {
 
 /// Reusable block simulator: one run() evaluates 64 patterns for every node.
+/// Thin W = 1 adapter over WordSimulator (same compiled evaluation path).
 class BlockSimulator {
  public:
-  explicit BlockSimulator(const Netlist& net);
+  explicit BlockSimulator(const Netlist& net) : sim_(net, 1) {}
 
   /// Simulates pattern block `block` of `ps`; returns per-node value words.
   const std::vector<std::uint64_t>& run(const PatternSet& ps,
@@ -22,6 +31,27 @@ class BlockSimulator {
 
   /// Simulates one block given explicit per-input words (inputs in
   /// netlist input order).
+  const std::vector<std::uint64_t>& run_words(
+      const std::vector<std::uint64_t>& input_words);
+
+  /// Per-node value words of the last run (W = 1: index == NodeId).
+  const std::vector<std::uint64_t>& values() const { return sim_.values(); }
+  const Netlist& netlist() const { return sim_.netlist(); }
+
+ private:
+  WordSimulator sim_;
+};
+
+/// The pre-compiled-core simulator: walks the Gate structs directly.  Kept
+/// as the independent reference for compiled-vs-legacy parity assertions
+/// and as the bench baseline; new code should use BlockSimulator or
+/// WordSimulator.
+class LegacyBlockSimulator {
+ public:
+  explicit LegacyBlockSimulator(const Netlist& net);
+
+  const std::vector<std::uint64_t>& run(const PatternSet& ps,
+                                        std::size_t block);
   const std::vector<std::uint64_t>& run_words(
       const std::vector<std::uint64_t>& input_words);
 
@@ -33,7 +63,6 @@ class BlockSimulator {
 
   const Netlist& net_;
   std::vector<std::uint64_t> values_;
-  std::vector<std::uint64_t> scratch_;
 };
 
 /// Single-pattern convenience wrapper; returns per-node Boolean values.
@@ -41,6 +70,8 @@ std::vector<bool> simulate_single(const Netlist& net,
                                   const std::vector<bool>& input_values);
 
 /// Number of '1' evaluations per node over the whole pattern set.
+/// Evaluates word-blocked (WordSimulator default width) on the compiled
+/// core.
 std::vector<std::size_t> count_ones(const Netlist& net, const PatternSet& ps);
 
 /// Same, reusing the caller's simulator — batch evaluation hoists one
@@ -51,6 +82,12 @@ std::vector<std::size_t> count_ones(BlockSimulator& sim, const PatternSet& ps);
 /// cleared) — per-shard workers merge partial counts without per-call
 /// allocation.  Throws std::invalid_argument on a size mismatch.
 void count_ones(BlockSimulator& sim, const PatternSet& ps,
+                std::vector<std::size_t>& ones);
+
+/// Multi-word variants: W x 64 patterns per pass on the caller's
+/// WordSimulator.  Bit-identical to the BlockSimulator overloads.
+std::vector<std::size_t> count_ones(WordSimulator& sim, const PatternSet& ps);
+void count_ones(WordSimulator& sim, const PatternSet& ps,
                 std::vector<std::size_t>& ones);
 
 }  // namespace protest

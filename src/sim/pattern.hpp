@@ -26,6 +26,14 @@ class PatternSet {
     words_[input * num_blocks_ + block] = w;
   }
 
+  /// `count` consecutive block words of one input (the row-major layout
+  /// makes a block range contiguous) — the multi-word simulator's bulk
+  /// load path.
+  std::span<const std::uint64_t> words(std::size_t input, std::size_t block,
+                                       std::size_t count) const {
+    return {words_.data() + input * num_blocks_ + block, count};
+  }
+
   bool get(std::size_t pattern, std::size_t input) const;
   void set(std::size_t pattern, std::size_t input, bool v);
 

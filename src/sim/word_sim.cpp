@@ -1,0 +1,218 @@
+#include "sim/word_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace protest {
+namespace {
+
+// --- W-word bitwise kernels -------------------------------------------------
+// Each helper processes `w` consecutive 64-bit words.  In the hot
+// instantiations `w` is a compile-time constant (the eval loop is templated
+// on the width), so these fully unroll; the explicit SIMD bodies kick in
+// when the build enables AVX2/NEON, the scalar tail covers the rest.
+
+inline void w_and(std::uint64_t* dst, const std::uint64_t* a,
+                  const std::uint64_t* b, std::size_t w) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= w; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_and_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+#elif defined(__ARM_NEON)
+  for (; i + 2 <= w; i += 2)
+    vst1q_u64(dst + i, vandq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+#endif
+  for (; i < w; ++i) dst[i] = a[i] & b[i];
+}
+
+inline void w_or(std::uint64_t* dst, const std::uint64_t* a,
+                 const std::uint64_t* b, std::size_t w) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= w; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_or_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+#elif defined(__ARM_NEON)
+  for (; i + 2 <= w; i += 2)
+    vst1q_u64(dst + i, vorrq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+#endif
+  for (; i < w; ++i) dst[i] = a[i] | b[i];
+}
+
+inline void w_xor(std::uint64_t* dst, const std::uint64_t* a,
+                  const std::uint64_t* b, std::size_t w) {
+  std::size_t i = 0;
+#if defined(__AVX2__)
+  for (; i + 4 <= w; i += 4)
+    _mm256_storeu_si256(
+        reinterpret_cast<__m256i*>(dst + i),
+        _mm256_xor_si256(
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)),
+            _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i))));
+#elif defined(__ARM_NEON)
+  for (; i + 2 <= w; i += 2)
+    vst1q_u64(dst + i, veorq_u64(vld1q_u64(a + i), vld1q_u64(b + i)));
+#endif
+  for (; i < w; ++i) dst[i] = a[i] ^ b[i];
+}
+
+inline void w_copy(std::uint64_t* dst, const std::uint64_t* a, std::size_t w) {
+  for (std::size_t i = 0; i < w; ++i) dst[i] = a[i];
+}
+
+inline void w_not(std::uint64_t* dst, const std::uint64_t* a, std::size_t w) {
+  for (std::size_t i = 0; i < w; ++i) dst[i] = ~a[i];
+}
+
+// --- per-run evaluation -----------------------------------------------------
+// SW is the compile-time width (0 = runtime width `rw`): the five
+// supported power-of-two widths get fully specialized, constant-folded
+// kernels; anything else shares the SW = 0 instantiation.
+
+template <std::size_t SW>
+void eval_gates_impl(const CompiledNetlist& cn, std::uint64_t* vals,
+                     std::size_t rw) {
+  const std::size_t W = SW ? SW : rw;
+  // Distinct lambda types per op keep reduce() a separate, fully inlined
+  // instantiation per gate class (a raw function pointer would not).
+  constexpr auto kAnd = [](std::uint64_t* d, const std::uint64_t* a,
+                           const std::uint64_t* b, std::size_t w) {
+    w_and(d, a, b, w);
+  };
+  constexpr auto kOr = [](std::uint64_t* d, const std::uint64_t* a,
+                          const std::uint64_t* b, std::size_t w) {
+    w_or(d, a, b, w);
+  };
+  constexpr auto kXor = [](std::uint64_t* d, const std::uint64_t* a,
+                           const std::uint64_t* b, std::size_t w) {
+    w_xor(d, a, b, w);
+  };
+  const NodeId* order = cn.order().data();
+  const NodeId* edges = cn.fanin_edges().data();
+  const std::uint32_t* off = cn.fanin_offsets().data();
+
+  // n-ary reduction: dst = reduce(op, fanins), two-input fast path first
+  // (the dominant arity in every workload this repo carries).
+  const auto reduce = [&](NodeId n, auto&& op) {
+    const NodeId* e = edges + off[n];
+    const std::size_t k = off[n + 1] - off[n];
+    std::uint64_t* dst = vals + std::size_t{n} * W;
+    if (k == 2) {
+      op(dst, vals + std::size_t{e[0]} * W, vals + std::size_t{e[1]} * W, W);
+      return dst;
+    }
+    w_copy(dst, vals + std::size_t{e[0]} * W, W);
+    for (std::size_t j = 1; j < k; ++j)
+      op(dst, dst, vals + std::size_t{e[j]} * W, W);
+    return dst;
+  };
+
+  for (const CompiledNetlist::Run& r : cn.runs()) {
+    switch (r.type) {
+      case GateType::Buf:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) {
+          const NodeId n = order[p];
+          w_copy(vals + std::size_t{n} * W,
+                 vals + std::size_t{edges[off[n]]} * W, W);
+        }
+        break;
+      case GateType::Not:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) {
+          const NodeId n = order[p];
+          w_not(vals + std::size_t{n} * W,
+                vals + std::size_t{edges[off[n]]} * W, W);
+        }
+        break;
+      case GateType::And:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) reduce(order[p], kAnd);
+        break;
+      case GateType::Nand:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) {
+          std::uint64_t* dst = reduce(order[p], kAnd);
+          w_not(dst, dst, W);
+        }
+        break;
+      case GateType::Or:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) reduce(order[p], kOr);
+        break;
+      case GateType::Nor:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) {
+          std::uint64_t* dst = reduce(order[p], kOr);
+          w_not(dst, dst, W);
+        }
+        break;
+      case GateType::Xor:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) reduce(order[p], kXor);
+        break;
+      case GateType::Xnor:
+        for (std::uint32_t p = r.begin; p < r.end; ++p) {
+          std::uint64_t* dst = reduce(order[p], kXor);
+          w_not(dst, dst, W);
+        }
+        break;
+      case GateType::Input:
+      case GateType::Const0:
+      case GateType::Const1:
+        break;  // never in runs(): inputs are loaded, constants pre-filled
+    }
+  }
+}
+
+}  // namespace
+
+WordSimulator::WordSimulator(const Netlist& net, std::size_t words_per_block)
+    : net_(net), cn_(net.compiled()), words_(words_per_block) {
+  if (words_ < 1 || words_ > kMaxWordsPerBlock)
+    throw std::invalid_argument(
+        "WordSimulator: words_per_block must be in [1, 64]");
+  values_.assign(net.size() * words_, 0);
+  // Constants never change: evaluate them once here, not per pass.
+  for (NodeId c : cn_.constants()) {
+    const std::uint64_t v =
+        cn_.type(c) == GateType::Const1 ? ~std::uint64_t{0} : 0;
+    std::fill_n(values_.data() + std::size_t{c} * words_, words_, v);
+  }
+}
+
+void WordSimulator::run() {
+  switch (words_) {
+    case 1: eval_gates_impl<1>(cn_, values_.data(), 1); break;
+    case 2: eval_gates_impl<2>(cn_, values_.data(), 2); break;
+    case 4: eval_gates_impl<4>(cn_, values_.data(), 4); break;
+    case 8: eval_gates_impl<8>(cn_, values_.data(), 8); break;
+    case 16: eval_gates_impl<16>(cn_, values_.data(), 16); break;
+    default: eval_gates_impl<0>(cn_, values_.data(), words_); break;
+  }
+}
+
+const std::vector<std::uint64_t>& WordSimulator::run_blocks(
+    const PatternSet& ps, std::size_t first_block, std::size_t count) {
+  const auto inputs = net_.inputs();
+  if (ps.num_inputs() != inputs.size())
+    throw std::invalid_argument("WordSimulator: pattern/input arity mismatch");
+  if (count > words_ || first_block + count > ps.num_blocks())
+    throw std::invalid_argument("WordSimulator: block range out of bounds");
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const std::span<std::uint64_t> dst = input_words(i);
+    const std::span<const std::uint64_t> src = ps.words(i, first_block, count);
+    std::copy(src.begin(), src.end(), dst.begin());
+    std::fill(dst.begin() + count, dst.end(), 0);
+  }
+  run();
+  return values_;
+}
+
+}  // namespace protest

@@ -1,10 +1,14 @@
 // Netlist core: construction, validation, levels, fanout, stems, names,
-// gate evaluation semantics, and the technology model.
+// gate evaluation semantics, the compiled columnar view, and the
+// technology model.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "circuits/random_circuit.hpp"
 #include "netlist/builder.hpp"
+#include "netlist/compiled.hpp"
 #include "netlist/gate.hpp"
 #include "netlist/netlist.hpp"
 #include "netlist/tech.hpp"
@@ -188,6 +192,63 @@ TEST(Tech, NetlistTotals) {
   // AND2 (6) + NOT (2) = 8 transistors; 2 + 1 gate equivalents.
   EXPECT_EQ(transistor_count(net), 8u);
   EXPECT_EQ(gate_equivalents(net), 3u);
+}
+
+TEST(CompiledNetlist, MirrorsGateStructure) {
+  const Netlist net = make_random_circuit(stress_circuit_params(500, 3));
+  const CompiledNetlist& cn = net.compiled();
+  ASSERT_EQ(cn.num_nodes(), net.size());
+  EXPECT_EQ(cn.num_inputs(), net.inputs().size());
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    EXPECT_EQ(cn.type(n), g.type);
+    const auto fanin = cn.fanin(n);
+    ASSERT_EQ(fanin.size(), g.fanin.size()) << n;
+    EXPECT_TRUE(std::equal(fanin.begin(), fanin.end(), g.fanin.begin())) << n;
+  }
+}
+
+TEST(CompiledNetlist, LevelRangesPartitionOrderTopologically) {
+  const Netlist net = make_random_circuit(stress_circuit_params(500, 5));
+  const CompiledNetlist& cn = net.compiled();
+  EXPECT_EQ(cn.level_range(0).size(), 0u);
+  std::size_t covered = 0;
+  for (unsigned l = 0; l <= cn.depth(); ++l) {
+    for (NodeId n : cn.level_range(l)) {
+      EXPECT_EQ(net.level(n), l);
+      // Levelization is what makes the schedule topological: every fanin
+      // sits strictly below its consumer.
+      for (NodeId f : cn.fanin(n)) EXPECT_LT(net.level(f), l);
+    }
+    covered += cn.level_range(l).size();
+  }
+  EXPECT_EQ(covered, cn.num_eval_gates());
+  // order() holds exactly the non-input, non-constant nodes.
+  EXPECT_EQ(cn.num_eval_gates() + net.inputs().size() + cn.constants().size(),
+            net.size());
+}
+
+TEST(CompiledNetlist, RunsTileOrderWithUniformTypes) {
+  const Netlist net = make_random_circuit(stress_circuit_params(500, 7));
+  const CompiledNetlist& cn = net.compiled();
+  std::uint32_t expect_begin = 0;
+  for (const CompiledNetlist::Run& r : cn.runs()) {
+    EXPECT_EQ(r.begin, expect_begin);
+    ASSERT_LT(r.begin, r.end);
+    for (std::uint32_t p = r.begin; p < r.end; ++p)
+      EXPECT_EQ(cn.type(cn.order()[p]), r.type);
+    expect_begin = r.end;
+  }
+  EXPECT_EQ(expect_begin, cn.num_eval_gates());
+}
+
+TEST(CompiledNetlist, RequiresFinalize) {
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  net.mark_output(net.add_gate(GateType::Not, {a}, "y"));
+  EXPECT_THROW(net.compiled(), std::logic_error);
+  net.finalize();
+  EXPECT_EQ(net.compiled().num_eval_gates(), 1u);
 }
 
 TEST(Builder, BusAndMux) {

@@ -1,12 +1,18 @@
-// Pattern storage and 64-way parallel logic simulation.
+// Pattern storage, 64-way parallel logic simulation, and the multi-word
+// compiled-core parity suite (WordSimulator == BlockSimulator ==
+// LegacyBlockSimulator == simulate_single, bit for bit).
 #include <gtest/gtest.h>
 
 #include <bit>
 
 #include "circuits/iscas.hpp"
+#include "circuits/random_circuit.hpp"
+#include "circuits/zoo.hpp"
 #include "netlist/builder.hpp"
+#include "prob/monte_carlo.hpp"
 #include "sim/logic_sim.hpp"
 #include "sim/pattern.hpp"
+#include "sim/word_sim.hpp"
 
 namespace protest {
 namespace {
@@ -147,6 +153,131 @@ TEST(LogicSim, RejectsArityMismatch) {
   const PatternSet ps = PatternSet::random(3, 64, 1);
   BlockSimulator sim(net);
   EXPECT_THROW(sim.run(ps, 0), std::invalid_argument);
+}
+
+// --- compiled-core parity suite ---------------------------------------------
+
+/// Every node word of every simulator must agree with the legacy
+/// Gate-struct walker on every valid pattern bit — exact, not approximate.
+void expect_full_parity(const Netlist& net, const PatternSet& ps) {
+  LegacyBlockSimulator legacy(net);
+  BlockSimulator block(net);
+  // 5 exercises the runtime-width fallback; the rest hit specializations.
+  for (const std::size_t w :
+       {std::size_t{1}, std::size_t{2}, std::size_t{4}, std::size_t{5},
+        std::size_t{8}, std::size_t{16}}) {
+    WordSimulator sim(net, w);
+    ASSERT_EQ(sim.patterns_per_pass(), w * 64);
+    for (std::size_t b = 0; b < ps.num_blocks(); b += w) {
+      const std::size_t count = std::min(w, ps.num_blocks() - b);
+      sim.run_blocks(ps, b, count);
+      for (std::size_t k = 0; k < count; ++k) {
+        const auto& ref = legacy.run(ps, b + k);
+        const auto& adapter = block.run(ps, b + k);
+        const std::uint64_t mask = ps.valid_mask(b + k);
+        for (NodeId n = 0; n < net.size(); ++n) {
+          ASSERT_EQ(sim.word(n, k) & mask, ref[n] & mask)
+              << "W=" << w << " block=" << b + k << " node=" << n;
+          ASSERT_EQ(adapter[n] & mask, ref[n] & mask)
+              << "block=" << b + k << " node=" << n;
+        }
+      }
+    }
+  }
+}
+
+TEST(WordSim, ParityAcrossRandomCircuits) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    for (const unsigned fanin : {2u, 5u}) {
+      for (const double xor_frac : {0.0, 0.5}) {
+        RandomCircuitParams p;
+        p.num_inputs = 12;
+        p.num_gates = 300;
+        p.max_fanin = fanin;
+        p.xor_fraction = xor_frac;
+        p.seed = seed;
+        const Netlist net = make_random_circuit(p);
+        // 200 patterns: full blocks plus a partial tail block.
+        expect_full_parity(net, PatternSet::random(12, 200, seed * 31 + 7));
+      }
+    }
+  }
+}
+
+TEST(WordSim, ParityOnC17AndAlu) {
+  const Netlist c17 = make_c17();
+  expect_full_parity(c17, PatternSet::exhaustive(5));
+  const Netlist alu = make_circuit("alu");
+  expect_full_parity(alu,
+                     PatternSet::random(alu.inputs().size(), 130, 2024));
+}
+
+TEST(WordSim, MatchesSimulateSingle) {
+  const Netlist net = make_random_circuit(stress_circuit_params(500, 9));
+  const std::size_t ni = net.inputs().size();
+  const PatternSet ps = PatternSet::random(ni, 128, 5);
+  WordSimulator sim(net, 2);
+  sim.run_blocks(ps, 0, 2);
+  for (const std::size_t p : {std::size_t{0}, std::size_t{63},
+                              std::size_t{64}, std::size_t{127}}) {
+    std::vector<bool> in(ni);
+    for (std::size_t i = 0; i < ni; ++i) in[i] = ps.get(p, i);
+    const auto single = simulate_single(net, in);
+    for (NodeId n = 0; n < net.size(); ++n)
+      ASSERT_EQ(bool((sim.word(n, p / 64) >> (p % 64)) & 1), single[n])
+          << "p=" << p << " n=" << n;
+  }
+}
+
+TEST(WordSim, CountOnesMatchesBlockOverload) {
+  const Netlist net = make_random_circuit(stress_circuit_params(400, 4));
+  // 330 patterns: the word path sees a partial group AND a partial block.
+  const PatternSet ps = PatternSet::random(net.inputs().size(), 330, 12);
+  BlockSimulator block(net);
+  const auto ref = count_ones(block, ps);
+  for (const std::size_t w : {std::size_t{1}, std::size_t{3}, std::size_t{8}}) {
+    WordSimulator sim(net, w);
+    EXPECT_EQ(count_ones(sim, ps), ref) << "W=" << w;
+  }
+}
+
+TEST(WordSim, MonteCarloWordPathIsBitIdentical) {
+  const Netlist net = make_random_circuit(stress_circuit_params(400, 2));
+  std::vector<double> probs(net.inputs().size());
+  for (std::size_t i = 0; i < probs.size(); ++i)
+    probs[i] = 0.1 + 0.8 * static_cast<double>(i) / probs.size();
+  const auto thresholds = monte_carlo_thresholds(probs);
+  const std::size_t num_patterns = 10'000;  // 2 shards, last one partial
+  const std::uint64_t seed = 77;
+
+  BlockSimulator block(net);
+  std::vector<std::size_t> ref(net.size(), 0);
+  std::vector<std::uint64_t> word_buf;
+  for (std::size_t s = 0; s < monte_carlo_num_shards(num_patterns); ++s)
+    monte_carlo_accumulate_shard(block, thresholds, s, num_patterns, seed,
+                                 ref, word_buf);
+
+  for (const std::size_t w : {std::size_t{1}, std::size_t{4}, std::size_t{8},
+                              std::size_t{13}}) {
+    WordSimulator sim(net, w);
+    std::vector<std::size_t> ones(net.size(), 0);
+    for (std::size_t s = 0; s < monte_carlo_num_shards(num_patterns); ++s)
+      monte_carlo_accumulate_shard(sim, thresholds, s, num_patterns, seed,
+                                   ones);
+    EXPECT_EQ(ones, ref) << "W=" << w;
+  }
+}
+
+TEST(WordSim, Validation) {
+  const Netlist net = make_c17();
+  EXPECT_THROW(WordSimulator(net, 0), std::invalid_argument);
+  EXPECT_THROW(WordSimulator(net, 65), std::invalid_argument);
+  WordSimulator sim(net, 4);
+  const PatternSet wrong = PatternSet::random(3, 64, 1);
+  EXPECT_THROW(sim.run_blocks(wrong, 0, 1), std::invalid_argument);
+  const PatternSet ok = PatternSet::random(5, 256, 1);
+  EXPECT_THROW(sim.run_blocks(ok, 0, 5), std::invalid_argument);  // count > W
+  EXPECT_THROW(sim.run_blocks(ok, 3, 4), std::invalid_argument);  // past end
 }
 
 }  // namespace

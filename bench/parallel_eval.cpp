@@ -108,10 +108,13 @@ void run_neighborhood(bench::BenchJson& json, const std::string& circuit,
   const std::vector<Fault> faults = structural_fault_list(net);
   const std::uint64_t n_param = 10'000;
 
-  const ObjectiveEvaluator serial(net, faults, n_param, {}, {},
-                                  ParallelConfig{1});
+  ParallelConfig one_thread;
+  one_thread.num_threads = 1;
+  ParallelConfig bench_threads;
+  bench_threads.num_threads = kThreads;
+  const ObjectiveEvaluator serial(net, faults, n_param, {}, {}, one_thread);
   const ObjectiveEvaluator parallel(net, faults, n_param, {}, {},
-                                    ParallelConfig{kThreads});
+                                    bench_threads);
 
   std::vector<std::vector<double>> serial_vals, parallel_vals;
   const double t_serial = bench::time_seconds([&] {

@@ -78,7 +78,7 @@ double Bdd::sat_prob(Ref f, std::span<const double> probs) const {
   memo.emplace(one(), 1.0);
   while (!stack.empty()) {
     const Ref r = stack.back();
-    if (memo.count(r)) {
+    if (memo.contains(r)) {
       stack.pop_back();
       continue;
     }

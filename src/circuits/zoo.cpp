@@ -6,6 +6,7 @@
 #include "circuits/div16.hpp"
 #include "circuits/iscas.hpp"
 #include "circuits/mult.hpp"
+#include "circuits/random_circuit.hpp"
 #include "circuits/sn74181.hpp"
 #include "circuits/sn7485.hpp"
 
@@ -27,13 +28,17 @@ Netlist make_circuit(const std::string& name) {
   if (name == "div8") return make_divider(8);
   if (name == "div24") return make_divider(24);
   if (name == "div32") return make_divider(32);
+  // The 100k-gate stress tier (deterministic seed), so the CLI/CI can
+  // exercise capacity paths by name.
+  if (name == "stress100k")
+    return make_random_circuit(stress_circuit_params(100'000));
   throw std::invalid_argument("make_circuit: unknown circuit '" + name + "'");
 }
 
 std::vector<std::string> zoo_names() {
-  return {"c17",    "alu",    "mult",  "div",    "comp",  "sn7485",
+  return {"c17",    "alu",    "mult",   "div",    "comp",  "sn7485",
           "mult4",  "mult8",  "mult12", "mult16", "mult24", "mult32",
-          "div8",   "div24",  "div32"};
+          "div8",   "div24",  "div32",  "stress100k"};
 }
 
 std::vector<std::string> scaling_family() {

@@ -1,0 +1,151 @@
+#include "lint/fold.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace protest {
+
+std::vector<signed char> propagate_constants(const Netlist& net) {
+  std::vector<signed char> value(net.size(), -1);
+  for (NodeId id = 0; id < net.size(); ++id) {
+    const Gate& g = net.gate(id);
+    signed char v = -1;
+    switch (g.type) {
+      case GateType::Input:
+        break;
+      case GateType::Const0:
+        v = 0;
+        break;
+      case GateType::Const1:
+        v = 1;
+        break;
+      case GateType::Buf:
+        v = value[g.fanin[0]];
+        break;
+      case GateType::Not: {
+        const signed char f = value[g.fanin[0]];
+        v = f < 0 ? static_cast<signed char>(-1)
+                  : static_cast<signed char>(1 - f);
+        break;
+      }
+      case GateType::And:
+      case GateType::Nand:
+      case GateType::Or:
+      case GateType::Nor: {
+        // A controlling fanin decides the gate regardless of the rest.
+        const signed char ctl =
+            static_cast<signed char>(controlling_value(g.type));
+        bool any_ctl = false, all_known = true;
+        for (const NodeId f : g.fanin) {
+          if (value[f] < 0)
+            all_known = false;
+          else if (value[f] == ctl)
+            any_ctl = true;
+        }
+        // Core (pre-inversion) output: a controlling fanin forces it to
+        // the controlling value (AND: 0 -> 0, OR: 1 -> 1); all fanins
+        // known non-controlling forces the opposite.
+        if (any_ctl)
+          v = ctl;
+        else if (all_known)
+          v = static_cast<signed char>(1 - ctl);
+        if (v >= 0 && is_inverting(g.type)) v = static_cast<signed char>(1 - v);
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        signed char parity = 0;
+        for (const NodeId f : g.fanin) {
+          if (value[f] < 0) {
+            parity = -1;
+            break;
+          }
+          parity = static_cast<signed char>(parity ^ value[f]);
+        }
+        v = parity;
+        if (v >= 0 && is_inverting(g.type)) v = static_cast<signed char>(1 - v);
+        break;
+      }
+    }
+    value[id] = v;
+  }
+  return value;
+}
+
+FoldResult fold_constants(const Netlist& net) {
+  if (!net.finalized())
+    throw std::invalid_argument("fold_constants: netlist must be finalized");
+  const std::size_t n = net.size();
+  const std::vector<signed char> value = propagate_constants(net);
+
+  // Reverse reachability from the outputs, stopping at constant nodes:
+  // logic only feeding folded-away gates is dead in the folded netlist.
+  std::vector<char> needed(n, 0);
+  std::vector<NodeId> stack;
+  for (const NodeId o : net.outputs()) {
+    if (value[o] < 0 && !needed[o]) {
+      needed[o] = 1;
+      stack.push_back(o);
+    }
+  }
+  while (!stack.empty()) {
+    const NodeId id = stack.back();
+    stack.pop_back();
+    for (const NodeId f : net.gate(id).fanin) {
+      if (value[f] < 0 && !needed[f]) {
+        needed[f] = 1;
+        stack.push_back(f);
+      }
+    }
+  }
+
+  FoldResult r;
+  r.remap.assign(n, kNoNode);
+
+  // Shared unnamed constant drivers for folded fanins, created on first
+  // use so node creation stays topological.
+  NodeId shared_const[2] = {kNoNode, kNoNode};
+  const auto fanin_const = [&](signed char bit) {
+    NodeId& c = shared_const[bit];
+    if (c == kNoNode) {
+      c = r.netlist.add_gate(bit ? GateType::Const1 : GateType::Const0, {});
+      ++r.const_nodes;
+    }
+    return c;
+  };
+
+  for (NodeId id = 0; id < n; ++id) {
+    const Gate& g = net.gate(id);
+    if (g.type == GateType::Input) {
+      // All inputs survive so the folded netlist accepts the same vectors.
+      r.remap[id] = r.netlist.add_input(g.name);
+      continue;
+    }
+    if (!needed[id]) continue;
+    std::vector<NodeId> fanin;
+    fanin.reserve(g.fanin.size());
+    for (const NodeId f : g.fanin)
+      fanin.push_back(value[f] >= 0 ? fanin_const(value[f]) : r.remap[f]);
+    r.remap[id] = r.netlist.add_gate(g.type, std::move(fanin), g.name);
+  }
+
+  // Output order is preserved; constant outputs get a dedicated constant
+  // node each (a node may be marked output only once) carrying the
+  // original net name.
+  for (const NodeId o : net.outputs()) {
+    if (value[o] >= 0) {
+      const NodeId c = r.netlist.add_gate(
+          value[o] ? GateType::Const1 : GateType::Const0, {}, net.gate(o).name);
+      ++r.const_nodes;
+      r.remap[o] = c;
+      r.netlist.mark_output(c);
+    } else {
+      r.netlist.mark_output(r.remap[o]);
+    }
+  }
+  r.netlist.finalize();
+  r.removed = net.num_gates() - (r.netlist.num_gates() - r.const_nodes);
+  return r;
+}
+
+}  // namespace protest

@@ -1,0 +1,41 @@
+// Constant propagation and the opt-in constant fold.
+//
+// `propagate_constants` runs the classic three-valued forward dataflow
+// (0 / 1 / unknown) over the netlist: a gate is provably stuck when a
+// controlling fanin is stuck at the controlling value, or when every
+// fanin is stuck.  The result is purely advisory — it feeds the lint
+// `const-gate` pass.
+//
+// `fold_constants` acts on it: every provably-constant gate is rewritten
+// to a Const0/Const1 node and logic reachable only through removed gates
+// is dropped.  Primary inputs and output order are preserved exactly, so
+// the folded netlist accepts the same input vectors and must produce
+// bit-identical output words under WordSimulator — the property
+// lint_test asserts on random vectors.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+/// Per-node constant lattice value: -1 unknown, else the stuck value 0/1.
+std::vector<signed char> propagate_constants(const Netlist& net);
+
+struct FoldResult {
+  Netlist netlist;            ///< folded and finalized
+  /// Old NodeId -> new NodeId; kNoNode for nodes the fold eliminated.
+  /// Constant-valued outputs map to their replacement constant node.
+  std::vector<NodeId> remap;
+  std::size_t removed = 0;      ///< original gates rewritten away
+  std::size_t const_nodes = 0;  ///< replacement constant nodes created
+};
+
+/// Rewrites provably-constant gates out of a finalized netlist.  Inputs
+/// are all kept (same order and names); outputs keep their order, with
+/// constant outputs driven by dedicated constant nodes carrying the
+/// original net name.
+FoldResult fold_constants(const Netlist& net);
+
+}  // namespace protest

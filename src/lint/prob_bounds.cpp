@@ -1,0 +1,171 @@
+#include "lint/prob_bounds.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+#include "prob/signal_prob.hpp"
+
+namespace protest {
+namespace {
+
+/// One fixed Bloom bit per stem id (splitmix64 finalizer).
+std::uint64_t stem_bit(NodeId n) {
+  std::uint64_t z = n + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return 1ull << (z & 63u);
+}
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Interval clamp(Interval v) {
+  v.lo = std::clamp(v.lo, 0.0, 1.0);
+  v.hi = std::clamp(v.hi, 0.0, 1.0);
+  if (v.lo > v.hi) v.lo = v.hi;  // float dust from products near the edges
+  return v;
+}
+
+/// XOR of two INDEPENDENT nets: f(a, b) = a + b - 2ab is bilinear, so its
+/// extrema over the interval box sit at the corners.
+Interval xor_independent(Interval a, Interval b) {
+  const double c0 = a.lo + b.lo - 2.0 * a.lo * b.lo;
+  const double c1 = a.lo + b.hi - 2.0 * a.lo * b.hi;
+  const double c2 = a.hi + b.lo - 2.0 * a.hi * b.lo;
+  const double c3 = a.hi + b.hi - 2.0 * a.hi * b.hi;
+  return {std::min({c0, c1, c2, c3}), std::max({c0, c1, c2, c3})};
+}
+
+/// Fréchet folds: sound for ANY joint distribution of the two nets.
+Interval and_frechet(Interval a, Interval b) {
+  return {std::max(0.0, a.lo + b.lo - 1.0), std::min(a.hi, b.hi)};
+}
+Interval or_frechet(Interval a, Interval b) {
+  return {std::max(a.lo, b.lo), std::min(1.0, a.hi + b.hi)};
+}
+Interval xor_frechet(Interval a, Interval b) {
+  return {std::max({0.0, a.lo - b.hi, b.lo - a.hi}),
+          std::min({1.0, a.hi + b.hi, 2.0 - a.lo - b.lo})};
+}
+
+}  // namespace
+
+SignalProbBounds signal_prob_bounds(const Netlist& net,
+                                    std::span<const double> input_probs) {
+  if (!net.finalized())
+    throw std::invalid_argument(
+        "signal_prob_bounds: netlist must be finalized");
+  validate_input_probs(net, input_probs);
+
+  const std::size_t n = net.size();
+  SignalProbBounds out;
+  out.lo.resize(n);
+  out.hi.resize(n);
+  out.exact.assign(n, 0);
+
+  // Bloom signature of the stems each net's value depends on.  Signatures
+  // that share no bit prove the supports disjoint (a shared stem would set
+  // the same bit in both).
+  std::vector<std::uint64_t> sig(n, 0);
+  std::vector<char> is_stem(n, 0);
+  for (const NodeId s : net.stems()) is_stem[s] = 1;
+
+  std::size_t next_input = 0;
+  std::vector<Interval> fanin_iv;
+  for (NodeId id = 0; id < n; ++id) {
+    const Gate& g = net.gate(id);
+    Interval v;
+    bool exact = true;
+    std::uint64_t s = 0;
+    switch (g.type) {
+      case GateType::Input:
+        v.lo = v.hi = input_probs[next_input++];
+        break;
+      case GateType::Const0:
+        v.lo = v.hi = 0.0;
+        break;
+      case GateType::Const1:
+        v.lo = v.hi = 1.0;
+        break;
+      case GateType::Buf:
+      case GateType::Not: {
+        const NodeId f = g.fanin[0];
+        v = {out.lo[f], out.hi[f]};
+        if (g.type == GateType::Not) v = {1.0 - v.hi, 1.0 - v.lo};
+        exact = out.exact[f] != 0;
+        s = sig[f];
+        break;
+      }
+      default: {
+        // n-ary logic op: disjointness of ALL fanin cones decides between
+        // the independence fold and the Fréchet fold.
+        fanin_iv.clear();
+        bool disjoint = true;
+        for (const NodeId f : g.fanin) {
+          fanin_iv.push_back({out.lo[f], out.hi[f]});
+          if (!out.exact[f]) exact = false;
+          if ((s & sig[f]) != 0) disjoint = false;
+          s |= sig[f];
+        }
+        exact = exact && disjoint;
+        if (!disjoint) ++out.frechet_gates;
+        const GateType t = g.type;
+        const bool is_and = t == GateType::And || t == GateType::Nand;
+        const bool is_or = t == GateType::Or || t == GateType::Nor;
+        if (disjoint) {
+          if (is_and) {
+            v = {1.0, 1.0};
+            for (const Interval f : fanin_iv) {
+              v.lo *= f.lo;
+              v.hi *= f.hi;
+            }
+          } else if (is_or) {
+            double plo = 1.0, phi = 1.0;  // products of the zero-probs
+            for (const Interval f : fanin_iv) {
+              plo *= 1.0 - f.hi;
+              phi *= 1.0 - f.lo;
+            }
+            v = {1.0 - phi, 1.0 - plo};
+          } else {  // Xor / Xnor
+            v = fanin_iv[0];
+            for (std::size_t i = 1; i < fanin_iv.size(); ++i)
+              v = xor_independent(v, fanin_iv[i]);
+          }
+        } else {
+          v = fanin_iv[0];
+          for (std::size_t i = 1; i < fanin_iv.size(); ++i) {
+            if (is_and)
+              v = and_frechet(v, fanin_iv[i]);
+            else if (is_or)
+              v = or_frechet(v, fanin_iv[i]);
+            else
+              v = xor_frechet(v, fanin_iv[i]);
+          }
+        }
+        if (is_inverting(t)) v = {1.0 - v.hi, 1.0 - v.lo};
+        break;
+      }
+    }
+    v = clamp(v);
+    // A net that provably never toggles (bounds pinned at 0 or at 1)
+    // carries no randomness downstream: sharing it cannot correlate its
+    // consumers, so it contributes nothing to the stem signature.
+    const bool deterministic =
+        (v.lo == 0.0 && v.hi == 0.0) || (v.lo == 1.0 && v.hi == 1.0);
+    if (deterministic)
+      s = 0;
+    else if (is_stem[id])
+      s |= stem_bit(id);
+    out.lo[id] = v.lo;
+    out.hi[id] = v.hi;
+    out.exact[id] = exact ? 1 : 0;
+    sig[id] = s;
+  }
+  return out;
+}
+
+}  // namespace protest

@@ -1,0 +1,63 @@
+// Static signal-probability interval propagation: guaranteed [lo, hi]
+// bounds on every net's signal probability, computed in one topological
+// sweep — no simulation, no sampling.
+//
+// The point estimators (prob/) trade soundness for sharpness: they return
+// one number per net that may err at reconvergent fanout.  This pass is
+// the opposite trade.  Each net gets an interval that provably contains
+// its true signal probability:
+//
+//   * Where a gate's fanin cones are pairwise DISJOINT (no shared stem),
+//     the fanins are genuinely independent and the multilinear gate
+//     transfer function is applied interval-wise — exact on fanout-free
+//     regions (point inputs stay points).
+//   * Where cones may overlap (reconvergence), the fold widens to the
+//     Fréchet bounds, which hold for ANY joint distribution of the
+//     fanins:  P(a&b) in [max(0, la+lb-1), min(ha, hb)],
+//              P(a|b) in [max(la, lb), min(1, ha+hb)],
+//              P(a^b) in [max(0, la-hb, lb-ha), min(1, ha+hb, 2-la-lb)].
+//
+// Cone overlap is decided conservatively via a 64-bit Bloom signature of
+// the stems (fanout >= 2 nodes) in each net's support: signatures that
+// share no bit prove the stem sets disjoint (each stem sets one fixed
+// bit), so the independence fold is only used when it is sound; hash
+// collisions merely widen, never unsound.
+//
+// The bounds double as a differential oracle: every engine's estimate
+// must lie inside them.  This holds by construction for the exact engines
+// (the true probability is inside) and compositionally for the
+// independence-based estimators — any per-gate combination of fanin
+// values that stays within the gate's Fréchet fold stays within the
+// propagated interval (the independence value always does: for AND,
+// max(0, a+b-1) <= ab <= min(a, b) on [0,1]^2, and likewise per type).
+// Monte-Carlo estimates additionally carry sampling noise and need a
+// few-sigma widening (see lint_test's containment suite).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest {
+
+struct SignalProbBounds {
+  std::vector<double> lo;   ///< per-node lower bound, indexed by NodeId
+  std::vector<double> hi;   ///< per-node upper bound
+  /// True when the node's interval came purely from independence folds
+  /// over provably-disjoint cones — with point input probabilities the
+  /// interval is then a point and equals the true probability.
+  std::vector<char> exact;
+  /// Gates folded with the Fréchet bounds, i.e. gates whose fanin cones
+  /// could not be proven disjoint — a cheap reconvergence census.
+  std::size_t frechet_gates = 0;
+
+  double width(NodeId n) const { return hi[n] - lo[n]; }
+};
+
+/// Propagates [lo, hi] bounds for the given input tuple (validated like
+/// every engine entry point: arity, range, finalized netlist).
+SignalProbBounds signal_prob_bounds(const Netlist& net,
+                                    std::span<const double> input_probs);
+
+}  // namespace protest

@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string_view>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace protest {
@@ -69,6 +70,7 @@ Netlist read_bench_text(std::string_view text) {
 
   std::vector<std::string_view> input_order;
   std::vector<std::string_view> output_order;
+  std::unordered_set<std::string_view> output_seen;
   std::vector<Def> defs;
   std::vector<std::string_view> args_arena;
   std::unordered_map<std::string_view, std::uint32_t> def_index;
@@ -108,6 +110,8 @@ Netlist read_bench_text(std::string_view text) {
           fail(lineno, "duplicate INPUT " + std::string(arg));
         input_order.push_back(arg);
       } else if (ieq(kw, "OUTPUT")) {
+        if (!output_seen.insert(arg).second)
+          fail(lineno, "duplicate OUTPUT " + std::string(arg));
         output_order.push_back(arg);
       } else {
         std::string up(kw);
@@ -176,6 +180,20 @@ Netlist read_bench_text(std::string_view text) {
   };
   std::vector<Frame> stack;
   std::vector<NodeId> fanin;
+  // Every Grey def sits on the DFS stack, so the cycle is the stack suffix
+  // starting at the back edge's target, closed by repeating that net.
+  auto cycle_fail = [&](std::uint32_t target) {
+    std::size_t start = 0;
+    while (start < stack.size() && stack[start].def != target) ++start;
+    std::string path;
+    for (std::size_t k = start; k < stack.size(); ++k) {
+      const Def& pd = defs[stack[k].def];
+      path += std::string(pd.name) + " (line " + std::to_string(pd.line) +
+              ") -> ";
+    }
+    path += std::string(defs[target].name);
+    fail(defs[target].line, "combinational cycle: " + path);
+  };
   auto resolve = [&](std::uint32_t root) {
     stack.clear();
     stack.push_back({root, 0});
@@ -184,9 +202,7 @@ Netlist read_bench_text(std::string_view text) {
       const Def& d = defs[fr.def];
       if (fr.next_arg == 0) {
         Mark& m = marks[fr.def];
-        if (m == Mark::Grey)
-          fail(d.line, "combinational cycle through net '" +
-                           std::string(d.name) + "'");
+        if (m == Mark::Grey) cycle_fail(fr.def);
         if (m == Mark::Black) {
           stack.pop_back();
           continue;
@@ -197,14 +213,12 @@ Netlist read_bench_text(std::string_view text) {
       while (fr.next_arg < d.args_end - d.args_begin) {
         const std::string_view a = args_arena[d.args_begin + fr.next_arg];
         ++fr.next_arg;
-        if (ids.count(a)) continue;
+        if (ids.contains(a)) continue;
         const auto dit = def_index.find(a);
         if (dit == def_index.end())
           throw BenchParseError("bench: net '" + std::string(a) +
                                 "' is referenced but never defined");
-        if (marks[dit->second] == Mark::Grey)
-          fail(d.line,
-               "combinational cycle through net '" + std::string(a) + "'");
+        if (marks[dit->second] == Mark::Grey) cycle_fail(dit->second);
         stack.push_back({dit->second, 0});
         descended = true;
         break;
@@ -273,7 +287,7 @@ void write_bench(std::ostream& out, const Netlist& net) {
   for (NodeId n = 0; n < net.size(); ++n) {
     if (!names[n].empty()) continue;
     std::string cand = "n" + std::to_string(n);
-    while (used.count(cand)) cand += "_";
+    while (used.contains(cand)) cand += "_";
     names[n] = std::move(cand);
     used.emplace(names[n], n);
   }

@@ -128,7 +128,7 @@ class Parser {
     }
     if (prog.top.empty())
       throw DslParseError("dsl: missing 'circuit <top>' directive");
-    if (!prog.modules.count(prog.top))
+    if (!prog.modules.contains(prog.top))
       fail(prog.top_line, "unknown top module '" + prog.top + "'");
     return prog;
   }
@@ -227,7 +227,7 @@ class Elaborator {
     const Module& top = prog_.modules.at(prog_.top);
     std::unordered_map<std::string, NodeId> env;
     for (const std::string& in : top.inputs) {
-      if (env.count(in)) fail(top.line, "duplicate input '" + in + "'");
+      if (env.contains(in)) fail(top.line, "duplicate input '" + in + "'");
       env.emplace(in, net_.add_input(in));
     }
     elaborate_body(top, env, /*keep_names=*/true);

@@ -7,6 +7,8 @@
 
 #include "analysis/json.hpp"
 #include "analysis/table.hpp"
+#include "circuits/zoo.hpp"
+#include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/dsl.hpp"
 #include "netlist/tech.hpp"
@@ -48,6 +50,9 @@ struct Args {
   /// Per-query value flags seen (--p/--d/--e/--n/--sweeps/--patterns/
   /// --seed) — rejected by commands that would silently ignore them.
   std::vector<std::string> query_flags;
+  /// --passes: comma list of lint pass ids (lint only; empty = all).
+  std::vector<std::string> lint_passes;
+  bool passes_set = false;
 };
 
 class UsageError : public std::runtime_error {
@@ -106,6 +111,12 @@ Args parse_args(const std::vector<std::string>& argv) {
       else if (flag == "--sweeps") { a.sweeps = static_cast<unsigned>(std::stoul(need_value(flag))); a.query_flags.push_back(flag); }
       else if (flag == "--patterns") { a.patterns = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
       else if (flag == "--seed") { a.seed = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--passes") {
+        a.passes_set = true;
+        std::stringstream ss(need_value(flag));
+        std::string name;
+        while (std::getline(ss, name, ',')) a.lint_passes.push_back(name);
+      }
       else if (flag == "--threads") {
         // Cap before narrowing: a 64-bit stoul result (incl. "-1" wrapping
         // to ULONG_MAX) must not truncate to a small, silently-accepted
@@ -157,6 +168,27 @@ Args parse_args(const std::vector<std::string>& argv) {
   }
   if (a.artifacts_set && a.command == "optimize")
     throw UsageError("--artifacts is not valid for 'optimize'");
+  // lint never runs an engine or the analysis pipeline; only --p (the
+  // prob-bounds input probability), --json, and --passes apply.
+  if (a.command == "lint") {
+    if (a.engine_set)
+      throw UsageError("--engine is not valid for 'lint' (the static "
+                       "passes are engine-independent)");
+    if (a.artifacts_set) throw UsageError("--artifacts is not valid for 'lint'");
+    if (a.threads_set) throw UsageError("--threads is not valid for 'lint'");
+    for (const std::string& f : a.query_flags)
+      if (f != "--p") throw UsageError(f + " is not valid for 'lint'");
+    const auto known = lint_pass_names();
+    for (const std::string& p : a.lint_passes) {
+      if (std::find(known.begin(), known.end(), p) == known.end()) {
+        std::string msg = "unknown lint pass '" + p + "' (available:";
+        for (const std::string_view k : known) msg += " " + std::string(k);
+        throw UsageError(msg + ")");
+      }
+    }
+  } else if (a.passes_set) {
+    throw UsageError("--passes is only valid for 'lint'");
+  }
   // serve speaks the JSON protocol by construction and loads netlists per
   // request; every per-query flag would be silently ignored, so all of
   // them are rejected, not just the tracked boolean ones.
@@ -206,6 +238,15 @@ ServiceConfig service_config(const Args& a) {
 }
 
 Netlist load_netlist(const std::string& path) {
+  // "zoo:<name>" loads a built-in circuit (incl. the deterministic
+  // stress100k tier) without a file on disk — CI leans on this.
+  if (path.rfind("zoo:", 0) == 0) {
+    try {
+      return make_circuit(path.substr(4));
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+  }
   std::ifstream f(path);
   if (!f) throw UsageError("cannot open '" + path + "'");
   std::ostringstream ss;
@@ -352,6 +393,23 @@ int cmd_simulate(const Args& a, std::ostream& out) {
   return 0;
 }
 
+int cmd_lint(const Args& a, std::ostream& out) {
+  Netlist net = load_netlist(a.file);
+  if (!net.finalized()) net.finalize();
+  LintOptions opts;
+  opts.p = a.p;
+  opts.passes = a.lint_passes;
+  const LintReport report = run_lint(net, opts);
+  if (a.json) {
+    out << report.to_json() << "\n";
+  } else {
+    print_circuit_summary(out, net);
+    out << report.to_text();
+  }
+  // Exit 1 on error-severity findings so CI can gate on lint directly.
+  return report.errors == 0 ? 0 : 1;
+}
+
 int cmd_serve(const Args& a, std::istream& in, std::ostream& out,
               std::ostream& err) {
   ProtestService service(service_config(a));
@@ -392,13 +450,18 @@ void print_help(std::ostream& out) {
          "[--engine E] [--json]\n"
          "                          [--threads T]\n"
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
+         "  protest lint     <file> [--p P] [--passes LIST] [--json]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "                          [--json] [--artifacts LIST] [--threads T]\n"
          "  protest serve           [--cap N] [--threads T] [--port P] "
          "[--inflight N]\n"
          "  protest help\n"
          "\n"
-         "<file>: .bench netlist or module DSL (auto-detected).\n"
+         "<file>: .bench netlist or module DSL (auto-detected), or\n"
+         "zoo:<name> for a built-in circuit (c17, alu, ..., stress100k).\n"
+         "lint runs the static analyzer (passes: unused-net, dead-gate,\n"
+         "const-gate, duplicate-gate, prob-bounds, structure; --passes\n"
+         "selects a subset) and exits 1 on error-severity findings.\n"
          "--engine selects the signal-probability engine: protest (default),\n"
          "naive, exact-bdd, exact-enum, monte-carlo.\n"
          "--threads T sizes the worker pool (Monte-Carlo pattern shards,\n"
@@ -433,6 +496,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (a.command == "analyze") return cmd_analyze(a, out);
     if (a.command == "optimize") return cmd_optimize(a, out);
     if (a.command == "simulate") return cmd_simulate(a, out);
+    if (a.command == "lint") return cmd_lint(a, out);
     if (a.command == "scan") return cmd_scan(a, out);
     if (a.command == "serve") return cmd_serve(a, std::cin, out, err);
     throw UsageError("unknown command '" + a.command + "'");

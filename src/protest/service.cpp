@@ -10,6 +10,7 @@
 
 #include "analysis/json.hpp"
 #include "circuits/zoo.hpp"
+#include "lint/lint.hpp"
 #include "netlist/bench_io.hpp"
 #include "netlist/dsl.hpp"
 #include "optimize/hill_climb.hpp"
@@ -154,6 +155,7 @@ namespace {
 
 constexpr std::pair<ServiceVerb, std::string_view> kVerbNames[] = {
     {ServiceVerb::LoadNetlist, "load_netlist"},
+    {ServiceVerb::Lint, "lint"},
     {ServiceVerb::Analyze, "analyze"},
     {ServiceVerb::Perturb, "perturb"},
     {ServiceVerb::Optimize, "optimize"},
@@ -245,6 +247,8 @@ std::string ServiceRequest::to_json(int indent) const {
   if (patterns) w.key("patterns").value(*patterns);
   if (max_cached_results)
     w.key("max_cached_results").value(*max_cached_results);
+  if (strict) w.key("strict").value(true);
+  if (!passes.empty()) write_string_list(w, "passes", passes);
   if (p) w.key("p").value(*p);
   if (!input_probs.empty()) write_number_list(w, "input_probs", input_probs);
   if (artifacts) {
@@ -304,6 +308,11 @@ ServiceRequest ServiceRequest::from_json_value(const JsonValue& doc) {
         r.patterns = static_cast<std::size_t>(to_uint(v));
       } else if (key == "max_cached_results") {
         r.max_cached_results = static_cast<std::size_t>(to_uint(v));
+      } else if (key == "strict") {
+        r.strict = v.as_bool();
+      } else if (key == "passes") {
+        for (const JsonValue& e : v.as_array())
+          r.passes.push_back(e.as_string());
       } else if (key == "p") {
         r.p = v.as_number();
       } else if (key == "input_probs") {
@@ -491,6 +500,7 @@ bool submittable(ServiceVerb verb) {
     case ServiceVerb::Analyze:
     case ServiceVerb::Perturb:
     case ServiceVerb::Optimize:
+    case ServiceVerb::Lint:
       return true;
     case ServiceVerb::LoadNetlist:
     case ServiceVerb::Stats:
@@ -504,6 +514,23 @@ bool submittable(ServiceVerb verb) {
       return false;
   }
   return false;
+}
+
+/// Builds lint options from a request: pass subset + the prob-bounds
+/// input probability.  Unknown pass names surface as bad_request.
+LintOptions lint_options_from(const ServiceRequest& req) {
+  LintOptions opts;
+  opts.passes = req.passes;
+  if (req.p) opts.p = *req.p;
+  const auto known = lint_pass_names();
+  for (const std::string& p : req.passes) {
+    if (std::find(known.begin(), known.end(), p) == known.end()) {
+      std::string msg = "unknown lint pass '" + p + "' (available:";
+      for (const std::string_view k : known) msg += " " + std::string(k);
+      throw ServiceError("bad_request", msg + ")");
+    }
+  }
+  return opts;
 }
 
 /// The poll/wait result payload.  A done job splices the inner verb's
@@ -539,6 +566,27 @@ std::string ProtestService::dispatch(const ServiceRequest& req) {
                            "(registry name) or 'source' (netlist text)");
       Netlist net = req.circuit.empty() ? netlist_from_text(req.source)
                                         : make_circuit(req.circuit);
+      // Strict mode: the correctness gate for the served fleet — reject
+      // netlists with error-severity lint findings before they ever
+      // become resident.
+      LintReport lint_report;
+      if (req.strict) {
+        lint_report = run_lint(net, lint_options_from(req));
+        if (lint_report.errors > 0) {
+          std::string first;
+          for (const LintDiagnostic& d : lint_report.diagnostics) {
+            if (d.severity == LintSeverity::Error) {
+              first = d.message;
+              break;
+            }
+          }
+          throw ServiceError(
+              "lint_failed",
+              "strict load rejected '" + req.netlist + "': " +
+                  std::to_string(lint_report.errors) +
+                  " error-severity lint finding(s); first: " + first);
+        }
+      }
       SessionOptions opts = config_.session_defaults;
       if (!req.engine.empty()) opts.engine = req.engine;
       if (req.seed) opts.monte_carlo.seed = *req.seed;
@@ -557,8 +605,33 @@ std::string ProtestService::dispatch(const ServiceRequest& req) {
       w.key("outputs").value(n.outputs().size());
       w.key("gates").value(n.num_gates());
       w.key("faults").value(session->faults().size());
+      if (req.strict) {
+        session->record_lint(lint_report.errors, lint_report.warnings,
+                             lint_report.infos);
+        w.key("lint").begin_object();
+        w.key("errors").value(lint_report.errors);
+        w.key("warnings").value(lint_report.warnings);
+        w.key("infos").value(lint_report.infos);
+        w.end_object();
+      }
       const std::vector<std::string> resident = registry_.resident_names();
       write_string_list(w, "resident", resident);
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::Lint: {
+      require_netlist_name(req);
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.open(req.netlist);
+      const LintReport report =
+          run_lint(session->netlist(), lint_options_from(req));
+      session->record_lint(report.errors, report.warnings, report.infos);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("netlist").value(req.netlist);
+      w.key("report");
+      w.raw(report.to_json(0));
       w.end_object();
       return w.str();
     }
@@ -836,7 +909,8 @@ LineClass classify_line(std::string_view line) {
     if (doc.is_object())
       if (const JsonValue* v = doc.find("verb"); v && v->is_string()) {
         const std::string& name = v->as_string();
-        if (name == "analyze" || name == "perturb" || name == "optimize")
+        if (name == "analyze" || name == "perturb" || name == "optimize" ||
+            name == "lint")
           return LineClass::Work;
         if (name == "load_netlist" || name == "evict" || name == "shutdown")
           return LineClass::Barrier;

@@ -168,6 +168,7 @@ class SessionRegistry {
 
 enum class ServiceVerb {
   LoadNetlist,  ///< register + open a netlist (zoo circuit or inline source)
+  Lint,         ///< static analysis of the named netlist (src/lint passes)
   Analyze,      ///< one tuple through the named session
   Perturb,      ///< single-coordinate perturbation of a base tuple
   Optimize,     ///< hill-climb optimized input probabilities
@@ -202,6 +203,12 @@ struct ServiceRequest {
   std::optional<std::uint64_t> seed;         ///< monte-carlo seed
   std::optional<std::size_t> patterns;       ///< monte-carlo pattern budget
   std::optional<std::size_t> max_cached_results;
+  /// load_netlist: lint the netlist first and reject it (error code
+  /// "lint_failed") when any error-severity finding comes back.
+  bool strict = false;
+
+  // lint: pass subset ("" = every pass); prob-bounds reads `p`.
+  std::vector<std::string> passes;
 
   // analyze / perturb: the tuple, either explicit or uniform(p).
   std::vector<double> input_probs;

@@ -45,6 +45,12 @@ void SessionStats::write(JsonWriter& w) const {
   w.key("screen_evals").value(screen_evals);
   w.key("full_evals").value(full_evals);
   w.key("resident_results").value(resident_results);
+  w.key("lint").begin_object();
+  w.key("runs").value(lint_runs);
+  w.key("errors").value(lint_errors);
+  w.key("warnings").value(lint_warnings);
+  w.key("infos").value(lint_infos);
+  w.end_object();
   w.end_object();
 }
 
@@ -443,6 +449,15 @@ SessionStats AnalysisSession::stats() const {
   SessionStats s = stats_;
   s.resident_results = cache_->size();
   return s;
+}
+
+void AnalysisSession::record_lint(std::size_t errors, std::size_t warnings,
+                                  std::size_t infos) {
+  const std::lock_guard<std::mutex> lock(*mu_);
+  ++stats_.lint_runs;
+  stats_.lint_errors = errors;
+  stats_.lint_warnings = warnings;
+  stats_.lint_infos = infos;
 }
 
 void AnalysisSession::clear_cache() {

@@ -151,6 +151,13 @@ struct SessionStats {
   /// cumulative): together with full/incremental counts this is the
   /// resident plan state a service 'stats' query reports.
   std::size_t resident_results = 0;
+  /// Static-analysis summary (src/lint): how many lint runs this session
+  /// has recorded and the LAST report's severity totals — the service's
+  /// `lint` verb and `load_netlist` strict mode both record here.
+  std::size_t lint_runs = 0;
+  std::size_t lint_errors = 0;
+  std::size_t lint_warnings = 0;
+  std::size_t lint_infos = 0;
 
   /// Misses = analyze calls that had to evaluate (full or incremental).
   std::size_t cache_misses() const { return analyze_calls - cache_hits; }
@@ -222,6 +229,11 @@ class AnalysisSession {
   /// Snapshot of the cumulative counters (by value: safe to call while
   /// other threads query the session).
   SessionStats stats() const;
+
+  /// Records one lint run's severity totals into the stats (the latest
+  /// run wins; lint_runs counts them all).  Thread-safe.
+  void record_lint(std::size_t errors, std::size_t warnings,
+                   std::size_t infos);
 
   /// Analyzes one input tuple.  Exact repeats return the cached shared
   /// result; near-duplicates of a cached tuple go through the incremental

@@ -79,6 +79,30 @@ TEST(BenchIo, RejectsCycle) {
                BenchParseError);
 }
 
+TEST(BenchIo, CycleDiagnosticListsFullPathWithLineNumbers) {
+  try {
+    read_bench_string(
+        "INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(z)\nz = BUF(x)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("x (line 3) -> y (line 4) -> z (line 5) -> x"),
+              std::string::npos)
+        << msg;
+  }
+}
+
+TEST(BenchIo, RejectsDuplicateOutput) {
+  try {
+    read_bench_string("INPUT(a)\nOUTPUT(y)\nOUTPUT(y)\ny = NOT(a)\n");
+    FAIL() << "expected BenchParseError";
+  } catch (const BenchParseError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(":3:"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("duplicate OUTPUT y"), std::string::npos) << msg;
+  }
+}
+
 TEST(BenchIo, RejectsUndefinedNet) {
   EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
                BenchParseError);

@@ -271,5 +271,29 @@ TEST(Cli, BadBenchContentFailsGracefully) {
   EXPECT_NE(r.err.find("error:"), std::string::npos);
 }
 
+TEST(Cli, LintGatesExitCodeOnErrorFindings) {
+  const TempFile bad("stuck.bench",
+                     "INPUT(a)\nOUTPUT(z)\nc = CONST0()\nz = AND(a, c)\n");
+  const CliRun r = cli({"lint", bad.path()});
+  EXPECT_EQ(r.code, 1);  // error-severity findings gate the exit code
+  EXPECT_NE(r.out.find("stuck at 0"), std::string::npos) << r.out;
+
+  const CliRun clean = cli({"lint", "zoo:c17"});
+  EXPECT_EQ(clean.code, 0) << clean.err;
+  EXPECT_NE(clean.out.find("lint: 0 error(s)"), std::string::npos);
+}
+
+TEST(Cli, LintJsonAndPassSelection) {
+  const CliRun r = cli({"lint", "zoo:c17", "--json", "--passes", "structure"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"passes\":[\"structure\"]"), std::string::npos);
+
+  EXPECT_EQ(cli({"lint", "zoo:c17", "--passes", "bogus"}).code, 2);
+  EXPECT_EQ(cli({"lint", "zoo:no-such-circuit"}).code, 2);
+  // --passes is lint-scoped, engine flags are analysis-scoped.
+  EXPECT_EQ(cli({"analyze", "zoo:c17", "--passes", "structure"}).code, 2);
+  EXPECT_EQ(cli({"lint", "zoo:c17", "--engine", "naive"}).code, 2);
+}
+
 }  // namespace
 }  // namespace protest

@@ -168,7 +168,7 @@ TEST_P(EngineParity, AgreeOnReconvergenceFreeCircuits) {
   cfg.monte_carlo.num_patterns = 200'000;
   cfg.monte_carlo.seed = seed + 42;
   const auto exact = make_engine("exact-bdd", net, cfg)->signal_probs(ip);
-  for (const std::string& name : {"naive", "exact-enum", "protest"}) {
+  for (const std::string name : {"naive", "exact-enum", "protest"}) {
     const auto p = make_engine(name, net, cfg)->signal_probs(ip);
     ASSERT_EQ(p.size(), exact.size());
     for (NodeId n = 0; n < net.size(); ++n)

@@ -78,7 +78,7 @@ TEST(FaultList, CollapsedIsSmallerAndCoversAllBehaviours) {
   std::set<std::uint64_t> rep_sets;
   for (const Fault& f : collapsed) rep_sets.insert(detection_set(net, f));
   for (const Fault& f : full)
-    EXPECT_TRUE(rep_sets.count(detection_set(net, f)))
+    EXPECT_TRUE(rep_sets.contains(detection_set(net, f)))
         << to_string(net, f) << " lost by collapsing";
 }
 
@@ -117,8 +117,8 @@ TEST(FaultList, PinOnPrimaryOutputStemDoesNotCollapse) {
   const auto collapsed = collapsed_fault_list(net);
   std::set<std::uint64_t> rep_sets;
   for (const Fault& f : collapsed) rep_sets.insert(detection_set(net, f));
-  EXPECT_TRUE(rep_sets.count(d_pin_sa0));
-  EXPECT_TRUE(rep_sets.count(c_sa0));
+  EXPECT_TRUE(rep_sets.contains(d_pin_sa0));
+  EXPECT_TRUE(rep_sets.contains(c_sa0));
 }
 
 TEST(FaultList, ToStringFormats) {

@@ -144,7 +144,9 @@ TEST(HillClimbCancel, CancelledOptimizeStopsWithinOneSweep) {
 
 TEST(ParallelEvalCancel, CancelledSweepStopsAtATaskBoundary) {
   const Netlist net = make_c17();
-  const ParallelBatchEvaluator eval(net, "protest", {}, ParallelConfig{2});
+  ParallelConfig two_workers;
+  two_workers.num_threads = 2;
+  const ParallelBatchEvaluator eval(net, "protest", {}, two_workers);
   const CancelToken token = CancelToken::source();
   token.request_cancel();
   const CancelScope scope(token);

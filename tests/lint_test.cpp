@@ -1,0 +1,347 @@
+// The static-analysis subsystem: one positive and one clean case per
+// pass, the diagnostic cap, the golden JSON shape, the constant fold's
+// bit-parity contract under WordSimulator, and the static probability
+// intervals as a containment oracle for every registered engine.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "circuits/zoo.hpp"
+#include "lint/fold.hpp"
+#include "lint/lint.hpp"
+#include "lint/prob_bounds.hpp"
+#include "netlist/bench_io.hpp"
+#include "prob/engine.hpp"
+#include "prob/signal_prob.hpp"
+#include "sim/word_sim.hpp"
+
+namespace protest {
+namespace {
+
+LintReport lint_pass(const Netlist& net, const std::string& pass) {
+  LintOptions opts;
+  opts.passes = {pass};
+  return run_lint(net, opts);
+}
+
+const LintDiagnostic* find_named(const LintReport& rep,
+                                 std::string_view name) {
+  for (const LintDiagnostic& d : rep.diagnostics)
+    if (d.name == name) return &d;
+  return nullptr;
+}
+
+std::uint64_t splitmix64(std::uint64_t& s) {
+  std::uint64_t z = (s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+// --- pass registry ----------------------------------------------------------
+
+TEST(Lint, PassNamesAreStableAndUnknownNamesThrow) {
+  const auto names = lint_pass_names();
+  ASSERT_EQ(names.size(), 6u);
+  EXPECT_EQ(names[0], "unused-net");
+  EXPECT_EQ(names[5], "structure");
+  LintOptions opts;
+  opts.passes = {"bogus-pass"};
+  EXPECT_THROW(run_lint(make_circuit("c17"), opts), std::invalid_argument);
+}
+
+TEST(Lint, RequiresFinalizedNetlist) {
+  Netlist net;
+  net.add_input("a");
+  EXPECT_THROW(run_lint(net, {}), std::invalid_argument);
+}
+
+// --- unused-net -------------------------------------------------------------
+
+TEST(LintUnusedNet, FlagsFloatingInputAndSinklessGate) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+      "y = AND(a, b)\n"
+      "t = NOT(a)\n");  // c floats; t feeds nothing
+  const LintReport rep = lint_pass(net, "unused-net");
+  EXPECT_EQ(rep.warnings, 2u);
+  ASSERT_NE(find_named(rep, "c"), nullptr);
+  EXPECT_NE(find_named(rep, "c")->message.find("feeds no gate"),
+            std::string::npos);
+  ASSERT_NE(find_named(rep, "t"), nullptr);
+  EXPECT_EQ(find_named(rep, "t")->severity, LintSeverity::Warning);
+}
+
+TEST(LintUnusedNet, CleanOnZooCircuit) {
+  EXPECT_TRUE(lint_pass(make_circuit("c17"), "unused-net").clean());
+}
+
+// --- dead-gate --------------------------------------------------------------
+
+TEST(LintDeadGate, FlagsConeBehindFloatingSink) {
+  // u2 floats (unused-net's finding); u1 and d feed only that dead cone.
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(d)\nOUTPUT(y)\n"
+      "y = BUF(a)\n"
+      "u1 = NOT(d)\n"
+      "u2 = NOT(u1)\n");
+  const LintReport rep = lint_pass(net, "dead-gate");
+  EXPECT_EQ(rep.warnings, 2u);
+  ASSERT_NE(find_named(rep, "u1"), nullptr);
+  EXPECT_NE(find_named(rep, "u1")->message.find("no path to any primary"),
+            std::string::npos);
+  ASSERT_NE(find_named(rep, "d"), nullptr);  // the input branch
+  EXPECT_EQ(find_named(rep, "u2"), nullptr);  // unused-net territory
+}
+
+TEST(LintDeadGate, CleanOnZooCircuit) {
+  EXPECT_TRUE(lint_pass(make_circuit("alu"), "dead-gate").clean());
+}
+
+// --- const-gate -------------------------------------------------------------
+
+TEST(LintConstGate, ErrorsOnStuckOutputWarnsOnInternalConstant) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n"
+      "c0 = CONST0()\n"
+      "c1 = CONST1()\n"
+      "t = OR(c1, a)\n"    // stuck at 1, internal
+      "z = AND(a, c0)\n"   // stuck at 0, primary output
+      "y = AND(t, b)\n");  // y == b: not lattice-decidable, clean
+  const LintReport rep = lint_pass(net, "const-gate");
+  EXPECT_EQ(rep.errors, 1u);
+  EXPECT_EQ(rep.warnings, 1u);
+  ASSERT_NE(find_named(rep, "z"), nullptr);
+  EXPECT_EQ(find_named(rep, "z")->severity, LintSeverity::Error);
+  EXPECT_NE(find_named(rep, "z")->message.find("stuck at 0"),
+            std::string::npos);
+  ASSERT_NE(find_named(rep, "t"), nullptr);
+  EXPECT_EQ(find_named(rep, "t")->severity, LintSeverity::Warning);
+  EXPECT_NE(find_named(rep, "t")->message.find("stuck at 1"),
+            std::string::npos);
+  EXPECT_EQ(find_named(rep, "y"), nullptr);
+}
+
+TEST(LintConstGate, CleanOnZooCircuit) {
+  EXPECT_TRUE(lint_pass(make_circuit("c17"), "const-gate").clean());
+}
+
+// --- duplicate-gate ---------------------------------------------------------
+
+TEST(LintDuplicateGate, FlagsCommutedFaninsOnce) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "g1 = AND(a, b)\n"
+      "g2 = AND(b, a)\n"  // same multiset of fanins
+      "g3 = OR(a, b)\n"   // distinct type: clean
+      "y = XOR(g2, g3)\n");
+  const LintReport rep = lint_pass(net, "duplicate-gate");
+  EXPECT_EQ(rep.warnings, 1u);
+  ASSERT_NE(find_named(rep, "g2"), nullptr);
+  EXPECT_NE(find_named(rep, "g2")->message.find("duplicates gate 'g1'"),
+            std::string::npos);
+}
+
+TEST(LintDuplicateGate, CleanOnZooCircuit) {
+  EXPECT_TRUE(lint_pass(make_circuit("c17"), "duplicate-gate").clean());
+}
+
+// --- prob-bounds ------------------------------------------------------------
+
+TEST(LintProbBounds, FlagsNearConstantNetsBothPolarities) {
+  // An 8-wide AND sits at P(1) = 2^-8 < 0.01; its NAND twin at 1 - 2^-8.
+  std::string bench;
+  for (int i = 0; i < 8; ++i) bench += "INPUT(i" + std::to_string(i) + ")\n";
+  bench += "OUTPUT(lo)\nOUTPUT(hi)\n";
+  bench += "lo = AND(i0, i1, i2, i3, i4, i5, i6, i7)\n";
+  bench += "hi = NAND(i0, i1, i2, i3, i4, i5, i6, i7)\n";
+  const Netlist net = read_bench_string(bench);
+  const LintReport rep = lint_pass(net, "prob-bounds");
+  EXPECT_EQ(rep.warnings, 2u);
+  ASSERT_NE(find_named(rep, "lo"), nullptr);
+  EXPECT_NE(find_named(rep, "lo")->message.find("near-constant 0"),
+            std::string::npos);
+  ASSERT_NE(find_named(rep, "hi"), nullptr);
+  EXPECT_NE(find_named(rep, "hi")->message.find("near-constant 1"),
+            std::string::npos);
+}
+
+TEST(LintProbBounds, CleanOnZooCircuit) {
+  EXPECT_TRUE(lint_pass(make_circuit("c17"), "prob-bounds").clean());
+}
+
+// --- structure --------------------------------------------------------------
+
+TEST(LintStructurePass, ReportsCensusAndReconvergence) {
+  const Netlist net = make_circuit("c17");
+  const LintReport rep = lint_pass(net, "structure");
+  EXPECT_EQ(rep.infos, 1u);
+  EXPECT_TRUE(rep.clean());  // info-only
+  EXPECT_EQ(rep.structure.gates, net.num_gates());
+  EXPECT_EQ(rep.structure.depth, net.depth());
+  EXPECT_GT(rep.structure.reconvergent_gates, 0u);  // c17 reconverges
+  ASSERT_EQ(rep.diagnostics.size(), 1u);
+  EXPECT_NE(rep.diagnostics[0].message.find("depth "), std::string::npos);
+}
+
+TEST(LintStructurePass, FanoutFreeTreeHasNoReconvergence) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+      "l = AND(a, b)\nr = OR(c, d)\ny = XOR(l, r)\n");
+  const LintReport rep = lint_pass(net, "structure");
+  EXPECT_EQ(rep.structure.reconvergent_gates, 0u);
+  EXPECT_EQ(rep.structure.stems, 0u);
+}
+
+// --- diagnostic cap ---------------------------------------------------------
+
+TEST(Lint, MaxPerPassCapsEmissionButTotalsKeepCounting) {
+  std::string bench = "OUTPUT(y)\nINPUT(a)\ny = BUF(a)\n";
+  for (int i = 0; i < 5; ++i)
+    bench += "INPUT(f" + std::to_string(i) + ")\n";  // five floating inputs
+  const Netlist net = read_bench_string(bench);
+  LintOptions opts;
+  opts.passes = {"unused-net"};
+  opts.max_per_pass = 2;
+  const LintReport rep = run_lint(net, opts);
+  EXPECT_EQ(rep.warnings, 5u);  // totals see past the cap
+  ASSERT_EQ(rep.diagnostics.size(), 3u);  // two findings + the closing note
+  const LintDiagnostic& note = rep.diagnostics.back();
+  EXPECT_EQ(note.severity, LintSeverity::Info);
+  EXPECT_NE(note.message.find("3 further findings suppressed"),
+            std::string::npos);
+  EXPECT_EQ(rep.infos, 0u);  // the note is bookkeeping, not a finding
+}
+
+// --- golden JSON ------------------------------------------------------------
+
+TEST(Lint, GoldenJsonReport) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nOUTPUT(z)\nc = CONST0()\nz = AND(a, c)\n");
+  LintOptions opts;
+  opts.passes = {"const-gate"};
+  const std::string json = run_lint(net, opts).to_json(0);
+  EXPECT_EQ(
+      json,
+      "{\"netlist\":{\"nodes\":3,\"inputs\":1,\"outputs\":1,\"gates\":2},"
+      "\"passes\":[\"const-gate\"],"
+      "\"summary\":{\"errors\":1,\"warnings\":0,\"infos\":0,\"clean\":false},"
+      "\"structure\":{\"depth\":1,\"stems\":0,\"max_fanin\":2,"
+      "\"max_fanout\":1,\"widest_level\":2,\"reconvergent_gates\":0},"
+      "\"diagnostics\":[{\"pass\":\"const-gate\",\"severity\":\"error\","
+      "\"node\":2,\"name\":\"z\",\"message\":\"primary output 'z' is "
+      "provably stuck at 0 — every fault in its cone is undetectable "
+      "through it\",\"hint\":\"a constant output is almost certainly a "
+      "capture bug; fix the netlist or drop the output\"}]}");
+}
+
+// --- constant fold ----------------------------------------------------------
+
+void expect_fold_parity(const Netlist& net, std::uint64_t seed) {
+  const FoldResult fold = fold_constants(net);
+  ASSERT_TRUE(fold.netlist.finalized());
+  ASSERT_EQ(fold.netlist.inputs().size(), net.inputs().size());
+  ASSERT_EQ(fold.netlist.outputs().size(), net.outputs().size());
+
+  constexpr std::size_t kWords = 4;  // 256 patterns per pass
+  WordSimulator sim(net, kWords);
+  WordSimulator folded(fold.netlist, kWords);
+  for (int pass = 0; pass < 4; ++pass) {
+    for (std::size_t i = 0; i < net.inputs().size(); ++i) {
+      const auto a = sim.input_words(i);
+      const auto b = folded.input_words(i);
+      for (std::size_t w = 0; w < kWords; ++w) a[w] = b[w] = splitmix64(seed);
+    }
+    sim.run();
+    folded.run();
+    for (std::size_t k = 0; k < net.outputs().size(); ++k) {
+      const auto a = sim.node_words(net.outputs()[k]);
+      const auto b = folded.node_words(fold.netlist.outputs()[k]);
+      for (std::size_t w = 0; w < kWords; ++w)
+        ASSERT_EQ(a[w], b[w]) << "output " << k << " word " << w;
+    }
+  }
+}
+
+TEST(Fold, RemovesDecidedGatesAndKeepsOutputsBitIdentical) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\nOUTPUT(z)\n"
+      "c1 = CONST1()\n"
+      "t = AND(a, c1)\n"  // not lattice-decidable: kept, fanin folded
+      "u = OR(b, c1)\n"   // stuck at 1: removed
+      "y = XOR(t, u)\n"
+      "z = AND(u, b)\n");
+  const FoldResult fold = fold_constants(net);
+  EXPECT_EQ(fold.removed, 2u);  // c1 and u
+  EXPECT_GT(fold.const_nodes, 0u);
+  expect_fold_parity(net, /*seed=*/7);
+}
+
+TEST(Fold, ConstantOutputKeepsNameAndValue) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nOUTPUT(z)\nc = CONST0()\nz = AND(a, c)\n");
+  const FoldResult fold = fold_constants(net);
+  const NodeId z = fold.netlist.outputs()[0];
+  EXPECT_EQ(fold.netlist.gate(z).type, GateType::Const0);
+  EXPECT_EQ(fold.netlist.gate(z).name, "z");
+  expect_fold_parity(net, /*seed=*/11);
+}
+
+TEST(Fold, ParityOnZooCircuits) {
+  std::uint64_t seed = 1;
+  for (const char* name : {"c17", "alu", "div"})
+    expect_fold_parity(make_circuit(name), seed++);
+}
+
+// --- interval containment ---------------------------------------------------
+
+TEST(ProbBounds, IntervalsContainEveryEngineEstimateOnZoo) {
+  for (const char* circuit : {"c17", "alu"}) {
+    const Netlist net = make_circuit(circuit);
+    const InputProbs probs = uniform_input_probs(net, 0.5);
+    const SignalProbBounds bounds = signal_prob_bounds(net, probs);
+    for (const std::string& engine : engine_names()) {
+      EngineConfig cfg;
+      cfg.monte_carlo.seed = 12345;
+      cfg.monte_carlo.num_patterns = 100'000;
+      const std::vector<double> est =
+          make_engine(engine, net, cfg)->signal_probs(probs);
+      ASSERT_EQ(est.size(), net.size());
+      // Monte Carlo estimates scatter around the true value: allow a
+      // few-sigma margin (sigma = 1/(2 sqrt N)); exact and estimator
+      // engines only get float dust.
+      const double slack = engine == "monte-carlo"
+                               ? 6.0 / (2.0 * std::sqrt(100'000.0))
+                               : 1e-9;
+      for (NodeId n = 0; n < net.size(); ++n) {
+        EXPECT_GE(est[n], bounds.lo[n] - slack)
+            << circuit << "/" << engine << " node " << n;
+        EXPECT_LE(est[n], bounds.hi[n] + slack)
+            << circuit << "/" << engine << " node " << n;
+      }
+    }
+  }
+}
+
+TEST(ProbBounds, ExactOnFanoutFreeTree) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nINPUT(d)\nOUTPUT(y)\n"
+      "l = AND(a, b)\nr = OR(c, d)\ny = XOR(l, r)\n");
+  const SignalProbBounds bounds =
+      signal_prob_bounds(net, uniform_input_probs(net, 0.5));
+  EXPECT_EQ(bounds.frechet_gates, 0u);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    EXPECT_TRUE(bounds.exact[n]) << "node " << n;
+    EXPECT_DOUBLE_EQ(bounds.lo[n], bounds.hi[n]) << "node " << n;
+  }
+  const NodeId y = net.outputs()[0];
+  // P(l) = 1/4, P(r) = 3/4, independent: P(y) = p + q - 2pq = 5/8.
+  EXPECT_DOUBLE_EQ(bounds.lo[y], 0.625);
+}
+
+}  // namespace
+}  // namespace protest

@@ -97,7 +97,7 @@ TEST(Lfsr, MaximalPeriodSmallWidths) {
     const std::uint64_t period = (1ull << width) - 1;
     for (std::uint64_t i = 0; i < period; ++i) seen.insert(lfsr.step());
     EXPECT_EQ(seen.size(), period) << "width " << width;
-    EXPECT_FALSE(seen.count(0)) << "width " << width;
+    EXPECT_FALSE(seen.contains(0)) << "width " << width;
   }
 }
 

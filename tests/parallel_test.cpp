@@ -22,6 +22,12 @@
 namespace protest {
 namespace {
 
+ParallelConfig with_threads(unsigned n) {
+  ParallelConfig cfg;
+  cfg.num_threads = n;
+  return cfg;
+}
+
 InputProbs varied_tuple(const Netlist& net, double base) {
   InputProbs t = uniform_input_probs(net, base);
   for (std::size_t i = 0; i < t.size(); ++i)
@@ -47,9 +53,9 @@ TEST(ThreadPool, RunsEveryTaskExactlyOnce) {
 }
 
 TEST(ThreadPool, ResolvesZeroToHardwareConcurrency) {
-  EXPECT_GE(ParallelConfig{0}.resolved(), 1u);
-  EXPECT_EQ(ParallelConfig{1}.resolved(), 1u);
-  EXPECT_EQ(ParallelConfig{5}.resolved(), 5u);
+  EXPECT_GE(with_threads(0).resolved(), 1u);
+  EXPECT_EQ(with_threads(1).resolved(), 1u);
+  EXPECT_EQ(with_threads(5).resolved(), 5u);
 }
 
 TEST(ThreadPool, PropagatesTheFirstException) {
@@ -146,7 +152,7 @@ TEST(ParallelBatchEval, MatchesSerialSingleCallsOnEveryEngine) {
   cfg.monte_carlo.num_patterns = 4096;
   for (const std::string& name : engine_names()) {
     const auto engine = make_engine(name, net, cfg);
-    const ParallelBatchEvaluator eval(*engine, ParallelConfig{4});
+    const ParallelBatchEvaluator eval(*engine, with_threads(4));
     const auto got = eval.signal_probs_batch(batch);
     ASSERT_EQ(got.size(), batch.size()) << name;
     for (std::size_t t = 0; t < batch.size(); ++t)
@@ -206,11 +212,11 @@ TEST(ParallelSweep, NeighborhoodObjectivesInvariantUnderThreads) {
   const InputProbs base = uniform_input_probs(net, 0.5);
   const std::vector<double> values = {0.125, 0.375, 0.875};
 
-  ObjectiveEvaluator serial(net, faults, 1000, {}, {}, ParallelConfig{1});
+  ObjectiveEvaluator serial(net, faults, 1000, {}, {}, with_threads(1));
   const auto want = serial.log_objectives_neighborhood(base, 1, values);
   for (const unsigned threads : {2u, 8u}) {
     ObjectiveEvaluator parallel(net, faults, 1000, {}, {},
-                                ParallelConfig{threads});
+                                with_threads(threads));
     const auto got = parallel.log_objectives_neighborhood(base, 1, values);
     EXPECT_EQ(got.base, want.base) << threads;
     EXPECT_EQ(got.candidates, want.candidates) << threads;

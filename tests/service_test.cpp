@@ -18,6 +18,12 @@
 namespace protest {
 namespace {
 
+ParallelConfig with_threads(unsigned n) {
+  ParallelConfig cfg;
+  cfg.num_threads = n;
+  return cfg;
+}
+
 std::vector<std::string> lines_of(const std::string& text) {
   std::vector<std::string> lines;
   std::istringstream in(text);
@@ -123,6 +129,22 @@ TEST(ServiceProtocol, RequestRoundTripsEveryVerb) {
   jobs.verb = ServiceVerb::Jobs;
   jobs.id = 13;
   requests.push_back(jobs);
+
+  ServiceRequest strict_load;
+  strict_load.verb = ServiceVerb::LoadNetlist;
+  strict_load.id = 14;
+  strict_load.netlist = "alu";
+  strict_load.circuit = "alu";
+  strict_load.strict = true;
+  requests.push_back(strict_load);
+
+  ServiceRequest lint;
+  lint.verb = ServiceVerb::Lint;
+  lint.id = 15;
+  lint.netlist = "alu";
+  lint.p = 0.5;
+  lint.passes = {"const-gate", "prob-bounds"};
+  requests.push_back(lint);
 
   for (const ServiceRequest& req : requests) {
     const std::string wire = req.to_json(0);
@@ -257,7 +279,7 @@ TEST(ServiceProtocol, OutOfRangeValuesYieldErrorsNotCrashes) {
 // --- the registry -----------------------------------------------------------
 
 TEST(SessionRegistry, CapEvictsLeastRecentlyUsed) {
-  SessionRegistry registry(/*max_resident=*/2, ParallelConfig{1});
+  SessionRegistry registry(/*max_resident=*/2, with_threads(1));
   for (const char* name : {"a", "b", "c"})
     registry.register_netlist(name, make_circuit("c17"));
 
@@ -283,7 +305,7 @@ TEST(SessionRegistry, CapEvictsLeastRecentlyUsed) {
 }
 
 TEST(SessionRegistry, EvictionNeverInvalidatesLeasedSessions) {
-  SessionRegistry registry(1, ParallelConfig{1});
+  SessionRegistry registry(1, with_threads(1));
   registry.register_netlist("x", make_circuit("c17"));
   const std::shared_ptr<AnalysisSession> leased = registry.open("x");
   const AnalysisResult before =
@@ -305,7 +327,7 @@ TEST(SessionRegistry, EvictionNeverInvalidatesLeasedSessions) {
 }
 
 TEST(SessionRegistry, UnknownNamesAndUnregister) {
-  SessionRegistry registry(0, ParallelConfig{1});  // 0 = unbounded
+  SessionRegistry registry(0, with_threads(1));  // 0 = unbounded
   EXPECT_THROW(registry.open("ghost"), ServiceError);
   registry.register_netlist("x", make_circuit("c17"));
   registry.open("x");
@@ -315,7 +337,7 @@ TEST(SessionRegistry, UnknownNamesAndUnregister) {
 }
 
 TEST(SessionRegistry, ResidentSessionsShareOneExecutor) {
-  SessionRegistry registry(4, ParallelConfig{2});
+  SessionRegistry registry(4, with_threads(2));
   const Netlist external = make_circuit("c17");
   registry.register_netlist("a", make_circuit("c17"));
   registry.register_external("b", external);
@@ -376,6 +398,73 @@ TEST(ServeNdjson, ConversationMatchesDirectSessionByteForByte) {
   for (const std::size_t i : {std::size_t{4}, std::size_t{5}})
     EXPECT_TRUE(ServiceResponse::from_json(lines[i]).ok) << lines[i];
   EXPECT_TRUE(service.shutdown_requested());
+}
+
+// --- lint verb and strict loads ---------------------------------------------
+
+TEST(ServiceLint, StrictLoadRejectsProvablyStuckOutput) {
+  ProtestService service;
+  const std::string source =
+      "module top(a -> z) { c = CONST0()  z = AND(a, c) }\\ncircuit top";
+  const ServiceResponse rejected = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"load_netlist\",\"id\":1,"
+                          "\"netlist\":\"bad\",\"strict\":true,\"source\":\"" +
+                          source + "\"}"));
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_EQ(rejected.error_code, "lint_failed");
+  EXPECT_NE(rejected.error_message.find("stuck at 0"), std::string::npos)
+      << rejected.error_message;
+
+  // Non-strict load of the same netlist is admitted; the lint verb then
+  // reports the same defect instead of blocking residency.
+  const ServiceResponse loaded = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"load_netlist\",\"id\":2,"
+                          "\"netlist\":\"bad\",\"source\":\"" +
+                          source + "\"}"));
+  ASSERT_TRUE(loaded.ok) << loaded.error_message;
+  const ServiceResponse linted = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"lint\",\"id\":3,\"netlist\":\"bad\"}"));
+  ASSERT_TRUE(linted.ok) << linted.error_message;
+  const JsonValue report = parse_json(linted.result_json).at("report");
+  EXPECT_EQ(report.at("summary").at("errors").as_number(), 1.0);
+  EXPECT_EQ(report.at("summary").at("clean").as_bool(), false);
+}
+
+TEST(ServiceLint, StrictLoadAdmitsCleanNetlistAndStatsCountRuns) {
+  ProtestService service;
+  const ServiceResponse loaded = ServiceResponse::from_json(
+      service.handle_line("{\"verb\":\"load_netlist\",\"id\":1,"
+                          "\"netlist\":\"alu\",\"circuit\":\"alu\","
+                          "\"strict\":true}"));
+  ASSERT_TRUE(loaded.ok) << loaded.error_message;
+  const JsonValue load_doc = parse_json(loaded.result_json);
+  EXPECT_EQ(load_doc.at("lint").at("errors").as_number(), 0.0);
+
+  const ServiceResponse linted = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"lint\",\"id\":2,\"netlist\":\"alu\","
+      "\"passes\":[\"const-gate\",\"structure\"]}"));
+  ASSERT_TRUE(linted.ok) << linted.error_message;
+  const JsonValue report = parse_json(linted.result_json).at("report");
+  EXPECT_EQ(report.at("passes").as_array().size(), 2u);
+
+  const ServiceResponse stats = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"stats\",\"id\":3,\"netlist\":\"alu\"}"));
+  ASSERT_TRUE(stats.ok);
+  const JsonValue doc = parse_json(stats.result_json);
+  EXPECT_EQ(doc.at("stats").at("lint").at("runs").as_number(), 2.0);
+}
+
+TEST(ServiceLint, UnknownPassIsABadRequest) {
+  ProtestService service;
+  ASSERT_TRUE(ServiceResponse::from_json(
+                  service.handle_line("{\"verb\":\"load_netlist\",\"id\":1,"
+                                      "\"netlist\":\"alu\",\"circuit\":\"alu\"}"))
+                  .ok);
+  const ServiceResponse r = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"lint\",\"id\":2,\"netlist\":\"alu\","
+      "\"passes\":[\"bogus\"]}"));
+  EXPECT_FALSE(r.ok);
+  EXPECT_EQ(r.error_code, "bad_request");
 }
 
 // --- async job verbs --------------------------------------------------------

@@ -17,17 +17,34 @@
 // order may differ.  With one hardware core the pipelined numbers mostly
 // measure dispatch overhead — hardware_threads is recorded alongside.
 //
+// The supervised section drives the SAME interactive workload through
+// `Supervisor` fleets of 1 and N worker processes (several registered
+// netlists so rendezvous placement actually spreads the load, several
+// client threads so the fleets see concurrent requests) and records
+// requests/sec plus p50/p99 request latency for each fleet size.  It
+// needs the CLI binary to spawn workers from: PROTEST_BIN, or ./protest
+// next to the current directory; the section is skipped when neither
+// resolves (metrics simply absent from the JSON).
+//
 // Emits BENCH_service_throughput.json.  Run with --quick for a CI smoke.
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench_util.hpp"
 #include "circuits/zoo.hpp"
 #include "protest/service.hpp"
+#include "protest/supervisor.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace protest {
 namespace {
@@ -204,6 +221,137 @@ void run_circuit(bench::BenchJson& json, const std::string& circuit,
               cold_rps > 0.0 ? resident_rps / cold_rps : 0.0);
 }
 
+/// The worker executable for the supervised section.  The bench binary
+/// itself is NOT a valid worker (Supervisor's /proc/self/exe fallback
+/// would spawn benches recursively), so only explicit paths qualify.
+std::string find_worker_binary() {
+  if (const char* bin = std::getenv("PROTEST_BIN"); bin && *bin) return bin;
+#if defined(__unix__) || defined(__APPLE__)
+  if (::access("./protest", X_OK) == 0) return "./protest";
+#endif
+  return "";
+}
+
+/// Drives `total` requests through the supervisor from `clients` threads
+/// (round-robin over the registered names) and reports throughput and
+/// latency quantiles.
+struct FleetResult {
+  double rps = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+FleetResult drive_fleet(Supervisor& sup, const std::vector<std::string>& names,
+                        std::size_t clients, std::size_t per_client) {
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<std::thread> threads;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      const double values[] = {0.25, 0.75, 0.125, 0.875};
+      for (std::size_t i = 0; i < per_client; ++i) {
+        ServiceRequest req;
+        req.verb = ServiceVerb::Perturb;
+        req.netlist = names[(c + i) % names.size()];
+        req.id = c * per_client + i + 100;
+        req.p = 0.5;
+        req.input_index = i % 4;
+        req.new_p = values[(c + i) % (sizeof values / sizeof values[0])];
+        const auto r0 = std::chrono::steady_clock::now();
+        const std::string resp = sup.handle_line(req.to_json(0));
+        const auto r1 = std::chrono::steady_clock::now();
+        if (resp.find("\"ok\":true") == std::string::npos) {
+          std::printf("ERROR: supervised request failed: %s\n", resp.c_str());
+          g_parity_ok = false;
+        }
+        latencies[c].push_back(
+            std::chrono::duration<double, std::milli>(r1 - r0).count());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  const double elapsed = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count();
+  std::vector<double> all;
+  for (const auto& v : latencies) all.insert(all.end(), v.begin(), v.end());
+  std::sort(all.begin(), all.end());
+  FleetResult res;
+  res.rps = elapsed > 0.0 ? static_cast<double>(all.size()) / elapsed : 0.0;
+  if (!all.empty()) {
+    res.p50_ms = all[all.size() / 2];
+    res.p99_ms = all[std::min(all.size() - 1, all.size() * 99 / 100)];
+  }
+  return res;
+}
+
+void run_supervised(bench::BenchJson& json, bool quick) {
+  if (!supervisor_supported()) {
+    std::printf("\nsupervised: unsupported on this platform, skipping\n");
+    return;
+  }
+  const std::string binary = find_worker_binary();
+  if (binary.empty()) {
+    std::printf(
+        "\nsupervised: no worker binary (set PROTEST_BIN or run next to "
+        "./protest), skipping\n");
+    return;
+  }
+  const unsigned fleet = std::max(2u, std::min(4u, ParallelConfig{}.resolved()));
+  const std::size_t clients = 4;
+  const std::size_t per_client = quick ? 25 : 100;
+  // Several names of the same circuit: identical work per request, but
+  // rendezvous placement spreads them across the fleet.
+  std::vector<std::string> names;
+  for (int i = 0; i < 4; ++i) names.push_back("alu" + std::to_string(i));
+
+  std::printf("\nsupervised serve: 1 vs %u workers, %zu clients x %zu "
+              "requests\n",
+              fleet, clients, per_client);
+  TextTable t({"fleet", "requests/sec", "p50 ms", "p99 ms"});
+  std::vector<std::pair<unsigned, FleetResult>> rows;
+  for (const unsigned workers : {1u, fleet}) {
+    SupervisorOptions opts;
+    opts.workers = workers;
+    opts.worker_binary = binary;
+    std::ostringstream log;
+    Supervisor sup(opts, log);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+      ServiceRequest load;
+      load.verb = ServiceVerb::LoadNetlist;
+      load.id = i + 1;
+      load.netlist = names[i];
+      load.circuit = "alu";
+      const std::string resp = sup.handle_line(load.to_json(0));
+      if (resp.find("\"ok\":true") == std::string::npos) {
+        std::printf("ERROR: supervised load failed: %s\n", resp.c_str());
+        g_parity_ok = false;
+        return;
+      }
+    }
+    const FleetResult res = drive_fleet(sup, names, clients, per_client);
+    ServiceRequest bye;
+    bye.verb = ServiceVerb::Shutdown;
+    bye.id = 999999;
+    sup.handle_line(bye.to_json(0));
+    rows.emplace_back(workers, res);
+    t.add_row({fmt_int(workers) + (workers == 1 ? " worker" : " workers"),
+               fmt(res.rps, 1), fmt(res.p50_ms, 3), fmt(res.p99_ms, 3)});
+    const std::string key =
+        "supervised.workers" + std::to_string(workers);
+    json.metric(key + ".requests_per_sec", res.rps);
+    json.metric(key + ".p50_ms", res.p50_ms);
+    json.metric(key + ".p99_ms", res.p99_ms);
+  }
+  std::printf("%s", t.str().c_str());
+  if (rows.size() == 2 && rows[0].second.rps > 0.0) {
+    const double speedup = rows[1].second.rps / rows[0].second.rps;
+    std::printf("multi-worker speedup: %.2fx\n", speedup);
+    json.metric("supervised.speedup", speedup);
+  }
+}
+
 }  // namespace
 }  // namespace protest
 
@@ -221,6 +369,7 @@ int main(int argc, char** argv) {
     run_circuit(json, "alu", 400, 40);
     run_circuit(json, "div", 120, 12);
   }
+  run_supervised(json, quick);
   json.write();
   return g_parity_ok ? 0 : 1;
 }

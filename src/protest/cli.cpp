@@ -1,8 +1,10 @@
 #include "protest/cli.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
 #include "analysis/json.hpp"
@@ -17,7 +19,9 @@
 #include "protest/protest.hpp"
 #include "protest/service.hpp"
 #include "protest/session.hpp"
+#include "protest/supervisor.hpp"
 #include "sim/scan.hpp"
+#include "util/cancel.hpp"
 
 namespace protest {
 namespace {
@@ -47,6 +51,20 @@ struct Args {
   /// default; N = out-of-order responses with reads stalling at N).
   std::size_t inflight = 0;
   bool inflight_set = false;
+  /// --workers: supervised multi-process serve (crash-isolated worker
+  /// processes behind a correlating router; protest/supervisor.hpp).
+  unsigned workers = 0;
+  bool workers_set = false;
+  std::uint64_t heartbeat_ms = 500;  ///< --heartbeat-ms: worker ping cadence
+  bool heartbeat_set = false;
+  unsigned max_restarts = 5;  ///< --max-restarts: failures before abandon
+  bool max_restarts_set = false;
+  std::string fault_spec;  ///< --fault-inject: deterministic fault script
+  bool fault_set = false;
+  /// --deadline-ms: client-side wall-clock budget for analyze/optimize/
+  /// scan — the work is cancelled at its next checkpoint past it.
+  std::uint64_t deadline_ms = 0;
+  bool deadline_set = false;
   /// Per-query value flags seen (--p/--d/--e/--n/--sweeps/--patterns/
   /// --seed) — rejected by commands that would silently ignore them.
   std::vector<std::string> query_flags;
@@ -90,7 +108,11 @@ Args parse_args(const std::vector<std::string>& argv) {
   Args a;
   a.command = argv[0];
   std::size_t i = 1;
-  if (a.command != "help" && a.command != "serve") {
+  // `__serve-worker` is the hidden child-process entry of the supervised
+  // serve: a single-process daemon on stdin/stdout, fault-armable from
+  // the environment.  It takes flags like serve, never a file.
+  const bool is_serve = a.command == "serve" || a.command == "__serve-worker";
+  if (a.command != "help" && !is_serve) {
     if (i >= argv.size()) throw UsageError("missing <file> argument");
     a.file = argv[i++];
   }
@@ -148,6 +170,42 @@ Args parse_args(const std::vector<std::string>& argv) {
         a.inflight = static_cast<std::size_t>(v);
         a.inflight_set = true;
       }
+      else if (flag == "--workers") {
+        const unsigned long v = std::stoul(need_value(flag));
+        if (v < 1 || v > 64)
+          throw UsageError("--workers must be between 1 and 64");
+        a.workers = static_cast<unsigned>(v);
+        a.workers_set = true;
+      }
+      else if (flag == "--heartbeat-ms") {
+        const unsigned long v = std::stoul(need_value(flag));
+        if (v < 10 || v > 600000)
+          throw UsageError("--heartbeat-ms must be between 10 and 600000");
+        a.heartbeat_ms = v;
+        a.heartbeat_set = true;
+      }
+      else if (flag == "--max-restarts") {
+        const unsigned long v = std::stoul(need_value(flag));
+        if (v > 1000)
+          throw UsageError("--max-restarts must be between 0 and 1000");
+        a.max_restarts = static_cast<unsigned>(v);
+        a.max_restarts_set = true;
+      }
+      else if (flag == "--fault-inject") {
+        a.fault_spec = need_value(flag);
+        a.fault_set = true;
+      }
+      else if (flag == "--deadline-ms") {
+        // The same guarded-integer discipline the wire protocol applies
+        // to deadline_ms: a wrapped negative or oversized value must not
+        // become a silently-accepted budget.
+        const unsigned long long v = std::stoull(need_value(flag));
+        if (v < 1 || v > 9007199254740992ull)
+          throw UsageError("--deadline-ms must be a positive integer "
+                           "(milliseconds)");
+        a.deadline_ms = v;
+        a.deadline_set = true;
+      }
       else throw UsageError("unknown flag '" + flag + "'");
     } catch (const std::invalid_argument&) {
       throw UsageError("bad value for flag " + flag);
@@ -192,7 +250,7 @@ Args parse_args(const std::vector<std::string>& argv) {
   // serve speaks the JSON protocol by construction and loads netlists per
   // request; every per-query flag would be silently ignored, so all of
   // them are rejected, not just the tracked boolean ones.
-  if (a.command == "serve") {
+  if (is_serve) {
     if (a.engine_set) throw UsageError("--engine is not valid for 'serve' "
                                        "(pick the engine per load_netlist "
                                        "request)");
@@ -203,9 +261,25 @@ Args parse_args(const std::vector<std::string>& argv) {
       throw UsageError(a.query_flags.front() +
                        " is not valid for 'serve' (per-query values travel "
                        "in the JSON requests)");
+    if (a.deadline_set)
+      throw UsageError("--deadline-ms is not valid for 'serve' (deadlines "
+                       "travel per request as the deadline_ms member)");
   } else if (a.cap_set || a.port_set || a.inflight_set) {
     throw UsageError("--cap/--port/--inflight are only valid for 'serve'");
   }
+  // Supervision flags configure the router, which only `serve` runs — a
+  // worker child is itself single-process (its faults arrive via env).
+  if (a.command != "serve" &&
+      (a.workers_set || a.heartbeat_set || a.max_restarts_set || a.fault_set))
+    throw UsageError("--workers/--heartbeat-ms/--max-restarts/"
+                     "--fault-inject are only valid for 'serve'");
+  if ((a.heartbeat_set || a.max_restarts_set) && !a.workers_set)
+    throw UsageError("--heartbeat-ms/--max-restarts need --workers "
+                     "(supervised serve)");
+  if (a.deadline_set && a.command != "analyze" && a.command != "optimize" &&
+      a.command != "scan")
+    throw UsageError("--deadline-ms is only valid for "
+                     "'analyze'/'optimize'/'scan'");
   // The text report has a fixed layout; accepting --artifacts there would
   // compute the extra artifacts and then silently not print them.
   if (a.artifacts_set && !a.json)
@@ -235,6 +309,20 @@ ServiceConfig service_config(const Args& a) {
   cfg.parallel.num_threads = a.threads;
   cfg.session_defaults = session_options(a);
   return cfg;
+}
+
+/// Installs a --deadline-ms budget as the ambient deadline token: the
+/// engine's cancellation checkpoints (Monte-Carlo shards, hill-climb
+/// coordinates) then throw OperationCancelled(DeadlineExceeded) past it,
+/// which run_cli turns into a structured exit.
+std::optional<CancelScope> deadline_scope(const Args& a) {
+  if (!a.deadline_set) return std::nullopt;
+  return std::optional<CancelScope>(
+      std::in_place,
+      CancelToken::with_deadline(
+          current_cancel_token(),
+          std::chrono::steady_clock::now() +
+              std::chrono::milliseconds(a.deadline_ms)));
 }
 
 Netlist load_netlist(const std::string& path) {
@@ -298,6 +386,7 @@ int run_analysis(const Args& a, const Netlist& net, std::ostream& out,
     print_engine(out, *session);
   }
   const AnalysisRequest req = parse_artifacts(a, a.d, a.e);
+  const std::optional<CancelScope> budget = deadline_scope(a);
   const AnalysisResult result =
       session->analyze(uniform_input_probs(net, a.p), req);
   if (a.json) {
@@ -331,6 +420,7 @@ int cmd_optimize(const Args& a, std::ostream& out) {
   }
   HillClimbOptions opts;
   opts.max_sweeps = a.sweeps;
+  const std::optional<CancelScope> budget = deadline_scope(a);
   const HillClimbResult res = tool.optimize(a.n, opts);
 
   const auto before = tool.analyze(uniform_input_probs(net, 0.5));
@@ -412,9 +502,62 @@ int cmd_lint(const Args& a, std::ostream& out) {
 
 int cmd_serve(const Args& a, std::istream& in, std::ostream& out,
               std::ostream& err) {
-  ProtestService service(service_config(a));
   ServeOptions serve_opts;
   serve_opts.max_inflight = a.inflight;
+  // --workers: supervised multi-process serving — the endpoint becomes a
+  // router over crash-isolated worker processes instead of an in-process
+  // service.  Both speak ServiceEndpoint, so the front ends don't care.
+  if (a.workers_set) {
+    if (!supervisor_supported())
+      throw UsageError("--workers is not supported on this platform "
+                       "(no POSIX pipes/process spawning)");
+    SupervisorOptions sup;
+    sup.workers = a.workers;
+    sup.max_restarts = a.max_restarts;
+    if (a.heartbeat_set) {
+      sup.heartbeat_interval = std::chrono::milliseconds(a.heartbeat_ms);
+      sup.heartbeat_timeout = 5 * sup.heartbeat_interval;
+    }
+    // Workers keep pipelined lanes even when the front end is serial, so
+    // heartbeats answer while a long Monte-Carlo runs.
+    sup.worker_inflight = std::max<std::size_t>(a.inflight, 4);
+    if (a.fault_set) {
+      try {
+        FaultInjector::parse(a.fault_spec);  // surface typos before spawning
+      } catch (const std::invalid_argument& e) {
+        throw UsageError(e.what());
+      }
+      sup.fault_spec = a.fault_spec;
+    }
+    // Workers inherit the registry/threading shape of this serve.
+    sup.worker_args.push_back("--cap");
+    sup.worker_args.push_back(std::to_string(a.cap));
+    if (a.threads_set) {
+      sup.worker_args.push_back("--threads");
+      sup.worker_args.push_back(std::to_string(a.threads));
+    }
+    Supervisor supervisor(sup, err);
+    if (a.port_set) {
+      if (!tcp_serve_supported())
+        throw UsageError("--port is not supported on this platform "
+                         "(no POSIX sockets); use stdin/stdout mode");
+      return serve_tcp(supervisor, static_cast<std::uint16_t>(a.port), err,
+                       nullptr, serve_opts);
+    }
+    return serve_ndjson(supervisor, in, out, serve_opts);
+  }
+  ProtestService service(service_config(a));
+  // --fault-inject without --workers arms the injector in-process: the
+  // deterministic fault scripts are testable against a plain daemon too.
+  FaultInjector injector;
+  if (a.fault_set) {
+    try {
+      injector = FaultInjector::parse(a.fault_spec);
+    } catch (const std::invalid_argument& e) {
+      throw UsageError(e.what());
+    }
+    serve_opts.injector = &injector;
+  }
   if (a.port_set) {
     if (!tcp_serve_supported())
       throw UsageError("--port is not supported on this platform "
@@ -424,6 +567,20 @@ int cmd_serve(const Args& a, std::istream& in, std::ostream& out,
   }
   // NDJSON over stdin/stdout: requests in, responses out, diagnostics on
   // stderr only (stdout must stay machine-parseable).
+  return serve_ndjson(service, in, out, serve_opts);
+}
+
+/// The hidden child-process entry behind `serve --workers`: a plain
+/// single-process daemon on stdin/stdout whose fault injector (if any)
+/// arrives via PROTEST_FAULT_INJECT / PROTEST_WORKER_INDEX.  A malformed
+/// env spec is a hard startup error — a typo'd fault script must fail the
+/// run, not silently arm nothing.
+int cmd_serve_worker(const Args& a, std::istream& in, std::ostream& out) {
+  ProtestService service(service_config(a));
+  FaultInjector injector = FaultInjector::from_env();
+  ServeOptions serve_opts;
+  serve_opts.max_inflight = a.inflight;
+  serve_opts.injector = injector.armed() ? &injector : nullptr;
   return serve_ndjson(service, in, out, serve_opts);
 }
 
@@ -446,15 +603,20 @@ void print_help(std::ostream& out) {
          "\n"
          "  protest analyze  <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "                          [--json] [--artifacts LIST] [--threads T]\n"
+         "                          [--deadline-ms MS]\n"
          "  protest optimize <file> [--n N] [--sweeps S] [--d D] [--e E] "
          "[--engine E] [--json]\n"
-         "                          [--threads T]\n"
+         "                          [--threads T] [--deadline-ms MS]\n"
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
          "  protest lint     <file> [--p P] [--passes LIST] [--json]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "                          [--json] [--artifacts LIST] [--threads T]\n"
+         "                          [--deadline-ms MS]\n"
          "  protest serve           [--cap N] [--threads T] [--port P] "
          "[--inflight N]\n"
+         "                          [--workers N] [--heartbeat-ms MS] "
+         "[--max-restarts N]\n"
+         "                          [--fault-inject SPEC]\n"
          "  protest help\n"
          "\n"
          "<file>: .bench netlist or module DSL (auto-detected), or\n"
@@ -480,7 +642,18 @@ void print_help(std::ostream& out) {
          "run concurrently, responses return out of order (correlate by\n"
          "id) and reads stall at N in-flight (backpressure).  Long jobs\n"
          "can also be ticketed explicitly: submit/poll/wait/cancel/jobs\n"
-         "verbs (see the README's Serving section for the protocol).\n";
+         "verbs (see the README's Serving section for the protocol).\n"
+         "--workers N serves SUPERVISED: N crash-isolated worker processes\n"
+         "behind a correlating router — netlists place by name hash,\n"
+         "crashed workers restart with capped backoff (--max-restarts),\n"
+         "wedged workers are detected by heartbeat (--heartbeat-ms) and\n"
+         "killed, and every request always gets exactly one structured\n"
+         "response (result, worker_lost, or deadline_exceeded).\n"
+         "--deadline-ms MS bounds analyze/optimize/scan wall-clock: past\n"
+         "the budget the work stops at its next checkpoint, exit 3.\n"
+         "--fault-inject SPEC arms deterministic fault injection\n"
+         "([w<K>:]crash|stall|garbage@<verb>[:<nth>], comma-separated) in\n"
+         "the workers (or in-process without --workers) for testing.\n";
 }
 
 }  // namespace
@@ -499,11 +672,18 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (a.command == "lint") return cmd_lint(a, out);
     if (a.command == "scan") return cmd_scan(a, out);
     if (a.command == "serve") return cmd_serve(a, std::cin, out, err);
+    if (a.command == "__serve-worker")
+      return cmd_serve_worker(a, std::cin, out);
     throw UsageError("unknown command '" + a.command + "'");
   } catch (const UsageError& e) {
     err << "error: " << e.what() << "\n";
     print_help(err);
     return 2;
+  } catch (const OperationCancelled& e) {
+    // A --deadline-ms budget expired: the work was cancelled at its next
+    // checkpoint.  Exit 3 so scripts can tell "too slow" from "failed".
+    err << "error: " << e.what() << " (--deadline-ms budget)\n";
+    return 3;
   } catch (const std::exception& e) {
     err << "error: " << e.what() << "\n";
     return 1;

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <condition_variable>
+#include <cstdlib>
 #include <deque>
+#include <functional>
 #include <istream>
 #include <ostream>
 #include <thread>
@@ -274,6 +276,7 @@ std::string ServiceRequest::to_json(int indent) const {
   }
   if (job) w.key("job").value(*job);
   if (timeout_ms) w.key("timeout_ms").value(*timeout_ms);
+  if (deadline_ms) w.key("deadline_ms").value(*deadline_ms);
   w.end_object();
   return w.str();
 }
@@ -339,6 +342,11 @@ ServiceRequest ServiceRequest::from_json_value(const JsonValue& doc) {
         r.job = to_uint(v);
       } else if (key == "timeout_ms") {
         r.timeout_ms = to_uint(v);
+      } else if (key == "deadline_ms") {
+        // Same guarded conversion as request ids: negative, fractional,
+        // or beyond-2^53 budgets are bad_request, never wrapped into a
+        // surprise deadline.
+        r.deadline_ms = to_uint(v);
       } else {
         throw std::runtime_error("unknown request member");
       }
@@ -842,12 +850,31 @@ std::string ProtestService::dispatch(const ServiceRequest& req) {
 
 ServiceResponse ProtestService::handle(const ServiceRequest& request) {
   const std::string_view verb = to_string(request.verb);
+  // A deadline_ms budget becomes a deadline token linked to the ambient
+  // token (a job's cancel, a connection's drop), installed for the span
+  // of dispatch.  The existing checkpoints — Monte-Carlo shards, hill-
+  // climb coordinates, batch tasks — now observe the deadline for free.
+  std::optional<CancelScope> deadline_scope;
+  if (request.deadline_ms) {
+    deadline_scope.emplace(CancelToken::with_deadline(
+        current_cancel_token(),
+        std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(*request.deadline_ms)));
+  }
   try {
     return ServiceResponse::success(request, dispatch(request));
-  } catch (const OperationCancelled&) {
-    // Not an error response: propagate to the job layer, which records
-    // the job as cancelled (a synchronous caller can only see this when
-    // it cancelled the work itself).
+  } catch (const OperationCancelled& e) {
+    // An expired deadline THIS request declared answers structurally —
+    // the caller asked for a budget and gets told it ran out.  Everything
+    // else (explicit job cancel, an outer deadline) propagates to the
+    // layer that owns it: the job layer records cancelled, an outer
+    // handle() converts its own deadline.
+    if (request.deadline_ms && e.reason() == CancelReason::DeadlineExceeded) {
+      return ServiceResponse::failure(
+          request.id, verb, "deadline_exceeded",
+          "request exceeded its deadline_ms=" +
+              std::to_string(*request.deadline_ms) + " budget");
+    }
     throw;
   } catch (const ServiceError& e) {
     return ServiceResponse::failure(request.id, verb, e.code(), e.what());
@@ -921,6 +948,44 @@ LineClass classify_line(std::string_view line) {
   return LineClass::Inline;
 }
 
+/// Best-effort verb extraction for the fault-injection hook (injection
+/// rules trigger on the verb BEFORE dispatch, so a crash-at-verb fault
+/// kills the worker with the request genuinely in flight).
+std::string peek_verb(std::string_view line) {
+  try {
+    const JsonValue doc = parse_json(line);
+    if (doc.is_object())
+      if (const JsonValue* v = doc.find("verb"); v && v->is_string())
+        return v->as_string();
+  } catch (const std::exception&) {
+  }
+  return "";
+}
+
+/// Applies an armed fault rule for this request line.  Returns true when
+/// the request was CONSUMED by the fault (garbage emitted instead of a
+/// response) — the caller must not dispatch it.  Crash never returns;
+/// stall sleeps the calling (reader) thread, so heartbeats stop being
+/// answered and the supervisor sees a wedged worker, then falls through
+/// to normal dispatch.
+bool apply_fault(FaultInjector* injector, std::string_view line,
+                 const std::function<bool(const std::string&)>& emit) {
+  if (!injector || !injector->armed()) return false;
+  FaultAction action;
+  if (!injector->should_fire(peek_verb(line), &action)) return false;
+  switch (action) {
+    case FaultAction::Crash:
+      std::_Exit(9);  // a hard crash: no unwinding, no flushing
+    case FaultAction::Stall:
+      std::this_thread::sleep_for(injector->stall_duration());
+      return false;
+    case FaultAction::Garbage:
+      emit(FaultInjector::garbage_line());
+      return true;
+  }
+  return false;
+}
+
 /// Pipelined out-of-order dispatch for one connection: up to `slots` work
 /// lines run concurrently on private threads, responses interleave on the
 /// sink (serialized per line), and dispatch() BLOCKS while every slot is
@@ -931,7 +996,7 @@ class LineDispatcher {
   /// `sink` writes one complete response line (it is called under an
   /// internal lock, so lines never interleave) and returns false once the
   /// connection is dead.
-  LineDispatcher(ProtestService& service, std::size_t slots,
+  LineDispatcher(ServiceEndpoint& service, std::size_t slots,
                  std::function<bool(const std::string&)> sink)
       : service_(service),
         slots_(slots == 0 ? 1 : slots),
@@ -985,6 +1050,14 @@ class LineDispatcher {
     done_cv_.wait(lock, [&] { return inflight_ == 0; });
   }
 
+  /// Cancels every in-flight work line at its next checkpoint.  Called
+  /// when the connection is gone (hard reset, failed write): the work's
+  /// responses have no reader, so finishing a long Monte-Carlo run would
+  /// only burn the shared executor.  Ticketed jobs are NOT affected —
+  /// they run under their own job tokens on the JobManager's threads and
+  /// stay pollable from other connections.
+  void cancel_inflight() { conn_token_.request_cancel(); }
+
  private:
   void worker_loop() {
     for (;;) {
@@ -996,8 +1069,14 @@ class LineDispatcher {
         line = std::move(queue_.front());
         queue_.pop_front();
       }
-      const std::string response = service_.handle_line(line);
-      respond(response);
+      try {
+        const CancelScope scope(conn_token_);
+        const std::string response = service_.handle_line(line);
+        respond(response);
+      } catch (const OperationCancelled&) {
+        // The connection dropped and cancel_inflight() fired: there is
+        // nobody left to answer, so just release the slot.
+      }
       {
         const std::lock_guard<std::mutex> lock(mu_);
         --inflight_;
@@ -1012,15 +1091,17 @@ class LineDispatcher {
     if (sink_failed_.load()) return false;
     if (!sink_(response)) {
       sink_failed_.store(true);
-      // Unblock a reader stalled on backpressure; workers still drain the
-      // queue (their writes fail fast above).
+      // Unblock a reader stalled on backpressure and stop burning cycles
+      // on work nobody can read; workers still drain the queue (their
+      // writes fail fast above).
+      cancel_inflight();
       capacity_cv_.notify_all();
       return false;
     }
     return true;
   }
 
-  ProtestService& service_;
+  ServiceEndpoint& service_;
   const std::size_t slots_;
   const std::function<bool(const std::string&)> sink_;
   std::mutex mu_;                       ///< queue + inflight + stopping
@@ -1033,33 +1114,43 @@ class LineDispatcher {
   std::size_t inflight_ = 0;            ///< queued + running work lines
   bool stopping_ = false;
   std::atomic<bool> sink_failed_{false};
+  /// Connection-lifetime token, ambient around every pipelined dispatch.
+  const CancelToken conn_token_ = CancelToken::source();
 };
 
 }  // namespace
 
-int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out,
+/// A client that closes its read end must surface as a failed stream
+/// write on THIS loop, never as a process-wide SIGPIPE killing the
+/// daemon.  Idempotent; called by every serve entry point.
+void ignore_sigpipe();
+
+int serve_ndjson(ServiceEndpoint& service, std::istream& in, std::ostream& out,
                  ServeOptions options) {
+  ignore_sigpipe();
+  const auto emit = [&out](const std::string& response) {
+    out << response << "\n" << std::flush;
+    return static_cast<bool>(out);
+  };
   if (options.max_inflight == 0) {
     // Serial mode: one request at a time, responses in request order.
     std::string line;
     while (std::getline(in, line)) {
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.find_first_not_of(" \t") == std::string::npos) continue;
-      out << service.handle_line(line) << "\n" << std::flush;
+      if (apply_fault(options.injector, line, emit)) continue;
+      if (!emit(service.handle_line(line))) break;  // downstream closed
       if (service.shutdown_requested()) break;
     }
     return 0;
   }
 
-  LineDispatcher dispatcher(service, options.max_inflight,
-                            [&out](const std::string& response) {
-                              out << response << "\n" << std::flush;
-                              return static_cast<bool>(out);
-                            });
+  LineDispatcher dispatcher(service, options.max_inflight, emit);
   std::string line;
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
+    if (apply_fault(options.injector, line, emit)) continue;
     if (!dispatcher.dispatch(std::move(line))) break;
     if (service.shutdown_requested()) break;
   }
@@ -1079,9 +1170,19 @@ int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out,
 #include <unistd.h>
 
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 
 namespace protest {
+
+void ignore_sigpipe() {
+  // A write to a closed pipe/socket then fails with EPIPE instead of
+  // raising a process-killing signal.  Sends additionally pass
+  // MSG_NOSIGNAL where available; this covers stdout-pipe serving and
+  // platforms without the flag.
+  std::signal(SIGPIPE, SIG_IGN);
+}
+
 namespace {
 
 /// Sends the whole buffer, retrying on partial writes and EINTR.  A peer
@@ -1117,8 +1218,16 @@ bool wait_readable(int fd, int timeout_ms) {
 /// With options.max_inflight > 0 the connection pipelines: work-verb
 /// responses return out of order and reading stalls while every dispatch
 /// slot is busy (see ServeOptions).
-void serve_connection(ProtestService& service, int fd,
-                      const ServeOptions& options) {
+///
+/// Disconnect handling: a mid-response disconnect (EPIPE/ECONNRESET on
+/// write) or a hard reset on read logs-and-closes THIS connection only —
+/// SIGPIPE is ignored process-wide, so the daemon survives — and cancels
+/// the connection's in-flight pipelined work at its next checkpoint.
+/// An orderly EOF instead drains: in-flight responses still complete
+/// (the client may have half-closed and be reading).
+void serve_connection(ServiceEndpoint& service, int fd,
+                      const ServeOptions& options, std::ostream& log,
+                      std::mutex& log_mu) {
 #ifdef SO_NOSIGPIPE
   const int one = 1;
   ::setsockopt(fd, SOL_SOCKET, SO_NOSIGPIPE, &one, sizeof one);
@@ -1129,13 +1238,18 @@ void serve_connection(ProtestService& service, int fd,
                        [fd](const std::string& response) {
                          return write_all(fd, response + "\n");
                        });
+  bool client_lost = false;
   std::string pending;
   char buf[4096];
   while (!service.shutdown_requested()) {
     if (!wait_readable(fd, 200)) continue;
     const ssize_t n = ::read(fd, buf, sizeof buf);
     if (n < 0 && errno == EINTR) continue;
-    if (n <= 0) break;  // client closed (or error)
+    if (n < 0) {  // hard drop (reset): nobody will read our responses
+      client_lost = true;
+      break;
+    }
+    if (n == 0) break;  // orderly EOF: drain below
     pending.append(buf, static_cast<std::size_t>(n));
     bool io_ok = true;
     std::size_t start = 0;
@@ -1154,9 +1268,21 @@ void serve_connection(ProtestService& service, int fd,
       if (service.shutdown_requested()) break;
     }
     pending.erase(0, start);
-    if (!io_ok) break;
+    if (!io_ok) {
+      client_lost = true;
+      break;
+    }
   }
-  if (dispatcher) dispatcher->drain();  // flush in-flight responses
+  if (dispatcher) {
+    if (client_lost) dispatcher->cancel_inflight();
+    dispatcher->drain();  // flush (or release) in-flight responses
+  }
+  if (client_lost) {
+    const std::lock_guard<std::mutex> lock(log_mu);
+    log << "protest serve: client disconnected mid-response; closing its "
+           "connection\n"
+        << std::flush;
+  }
   ::close(fd);
 }
 
@@ -1164,8 +1290,9 @@ void serve_connection(ProtestService& service, int fd,
 
 bool tcp_serve_supported() { return true; }
 
-int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
+int serve_tcp(ServiceEndpoint& service, std::uint16_t port, std::ostream& log,
               std::atomic<std::uint16_t>* bound_port, ServeOptions options) {
+  ignore_sigpipe();
   const int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0)
     throw std::runtime_error(std::string("socket: ") + std::strerror(errno));
@@ -1211,6 +1338,7 @@ int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
     }
   };
 
+  std::mutex log_mu;  // connection threads share the log stream
   while (!service.shutdown_requested()) {
     reap(/*all=*/false);
     // Poll so the accept loop notices a shutdown handled on a connection
@@ -1222,11 +1350,12 @@ int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
       break;
     }
     auto done = std::make_shared<std::atomic<bool>>(false);
-    connections.push_back({std::thread([&service, fd, done, options] {
-                             serve_connection(service, fd, options);
-                             done->store(true, std::memory_order_release);
-                           }),
-                           done});
+    connections.push_back(
+        {std::thread([&service, fd, done, options, &log, &log_mu] {
+           serve_connection(service, fd, options, log, log_mu);
+           done->store(true, std::memory_order_release);
+         }),
+         done});
   }
   ::close(listen_fd);
   reap(/*all=*/true);
@@ -1240,9 +1369,11 @@ int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
 
 namespace protest {
 
+void ignore_sigpipe() {}  // no SIGPIPE to ignore
+
 bool tcp_serve_supported() { return false; }
 
-int serve_tcp(ProtestService&, std::uint16_t, std::ostream&,
+int serve_tcp(ServiceEndpoint&, std::uint16_t, std::ostream&,
               std::atomic<std::uint16_t>*, ServeOptions) {
   throw ServiceError("unsupported",
                      "TCP serving is not available on this platform; use "

@@ -60,6 +60,7 @@
 #include "protest/jobs.hpp"
 #include "protest/session.hpp"
 #include "util/executor.hpp"
+#include "util/fault_inject.hpp"
 
 namespace protest {
 
@@ -232,6 +233,13 @@ struct ServiceRequest {
   std::optional<std::uint64_t> job;         ///< the ticket id
   std::optional<std::uint64_t> timeout_ms;  ///< wait only; absent = forever
 
+  /// Any verb: a per-request wall-clock budget.  Work that overruns it is
+  /// cancelled at its next checkpoint and answered with a structured
+  /// `deadline_exceeded` error (decoded through the same guarded integer
+  /// path as request ids — negative/fractional/oversized values are
+  /// bad_request, never wrapped).
+  std::optional<std::uint64_t> deadline_ms;
+
   std::string to_json(int indent = 0) const;
   /// Decodes a parsed document.  Throws ServiceError on unknown verbs,
   /// wrong member types, or out-of-range values.
@@ -275,9 +283,28 @@ struct ServiceConfig {
   unsigned job_workers = 2;
 };
 
+/// What the serving front ends (serve_ndjson / serve_tcp) actually need
+/// from a back end: line-oriented dispatch plus a shutdown signal.  Both
+/// ProtestService (in-process dispatch) and Supervisor (multi-process
+/// routing, protest/supervisor.hpp) implement it, so every front end —
+/// stdio, TCP, serial, pipelined — serves either back end unchanged.
+class ServiceEndpoint {
+ public:
+  virtual ~ServiceEndpoint() = default;
+
+  /// One NDJSON request line in, one compact JSON response line out (no
+  /// trailing newline).  Never throws for protocol-level failures; safe
+  /// for concurrent callers.  The one deliberate exception:
+  /// OperationCancelled propagates (see ProtestService::handle_line).
+  virtual std::string handle_line(std::string_view line) = 0;
+
+  /// True once a shutdown request has been handled.
+  virtual bool shutdown_requested() const = 0;
+};
+
 /// Dispatches requests against a SessionRegistry.  One instance per
 /// process/daemon; safe for concurrent handle()/handle_line() callers.
-class ProtestService {
+class ProtestService : public ServiceEndpoint {
  public:
   explicit ProtestService(ServiceConfig config = {});
 
@@ -288,15 +315,18 @@ class ProtestService {
   const JobManager& jobs() const { return jobs_; }
 
   /// Typed dispatch.  Never throws for protocol-level failures — they
-  /// come back as ok:false responses with a structured error.
+  /// come back as ok:false responses with a structured error.  A request
+  /// carrying `deadline_ms` runs under a deadline CancelToken (linked to
+  /// the caller's ambient token, so job cancellation still works) and
+  /// answers `deadline_exceeded` when the budget expires mid-work.
   ServiceResponse handle(const ServiceRequest& request);
 
   /// One NDJSON line in, one compact JSON response line out (no trailing
   /// newline).  Never throws.
-  std::string handle_line(std::string_view line);
+  std::string handle_line(std::string_view line) override;
 
   /// True once a shutdown request has been handled.
-  bool shutdown_requested() const {
+  bool shutdown_requested() const override {
     return shutdown_.load(std::memory_order_acquire);
   }
 
@@ -335,14 +365,22 @@ struct ServeOptions {
   /// conversations (load, then queries) mean the same thing pipelined as
   /// serial.
   std::size_t max_inflight = 0;
+
+  /// Deterministic fault injection (util/fault_inject.hpp), consulted
+  /// once per received request line BEFORE dispatch.  Null = no faults.
+  /// This is how `protest __serve-worker` arms PROTEST_FAULT_INJECT; the
+  /// pointer must outlive the serve call.
+  FaultInjector* injector = nullptr;
 };
 
 /// The daemon loop: reads one request per line from `in` (blank lines are
 /// skipped), writes one response line to `out` (flushed per response),
-/// returns 0 when the stream ends or a shutdown verb was handled.  With
+/// returns 0 when the stream ends, the output stream fails (a downstream
+/// pipe closed — SIGPIPE is ignored on POSIX so the write fails instead
+/// of killing the process), or a shutdown verb was handled.  With
 /// options.max_inflight > 0, work-verb responses may return out of order
 /// (see ServeOptions).
-int serve_ndjson(ProtestService& service, std::istream& in, std::ostream& out,
+int serve_ndjson(ServiceEndpoint& service, std::istream& in, std::ostream& out,
                  ServeOptions options = {});
 
 /// True when this build can serve TCP (POSIX sockets).
@@ -354,10 +392,15 @@ bool tcp_serve_supported();
 /// receives the actual port before accepting begins (atomic so an
 /// embedding thread can poll it).  `options` applies per connection
 /// (pipelined dispatch slots and backpressure are connection-level).
+/// A client that disconnects mid-response logs-and-closes its own
+/// connection (SIGPIPE ignored, MSG_NOSIGNAL on sends) — never the
+/// daemon; a hard drop (reset) additionally cancels that connection's
+/// in-flight pipelined work at its next checkpoint, while ticketed jobs
+/// keep running and stay pollable from new connections.
 /// Returns 0 after a shutdown verb (from any client) stops the loop;
 /// throws std::runtime_error on socket failures and
 /// ServiceError("unsupported") on platforms without sockets.
-int serve_tcp(ProtestService& service, std::uint16_t port, std::ostream& log,
+int serve_tcp(ServiceEndpoint& service, std::uint16_t port, std::ostream& log,
               std::atomic<std::uint16_t>* bound_port = nullptr,
               ServeOptions options = {});
 

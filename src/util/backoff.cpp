@@ -1,0 +1,18 @@
+#include "util/backoff.hpp"
+
+#include <cmath>
+
+namespace protest {
+
+std::chrono::milliseconds BackoffPolicy::delay(std::uint32_t attempt) const {
+  if (initial.count() <= 0) return std::chrono::milliseconds(0);
+  // Work in doubles so a large attempt saturates at max instead of
+  // overflowing the integer representation.
+  const double scaled = static_cast<double>(initial.count()) *
+                        std::pow(multiplier, static_cast<double>(attempt));
+  const double capped = static_cast<double>(max.count());
+  if (!(scaled < capped)) return max;  // also catches inf/NaN
+  return std::chrono::milliseconds(static_cast<std::int64_t>(scaled));
+}
+
+}  // namespace protest

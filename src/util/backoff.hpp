@@ -1,0 +1,27 @@
+// Deterministic capped exponential backoff for worker restarts.
+//
+// The supervisor restarts a crashed worker after BackoffPolicy::delay(n),
+// where n counts consecutive failures since the last healthy interval.
+// The sequence is pure and deterministic — initial * multiplier^n, capped
+// at max — with NO jitter: a single supervisor restarting a handful of
+// local workers has no thundering-herd problem to solve, and the
+// fault-injection CI job asserts restart timing against the exact
+// sequence, which randomness would break.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace protest {
+
+struct BackoffPolicy {
+  std::chrono::milliseconds initial{100};
+  std::chrono::milliseconds max{5000};
+  double multiplier = 2.0;
+
+  /// Delay before restart attempt `attempt` (0-based: the first restart
+  /// after a crash waits delay(0) == initial).
+  std::chrono::milliseconds delay(std::uint32_t attempt) const;
+};
+
+}  // namespace protest

@@ -11,8 +11,37 @@ thread_local CancelToken tl_current_token;
 
 CancelToken CancelToken::source() {
   CancelToken t;
-  t.flag_ = std::make_shared<std::atomic<bool>>(false);
+  t.state_ = std::make_shared<State>();
   return t;
+}
+
+CancelToken CancelToken::with_deadline(
+    const CancelToken& parent, std::chrono::steady_clock::time_point deadline) {
+  auto state = std::make_shared<State>();
+  state->parent = parent.state_;
+  state->has_deadline = true;
+  state->deadline = deadline;
+  CancelToken t;
+  t.state_ = std::move(state);
+  return t;
+}
+
+CancelReason CancelToken::reason() const {
+  // Explicit cancel anywhere in the chain dominates deadline expiry, so
+  // scan all flags before consulting the clock.
+  bool any_deadline = false;
+  std::chrono::steady_clock::time_point earliest{};
+  for (const State* s = state_.get(); s; s = s->parent.get()) {
+    if (s->flag.load(std::memory_order_acquire)) return CancelReason::Cancelled;
+    if (s->has_deadline && (!any_deadline || s->deadline < earliest)) {
+      any_deadline = true;
+      earliest = s->deadline;
+    }
+  }
+  if (any_deadline && std::chrono::steady_clock::now() >= earliest) {
+    return CancelReason::DeadlineExceeded;
+  }
+  return CancelReason::None;
 }
 
 CancelScope::CancelScope(CancelToken token)

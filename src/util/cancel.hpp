@@ -1,4 +1,5 @@
-// Cooperative cancellation: the substrate behind the async job API.
+// Cooperative cancellation: the substrate behind the async job API and
+// the service layer's per-request deadlines.
 //
 // A CancelToken is a cheap, copyable handle on a shared cancellation flag.
 // Long-running work (the Monte-Carlo shard loop, the hill-climb sweep,
@@ -10,6 +11,22 @@
 // prompt to within one checkpoint, never preemptive: no locks are broken,
 // no partial state is published, and caches are only updated by work that
 // ran to completion.
+//
+// Tokens compose two ways beyond the plain source() flag:
+//
+//  - DEADLINES: deadline_source()/with_deadline() produce tokens that
+//    trip automatically once a steady-clock deadline passes — the
+//    mechanism behind the service's per-request `deadline_ms`.  A token
+//    remembers WHY it tripped (CancelReason), so the service can answer
+//    `deadline_exceeded` for an expired deadline while an explicit
+//    cancel() still unwinds to the job layer as a cancelled job.
+//    An explicit request_cancel() anywhere in the chain wins over an
+//    expired deadline when both hold.
+//
+//  - PARENT LINKS: with_deadline(parent, ...) keeps observing `parent`,
+//    so a deadline scope installed INSIDE a job's CancelScope still sees
+//    the job's cancel() — nesting scopes never disconnects the outer
+//    cancellation path.
 //
 // Plumbing is AMBIENT rather than parameter-threaded: CancelScope installs
 // a token as the calling thread's current token (thread-local), and
@@ -25,25 +42,42 @@
 // branches.  All pre-existing synchronous entry points run under the
 // inert token and are unaffected.
 //
-// Thread safety: request_cancel() / cancel_requested() are atomic and may
-// race freely across threads; CancelScope and current_cancel_token() are
+// Thread safety: request_cancel() / cancel_requested() / reason() are
+// atomic (plus a monotonic clock read for deadline tokens) and may race
+// freely across threads; CancelScope and current_cancel_token() are
 // per-thread by construction.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <memory>
 
 namespace protest {
 
+/// Why a token tripped.  None = not tripped.  Cancelled (an explicit
+/// request_cancel anywhere in the chain) dominates DeadlineExceeded when
+/// both hold, so a cancelled job never masquerades as a timeout.
+enum class CancelReason { None, Cancelled, DeadlineExceeded };
+
 /// Thrown by cancellation checkpoints.  Deliberately NOT derived from
 /// std::runtime_error: the service layer converts runtime errors into
 /// structured error responses, while cancellation must propagate past
 /// those handlers to the job layer (which records the job as cancelled,
-/// never as failed).
+/// never as failed).  Deadline expiry is the one reason the service DOES
+/// answer structurally (`deadline_exceeded`) — it branches on reason().
 class OperationCancelled : public std::exception {
  public:
-  const char* what() const noexcept override { return "operation cancelled"; }
+  OperationCancelled() = default;
+  explicit OperationCancelled(CancelReason reason) : reason_(reason) {}
+  const char* what() const noexcept override {
+    return reason_ == CancelReason::DeadlineExceeded ? "deadline exceeded"
+                                                     : "operation cancelled";
+  }
+  CancelReason reason() const noexcept { return reason_; }
+
+ private:
+  CancelReason reason_ = CancelReason::Cancelled;
 };
 
 class CancelToken {
@@ -51,34 +85,58 @@ class CancelToken {
   /// Inert token: never cancelled, request_cancel() is a no-op.
   CancelToken() = default;
 
-  /// A fresh cancellable token (the only way to obtain one).
+  /// A fresh cancellable token.
   static CancelToken source();
 
-  /// True for source() tokens, false for inert ones.
-  bool cancellable() const { return flag_ != nullptr; }
+  /// A token that trips with DeadlineExceeded once `deadline` passes AND
+  /// keeps observing `parent` (typically current_cancel_token()), so a
+  /// deadline scope nested inside a job still sees the job's cancel().
+  static CancelToken with_deadline(
+      const CancelToken& parent, std::chrono::steady_clock::time_point deadline);
 
-  /// Flips the shared flag; every copy of this token observes it.  Safe
-  /// from any thread; no-op on an inert token.
+  /// with_deadline() against an inert parent.
+  static CancelToken deadline_source(
+      std::chrono::steady_clock::time_point deadline) {
+    return with_deadline(CancelToken(), deadline);
+  }
+
+  /// True for source()/with_deadline() tokens, false for inert ones.
+  bool cancellable() const { return state_ != nullptr; }
+
+  /// Flips this token's own flag; every copy of this token (and every
+  /// child linked to it) observes it.  Safe from any thread; no-op on an
+  /// inert token.  Parents are NOT affected — cancelling a deadline child
+  /// never cancels the job it nests inside.
   void request_cancel() const {
-    if (flag_) flag_->store(true, std::memory_order_release);
+    if (state_) state_->flag.store(true, std::memory_order_release);
   }
 
-  bool cancel_requested() const {
-    return flag_ && flag_->load(std::memory_order_acquire);
-  }
+  /// Why this token has tripped (walking the parent chain), or None.
+  CancelReason reason() const;
 
-  /// Throws OperationCancelled when cancellation was requested.
+  bool cancel_requested() const { return reason() != CancelReason::None; }
+
+  /// Throws OperationCancelled (carrying the reason) when tripped.
   void check() const {
-    if (cancel_requested()) throw OperationCancelled();
+    const CancelReason r = reason();
+    if (r != CancelReason::None) throw OperationCancelled(r);
   }
 
  private:
-  std::shared_ptr<std::atomic<bool>> flag_;  ///< null = inert
+  struct State {
+    mutable std::atomic<bool> flag{false};  ///< mutable: set through const chain
+    std::shared_ptr<const State> parent;  ///< observed too (null = none)
+    bool has_deadline = false;
+    std::chrono::steady_clock::time_point deadline{};
+  };
+
+  std::shared_ptr<const State> state_;  ///< null = inert
 };
 
 /// Installs `token` as the calling thread's current token for the scope's
 /// lifetime (restoring the previous one on exit).  Scopes nest; the
-/// innermost wins.
+/// innermost wins — link deadline tokens to the previous current token
+/// (CancelToken::with_deadline) to keep observing the outer cancellation.
 class CancelScope {
  public:
   explicit CancelScope(CancelToken token);

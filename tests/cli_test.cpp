@@ -69,6 +69,51 @@ TEST(Cli, ServeFlagValidation) {
   EXPECT_NE(r.err.find("unknown flag"), std::string::npos);
 }
 
+TEST(Cli, SupervisedServeFlagValidation) {
+  const TempFile f("c17.bench", c17_bench_text());
+  // --workers bounds, and the supervision flags that require it.
+  EXPECT_EQ(cli({"serve", "--workers", "0"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--workers", "65"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--workers", "two"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--heartbeat-ms", "100"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--max-restarts", "3"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--workers", "2", "--heartbeat-ms", "5"}).code, 2);
+  EXPECT_EQ(cli({"serve", "--workers", "2", "--heartbeat-ms", "600001"}).code,
+            2);
+  EXPECT_EQ(cli({"serve", "--workers", "2", "--max-restarts", "1001"}).code,
+            2);
+  // Supervision flags belong to serve, not to one-shot commands.
+  EXPECT_EQ(cli({"analyze", f.path(), "--workers", "2"}).code, 2);
+  EXPECT_EQ(cli({"analyze", f.path(), "--fault-inject", "crash@analyze"}).code,
+            2);
+  // A malformed fault spec is a usage error at startup, never a
+  // silently-inert injector.
+  const CliRun bad_spec =
+      cli({"serve", "--workers", "2", "--fault-inject", "explode@analyze"});
+  EXPECT_EQ(bad_spec.code, 2);
+  EXPECT_NE(bad_spec.err.find("fault-inject"), std::string::npos);
+  EXPECT_EQ(
+      cli({"serve", "--workers", "2", "--fault-inject", "crash@analyze:0"})
+          .code,
+      2);
+}
+
+TEST(Cli, DeadlineFlagValidation) {
+  const TempFile f("c17.bench", c17_bench_text());
+  // --deadline-ms bounds a query's wall clock; it belongs to the work
+  // commands, not to serve (where budgets arrive per-request) and not to
+  // simulate (which has no cancellation checkpoints).
+  EXPECT_EQ(cli({"serve", "--deadline-ms", "100"}).code, 2);
+  EXPECT_EQ(cli({"simulate", f.path(), "--deadline-ms", "100"}).code, 2);
+  EXPECT_EQ(cli({"analyze", f.path(), "--deadline-ms", "0"}).code, 2);
+  EXPECT_EQ(cli({"analyze", f.path(), "--deadline-ms", "-1"}).code, 2);
+  EXPECT_EQ(cli({"analyze", f.path(), "--deadline-ms", "soon"}).code, 2);
+  // A generous budget leaves the result untouched.
+  const CliRun r = cli({"analyze", f.path(), "--deadline-ms", "60000"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("5 inputs"), std::string::npos);
+}
+
 TEST(Cli, AnalyzeBenchFile) {
   const TempFile f("c17.bench", c17_bench_text());
   const CliRun r = cli({"analyze", f.path()});

@@ -254,6 +254,72 @@ TEST(ServiceProtocol, MalformedIdEchoesZeroWithBadRequest) {
   }
 }
 
+TEST(ServiceProtocol, MalformedBudgetsAnswerBadRequestWithVerbEcho) {
+  // timeout_ms and deadline_ms ride the same guarded integer conversion
+  // as request ids: negative, fractional, string, or beyond-2^53 budgets
+  // are bad_request — never truncated or wrapped into a surprise
+  // deadline — and the verb is still echoed for correlation.
+  ProtestService service;
+  const struct {
+    const char* line;
+    const char* verb;
+  } cases[] = {
+      {"{\"verb\":\"wait\",\"id\":1,\"job\":1,\"timeout_ms\":-1}", "wait"},
+      {"{\"verb\":\"wait\",\"id\":2,\"job\":1,\"timeout_ms\":2.5}", "wait"},
+      {"{\"verb\":\"wait\",\"id\":3,\"job\":1,\"timeout_ms\":\"100\"}",
+       "wait"},
+      {"{\"verb\":\"wait\",\"id\":4,\"job\":1,\"timeout_ms\":1e300}", "wait"},
+      {"{\"verb\":\"wait\",\"id\":5,\"job\":1,\"timeout_ms\":true}", "wait"},
+      {"{\"verb\":\"analyze\",\"id\":6,\"netlist\":\"x\",\"deadline_ms\":-5}",
+       "analyze"},
+      {"{\"verb\":\"analyze\",\"id\":7,\"netlist\":\"x\",\"deadline_ms\":0.5}",
+       "analyze"},
+      {"{\"verb\":\"analyze\",\"id\":8,\"netlist\":\"x\","
+       "\"deadline_ms\":\"50\"}",
+       "analyze"},
+      {"{\"verb\":\"analyze\",\"id\":9,\"netlist\":\"x\","
+       "\"deadline_ms\":18446744073709551615}",
+       "analyze"},
+      {"{\"verb\":\"optimize\",\"id\":10,\"netlist\":\"x\","
+       "\"deadline_ms\":[50]}",
+       "optimize"},
+  };
+  std::uint64_t expected_id = 1;
+  for (const auto& c : cases) {
+    const ServiceResponse resp =
+        ServiceResponse::from_json(service.handle_line(c.line));
+    EXPECT_FALSE(resp.ok) << c.line;
+    EXPECT_EQ(resp.error_code, "bad_request") << c.line;
+    // The (valid) id converts before the budget fails, so it echoes.
+    EXPECT_EQ(resp.id, expected_id++) << c.line;
+    EXPECT_EQ(resp.verb, c.verb) << c.line;
+  }
+}
+
+TEST(ServiceDeadline, ExpiredBudgetAnswersDeadlineExceeded) {
+  // A deadline_ms the work cannot meet answers a structured
+  // deadline_exceeded error at the engine's next cancellation
+  // checkpoint — the session stays resident and serves the next request.
+  ProtestService service;
+  ASSERT_TRUE(ServiceResponse::from_json(service.handle_line(
+                  "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"mc\","
+                  "\"circuit\":\"stress100k\",\"engine\":\"monte-carlo\","
+                  "\"patterns\":2000000}"))
+                  .ok);
+  const ServiceResponse late = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"analyze\",\"id\":2,\"netlist\":\"mc\",\"p\":0.5,"
+      "\"deadline_ms\":1}"));
+  EXPECT_FALSE(late.ok);
+  EXPECT_EQ(late.error_code, "deadline_exceeded");
+  EXPECT_EQ(late.id, 2u);
+  EXPECT_EQ(late.verb, "analyze");
+  EXPECT_NE(late.error_message.find("deadline"), std::string::npos);
+  // A generous budget on the same request sails through.
+  const ServiceResponse fine = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"stats\",\"id\":3,\"deadline_ms\":60000}"));
+  EXPECT_TRUE(fine.ok) << fine.error_message;
+}
+
 TEST(ServiceProtocol, OutOfRangeValuesYieldErrorsNotCrashes) {
   ProtestService service;
   service.handle_line(
@@ -971,6 +1037,105 @@ TEST(ServeTcp, EarlyDisconnectDoesNotKillTheDaemon) {
   EXPECT_TRUE(ServiceResponse::from_json(lines_of(received)[0]).ok)
       << received;
 
+  ServiceRequest shutdown;
+  shutdown.verb = ServiceVerb::Shutdown;
+  EXPECT_TRUE(service.handle(shutdown).ok);
+  server.join();
+}
+TEST(ServeTcp, ConnectionLossCancelsInlineWorkButKeepsTickets) {
+  // A pipelined connection dropped with work in flight: the inline
+  // request's cancellation token trips (no thread keeps crunching for a
+  // dead socket), while the TICKETED job — owned by the service, not the
+  // connection — stays pollable from a brand-new connection.  Run under
+  // TSan this also proves the dropped connection leaks no threads.
+  ProtestService service;
+  std::atomic<std::uint16_t> port{0};
+  std::atomic<bool> serve_failed{false};
+  std::ostringstream log;
+  ServeOptions options;
+  options.max_inflight = 3;
+  std::thread server([&] {
+    try {
+      serve_tcp(service, 0, log, &port, options);
+    } catch (const std::exception&) {
+      serve_failed.store(true);
+    }
+  });
+  while (port.load() == 0 && !serve_failed.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  if (serve_failed.load()) {
+    server.join();
+    GTEST_SKIP() << "loopback sockets unavailable in this environment";
+  }
+
+  const auto connect_client = [&]() -> int {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port.load());
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof addr) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  };
+
+  const int rude = connect_client();
+  if (rude < 0) {
+    ServiceRequest shutdown;
+    shutdown.verb = ServiceVerb::Shutdown;
+    service.handle(shutdown);
+    server.join();
+    GTEST_SKIP() << "cannot connect over loopback in this environment";
+  }
+  const linger hard_reset{1, 0};
+  ::setsockopt(rude, SOL_SOCKET, SO_LINGER, &hard_reset, sizeof hard_reset);
+  // Fast netlist for the ticket, deliberately slow one for the inline
+  // analyze that will be abandoned mid-flight.
+  const std::string rude_script =
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c17\","
+      "\"circuit\":\"c17\"}\n"
+      "{\"verb\":\"load_netlist\",\"id\":2,\"netlist\":\"slow\","
+      "\"circuit\":\"stress100k\",\"engine\":\"monte-carlo\","
+      "\"patterns\":2000000}\n"
+      "{\"verb\":\"submit\",\"id\":3,\"request\":{\"verb\":\"analyze\","
+      "\"id\":100,\"netlist\":\"c17\",\"p\":0.5}}\n"
+      "{\"verb\":\"analyze\",\"id\":4,\"netlist\":\"slow\",\"p\":0.5}\n";
+  ::send(rude, rude_script.data(), rude_script.size(), 0);
+  // Give the slow analyze a moment to enter a dispatch slot, then reset
+  // the connection under it.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ::close(rude);
+
+  // The ticket resolves for a NEW connection: the job belongs to the
+  // service, not to the connection that submitted it.
+  std::string received;
+  for (int attempt = 0; attempt < 50 && received.empty(); ++attempt) {
+    const int polite = connect_client();
+    ASSERT_GE(polite, 0);
+    timeval timeout{30, 0};
+    ::setsockopt(polite, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof timeout);
+    const std::string script =
+        "{\"verb\":\"wait\",\"id\":5,\"job\":1,\"timeout_ms\":20000}\n";
+    ::send(polite, script.data(), script.size(), 0);
+    char buf[65536];
+    const ssize_t n = ::recv(polite, buf, sizeof buf, 0);
+    if (n > 0) received.assign(buf, static_cast<std::size_t>(n));
+    ::close(polite);
+  }
+  ASSERT_FALSE(received.empty());
+  const ServiceResponse waited =
+      ServiceResponse::from_json(lines_of(received)[0]);
+  ASSERT_TRUE(waited.ok) << received;
+  EXPECT_NE(waited.result_json.find("\"state\":\"done\""), std::string::npos)
+      << waited.result_json;
+
+  // Shutdown returns only after connection threads wind down; a leaked
+  // worker thread stuck in the dead connection's analyze would hang the
+  // join (and TSan would flag the leak).
   ServiceRequest shutdown;
   shutdown.verb = ServiceVerb::Shutdown;
   EXPECT_TRUE(service.handle(shutdown).ok);

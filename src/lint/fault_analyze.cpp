@@ -1,0 +1,376 @@
+#include "lint/fault_analyze.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <queue>
+#include <stdexcept>
+
+#include "lint/fold.hpp"
+#include "lint/prob_bounds.hpp"
+
+namespace protest {
+
+std::string to_string(FaultClass c) {
+  switch (c) {
+    case FaultClass::ProvenUndetectable:
+      return "proven_undetectable";
+    case FaultClass::ProvenDetectable:
+      return "proven_detectable";
+    case FaultClass::Uncertain:
+      return "uncertain";
+  }
+  return "?";
+}
+
+std::string to_string(UndetectableCause c) {
+  switch (c) {
+    case UndetectableCause::None:
+      return "none";
+    case UndetectableCause::Unexcitable:
+      return "unexcitable";
+    case UndetectableCause::Unobservable:
+      return "unobservable";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Same fixed Bloom bit per stem id as prob_bounds (splitmix64 finalizer) —
+/// used to give the fault-origin variable a bit of its own.
+std::uint64_t stem_bit(NodeId n) {
+  std::uint64_t z = n + 0x9E3779B97F4A7C15ull;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  z ^= z >> 31;
+  return 1ull << (z & 63u);
+}
+
+struct Interval {
+  double lo = 0.0;
+  double hi = 1.0;
+};
+
+Interval clamp01(Interval v) {
+  v.lo = std::clamp(v.lo, 0.0, 1.0);
+  v.hi = std::clamp(v.hi, 0.0, 1.0);
+  if (v.lo > v.hi) v.lo = v.hi;
+  return v;
+}
+
+/// Fréchet conjunction: sound for ANY joint distribution.
+Interval and_frechet(Interval a, Interval b) {
+  return {std::max(0.0, a.lo + b.lo - 1.0), std::min(a.hi, b.hi)};
+}
+
+/// The whole per-netlist static context plus per-fault scratch state.
+class Analyzer {
+ public:
+  Analyzer(const Netlist& net, const FaultAnalyzeOptions& opts)
+      : net_(net), opts_(opts) {
+    if (!net.finalized())
+      throw std::invalid_argument("analyze_faults: netlist must be finalized");
+    probs_ = opts.input_probs.empty() ? uniform_input_probs(net, opts.p)
+                                      : opts.input_probs;
+    validate_input_probs(net, probs_);
+
+    robust_ = propagate_constants(net);
+    learned_ = robust_;
+    if (opts.learn) {
+      ImplicationStats st;
+      learned_ = learn_constants(net, opts.implication, &st);
+      learned_count_ = st.learned;
+    }
+
+    sb_ = signal_prob_bounds(net, probs_);
+    // Pin the learned constants into the good-value intervals.  Sound: a
+    // learned constant IS the good value on every vector, and a constant
+    // net carries no randomness, so it also drops out of the signatures.
+    // Downstream intervals keep their pre-pin (wider) values.
+    for (NodeId n = 0; n < static_cast<NodeId>(net.size()); ++n) {
+      if (learned_[n] < 0) continue;
+      sb_.lo[n] = sb_.hi[n] = static_cast<double>(learned_[n]);
+      sb_.sig[n] = 0;
+    }
+
+    // Reverse reachability to the primary outputs: plain, and restricted
+    // to nodes the forward lattice leaves free.  A robust constant's
+    // derivation passes only through robust constants, so a fault at a
+    // robust-free origin can never flip one — robust constants soundly
+    // block its propagation paths (the dead-gate argument, fault-lifted).
+    const NodeId n = static_cast<NodeId>(net.size());
+    plain_reach_.assign(n, 0);
+    obs_reach_.assign(n, 0);
+    for (NodeId id = n; id-- > 0;) {
+      char plain = net.is_output(id) ? 1 : 0;
+      char obs = plain;
+      for (const NodeId c : net.fanout(id)) {
+        plain |= plain_reach_[c];
+        obs |= static_cast<char>(robust_[c] < 0 && obs_reach_[c]);
+      }
+      plain_reach_[id] = plain;
+      obs_reach_[id] = obs;
+    }
+
+    ev_.resize(n);
+    ev_epoch_.assign(n, 0);
+    queued_epoch_.assign(n, 0);
+  }
+
+  std::size_t learned_count() const { return learned_count_; }
+  std::size_t frechet_widened() const { return frechet_widened_; }
+
+  FaultBound analyze(const Fault& f) {
+    validate(f);
+    const NodeId site =
+        f.is_stem() ? f.node : net_.gate(f.node).fanin[f.pin];
+
+    // Excitation: the good value of the faulted line must be the opposite
+    // of the stuck value.
+    const Interval exc =
+        f.sa == StuckAt::Zero
+            ? Interval{sb_.lo[site], sb_.hi[site]}
+            : Interval{1.0 - sb_.hi[site], 1.0 - sb_.lo[site]};
+    if (exc.hi <= 0.0)
+      return undetectable(UndetectableCause::Unexcitable);
+
+    // Observability prechecks.  The effect surfaces at the stem node
+    // itself, or at the faulted pin's consuming gate.
+    const bool origin_free = robust_[site] < 0;
+    if (f.is_stem()) {
+      if (origin_free ? !obs_reach_[f.node] : !plain_reach_[f.node])
+        return undetectable(UndetectableCause::Unobservable);
+    } else {
+      // A robust-constant gate output is immune to a fault on a pin the
+      // lattice did not use to derive it (robust derivations only pass
+      // through robust-constant fanins, and this driver is robust-free).
+      if (origin_free && robust_[f.node] >= 0)
+        return undetectable(UndetectableCause::Unobservable);
+      if (origin_free ? !obs_reach_[f.node] : !plain_reach_[f.node])
+        return undetectable(UndetectableCause::Unobservable);
+    }
+
+    return sweep(f, site, exc, origin_free);
+  }
+
+ private:
+  static FaultBound undetectable(UndetectableCause cause) {
+    return {0.0, 0.0, FaultClass::ProvenUndetectable, cause, false};
+  }
+
+  void validate(const Fault& f) const {
+    if (f.node >= net_.size())
+      throw std::invalid_argument("analyze_faults: fault node out of range");
+    if (!f.is_stem() &&
+        static_cast<std::size_t>(f.pin) >= net_.gate(f.node).fanin.size())
+      throw std::invalid_argument("analyze_faults: fault pin out of range");
+  }
+
+  struct Ev {
+    Interval iv;
+    std::uint64_t sig = 0;
+  };
+
+  /// P(E and all unaffected side pins of `gate` sensitize pin `pin`):
+  /// the exact event identity for a single affected fanin.
+  Ev combine_single(NodeId gate, int pin, Ev e) {
+    const Gate& g = net_.gate(gate);
+    const GateType t = g.type;
+    if (t == GateType::Buf || t == GateType::Not || t == GateType::Xor ||
+        t == GateType::Xnor)
+      return e;  // a flip on the single affected pin always propagates
+
+    // AND/NAND propagate iff every side pin is 1; OR/NOR iff every side
+    // pin is 0.  Side pins are unaffected, so their good-value intervals
+    // apply; fold them with the product where the signatures prove
+    // disjointness, Fréchet otherwise.
+    const bool need_one = t == GateType::And || t == GateType::Nand;
+    Interval sens{1.0, 1.0};
+    std::uint64_t sens_sig = 0;
+    for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+      if (static_cast<int>(k) == pin) continue;
+      const NodeId f = g.fanin[k];
+      const Interval side = need_one
+                                ? Interval{sb_.lo[f], sb_.hi[f]}
+                                : Interval{1.0 - sb_.hi[f], 1.0 - sb_.lo[f]};
+      if ((sens_sig & sb_.sig[f]) == 0) {
+        sens.lo *= side.lo;
+        sens.hi *= side.hi;
+      } else {
+        ++frechet_widened_;
+        sens = and_frechet(sens, side);
+      }
+      sens_sig |= sb_.sig[f];
+    }
+    Ev out;
+    if ((e.sig & sens_sig) == 0) {
+      out.iv = {e.iv.lo * sens.lo, e.iv.hi * sens.hi};
+    } else {
+      ++frechet_widened_;
+      out.iv = and_frechet(e.iv, sens);
+    }
+    out.iv = clamp01(out.iv);
+    out.sig = e.sig | sens_sig;
+    return out;
+  }
+
+  void mark(NodeId n, Ev e, double& det_lo, double& det_hi_sum) {
+    ev_[n] = e;
+    ev_epoch_[n] = epoch_;
+    if (net_.is_output(n)) {
+      det_lo = std::max(det_lo, e.iv.lo);
+      det_hi_sum += e.iv.hi;
+    }
+  }
+
+  void push_consumers(NodeId n, std::priority_queue<NodeId, std::vector<NodeId>,
+                                                    std::greater<>>& heap) {
+    for (const NodeId c : net_.fanout(n)) {
+      if (queued_epoch_[c] != epoch_) {
+        queued_epoch_[c] = epoch_;
+        heap.push(c);
+      }
+    }
+  }
+
+  FaultBound sweep(const Fault& f, NodeId site, Interval exc,
+                   bool origin_free) {
+    ++epoch_;
+    std::priority_queue<NodeId, std::vector<NodeId>, std::greater<>> heap;
+    double det_lo = 0.0, det_hi_sum = 0.0;
+
+    // Seed: the event at the origin.  stem_bit gives the origin variable a
+    // signature bit of its own even when its good-value signature is empty
+    // (e.g. a learned-constant line).
+    Ev origin{exc, sb_.sig[site] | stem_bit(site)};
+    if (f.is_stem()) {
+      mark(f.node, origin, det_lo, det_hi_sum);
+      push_consumers(f.node, heap);
+    } else {
+      const Ev eg = combine_single(f.node, f.pin, origin);
+      if (eg.iv.hi <= 0.0) return undetectable(UndetectableCause::Unobservable);
+      mark(f.node, eg, det_lo, det_hi_sum);
+      push_consumers(f.node, heap);
+    }
+
+    std::size_t visited = 0;
+    std::vector<NodeId> drivers;  // distinct affected drivers, reused
+    while (!heap.empty()) {
+      const NodeId c = heap.top();
+      heap.pop();
+      if (ev_epoch_[c] == epoch_) continue;  // seeded origin gate
+      // A fault at a robust-free origin can never flip a robust constant.
+      if (origin_free && robust_[c] >= 0) continue;
+      if (++visited > opts_.max_cone_nodes) {
+        // Budget: fall back to the excitation bound — still sound.
+        FaultBound b{0.0, exc.hi, FaultClass::Uncertain,
+                     UndetectableCause::None, true};
+        if (b.hi <= 0.0) {  // cannot happen (prechecked), but keep it sound
+          b.verdict = FaultClass::ProvenUndetectable;
+          b.cause = UndetectableCause::Unexcitable;
+        }
+        return b;
+      }
+
+      const Gate& g = net_.gate(c);
+      int affected_pins = 0;
+      int single_pin = -1;
+      drivers.clear();
+      for (std::size_t k = 0; k < g.fanin.size(); ++k) {
+        const NodeId d = g.fanin[k];
+        if (ev_epoch_[d] != epoch_) continue;
+        ++affected_pins;
+        single_pin = static_cast<int>(k);
+        if (std::find(drivers.begin(), drivers.end(), d) == drivers.end())
+          drivers.push_back(d);
+      }
+      if (affected_pins == 0) continue;
+
+      Ev e;
+      if (affected_pins == 1) {
+        e = combine_single(c, single_pin, ev_[drivers[0]]);
+      } else {
+        // Several affected fanins (the fault effect reconverges): the
+        // output can only differ if some affected driver differs — union
+        // bound over the distinct drivers, lower bound 0 (effects may
+        // cancel, e.g. XOR of a stem with itself).
+        ++frechet_widened_;
+        double hi = 0.0;
+        std::uint64_t sig = 0;
+        for (const NodeId d : drivers) {
+          hi += ev_[d].iv.hi;
+          sig |= ev_[d].sig;
+        }
+        for (const NodeId d : g.fanin) sig |= sb_.sig[d];
+        e.iv = clamp01({0.0, hi});
+        e.sig = sig;
+      }
+      if (e.iv.hi <= 0.0) continue;  // provably never differs: cone pruned
+      mark(c, e, det_lo, det_hi_sum);
+      push_consumers(c, heap);
+    }
+
+    Interval det{det_lo, std::min({1.0, det_hi_sum, exc.hi})};
+    det = clamp01(det);
+    FaultBound b{det.lo, det.hi, FaultClass::Uncertain,
+                 UndetectableCause::None, false};
+    if (det.hi <= 0.0) {
+      b.verdict = FaultClass::ProvenUndetectable;
+      b.cause = UndetectableCause::Unobservable;
+    } else if (det.lo > 0.0) {
+      b.verdict = FaultClass::ProvenDetectable;
+    }
+    return b;
+  }
+
+  const Netlist& net_;
+  const FaultAnalyzeOptions& opts_;
+  InputProbs probs_;
+  std::vector<signed char> robust_;   ///< forward lattice: blocks propagation
+  std::vector<signed char> learned_;  ///< + implications: good values only
+  SignalProbBounds sb_;               ///< learned-pinned good-value intervals
+  std::vector<char> plain_reach_;
+  std::vector<char> obs_reach_;
+  std::size_t learned_count_ = 0;
+  std::size_t frechet_widened_ = 0;
+
+  // Per-fault sweep scratch, epoch-stamped to avoid O(n) clears.
+  std::vector<Ev> ev_;
+  std::vector<std::uint32_t> ev_epoch_;
+  std::vector<std::uint32_t> queued_epoch_;
+  std::uint32_t epoch_ = 0;
+};
+
+}  // namespace
+
+FaultAnalysis analyze_faults(const Netlist& net, std::span<const Fault> faults,
+                             const FaultAnalyzeOptions& opts) {
+  Analyzer az(net, opts);
+  FaultAnalysis out;
+  out.bounds.reserve(faults.size());
+  out.learned_constants = az.learned_count();
+  for (const Fault& f : faults) {
+    const FaultBound b = az.analyze(f);
+    switch (b.verdict) {
+      case FaultClass::ProvenUndetectable:
+        ++out.undetectable;
+        if (b.cause == UndetectableCause::Unexcitable)
+          ++out.unexcitable;
+        else
+          ++out.unobservable;
+        break;
+      case FaultClass::ProvenDetectable:
+        ++out.detectable;
+        break;
+      case FaultClass::Uncertain:
+        ++out.uncertain;
+        break;
+    }
+    if (b.truncated) ++out.truncated_sweeps;
+    out.bounds.push_back(b);
+  }
+  out.frechet_widened = az.frechet_widened();
+  return out;
+}
+
+}  // namespace protest

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "analysis/json.hpp"
+#include "lint/fault_analyze.hpp"
 #include "lint/fold.hpp"
 #include "prob/signal_prob.hpp"
 
@@ -13,8 +14,8 @@ namespace protest {
 namespace {
 
 constexpr std::string_view kPassNames[] = {
-    "unused-net", "dead-gate",   "const-gate",
-    "duplicate-gate", "prob-bounds", "structure",
+    "unused-net",  "dead-gate", "const-gate",      "duplicate-gate",
+    "prob-bounds", "structure", "redundant-fault", "untestable-fault",
 };
 constexpr std::size_t kNumPasses = std::size(kPassNames);
 enum Pass : std::size_t {
@@ -24,6 +25,8 @@ enum Pass : std::size_t {
   kDuplicate,
   kProbBounds,
   kStructure,
+  kRedundantFault,
+  kUntestableFault,
 };
 
 std::string fmt_prob(double p) {
@@ -73,6 +76,10 @@ LintReport run_lint(const Netlist& net, const LintOptions& opts) {
 
   bool enabled[kNumPasses];
   std::fill(std::begin(enabled), std::end(enabled), opts.passes.empty());
+  // The fault passes are opt-in: "all passes" includes them only when
+  // LintOptions::faults is set (they run the full static fault analyzer).
+  enabled[kRedundantFault] = opts.passes.empty() && opts.faults;
+  enabled[kUntestableFault] = opts.passes.empty() && opts.faults;
   for (const std::string& p : opts.passes) {
     const auto* it =
         std::find(std::begin(kPassNames), std::end(kPassNames), p);
@@ -303,6 +310,54 @@ LintReport run_lint(const Netlist& net, const LintOptions& opts) {
             "reconvergence density predicts estimator error; prefer exact "
             "engines on dense cones");
     end_pass();
+  }
+
+  if (enabled[kRedundantFault] || enabled[kUntestableFault]) {
+    const std::vector<Fault> faults = collapsed_fault_list(net);
+    FaultAnalyzeOptions fo;
+    fo.p = opts.p;
+    fo.input_probs = opts.input_probs;
+    const FaultAnalysis fa = analyze_faults(net, faults, fo);
+
+    if (enabled[kRedundantFault]) {
+      begin_pass(kRedundantFault);
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        const FaultBound& b = fa.bounds[i];
+        if (b.verdict != FaultClass::ProvenUndetectable) continue;
+        finding(LintSeverity::Warning, faults[i].node,
+                "fault " + to_string(net, faults[i]) +
+                    " is provably undetectable (" + to_string(b.cause) +
+                    ") — the logic it sits on is redundant",
+                "no pattern set can detect it; fold the redundant logic and "
+                "exclude the fault from test-length budgeting");
+      }
+      end_pass();
+    }
+
+    if (enabled[kUntestableFault]) {
+      begin_pass(kUntestableFault);
+      const double eps = opts.near_constant_eps;
+      for (std::size_t i = 0; i < faults.size(); ++i) {
+        const FaultBound& b = fa.bounds[i];
+        if (b.hi <= 0.0 || b.hi >= eps) continue;
+        finding(LintSeverity::Warning, faults[i].node,
+                "fault " + to_string(net, faults[i]) +
+                    " has static detection probability <= " + fmt_prob(b.hi) +
+                    " — (nearly) untestable by random patterns",
+                "add a test point or weighted patterns for this cone");
+      }
+      finding(LintSeverity::Info, kNoNode,
+              std::to_string(faults.size()) + " collapsed faults: " +
+                  std::to_string(fa.undetectable) + " proven undetectable (" +
+                  std::to_string(fa.unexcitable) + " unexcitable, " +
+                  std::to_string(fa.unobservable) + " unobservable), " +
+                  std::to_string(fa.detectable) + " proven detectable, " +
+                  std::to_string(fa.uncertain) + " uncertain; " +
+                  std::to_string(fa.learned_constants) + " learned constants",
+              "proven-undetectable faults are skipped by pruned fault "
+              "simulation; uncertain ones need dynamic analysis");
+      end_pass();
+    }
   }
 
   return rep;

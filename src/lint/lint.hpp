@@ -19,6 +19,20 @@
 //   structure       info            depth / fanout / stem / reconvergence
 //                                   census for capacity planning
 //
+// Two further OPT-IN passes lift the analysis to the fault level (they run
+// the static fault analyzer, so they cost more than a linear sweep; enable
+// them with LintOptions::faults or by naming them explicitly):
+//
+//   redundant-fault  warning        stuck-at faults proven undetectable
+//                                   (redundant logic: detection probability
+//                                   is exactly 0, the (d,e) test length is
+//                                   meaningless)
+//   untestable-fault warning        faults whose static detection interval
+//                                   pins them below near_constant_eps —
+//                                   random patterns will (almost) never
+//                                   catch them; plus a closing census of
+//                                   the classification
+//
 // The PROTEST angle: a stuck or near-constant net is an (almost)
 // undetectable fault site, and reconvergence density predicts estimator
 // error — all diagnosable from structure alone, which is exactly the
@@ -72,8 +86,13 @@ struct LintOptions {
   double p = 0.5;
   /// ...or a full per-input tuple overriding it (size = #inputs).
   std::vector<double> input_probs;
-  /// prob-bounds flags nets with hi < eps or lo > 1 - eps.
+  /// prob-bounds flags nets with hi < eps or lo > 1 - eps; the
+  /// untestable-fault pass flags faults with 0 < hi < eps.
   double near_constant_eps = 0.01;
+  /// Opt-in: include the fault-level passes (redundant-fault,
+  /// untestable-fault) when `passes` is empty.  Naming a fault pass in
+  /// `passes` explicitly runs it regardless.
+  bool faults = false;
   /// Per-pass diagnostic cap; excess findings are counted in the summary
   /// and acknowledged with one closing info diagnostic (never silent).
   std::size_t max_per_pass = 100;

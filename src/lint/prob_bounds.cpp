@@ -165,6 +165,7 @@ SignalProbBounds signal_prob_bounds(const Netlist& net,
     out.exact[id] = exact ? 1 : 0;
     sig[id] = s;
   }
+  out.sig = std::move(sig);
   return out;
 }
 

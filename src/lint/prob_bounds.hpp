@@ -48,6 +48,11 @@ struct SignalProbBounds {
   /// over provably-disjoint cones — with point input probabilities the
   /// interval is then a point and equals the true probability.
   std::vector<char> exact;
+  /// Bloom signature of the stems in each node's support (one fixed bit
+  /// per stem id; deterministic nets carry none).  Signatures that share
+  /// no bit prove the supports disjoint — fault_analyze reuses them to
+  /// decide independence when composing event intervals.
+  std::vector<std::uint64_t> sig;
   /// Gates folded with the Fréchet bounds, i.e. gates whose fanin cones
   /// could not be proven disjoint — a cheap reconvergence census.
   std::size_t frechet_gates = 0;

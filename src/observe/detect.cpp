@@ -1,6 +1,7 @@
 #include "observe/detect.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace protest {
 
@@ -29,6 +30,28 @@ std::vector<double> detection_probs(const Netlist& net,
   out.reserve(faults.size());
   for (const Fault& f : faults)
     out.push_back(detection_prob(net, f, node_probs, obs));
+  return out;
+}
+
+std::vector<double> detection_probs_bounded(const Netlist& net,
+                                            std::span<const Fault> faults,
+                                            std::span<const double> node_probs,
+                                            const Observability& obs,
+                                            const FaultAnalysis& fa) {
+  if (fa.bounds.size() != faults.size())
+    throw std::invalid_argument(
+        "detection_probs_bounded: fault list and analysis size mismatch");
+  std::vector<double> out;
+  out.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultBound& b = fa.bounds[i];
+    if (b.verdict == FaultClass::ProvenUndetectable) {
+      out.push_back(0.0);
+      continue;
+    }
+    const double est = detection_prob(net, faults[i], node_probs, obs);
+    out.push_back(std::clamp(est, b.lo, b.hi));
+  }
   return out;
 }
 

@@ -8,6 +8,7 @@
 #include <span>
 #include <vector>
 
+#include "lint/fault_analyze.hpp"
 #include "observe/observability.hpp"
 #include "sim/fault.hpp"
 
@@ -23,5 +24,18 @@ std::vector<double> detection_probs(const Netlist& net,
                                     std::span<const Fault> faults,
                                     std::span<const double> node_probs,
                                     const Observability& obs);
+
+/// Detection probabilities disciplined by the static fault analysis
+/// (bounds parallel to the fault list, from analyze_faults on the same
+/// list): proven-undetectable faults are not estimated at all (their
+/// probability is exactly 0), and every other estimate is clamped into its
+/// sound [lo, hi] interval — the estimator is a heuristic, the interval is
+/// a guarantee, and where they disagree the interval wins.  Throws
+/// std::invalid_argument on a size mismatch.
+std::vector<double> detection_probs_bounded(const Netlist& net,
+                                            std::span<const Fault> faults,
+                                            std::span<const double> node_probs,
+                                            const Observability& obs,
+                                            const FaultAnalysis& fa);
 
 }  // namespace protest

@@ -71,6 +71,8 @@ struct Args {
   /// --passes: comma list of lint pass ids (lint only; empty = all).
   std::vector<std::string> lint_passes;
   bool passes_set = false;
+  /// --faults: opt into the static fault-analysis passes (lint only).
+  bool lint_faults = false;
 };
 
 class UsageError : public std::runtime_error {
@@ -133,6 +135,7 @@ Args parse_args(const std::vector<std::string>& argv) {
       else if (flag == "--sweeps") { a.sweeps = static_cast<unsigned>(std::stoul(need_value(flag))); a.query_flags.push_back(flag); }
       else if (flag == "--patterns") { a.patterns = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
       else if (flag == "--seed") { a.seed = std::stoull(need_value(flag)); a.query_flags.push_back(flag); }
+      else if (flag == "--faults") a.lint_faults = true;
       else if (flag == "--passes") {
         a.passes_set = true;
         std::stringstream ss(need_value(flag));
@@ -246,6 +249,8 @@ Args parse_args(const std::vector<std::string>& argv) {
     }
   } else if (a.passes_set) {
     throw UsageError("--passes is only valid for 'lint'");
+  } else if (a.lint_faults) {
+    throw UsageError("--faults is only valid for 'lint'");
   }
   // serve speaks the JSON protocol by construction and loads netlists per
   // request; every per-query flag would be silently ignored, so all of
@@ -489,6 +494,7 @@ int cmd_lint(const Args& a, std::ostream& out) {
   LintOptions opts;
   opts.p = a.p;
   opts.passes = a.lint_passes;
+  opts.faults = a.lint_faults;
   const LintReport report = run_lint(net, opts);
   if (a.json) {
     out << report.to_json() << "\n";
@@ -608,7 +614,8 @@ void print_help(std::ostream& out) {
          "[--engine E] [--json]\n"
          "                          [--threads T] [--deadline-ms MS]\n"
          "  protest simulate <file> --patterns N [--p P] [--seed S]\n"
-         "  protest lint     <file> [--p P] [--passes LIST] [--json]\n"
+         "  protest lint     <file> [--p P] [--passes LIST] [--faults] "
+         "[--json]\n"
          "  protest scan     <file> [--p P] [--d D] [--e E] [--engine E]\n"
          "                          [--json] [--artifacts LIST] [--threads T]\n"
          "                          [--deadline-ms MS]\n"
@@ -624,6 +631,9 @@ void print_help(std::ostream& out) {
          "lint runs the static analyzer (passes: unused-net, dead-gate,\n"
          "const-gate, duplicate-gate, prob-bounds, structure; --passes\n"
          "selects a subset) and exits 1 on error-severity findings.\n"
+         "--faults adds the static fault-analysis passes (redundant-fault,\n"
+         "untestable-fault): implication-proven undetectable faults and\n"
+         "per-fault detection-probability intervals.\n"
          "--engine selects the signal-probability engine: protest (default),\n"
          "naive, exact-bdd, exact-enum, monte-carlo.\n"
          "--threads T sizes the worker pool (Monte-Carlo pattern shards,\n"

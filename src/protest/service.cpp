@@ -158,6 +158,7 @@ namespace {
 constexpr std::pair<ServiceVerb, std::string_view> kVerbNames[] = {
     {ServiceVerb::LoadNetlist, "load_netlist"},
     {ServiceVerb::Lint, "lint"},
+    {ServiceVerb::FaultBounds, "fault_bounds"},
     {ServiceVerb::Analyze, "analyze"},
     {ServiceVerb::Perturb, "perturb"},
     {ServiceVerb::Optimize, "optimize"},
@@ -251,6 +252,7 @@ std::string ServiceRequest::to_json(int indent) const {
     w.key("max_cached_results").value(*max_cached_results);
   if (strict) w.key("strict").value(true);
   if (!passes.empty()) write_string_list(w, "passes", passes);
+  if (faults) w.key("faults").value(true);
   if (p) w.key("p").value(*p);
   if (!input_probs.empty()) write_number_list(w, "input_probs", input_probs);
   if (artifacts) {
@@ -316,6 +318,8 @@ ServiceRequest ServiceRequest::from_json_value(const JsonValue& doc) {
       } else if (key == "passes") {
         for (const JsonValue& e : v.as_array())
           r.passes.push_back(e.as_string());
+      } else if (key == "faults") {
+        r.faults = v.as_bool();
       } else if (key == "p") {
         r.p = v.as_number();
       } else if (key == "input_probs") {
@@ -509,6 +513,7 @@ bool submittable(ServiceVerb verb) {
     case ServiceVerb::Perturb:
     case ServiceVerb::Optimize:
     case ServiceVerb::Lint:
+    case ServiceVerb::FaultBounds:
       return true;
     case ServiceVerb::LoadNetlist:
     case ServiceVerb::Stats:
@@ -529,6 +534,7 @@ bool submittable(ServiceVerb verb) {
 LintOptions lint_options_from(const ServiceRequest& req) {
   LintOptions opts;
   opts.passes = req.passes;
+  opts.faults = req.faults;
   if (req.p) opts.p = *req.p;
   const auto known = lint_pass_names();
   for (const std::string& p : req.passes) {
@@ -640,6 +646,60 @@ std::string ProtestService::dispatch(const ServiceRequest& req) {
       w.key("netlist").value(req.netlist);
       w.key("report");
       w.raw(report.to_json(0));
+      w.end_object();
+      return w.str();
+    }
+
+    case ServiceVerb::FaultBounds: {
+      require_netlist_name(req);
+      const std::shared_ptr<AnalysisSession> session =
+          registry_.open(req.netlist);
+      // Ride the session's memoized artifact: request ONLY fault_bounds
+      // so the analyze computes nothing else, then read the analysis off
+      // the result.  A repeat query on the same tuple is a cache hit.
+      AnalysisRequest artifacts;
+      for (const ArtifactName& a : artifact_name_table())
+        artifacts.*a.flag = false;
+      artifacts.fault_bounds = true;
+      const AnalysisResult res =
+          session->analyze(request_tuple(req, session->netlist()), artifacts);
+      const FaultAnalysis& fa = res.fault_bounds();
+      const std::vector<Fault>& faults = session->faults();
+      // Large netlists would otherwise dominate the response line; the
+      // summary always ships, the per-fault list is capped.
+      constexpr std::size_t kMaxFaultEntries = 4096;
+      const std::size_t shown = std::min(fa.bounds.size(), kMaxFaultEntries);
+      JsonWriter w(0);
+      w.begin_object();
+      w.key("netlist").value(req.netlist);
+      w.key("summary").begin_object();
+      w.key("faults").value(fa.bounds.size());
+      w.key("proven_undetectable").value(fa.undetectable);
+      w.key("unexcitable").value(fa.unexcitable);
+      w.key("unobservable").value(fa.unobservable);
+      w.key("proven_detectable").value(fa.detectable);
+      w.key("uncertain").value(fa.uncertain);
+      w.key("truncated_sweeps").value(fa.truncated_sweeps);
+      w.key("frechet_widened").value(fa.frechet_widened);
+      w.key("learned_constants").value(fa.learned_constants);
+      w.key("settled_fraction").value(fa.settled_fraction());
+      w.end_object();
+      w.key("faults").begin_array();
+      const Netlist& net = session->netlist();
+      for (std::size_t f = 0; f < shown; ++f) {
+        const FaultBound& b = fa.bounds[f];
+        w.begin_object();
+        w.key("fault").value(to_string(net, faults[f]));
+        w.key("lo").value(b.lo);
+        w.key("hi").value(b.hi);
+        w.key("verdict").value(to_string(b.verdict));
+        if (b.cause != UndetectableCause::None)
+          w.key("cause").value(to_string(b.cause));
+        if (b.truncated) w.key("truncated").value(true);
+        w.end_object();
+      }
+      w.end_array();
+      if (shown < fa.bounds.size()) w.key("faults_truncated").value(true);
       w.end_object();
       return w.str();
     }
@@ -937,7 +997,7 @@ LineClass classify_line(std::string_view line) {
       if (const JsonValue* v = doc.find("verb"); v && v->is_string()) {
         const std::string& name = v->as_string();
         if (name == "analyze" || name == "perturb" || name == "optimize" ||
-            name == "lint")
+            name == "lint" || name == "fault_bounds")
           return LineClass::Work;
         if (name == "load_netlist" || name == "evict" || name == "shutdown")
           return LineClass::Barrier;

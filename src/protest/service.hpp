@@ -170,6 +170,7 @@ class SessionRegistry {
 enum class ServiceVerb {
   LoadNetlist,  ///< register + open a netlist (zoo circuit or inline source)
   Lint,         ///< static analysis of the named netlist (src/lint passes)
+  FaultBounds,  ///< static per-fault detection-probability intervals
   Analyze,      ///< one tuple through the named session
   Perturb,      ///< single-coordinate perturbation of a base tuple
   Optimize,     ///< hill-climb optimized input probabilities
@@ -210,6 +211,9 @@ struct ServiceRequest {
 
   // lint: pass subset ("" = every pass); prob-bounds reads `p`.
   std::vector<std::string> passes;
+  /// lint: also run the opt-in fault passes (redundant-fault /
+  /// untestable-fault); fault_bounds reads `p` / `input_probs`.
+  bool faults = false;
 
   // analyze / perturb: the tuple, either explicit or uniform(p).
   std::vector<double> input_probs;

@@ -72,6 +72,7 @@ AnalysisRequest AnalysisRequest::everything() {
   r.test_lengths = true;
   r.scoap = true;
   r.stafan = true;
+  r.fault_bounds = true;
   return r;
 }
 
@@ -83,6 +84,7 @@ constexpr ArtifactName kArtifactNames[] = {
     {"test_lengths", &AnalysisRequest::test_lengths},
     {"scoap", &AnalysisRequest::scoap},
     {"stafan", &AnalysisRequest::stafan},
+    {"fault_bounds", &AnalysisRequest::fault_bounds},
 };
 
 }  // namespace
@@ -142,6 +144,7 @@ struct AnalysisResult::State {
   std::optional<Observability> observability;
   std::optional<std::vector<double>> detection_probs;
   std::optional<StafanMeasures> stafan;
+  std::optional<FaultAnalysis> fault_bounds;
 };
 
 // --- AnalysisResult ---------------------------------------------------------
@@ -226,6 +229,17 @@ const StafanMeasures& AnalysisResult::stafan() const {
   return *s.stafan;
 }
 
+const FaultAnalysis& AnalysisResult::fault_bounds() const {
+  State& s = checked(state_);
+  const std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.fault_bounds) {
+    FaultAnalyzeOptions fo;
+    fo.input_probs = s.input_probs;
+    s.fault_bounds = analyze_faults(s.shared->net, s.shared->faults, fo);
+  }
+  return *s.fault_bounds;
+}
+
 std::uint64_t AnalysisResult::test_length(double d, double e) const {
   return required_test_length(detection_probs(), d, e);
 }
@@ -271,12 +285,53 @@ std::string AnalysisResult::to_json(int indent) const {
     const std::vector<double>& pf = detection_probs();
     w.key("detection_probs").begin_array();
     for (std::size_t f = 0; f < s.shared->faults.size(); ++f) {
+      double v = pf[f];
+      if (request_.fault_bounds) {
+        // The estimator is a heuristic, the static interval a guarantee:
+        // where they disagree, the interval wins.
+        const FaultBound& b = fault_bounds().bounds[f];
+        v = b.verdict == FaultClass::ProvenUndetectable
+                ? 0.0
+                : std::clamp(v, b.lo, b.hi);
+      }
       w.begin_object();
       w.key("fault").value(to_string(net, s.shared->faults[f]));
-      w.key("p_detect").value(pf[f]);
+      w.key("p_detect").value(v);
       w.end_object();
     }
     w.end_array();
+  }
+
+  if (request_.fault_bounds) {
+    const FaultAnalysis& fa = fault_bounds();
+    w.key("fault_bounds").begin_object();
+    w.key("summary").begin_object();
+    w.key("faults").value(fa.bounds.size());
+    w.key("proven_undetectable").value(fa.undetectable);
+    w.key("unexcitable").value(fa.unexcitable);
+    w.key("unobservable").value(fa.unobservable);
+    w.key("proven_detectable").value(fa.detectable);
+    w.key("uncertain").value(fa.uncertain);
+    w.key("truncated_sweeps").value(fa.truncated_sweeps);
+    w.key("frechet_widened").value(fa.frechet_widened);
+    w.key("learned_constants").value(fa.learned_constants);
+    w.key("settled_fraction").value(fa.settled_fraction());
+    w.end_object();
+    w.key("faults").begin_array();
+    for (std::size_t f = 0; f < fa.bounds.size(); ++f) {
+      const FaultBound& b = fa.bounds[f];
+      w.begin_object();
+      w.key("fault").value(to_string(net, s.shared->faults[f]));
+      w.key("lo").value(b.lo);
+      w.key("hi").value(b.hi);
+      w.key("verdict").value(to_string(b.verdict));
+      if (b.cause != UndetectableCause::None)
+        w.key("cause").value(to_string(b.cause));
+      if (b.truncated) w.key("truncated").value(true);
+      w.end_object();
+    }
+    w.end_array();
+    w.end_object();
   }
 
   if (request_.test_lengths) {
@@ -478,6 +533,7 @@ AnalysisResult AnalysisSession::wrap(
     result.detection_probs();
   if (request.scoap) result.scoap();
   if (request.stafan) result.stafan();
+  if (request.fault_bounds) result.fault_bounds();
   return result;
 }
 

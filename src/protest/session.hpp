@@ -47,6 +47,7 @@
 #include <string_view>
 #include <vector>
 
+#include "lint/fault_analyze.hpp"
 #include "measures/scoap.hpp"
 #include "measures/stafan.hpp"
 #include "observe/observability.hpp"
@@ -100,6 +101,11 @@ struct AnalysisRequest {
   bool test_lengths = false;  ///< the (d_grid x e_grid) pattern counts
   bool scoap = false;         ///< SCOAP measures (input-independent)
   bool stafan = false;        ///< STAFAN measures (simulation-sampled)
+  /// Static per-fault detection-probability intervals (lint/fault_analyze).
+  /// Also disciplines the serialized detection probabilities: estimates
+  /// are clamped into their sound [lo, hi], proven-undetectable faults
+  /// report exactly 0.
+  bool fault_bounds = false;
   std::vector<double> d_grid = {1.0, 0.98};
   std::vector<double> e_grid = {0.95, 0.98, 0.999};
 
@@ -190,6 +196,7 @@ class AnalysisResult {
   const std::vector<double>& detection_probs() const; ///< lazy, memoized
   const ScoapMeasures& scoap() const;                 ///< lazy, session-shared
   const StafanMeasures& stafan() const;               ///< lazy, memoized
+  const FaultAnalysis& fault_bounds() const;          ///< lazy, memoized
 
   /// Smallest N with P_{F_d} >= e for this tuple (paper sect. 5).
   std::uint64_t test_length(double d, double e) const;

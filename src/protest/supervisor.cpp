@@ -782,6 +782,7 @@ struct Supervisor::Impl {
       case ServiceVerb::Analyze:
       case ServiceVerb::Perturb:
       case ServiceVerb::Lint:
+      case ServiceVerb::FaultBounds:
         return route_netlist(req, /*retryable=*/true);
       case ServiceVerb::Optimize:
       case ServiceVerb::Evict:

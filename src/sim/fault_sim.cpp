@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 
 #include "netlist/compiled.hpp"
 #include "sim/logic_sim.hpp"
@@ -116,9 +118,13 @@ std::uint64_t site_value(const Netlist& net, const Fault& f,
 
 }  // namespace
 
-FaultSimResult simulate_faults(const Netlist& net,
-                               std::span<const Fault> faults,
-                               const PatternSet& ps, FaultSimMode mode) {
+namespace {
+
+/// Shared engine: `fa` non-null prunes proven-undetectable faults from the
+/// live list up front (their zero results are exact by proof).
+FaultSimResult simulate_impl(const Netlist& net, std::span<const Fault> faults,
+                             const PatternSet& ps, FaultSimMode mode,
+                             const FaultAnalysis* fa) {
   if (!net.finalized())
     throw std::logic_error("simulate_faults: netlist must be finalized");
 
@@ -131,8 +137,13 @@ FaultSimResult simulate_faults(const Netlist& net,
   BlockSimulator good_sim(net);
   ConeSim cone(net);
   std::vector<std::uint64_t> scratch;
-  std::vector<std::size_t> live(faults.size());
-  for (std::size_t i = 0; i < faults.size(); ++i) live[i] = i;
+  std::vector<std::size_t> live;
+  live.reserve(faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (fa && fa->bounds[i].verdict == FaultClass::ProvenUndetectable)
+      continue;
+    live.push_back(i);
+  }
 
   for (std::size_t b = 0; b < ps.num_blocks(); ++b) {
     const auto& good = good_sim.run(ps, b);
@@ -157,6 +168,45 @@ FaultSimResult simulate_faults(const Netlist& net,
     }
     live.resize(kept);
     if (live.empty()) break;
+  }
+  return res;
+}
+
+}  // namespace
+
+FaultSimResult simulate_faults(const Netlist& net,
+                               std::span<const Fault> faults,
+                               const PatternSet& ps, FaultSimMode mode) {
+  return simulate_impl(net, faults, ps, mode, nullptr);
+}
+
+FaultSimResult simulate_faults_pruned(const Netlist& net,
+                                      std::span<const Fault> faults,
+                                      const PatternSet& ps, FaultSimMode mode,
+                                      const FaultAnalysis& fa) {
+  if (fa.bounds.size() != faults.size())
+    throw std::invalid_argument(
+        "simulate_faults_pruned: fault list and analysis size mismatch");
+  FaultSimResult res = simulate_impl(net, faults, ps, mode, &fa);
+
+  // The static intervals are sound by construction, so an empirical
+  // detection probability beyond worst-case sampling noise is proof of a
+  // bug in one of the two layers — fail loudly, never average it away.
+  if (mode == FaultSimMode::CountDetections && res.num_patterns > 0) {
+    const double n = static_cast<double>(res.num_patterns);
+    const double slack = 6.0 * 0.5 / std::sqrt(n);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const FaultBound& b = fa.bounds[i];
+      if (b.verdict == FaultClass::ProvenUndetectable) continue;
+      const double p = static_cast<double>(res.detect_count[i]) / n;
+      if (p < b.lo - slack || p > b.hi + slack)
+        throw std::logic_error(
+            "simulate_faults_pruned: empirical detection probability " +
+            std::to_string(p) + " of fault " + to_string(net, faults[i]) +
+            " falls outside its static interval [" + std::to_string(b.lo) +
+            ", " + std::to_string(b.hi) + "] by more than 6 sigma — " +
+            "the simulator or the static fault analyzer is broken");
+    }
   }
   return res;
 }

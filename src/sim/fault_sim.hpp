@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "lint/fault_analyze.hpp"
 #include "netlist/netlist.hpp"
 #include "sim/fault.hpp"
 #include "sim/pattern.hpp"
@@ -39,5 +40,19 @@ struct FaultSimResult {
 
 FaultSimResult simulate_faults(const Netlist& net, std::span<const Fault> faults,
                                const PatternSet& ps, FaultSimMode mode);
+
+/// Fault simulation pruned and checked by the static fault analysis
+/// (bounds parallel to the fault list, from analyze_faults on the same
+/// list).  Proven-undetectable faults are never simulated — they keep
+/// detect_count 0 / first_detect -1, which is exact, not an estimate.  In
+/// CountDetections mode the static intervals act as a correctness oracle:
+/// an empirical detection probability outside [lo - 6*sigma, hi + 6*sigma]
+/// (sigma = 1 / (2*sqrt(N)), the worst-case binomial deviation) means
+/// either the simulator or the static analysis is broken, and throws
+/// std::logic_error.  Throws std::invalid_argument on a size mismatch.
+FaultSimResult simulate_faults_pruned(const Netlist& net,
+                                      std::span<const Fault> faults,
+                                      const PatternSet& ps, FaultSimMode mode,
+                                      const FaultAnalysis& fa);
 
 }  // namespace protest

@@ -340,5 +340,18 @@ TEST(Cli, LintJsonAndPassSelection) {
   EXPECT_EQ(cli({"lint", "zoo:c17", "--engine", "naive"}).code, 2);
 }
 
+TEST(Cli, LintFaultsFlagRunsFaultPasses) {
+  const CliRun r = cli({"lint", "zoo:c17", "--faults", "--json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("\"redundant-fault\""), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("\"untestable-fault\""), std::string::npos);
+  EXPECT_NE(r.out.find("collapsed faults"), std::string::npos);
+  // Without the flag the fault passes stay out of the default set.
+  const CliRun plain = cli({"lint", "zoo:c17", "--json"});
+  EXPECT_EQ(plain.out.find("redundant-fault"), std::string::npos);
+  // --faults is lint-scoped.
+  EXPECT_EQ(cli({"analyze", "zoo:c17", "--faults"}).code, 2);
+}
+
 }  // namespace
 }  // namespace protest

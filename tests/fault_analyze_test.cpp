@@ -1,0 +1,298 @@
+// The static fault analyzer: implication-engine learning, per-fault
+// classification on hand-built redundant circuits, interval soundness
+// against the exact BDD miter oracle, and the pruned/bounded consumers
+// (detection_probs_bounded, simulate_faults_pruned).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "circuits/random_circuit.hpp"
+#include "circuits/zoo.hpp"
+#include "lint/fault_analyze.hpp"
+#include "lint/implication.hpp"
+#include "netlist/bench_io.hpp"
+#include "observe/detect.hpp"
+#include "observe/miter.hpp"
+#include "observe/observability.hpp"
+#include "prob/protest_estimator.hpp"
+#include "prob/signal_prob.hpp"
+#include "sim/fault_sim.hpp"
+#include "sim/word_sim.hpp"
+
+namespace protest {
+namespace {
+
+Netlist random_net(std::uint64_t seed, std::size_t inputs, std::size_t gates) {
+  RandomCircuitParams p;
+  p.num_inputs = inputs;
+  p.num_gates = gates;
+  p.seed = seed;
+  return make_random_circuit(p);
+}
+
+// --- implication engine -----------------------------------------------------
+
+TEST(Implication, LearnsXorOfSameSignalIsZero) {
+  // The forward lattice cannot see XOR(a, a) = 0; one level of recursive
+  // learning (split on a) proves it.
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "t = XOR(a, a)\n"
+      "y = OR(t, b)\n");
+  ImplicationStats stats;
+  const std::vector<signed char> learned =
+      learn_constants(net, ImplicationOptions{}, &stats);
+  NodeId t = kNoNode;
+  for (NodeId n = 0; n < net.size(); ++n)
+    if (net.name_of(n) == "t") t = n;
+  ASSERT_NE(t, kNoNode);
+  EXPECT_EQ(learned[t], 0);
+  EXPECT_GT(stats.conflicts, 0u);
+}
+
+TEST(Implication, ForwardLatticeConstantsAreAlsoLearned) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nOUTPUT(y)\nc = CONST1()\ny = AND(a, c)\n");
+  const std::vector<signed char> learned = learn_constants(net);
+  for (NodeId n = 0; n < net.size(); ++n)
+    if (net.gate(n).type == GateType::Const1) EXPECT_EQ(learned[n], 1);
+}
+
+TEST(Implication, LearnedConstantsAgreeWithExhaustiveTruth) {
+  // Soundness: every learned constant must hold on EVERY input vector.
+  // (The 74181 ALU model genuinely contains four const-1 nodes, which the
+  // engine finds; c17 is irredundant and must learn nothing.)
+  for (const char* name : {"c17", "alu"}) {
+    const Netlist net = make_circuit(name);
+    const std::vector<signed char> learned = learn_constants(net);
+    const std::size_t ni = net.inputs().size();
+    ASSERT_LE(ni, 16u);
+    WordSimulator sim(net, 1);
+    std::vector<std::uint64_t> ones(net.size(), 0), zeros(net.size(), 0);
+    for (std::uint64_t base = 0; base < (1ull << ni); base += 64) {
+      for (std::size_t i = 0; i < ni; ++i) {
+        std::uint64_t w = 0;
+        for (int b = 0; b < 64; ++b) w |= (((base + b) >> i) & 1ull) << b;
+        sim.input_words(i)[0] = w;
+      }
+      sim.run();
+      for (NodeId n = 0; n < net.size(); ++n) {
+        ones[n] |= sim.node_words(n)[0];
+        zeros[n] |= ~sim.node_words(n)[0];
+      }
+    }
+    for (NodeId n = 0; n < net.size(); ++n) {
+      if (learned[n] < 0) continue;
+      if (learned[n] == 1)
+        EXPECT_EQ(zeros[n], 0u) << name << " node " << n;
+      else
+        EXPECT_EQ(ones[n], 0u) << name << " node " << n;
+    }
+    if (std::string(name) == "c17")
+      for (NodeId n = 0; n < net.size(); ++n)
+        EXPECT_EQ(learned[n], -1) << "c17 node " << n;
+  }
+}
+
+// --- classification ---------------------------------------------------------
+
+const FaultBound& bound_for(const Netlist& net,
+                            const std::vector<Fault>& faults,
+                            const FaultAnalysis& fa, std::string_view name,
+                            StuckAt sa) {
+  for (std::size_t i = 0; i < faults.size(); ++i)
+    if (faults[i].is_stem() && net.name_of(faults[i].node) == name &&
+        faults[i].sa == sa)
+      return fa.bounds[i];
+  throw std::logic_error("fault not in collapsed list");
+}
+
+TEST(FaultAnalyze, LearnedConstantMakesStuckAtItUnexcitable) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "t = XOR(a, a)\n"
+      "y = OR(t, b)\n");
+  const std::vector<Fault> faults = collapsed_fault_list(net);
+  const FaultAnalysis fa = analyze_faults(net, faults);
+  // t is provably 0: s-a-0 at t can never be excited...
+  const FaultBound& sa0 = bound_for(net, faults, fa, "t", StuckAt::Zero);
+  EXPECT_EQ(sa0.verdict, FaultClass::ProvenUndetectable);
+  EXPECT_EQ(sa0.cause, UndetectableCause::Unexcitable);
+  EXPECT_EQ(sa0.hi, 0.0);
+  // ...while the s-a-1 class (t s-a-1 ~ y s-a-1, collapsed onto the
+  // b stem) forces y to 1 and shows exactly when b = 0: p = 1/2.
+  const FaultBound& sa1 = bound_for(net, faults, fa, "b", StuckAt::One);
+  EXPECT_EQ(sa1.verdict, FaultClass::ProvenDetectable);
+  EXPECT_DOUBLE_EQ(sa1.lo, 0.5);
+  EXPECT_DOUBLE_EQ(sa1.hi, 0.5);
+  EXPECT_GT(fa.undetectable, 0u);
+  EXPECT_GT(fa.learned_constants, 0u);
+}
+
+TEST(FaultAnalyze, FanoutFreeFaultsAreProvenDetectableWithExactBounds) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+      "u = AND(a, b)\n"
+      "y = OR(u, c)\n");
+  const std::vector<Fault> faults = collapsed_fault_list(net);
+  const FaultAnalysis fa = analyze_faults(net, faults);
+  EXPECT_EQ(fa.undetectable, 0u);
+  // a s-a-0 (the representative of the collapsed u-s-a-0 class): excite
+  // P(a=1) = 1/2, then sensitize b = 1 and c = 0 — all independent on a
+  // fanout-free tree, so the interval must collapse on exactly 1/8.
+  const FaultBound& b = bound_for(net, faults, fa, "a", StuckAt::Zero);
+  EXPECT_EQ(b.verdict, FaultClass::ProvenDetectable);
+  EXPECT_DOUBLE_EQ(b.lo, 0.125);
+  EXPECT_DOUBLE_EQ(b.hi, 0.125);
+}
+
+TEST(FaultAnalyze, EveryFaultGetsAVerdictAndCountsAddUp) {
+  for (const char* name : {"c17", "alu", "mult"}) {
+    const Netlist net = make_circuit(name);
+    const std::vector<Fault> faults = collapsed_fault_list(net);
+    const FaultAnalysis fa = analyze_faults(net, faults);
+    ASSERT_EQ(fa.bounds.size(), faults.size());
+    EXPECT_EQ(fa.undetectable, fa.unexcitable + fa.unobservable);
+    EXPECT_EQ(fa.undetectable + fa.detectable + fa.uncertain, faults.size());
+    for (const FaultBound& b : fa.bounds) {
+      EXPECT_LE(b.lo, b.hi);
+      EXPECT_GE(b.lo, 0.0);
+      EXPECT_LE(b.hi, 1.0);
+      if (b.verdict == FaultClass::ProvenUndetectable) {
+        EXPECT_EQ(b.hi, 0.0);
+        EXPECT_NE(b.cause, UndetectableCause::None);
+      }
+      if (b.verdict == FaultClass::ProvenDetectable) EXPECT_GT(b.lo, 0.0);
+    }
+  }
+}
+
+// --- soundness against the exact miter oracle -------------------------------
+
+TEST(FaultAnalyze, IntervalsContainExactDetectionProbability) {
+  // The BDD miter computes the TRUE detection probability; every static
+  // interval must contain it (modulo float dust), across biased tuples.
+  for (int seed = 101; seed < 105; ++seed) {
+    const Netlist net = random_net(static_cast<std::uint64_t>(seed), 7, 45);
+    const std::vector<Fault> faults = collapsed_fault_list(net);
+    std::mt19937_64 rng(static_cast<std::uint64_t>(seed) * 6151);
+    std::uniform_real_distribution<double> uni(0.1, 0.9);
+    FaultAnalyzeOptions fo;
+    fo.input_probs.resize(net.inputs().size());
+    for (double& p : fo.input_probs) p = uni(rng);
+    const FaultAnalysis fa = analyze_faults(net, faults, fo);
+    for (std::size_t i = 0; i < faults.size(); ++i) {
+      const double exact =
+          exact_detection_prob_bdd(net, faults[i], fo.input_probs);
+      EXPECT_GE(exact, fa.bounds[i].lo - 1e-9)
+          << "seed " << seed << " fault " << to_string(net, faults[i]);
+      EXPECT_LE(exact, fa.bounds[i].hi + 1e-9)
+          << "seed " << seed << " fault " << to_string(net, faults[i]);
+    }
+  }
+}
+
+TEST(FaultAnalyze, BundledCorpusSettlesAndStaysSound) {
+  const char* data = std::getenv("PROTEST_DATA");
+  ASSERT_NE(data, nullptr) << "PROTEST_DATA not set (see CMakeLists.txt)";
+  const Netlist net = read_bench_file(std::string(data) + "/c17.bench");
+  const std::vector<Fault> faults = collapsed_fault_list(net);
+  const FaultAnalysis fa = analyze_faults(net, faults);
+  // c17 is irredundant: no fault is provably undetectable, and on a
+  // circuit this small many faults settle as proven detectable.
+  EXPECT_EQ(fa.undetectable, 0u);
+  EXPECT_GT(fa.detectable, 0u);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const double exact = exact_detection_prob_bdd(net, faults[i], ip);
+    EXPECT_GE(exact, fa.bounds[i].lo - 1e-9) << to_string(net, faults[i]);
+    EXPECT_LE(exact, fa.bounds[i].hi + 1e-9) << to_string(net, faults[i]);
+  }
+}
+
+// --- bounded estimator ------------------------------------------------------
+
+TEST(DetectProbsBounded, ClampsIntoIntervalAndZeroesProvenUndetectable) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "t = XOR(a, a)\n"
+      "y = OR(t, b)\n");
+  const std::vector<Fault> faults = collapsed_fault_list(net);
+  const FaultAnalysis fa = analyze_faults(net, faults);
+  const InputProbs ip = uniform_input_probs(net, 0.5);
+  const ProtestEstimator est(net);
+  const std::vector<double> p = est.signal_probs(ip);
+  const Observability obs = compute_observability(net, p);
+  const std::vector<double> dp =
+      detection_probs_bounded(net, faults, p, obs, fa);
+  ASSERT_EQ(dp.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    const FaultBound& b = fa.bounds[i];
+    if (b.verdict == FaultClass::ProvenUndetectable)
+      EXPECT_EQ(dp[i], 0.0) << to_string(net, faults[i]);
+    EXPECT_GE(dp[i], b.lo) << to_string(net, faults[i]);
+    EXPECT_LE(dp[i], b.hi) << to_string(net, faults[i]);
+  }
+  EXPECT_THROW(
+      detection_probs_bounded(net, std::span<const Fault>(faults).first(1), p,
+                              obs, fa),
+      std::invalid_argument);
+}
+
+// --- pruned fault simulation ------------------------------------------------
+
+TEST(FaultSimPruned, SkipsProvenUndetectableAndMatchesPlainElsewhere) {
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\n"
+      "t = XOR(a, a)\n"
+      "u = AND(b, c)\n"
+      "y = OR(t, u)\n");
+  const std::vector<Fault> faults = collapsed_fault_list(net);
+  const FaultAnalysis fa = analyze_faults(net, faults);
+  ASSERT_GT(fa.undetectable, 0u);
+  const PatternSet ps = PatternSet::exhaustive(net.inputs().size());
+  const FaultSimResult plain =
+      simulate_faults(net, faults, ps, FaultSimMode::CountDetections);
+  const FaultSimResult pruned =
+      simulate_faults_pruned(net, faults, ps, FaultSimMode::CountDetections, fa);
+  ASSERT_EQ(pruned.detect_count.size(), faults.size());
+  for (std::size_t i = 0; i < faults.size(); ++i) {
+    if (fa.bounds[i].verdict == FaultClass::ProvenUndetectable) {
+      // The proof and the simulator must agree: zero either way, and the
+      // pruned run never touched the fault.
+      EXPECT_EQ(plain.detect_count[i], 0u) << to_string(net, faults[i]);
+      EXPECT_EQ(pruned.detect_count[i], 0u);
+      EXPECT_EQ(pruned.first_detect[i], -1);
+    } else {
+      EXPECT_EQ(pruned.detect_count[i], plain.detect_count[i])
+          << to_string(net, faults[i]);
+      EXPECT_EQ(pruned.first_detect[i], plain.first_detect[i]);
+    }
+  }
+}
+
+TEST(FaultSimPruned, OracleThrowsOnImpossibleInterval) {
+  const Netlist net = make_circuit("c17");
+  const std::vector<Fault> faults = collapsed_fault_list(net);
+  FaultAnalysis fa = analyze_faults(net, faults);
+  // Sabotage one interval to exclude the true detection probability by
+  // far more than the 6-sigma slack: the cross-check must fail loudly.
+  // (4096 patterns -> slack ~0.047; no c17 fault detects above ~0.95.)
+  fa.bounds[0].lo = 0.999;
+  fa.bounds[0].hi = 1.0;
+  fa.bounds[0].verdict = FaultClass::ProvenDetectable;
+  const PatternSet ps = PatternSet::random(net.inputs().size(), 4096, 99);
+  EXPECT_THROW(simulate_faults_pruned(net, faults, ps,
+                                      FaultSimMode::CountDetections, fa),
+               std::logic_error);
+  EXPECT_THROW(
+      simulate_faults_pruned(net, std::span<const Fault>(faults).first(2), ps,
+                             FaultSimMode::CountDetections, fa),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protest

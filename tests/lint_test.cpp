@@ -7,6 +7,7 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -46,12 +47,34 @@ std::uint64_t splitmix64(std::uint64_t& s) {
 
 TEST(Lint, PassNamesAreStableAndUnknownNamesThrow) {
   const auto names = lint_pass_names();
-  ASSERT_EQ(names.size(), 6u);
+  ASSERT_EQ(names.size(), 8u);
   EXPECT_EQ(names[0], "unused-net");
   EXPECT_EQ(names[5], "structure");
+  // The fault passes append AFTER the original six, so historical
+  // indices stay stable.
+  EXPECT_EQ(names[6], "redundant-fault");
+  EXPECT_EQ(names[7], "untestable-fault");
   LintOptions opts;
   opts.passes = {"bogus-pass"};
   EXPECT_THROW(run_lint(make_circuit("c17"), opts), std::invalid_argument);
+}
+
+TEST(Lint, FaultPassesAreOptIn) {
+  // Default "all passes" excludes the fault passes; --faults (or naming
+  // them) brings them in.
+  const Netlist net = make_circuit("c17");
+  const LintReport all = run_lint(net, {});
+  for (const std::string& p : all.passes_run)
+    EXPECT_TRUE(p != "redundant-fault" && p != "untestable-fault") << p;
+  LintOptions opts;
+  opts.faults = true;
+  const LintReport with = run_lint(net, opts);
+  EXPECT_NE(std::find(with.passes_run.begin(), with.passes_run.end(),
+                      "redundant-fault"),
+            with.passes_run.end());
+  EXPECT_NE(std::find(with.passes_run.begin(), with.passes_run.end(),
+                      "untestable-fault"),
+            with.passes_run.end());
 }
 
 TEST(Lint, RequiresFinalizedNetlist) {
@@ -295,6 +318,80 @@ TEST(Fold, ParityOnZooCircuits) {
   std::uint64_t seed = 1;
   for (const char* name : {"c17", "alu", "div"})
     expect_fold_parity(make_circuit(name), seed++);
+}
+
+TEST(Fold, PrimaryOutputIsPrimaryInputPassthrough) {
+  // Corner: a PO that IS a PI (and a Buf passthrough next to it).  The
+  // input survives by the all-inputs rule, and the output loop must remap
+  // it to the folded input, not to a dangling kNoNode.
+  Netlist net;
+  const NodeId a = net.add_input("a");
+  const NodeId b = net.add_input("b");
+  net.mark_output(a);
+  net.mark_output(net.add_gate(GateType::Buf, {b}, "y"));
+  net.finalize();
+  const FoldResult fold = fold_constants(net);
+  ASSERT_NE(fold.remap[a], kNoNode);
+  EXPECT_EQ(fold.netlist.gate(fold.remap[a]).type, GateType::Input);
+  EXPECT_EQ(fold.netlist.outputs()[0], fold.remap[a]);
+  expect_fold_parity(net, /*seed=*/23);
+}
+
+// --- fault passes -----------------------------------------------------------
+
+TEST(LintFaultPasses, FlagRedundantFaultsOnLearnedConstant) {
+  // t = XOR(a, a) is 0 for every input vector — invisible to the plain
+  // forward lattice, proven by the implication engine's recursive
+  // learning.  Faults needing t = 1 to excite are then undetectable.
+  const Netlist net = read_bench_string(
+      "INPUT(a)\nINPUT(b)\nOUTPUT(y)\n"
+      "t = XOR(a, a)\n"
+      "y = OR(t, b)\n");
+  const LintReport rep = lint_pass(net, "redundant-fault");
+  EXPECT_GE(rep.warnings, 1u);
+  bool saw = false;
+  for (const LintDiagnostic& d : rep.diagnostics) {
+    EXPECT_EQ(d.pass, "redundant-fault");
+    if (d.message.find("provably undetectable") != std::string::npos)
+      saw = true;
+  }
+  EXPECT_TRUE(saw);
+}
+
+TEST(LintFaultPasses, UntestableFaultPassEmitsCensus) {
+  const LintReport rep = lint_pass(make_circuit("c17"), "untestable-fault");
+  // c17 is small and irredundant: no warnings, but the census Info line
+  // always closes the pass.
+  EXPECT_EQ(rep.warnings, 0u);
+  ASSERT_GE(rep.diagnostics.size(), 1u);
+  const LintDiagnostic& census = rep.diagnostics.back();
+  EXPECT_EQ(census.severity, LintSeverity::Info);
+  EXPECT_NE(census.message.find("collapsed faults"), std::string::npos);
+}
+
+TEST(LintFaultPasses, BundledCorpusClassifiesAsKnown) {
+  // The checked-in corpus loads from PROTEST_DATA.  c17 is irredundant:
+  // zero redundant-fault findings.  The SN74181 ALU model genuinely
+  // contains constant nodes (the implication engine proves four const-1
+  // nets), so it MUST produce redundant-fault warnings.
+  const char* data = std::getenv("PROTEST_DATA");
+  ASSERT_NE(data, nullptr) << "PROTEST_DATA not set (see CMakeLists.txt)";
+  LintOptions opts;
+  opts.faults = true;
+  const Netlist c17 =
+      read_bench_file(std::string(data) + "/c17.bench");
+  const LintReport c17_rep = run_lint(c17, opts);
+  EXPECT_EQ(c17_rep.errors, 0u);
+  for (const LintDiagnostic& d : c17_rep.diagnostics)
+    EXPECT_NE(d.pass, "redundant-fault") << d.message;
+  const Netlist alu =
+      read_bench_file(std::string(data) + "/alu74181.bench");
+  const LintReport alu_rep = run_lint(alu, opts);
+  EXPECT_EQ(alu_rep.errors, 0u);
+  std::size_t redundant = 0;
+  for (const LintDiagnostic& d : alu_rep.diagnostics)
+    redundant += d.pass == "redundant-fault";
+  EXPECT_GT(redundant, 0u);
 }
 
 // --- interval containment ---------------------------------------------------

@@ -7,6 +7,8 @@
 #include <random>
 
 #include "circuits/random_circuit.hpp"
+#include "lint/fault_analyze.hpp"
+#include "lint/prob_bounds.hpp"
 #include "measures/scoap.hpp"
 #include "observe/detect.hpp"
 #include "prob/cutting.hpp"
@@ -240,6 +242,44 @@ TEST_P(SignatureInvariants, SignatureDetectionSubset) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SignatureInvariants, ::testing::Range(91, 95));
+
+// ---------------------------------------------------------------------
+// Static interval soundness, the full chain: every exact signal
+// probability sits inside its static interval, and every Monte-Carlo
+// detection estimate sits inside its static fault interval (pattern-seed
+// independent — simulate_faults_pruned throws past 6 sigma).
+class StaticIntervalSoundness : public ::testing::TestWithParam<int> {};
+
+TEST_P(StaticIntervalSoundness, ExactSignalProbsInsideStaticBounds) {
+  const Netlist net = random_net(static_cast<std::uint64_t>(GetParam()), 7, 50);
+  std::mt19937_64 rng(static_cast<std::uint64_t>(GetParam()) * 2663);
+  std::uniform_real_distribution<double> uni(0.05, 0.95);
+  InputProbs ip(7);
+  for (double& p : ip) p = uni(rng);
+  const auto exact = exact_signal_probs_bdd(net, ip);
+  const SignalProbBounds bounds = signal_prob_bounds(net, ip);
+  for (NodeId n = 0; n < net.size(); ++n) {
+    ASSERT_GE(exact[n], bounds.lo[n] - 1e-9) << "node " << n;
+    ASSERT_LE(exact[n], bounds.hi[n] + 1e-9) << "node " << n;
+  }
+}
+
+TEST_P(StaticIntervalSoundness, McDetectionEstimatesInsideFaultIntervals) {
+  const Netlist net = random_net(static_cast<std::uint64_t>(GetParam()), 7, 50);
+  const auto faults = collapsed_fault_list(net);
+  const FaultAnalysis fa = analyze_faults(net, faults);
+  // Any pattern seed must land inside the intervals: the pruned
+  // simulator's built-in 6-sigma cross-check is the assertion.
+  for (const std::uint64_t pseed : {1u, 77u, 4242u}) {
+    const PatternSet ps = PatternSet::random(net.inputs().size(), 2048, pseed);
+    EXPECT_NO_THROW(simulate_faults_pruned(
+        net, faults, ps, FaultSimMode::CountDetections, fa))
+        << "circuit seed " << GetParam() << " pattern seed " << pseed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StaticIntervalSoundness,
+                         ::testing::Range(201, 207));
 
 }  // namespace
 }  // namespace protest

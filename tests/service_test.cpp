@@ -146,6 +146,20 @@ TEST(ServiceProtocol, RequestRoundTripsEveryVerb) {
   lint.passes = {"const-gate", "prob-bounds"};
   requests.push_back(lint);
 
+  ServiceRequest lint_faults;
+  lint_faults.verb = ServiceVerb::Lint;
+  lint_faults.id = 16;
+  lint_faults.netlist = "alu";
+  lint_faults.faults = true;
+  requests.push_back(lint_faults);
+
+  ServiceRequest fault_bounds;
+  fault_bounds.verb = ServiceVerb::FaultBounds;
+  fault_bounds.id = 17;
+  fault_bounds.netlist = "alu";
+  fault_bounds.p = 0.25;
+  requests.push_back(fault_bounds);
+
   for (const ServiceRequest& req : requests) {
     const std::string wire = req.to_json(0);
     const ServiceRequest decoded = ServiceRequest::from_json(wire);
@@ -518,6 +532,55 @@ TEST(ServiceLint, StrictLoadAdmitsCleanNetlistAndStatsCountRuns) {
   ASSERT_TRUE(stats.ok);
   const JsonValue doc = parse_json(stats.result_json);
   EXPECT_EQ(doc.at("stats").at("lint").at("runs").as_number(), 2.0);
+}
+
+TEST(ServiceFaultBounds, VerbReportsSummaryAndPerFaultIntervals) {
+  ProtestService service;
+  ASSERT_TRUE(ServiceResponse::from_json(
+                  service.handle_line("{\"verb\":\"load_netlist\",\"id\":1,"
+                                      "\"netlist\":\"c17\",\"circuit\":\"c17\"}"))
+                  .ok);
+  const ServiceResponse r = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"fault_bounds\",\"id\":2,\"netlist\":\"c17\"}"));
+  ASSERT_TRUE(r.ok) << r.error_message;
+  const JsonValue doc = parse_json(r.result_json);
+  const JsonValue& summary = doc.at("summary");
+  const double total = summary.at("faults").as_number();
+  EXPECT_GT(total, 0.0);
+  // c17 is irredundant; the counts partition the fault list.
+  EXPECT_EQ(summary.at("proven_undetectable").as_number(), 0.0);
+  EXPECT_EQ(summary.at("proven_detectable").as_number() +
+                summary.at("uncertain").as_number(),
+            total);
+  EXPECT_GT(summary.at("settled_fraction").as_number(), 0.0);
+  const auto& faults = doc.at("faults").as_array();
+  ASSERT_EQ(static_cast<double>(faults.size()), total);
+  for (const JsonValue& f : faults) {
+    EXPECT_LE(f.at("lo").as_number(), f.at("hi").as_number());
+    EXPECT_FALSE(f.at("fault").as_string().empty());
+    EXPECT_FALSE(f.at("verdict").as_string().empty());
+  }
+  // Unnamed netlists answer unknown_netlist like every session verb.
+  const ServiceResponse missing = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"fault_bounds\",\"id\":3,\"netlist\":\"nope\"}"));
+  EXPECT_FALSE(missing.ok);
+  EXPECT_EQ(missing.error_code, "unknown_netlist");
+}
+
+TEST(ServiceLint, FaultsFlagAddsFaultPasses) {
+  ProtestService service;
+  ASSERT_TRUE(ServiceResponse::from_json(
+                  service.handle_line("{\"verb\":\"load_netlist\",\"id\":1,"
+                                      "\"netlist\":\"c17\",\"circuit\":\"c17\"}"))
+                  .ok);
+  const ServiceResponse r = ServiceResponse::from_json(service.handle_line(
+      "{\"verb\":\"lint\",\"id\":2,\"netlist\":\"c17\",\"faults\":true}"));
+  ASSERT_TRUE(r.ok) << r.error_message;
+  const JsonValue report = parse_json(r.result_json).at("report");
+  bool saw = false;
+  for (const JsonValue& p : report.at("passes").as_array())
+    saw = saw || p.as_string() == "redundant-fault";
+  EXPECT_TRUE(saw);
 }
 
 TEST(ServiceLint, UnknownPassIsABadRequest) {

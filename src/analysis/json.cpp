@@ -93,11 +93,19 @@ JsonWriter& JsonWriter::key(std::string_view k) {
 
 JsonWriter& JsonWriter::value(double v) {
   if (!std::isfinite(v)) return null();
-  // Shortest representation that round-trips: try increasing precision.
   char buf[32];
-  for (int prec = 1; prec <= 17; ++prec) {
-    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
-    if (std::strtod(buf, nullptr) == v) break;
+  if (v == std::trunc(v) && std::abs(v) < 1e15) {
+    // Integral values print as integers, exactly matching write_uint /
+    // write_int output: parsing a writer-produced document (where the
+    // parser stores every number as double) and re-writing it must
+    // reproduce the original bytes.
+    std::snprintf(buf, sizeof buf, "%.0f", v);
+  } else {
+    // Shortest representation that round-trips: try increasing precision.
+    for (int prec = 1; prec <= 17; ++prec) {
+      std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+      if (std::strtod(buf, nullptr) == v) break;
+    }
   }
   before_value();
   out_ += buf;

@@ -10,6 +10,8 @@ Netlist make_random_circuit(const RandomCircuitParams& params) {
     throw std::invalid_argument("make_random_circuit: empty circuit");
   if (params.max_fanin < 2)
     throw std::invalid_argument("make_random_circuit: max_fanin < 2");
+  if (params.reconvergence_fraction > 0.0 && params.reconvergence_depth == 0)
+    throw std::invalid_argument("make_random_circuit: reconvergence_depth 0");
 
   std::mt19937_64 rng(params.seed);
   std::uniform_real_distribution<double> uni(0.0, 1.0);
@@ -19,9 +21,19 @@ Netlist make_random_circuit(const RandomCircuitParams& params) {
   for (std::size_t i = 0; i < params.num_inputs; ++i)
     net.add_input("I" + std::to_string(i));
 
-  for (std::size_t g = 0; g < params.num_gates; ++g) {
+  // Every shape knob that defaults to "off" guards its uni(rng) draw
+  // behind `param > 0`, so default parameters consume the exact draw
+  // sequence of the pre-knob generator — seeded circuits stay stable.
+  std::size_t gates_made = 0;
+  while (gates_made < params.num_gates) {
     const NodeId limit = static_cast<NodeId>(net.size());
     auto pick = [&]() -> NodeId {
+      // Fanout skew: hammer a few fixed hub nodes.
+      if (params.fanout_skew > 0.0 && uni(rng) < params.fanout_skew) {
+        const std::size_t hubs = std::min<std::size_t>(limit, 4);
+        return static_cast<NodeId>(std::uniform_int_distribution<std::size_t>(
+            0, hubs - 1)(rng));
+      }
       // Bias toward recent nodes for depth; fall back to uniform.
       if (uni(rng) < 0.6) {
         const std::size_t window =
@@ -33,13 +45,36 @@ Netlist make_random_circuit(const RandomCircuitParams& params) {
       return std::uniform_int_distribution<NodeId>(0, limit - 1)(rng);
     };
 
+    // Forced reconvergence: two divergent paths from one stem, rejoined.
+    const std::size_t gadget_gates = 2 * params.reconvergence_depth + 1;
+    if (params.reconvergence_fraction > 0.0 &&
+        gates_made + gadget_gates <= params.num_gates &&
+        uni(rng) < params.reconvergence_fraction) {
+      const NodeId stem = pick();
+      NodeId a = stem;
+      NodeId b = stem;
+      for (unsigned d = 0; d < params.reconvergence_depth; ++d) {
+        a = net.add_gate(uni(rng) < 0.5 ? GateType::Not : GateType::Buf, {a});
+        b = net.add_gate(uni(rng) < 0.5 ? GateType::And : GateType::Or,
+                         {b, pick()});
+        gates_made += 2;
+      }
+      static constexpr GateType kJoins[] = {GateType::And, GateType::Or,
+                                            GateType::Xor, GateType::Nand};
+      net.add_gate(kJoins[std::uniform_int_distribution<int>(0, 3)(rng)],
+                   {a, b});
+      ++gates_made;
+      continue;
+    }
+
     if (uni(rng) < params.inverter_fraction) {
       net.add_gate(uni(rng) < 0.7 ? GateType::Not : GateType::Buf, {pick()});
+      ++gates_made;
       continue;
     }
     GateType t;
     if (uni(rng) < params.xor_fraction) {
-      t = uni(rng) < 0.5 ? GateType::Xor : GateType::Xnor;
+      t = uni(rng) < 1.0 - params.xnor_ratio ? GateType::Xor : GateType::Xnor;
     } else {
       static constexpr GateType kTypes[] = {GateType::And, GateType::Nand,
                                             GateType::Or, GateType::Nor};
@@ -51,6 +86,7 @@ Netlist make_random_circuit(const RandomCircuitParams& params) {
     ins.reserve(fanin);
     for (unsigned k = 0; k < fanin; ++k) ins.push_back(pick());
     net.add_gate(t, std::move(ins));
+    ++gates_made;
   }
 
   // Sinks become outputs; guarantees observability of every node.

@@ -15,11 +15,31 @@ struct RandomCircuitParams {
   unsigned max_fanin = 3;       ///< >= 2
   double inverter_fraction = 0.2;
   double xor_fraction = 0.15;   ///< fraction of XOR/XNOR among logic gates
+  /// Share of XNOR within the XOR-family picks (0 = all XOR, 1 = all
+  /// XNOR).  0.5 reproduces the historical even split bit for bit.
+  double xnor_ratio = 0.5;
+  /// Probability per gate slot of emitting a forced-reconvergence gadget:
+  /// two divergent paths of `reconvergence_depth` gates from one stem,
+  /// rejoined by a single gate — the topology that separates the exact
+  /// engines from the independence estimators.  0 (default) generates
+  /// exactly the historical circuit for a given seed.
+  double reconvergence_fraction = 0.0;
+  unsigned reconvergence_depth = 2;  ///< >= 1; gates per divergent path
+  /// Probability per fanin pick of hammering one of a few fixed "hub"
+  /// nodes instead of the usual recency-biased draw, skewing the fanout
+  /// distribution toward high-fanout stems.  0 (default) is the
+  /// historical unskewed draw, bit for bit.
+  double fanout_skew = 0.0;
   std::uint64_t seed = 1;
 };
 
 /// Levelized random DAG; all sinks become primary outputs, so every node
-/// reaches an output.
+/// reaches an output.  Deterministic: equal params (seed included) yield
+/// a byte-identical netlist (write_bench_string compares equal), and the
+/// default values of the newer shape knobs (xnor_ratio 0.5,
+/// reconvergence_fraction 0, fanout_skew 0) reproduce the pre-knob
+/// generator exactly — existing seeded tests and benchmarks see the same
+/// circuits.
 Netlist make_random_circuit(const RandomCircuitParams& params);
 
 /// Preset for the 100k+-gate stress tier used by the throughput benchmarks

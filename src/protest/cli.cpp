@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <optional>
@@ -22,6 +24,7 @@
 #include "protest/supervisor.hpp"
 #include "sim/scan.hpp"
 #include "util/cancel.hpp"
+#include "validate/fuzz.hpp"
 
 namespace protest {
 namespace {
@@ -73,6 +76,19 @@ struct Args {
   bool passes_set = false;
   /// --faults: opt into the static fault-analysis passes (lint only).
   bool lint_faults = false;
+  // fuzz-only flags (the differential validation harness, src/validate).
+  bool quick = false;            ///< --quick: the PR-gating smoke tier
+  std::size_t circuits = 0;      ///< --circuits: random-circuit count
+  bool circuits_set = false;
+  double alpha = 1e-6;           ///< --alpha: aggregate false-positive budget
+  bool alpha_set = false;
+  std::string corpus_dir;        ///< --corpus: repro artifacts land here
+  bool corpus_set = false;
+  std::string replay_file;       ///< --replay: re-run one repro artifact
+  bool replay_set = false;
+  bool inject = false;           ///< --inject: plant the deliberate bug
+  std::string data_dir;          ///< --data: fixed .bench corpus directory
+  bool data_set = false;
 };
 
 class UsageError : public std::runtime_error {
@@ -114,7 +130,9 @@ Args parse_args(const std::vector<std::string>& argv) {
   // serve: a single-process daemon on stdin/stdout, fault-armable from
   // the environment.  It takes flags like serve, never a file.
   const bool is_serve = a.command == "serve" || a.command == "__serve-worker";
-  if (a.command != "help" && !is_serve) {
+  // fuzz generates its own circuits (plus the --data corpus); no <file>.
+  const bool is_fuzz = a.command == "fuzz";
+  if (a.command != "help" && !is_serve && !is_fuzz) {
     if (i >= argv.size()) throw UsageError("missing <file> argument");
     a.file = argv[i++];
   }
@@ -198,6 +216,24 @@ Args parse_args(const std::vector<std::string>& argv) {
         a.fault_spec = need_value(flag);
         a.fault_set = true;
       }
+      else if (flag == "--quick") a.quick = true;
+      else if (flag == "--circuits") {
+        const unsigned long long v = std::stoull(need_value(flag));
+        if (v < 1 || v > 1'000'000)
+          throw UsageError("--circuits must be between 1 and 1000000");
+        a.circuits = static_cast<std::size_t>(v);
+        a.circuits_set = true;
+      }
+      else if (flag == "--alpha") {
+        a.alpha = std::stod(need_value(flag));
+        if (!(a.alpha > 0.0) || !(a.alpha < 1.0))
+          throw UsageError("--alpha must be strictly between 0 and 1");
+        a.alpha_set = true;
+      }
+      else if (flag == "--corpus") { a.corpus_dir = need_value(flag); a.corpus_set = true; }
+      else if (flag == "--replay") { a.replay_file = need_value(flag); a.replay_set = true; }
+      else if (flag == "--inject") a.inject = true;
+      else if (flag == "--data") { a.data_dir = need_value(flag); a.data_set = true; }
       else if (flag == "--deadline-ms") {
         // The same guarded-integer discipline the wire protocol applies
         // to deadline_ms: a wrapped negative or oversized value must not
@@ -251,6 +287,28 @@ Args parse_args(const std::vector<std::string>& argv) {
     throw UsageError("--passes is only valid for 'lint'");
   } else if (a.lint_faults) {
     throw UsageError("--faults is only valid for 'lint'");
+  }
+  // fuzz runs EVERY engine by design and derives its tolerances from the
+  // statistical oracle — flags that would pick one engine or hand-tune a
+  // comparison are rejected, not silently ignored.
+  if (is_fuzz) {
+    if (a.engine_set)
+      throw UsageError("--engine is not valid for 'fuzz' (the harness runs "
+                       "every registered engine)");
+    if (a.artifacts_set) throw UsageError("--artifacts is not valid for 'fuzz'");
+    for (const std::string& f : a.query_flags)
+      if (f != "--seed" && f != "--patterns")
+        throw UsageError(f + " is not valid for 'fuzz'");
+    if (a.deadline_set)
+      throw UsageError("--deadline-ms is not valid for 'fuzz'");
+    if (a.replay_set &&
+        (a.quick || a.circuits_set || a.alpha_set || a.inject || a.data_set))
+      throw UsageError("--replay re-runs the artifact's own spec; it takes "
+                       "no grid flags");
+  } else if (a.quick || a.circuits_set || a.alpha_set || a.corpus_set ||
+             a.replay_set || a.inject || a.data_set) {
+    throw UsageError("--quick/--circuits/--alpha/--corpus/--replay/--inject/"
+                     "--data are only valid for 'fuzz'");
   }
   // serve speaks the JSON protocol by construction and loads netlists per
   // request; every per-query flag would be silently ignored, so all of
@@ -590,6 +648,81 @@ int cmd_serve_worker(const Args& a, std::istream& in, std::ostream& out) {
   return serve_ndjson(service, in, out, serve_opts);
 }
 
+void print_fuzz_report(const Args& a, const validate::FuzzReport& report,
+                       std::ostream& out) {
+  if (a.json) {
+    JsonWriter w;
+    w.begin_object();
+    w.key("circuits").value(report.circuits);
+    w.key("checks").value(report.checks);
+    w.key("disagreements").begin_array();
+    for (const validate::FuzzDisagreement& d : report.disagreements) {
+      w.begin_object();
+      w.key("check").value(d.check);
+      w.key("where").value(d.where);
+      w.key("detail").value(d.detail);
+      w.end_object();
+    }
+    w.end_array();
+    w.key("artifacts").begin_array();
+    for (const std::string& p : report.artifact_paths) w.value(p);
+    w.end_array();
+    w.key("ok").value(report.ok());
+    w.end_object();
+    out << w.str() << "\n";
+    return;
+  }
+  out << "fuzz: " << report.circuits << " circuits, " << report.checks
+      << " checks, " << report.disagreements.size() << " disagreements\n";
+  for (const validate::FuzzDisagreement& d : report.disagreements)
+    out << "  DISAGREE " << d.check << " @ " << d.where << ": " << d.detail
+        << "\n";
+  for (const std::string& p : report.artifact_paths)
+    out << "  repro artifact: " << p << "\n";
+}
+
+/// The differential validation harness (src/validate): exit 0 on a clean
+/// matrix, 1 on any disagreement, 2 on usage errors — so CI can gate on
+/// it directly and `--inject` proves the non-zero path end to end.
+int cmd_fuzz(const Args& a, std::ostream& out, std::ostream& err) {
+  if (a.replay_set) {
+    const validate::FuzzReport report =
+        validate::run_replay(a.replay_file, &err);
+    print_fuzz_report(a, report, out);
+    return report.ok() ? 0 : 1;
+  }
+  validate::FuzzOptions opts;
+  opts.num_circuits = a.circuits_set ? a.circuits : (a.quick ? 50 : 200);
+  opts.seed = a.seed;
+  // --patterns rides the shared flag; the fuzz default is sized so the
+  // Hoeffding tolerances stay meaningful at the aggregate alpha.
+  const bool patterns_set =
+      std::find(a.query_flags.begin(), a.query_flags.end(), "--patterns") !=
+      a.query_flags.end();
+  opts.mc_patterns = patterns_set ? a.patterns : (a.quick ? 8'192 : 32'768);
+  opts.aggregate_alpha = a.alpha;
+  opts.threads = a.threads_set && a.threads >= 1 ? a.threads : 2;
+  opts.corpus_dir = a.corpus_dir;
+  opts.inject_disagreement = a.inject;
+  // Fixed-seed real circuits: --data DIR, defaulting to $PROTEST_DATA
+  // (the path the test harness exports); absent/empty = generated only.
+  std::string data = a.data_dir;
+  if (!a.data_set) {
+    if (const char* env = std::getenv("PROTEST_DATA")) data = env;
+  }
+  if (!data.empty() && std::filesystem::is_directory(data)) {
+    std::vector<std::string> bench;
+    for (const auto& entry : std::filesystem::directory_iterator(data))
+      if (entry.path().extension() == ".bench")
+        bench.push_back(entry.path().string());
+    std::sort(bench.begin(), bench.end());  // deterministic corpus order
+    opts.bench_files = std::move(bench);
+  }
+  const validate::FuzzReport report = validate::run_fuzz(opts, &err);
+  print_fuzz_report(a, report, out);
+  return report.ok() ? 0 : 1;
+}
+
 int cmd_scan(const Args& a, std::ostream& out) {
   std::ifstream f(a.file);
   if (!f) throw UsageError("cannot open '" + a.file + "'");
@@ -624,6 +757,10 @@ void print_help(std::ostream& out) {
          "                          [--workers N] [--heartbeat-ms MS] "
          "[--max-restarts N]\n"
          "                          [--fault-inject SPEC]\n"
+         "  protest fuzz            [--quick] [--circuits N] [--seed S]\n"
+         "                          [--patterns N] [--alpha A] [--threads T]\n"
+         "                          [--data DIR] [--corpus DIR] [--inject]\n"
+         "                          [--replay FILE] [--json]\n"
          "  protest help\n"
          "\n"
          "<file>: .bench netlist or module DSL (auto-detected), or\n"
@@ -663,7 +800,17 @@ void print_help(std::ostream& out) {
          "the budget the work stops at its next checkpoint, exit 3.\n"
          "--fault-inject SPEC arms deterministic fault injection\n"
          "([w<K>:]crash|stall|garbage@<verb>[:<nth>], comma-separated) in\n"
-         "the workers (or in-process without --workers) for testing.\n";
+         "the workers (or in-process without --workers) for testing.\n"
+         "fuzz runs the differential validation harness: seeded random\n"
+         "circuits (plus every .bench under --data, default $PROTEST_DATA)\n"
+         "through every engine, both perturb fidelities, serial vs threaded\n"
+         "and the served round trip, with Monte-Carlo tolerances derived\n"
+         "from the --alpha false-positive budget (default 1e-6 per run).\n"
+         "Disagreements exit 1 and serialize self-contained repro\n"
+         "artifacts to --corpus; --replay FILE re-runs one artifact\n"
+         "deterministically, and --inject plants a deliberate bug to\n"
+         "prove the harness catches it.  --quick is the PR-gating tier\n"
+         "(50 circuits); the default grid is the nightly tier (200).\n";
 }
 
 }  // namespace
@@ -681,6 +828,7 @@ int run_cli(const std::vector<std::string>& argv, std::ostream& out,
     if (a.command == "simulate") return cmd_simulate(a, out);
     if (a.command == "lint") return cmd_lint(a, out);
     if (a.command == "scan") return cmd_scan(a, out);
+    if (a.command == "fuzz") return cmd_fuzz(a, out, err);
     if (a.command == "serve") return cmd_serve(a, std::cin, out, err);
     if (a.command == "__serve-worker")
       return cmd_serve_worker(a, std::cin, out);

@@ -1,0 +1,725 @@
+#include "validate/recheck.hpp"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+#include <utility>
+
+namespace protest::recheck {
+namespace {
+
+// --- a deliberately tiny JSON parser ----------------------------------------
+// Independent of analysis/json by design: this is the secondary toolchain,
+// so it must not inherit the primary parser's bugs.  Recursive descent,
+// depth-capped, numbers via strtod, \uXXXX decoded to UTF-8.
+
+struct MiniValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+  Kind kind = Kind::Null;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<MiniValue> array;
+  std::vector<std::pair<std::string, MiniValue>> object;
+
+  const MiniValue* find(std::string_view key) const {
+    for (const auto& [k, v] : object)
+      if (k == key) return &v;
+    return nullptr;
+  }
+};
+
+class MiniParser {
+ public:
+  explicit MiniParser(std::string_view text) : text_(text) {}
+
+  bool parse(MiniValue& out) {
+    if (!value(out, 0)) return false;
+    skip_ws();
+    if (pos_ != text_.size()) return fail("trailing characters");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  bool fail(const char* what) {
+    if (error_.empty())
+      error_ = std::string(what) + " at offset " + std::to_string(pos_);
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return fail("bad literal");
+    pos_ += word.size();
+    return true;
+  }
+
+  bool value(MiniValue& out, int depth) {
+    if (depth > kMaxDepth) return fail("nesting too deep");
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end");
+    switch (text_[pos_]) {
+      case 'n':
+        out.kind = MiniValue::Kind::Null;
+        return literal("null");
+      case 't':
+        out.kind = MiniValue::Kind::Bool;
+        out.boolean = true;
+        return literal("true");
+      case 'f':
+        out.kind = MiniValue::Kind::Bool;
+        out.boolean = false;
+        return literal("false");
+      case '"':
+        out.kind = MiniValue::Kind::String;
+        return string_body(out.string);
+      case '[':
+        return array_body(out, depth);
+      case '{':
+        return object_body(out, depth);
+      default:
+        return number_body(out);
+    }
+  }
+
+  bool number_body(MiniValue& out) {
+    const char* begin = text_.data() + pos_;
+    char* end = nullptr;
+    out.number = std::strtod(begin, &end);
+    if (end == begin) return fail("bad number");
+    out.kind = MiniValue::Kind::Number;
+    pos_ += static_cast<std::size_t>(end - begin);
+    return true;
+  }
+
+  bool hex4(unsigned& out) {
+    out = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (pos_ >= text_.size()) return fail("bad \\u escape");
+      const char c = text_[pos_++];
+      unsigned d = 0;
+      if (c >= '0' && c <= '9')
+        d = static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f')
+        d = static_cast<unsigned>(c - 'a') + 10;
+      else if (c >= 'A' && c <= 'F')
+        d = static_cast<unsigned>(c - 'A') + 10;
+      else
+        return fail("bad \\u escape");
+      out = out * 16 + d;
+    }
+    return true;
+  }
+
+  static void append_utf8(std::string& s, unsigned cp) {
+    if (cp < 0x80) {
+      s += static_cast<char>(cp);
+    } else if (cp < 0x800) {
+      s += static_cast<char>(0xC0 | (cp >> 6));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    } else {
+      s += static_cast<char>(0xE0 | (cp >> 12));
+      s += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+      s += static_cast<char>(0x80 | (cp & 0x3F));
+    }
+  }
+
+  bool string_body(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (true) {
+      if (pos_ >= text_.size()) return fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20)
+        return fail("control character in string");
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) return fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          unsigned cp = 0;
+          if (!hex4(cp)) return false;
+          append_utf8(out, cp);
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+  }
+
+  bool array_body(MiniValue& out, int depth) {
+    ++pos_;  // '['
+    out.kind = MiniValue::Kind::Array;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      MiniValue elem;
+      if (!value(elem, depth + 1)) return false;
+      out.array.push_back(std::move(elem));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated array");
+      const char c = text_[pos_++];
+      if (c == ']') return true;
+      if (c != ',') return fail("expected ',' or ']'");
+    }
+  }
+
+  bool object_body(MiniValue& out, int depth) {
+    ++pos_;  // '{'
+    out.kind = MiniValue::Kind::Object;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"')
+        return fail("expected object key");
+      std::string key;
+      if (!string_body(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_++] != ':')
+        return fail("expected ':'");
+      MiniValue val;
+      if (!value(val, depth + 1)) return false;
+      out.object.emplace_back(std::move(key), std::move(val));
+      skip_ws();
+      if (pos_ >= text_.size()) return fail("unterminated object");
+      const char c = text_[pos_++];
+      if (c == '}') return true;
+      if (c != ',') return fail("expected ',' or '}'");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+// --- the naive evaluator ----------------------------------------------------
+// Own gate semantics switch (not netlist/gate.hpp eval_gate): a second,
+// independent reading of what AND/NAND/XOR/... mean.
+
+/// Evaluates one gate over its per-PIN input values.  Pin-indexed (not
+/// node-indexed) so a branch fault on one pin leaves sibling pins driven
+/// by the same net unaffected.
+bool naive_eval(GateType t, const std::vector<char>& pins) {
+  switch (t) {
+    case GateType::Input:
+      return false;  // inputs are assigned, never evaluated
+    case GateType::Const0:
+      return false;
+    case GateType::Const1:
+      return true;
+    case GateType::Buf:
+      return pins[0] != 0;
+    case GateType::Not:
+      return pins[0] == 0;
+    case GateType::And:
+    case GateType::Nand: {
+      bool all = true;
+      for (char v : pins) all = all && v != 0;
+      return t == GateType::And ? all : !all;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      bool any = false;
+      for (char v : pins) any = any || v != 0;
+      return t == GateType::Or ? any : !any;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      int ones = 0;
+      for (char v : pins) ones += v != 0 ? 1 : 0;
+      const bool odd = ones % 2 == 1;
+      return t == GateType::Xor ? odd : !odd;
+    }
+  }
+  return false;
+}
+
+/// One fault under naive simulation; node == kNoNode means fault-free.
+struct NaiveFault {
+  NodeId node = kNoNode;
+  int pin = -1;  ///< -1: output stem; >= 0: that input pin of `node`
+  bool value = false;
+};
+
+/// Evaluates the whole netlist for one input assignment (bit i of
+/// `pattern` drives input i), optionally with one stuck pin/stem.
+void naive_simulate(const Netlist& net, std::uint64_t pattern,
+                    const NaiveFault& fault, std::vector<char>& vals) {
+  vals.assign(net.size(), 0);
+  const auto inputs = net.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i)
+    vals[inputs[i]] = (pattern >> i) & 1 ? 1 : 0;
+  std::vector<char> pins;
+  for (NodeId n = 0; n < net.size(); ++n) {
+    const Gate& g = net.gate(n);
+    if (g.type != GateType::Input) {
+      pins.clear();
+      for (std::size_t i = 0; i < g.fanin.size(); ++i) {
+        // A branch fault sticks ONE pin; a sibling pin driven by the
+        // same net still sees the fault-free value.
+        const bool stuck = fault.node == n &&
+                           fault.pin == static_cast<int>(i);
+        pins.push_back(stuck ? (fault.value ? 1 : 0) : vals[g.fanin[i]]);
+      }
+      vals[n] = naive_eval(g.type, pins) ? 1 : 0;
+    }
+    if (fault.node == n && fault.pin < 0) vals[n] = fault.value ? 1 : 0;
+  }
+}
+
+/// Probability weight of one exhaustive pattern under independent inputs.
+double pattern_weight(std::span<const double> input_probs,
+                      std::uint64_t pattern) {
+  double w = 1.0;
+  for (std::size_t i = 0; i < input_probs.size(); ++i)
+    w *= (pattern >> i) & 1 ? input_probs[i] : 1.0 - input_probs[i];
+  return w;
+}
+
+/// Parses the payload's "name" / "name/pin" " s-a-0|1" fault display
+/// syntax back into a NaiveFault.  Returns false on anything unexpected.
+bool parse_fault_name(const Netlist& net, std::string_view text,
+                      NaiveFault& out) {
+  std::size_t sa = text.rfind(" s-a-");
+  if (sa == std::string_view::npos || sa + 6 != text.size()) return false;
+  const char bit = text[sa + 5];
+  if (bit != '0' && bit != '1') return false;
+  out.value = bit == '1';
+  std::string_view site = text.substr(0, sa);
+  out.pin = -1;
+  const std::size_t slash = site.rfind('/');
+  if (slash != std::string_view::npos) {
+    const std::string_view pin_text = site.substr(slash + 1);
+    if (pin_text.empty()) return false;
+    int pin = 0;
+    for (char c : pin_text) {
+      if (c < '0' || c > '9') return false;
+      pin = pin * 10 + (c - '0');
+    }
+    // "a/1" is only a branch fault if "a" names a gate; net names may
+    // themselves contain '/' so fall back to the whole string.
+    const NodeId n = net.find(std::string(site.substr(0, slash)));
+    if (n != kNoNode &&
+        static_cast<std::size_t>(pin) < net.gate(n).fanin.size()) {
+      out.node = n;
+      out.pin = pin;
+      return true;
+    }
+  }
+  const NodeId n = net.find(std::string(site));
+  if (n == kNoNode) return false;
+  out.node = n;
+  out.pin = -1;
+  return true;
+}
+
+std::string format_double(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+// --- the check driver -------------------------------------------------------
+
+class Rechecker {
+ public:
+  Rechecker(const Netlist& net, const RecheckOptions& opts,
+            RecheckReport& report)
+      : net_(net), opts_(opts), report_(report) {}
+
+  void run(std::string_view payload_json) {
+    MiniParser parser(payload_json);
+    MiniValue root;
+    ++report_.checks;
+    if (!parser.parse(root)) {
+      issue("parse", "payload", parser.error());
+      return;
+    }
+    if (root.kind != MiniValue::Kind::Object) {
+      issue("parse", "payload", "top level is not an object");
+      return;
+    }
+    check_circuit(root);
+    if (!check_input_probs(root)) return;
+    exhaustive_ = net_.inputs().size() <= opts_.max_inputs;
+    if (exhaustive_) derive_signal_probs();
+    check_signal_probs(root);
+    check_detection_probs(root);
+    check_fault_bounds(root);
+    check_test_lengths(root);
+  }
+
+ private:
+  void issue(std::string check, std::string where, std::string detail) {
+    report_.issues.push_back(
+        {std::move(check), std::move(where), std::move(detail)});
+  }
+
+  bool expect_count(const MiniValue& obj, std::string_view key,
+                    std::size_t want) {
+    ++report_.checks;
+    const MiniValue* v = obj.find(key);
+    if (v == nullptr || v->kind != MiniValue::Kind::Number) {
+      issue("circuit", std::string(key), "missing or non-numeric");
+      return false;
+    }
+    if (v->number != static_cast<double>(want)) {
+      issue("circuit", std::string(key),
+            "payload says " + format_double(v->number) + ", netlist has " +
+                std::to_string(want));
+      return false;
+    }
+    return true;
+  }
+
+  void check_circuit(const MiniValue& root) {
+    const MiniValue* c = root.find("circuit");
+    ++report_.checks;
+    if (c == nullptr || c->kind != MiniValue::Kind::Object) {
+      issue("circuit", "circuit", "missing circuit summary");
+      return;
+    }
+    expect_count(*c, "inputs", net_.inputs().size());
+    expect_count(*c, "outputs", net_.outputs().size());
+    expect_count(*c, "gates", net_.num_gates());
+    expect_count(*c, "nodes", net_.size());
+  }
+
+  bool check_input_probs(const MiniValue& root) {
+    const MiniValue* arr = root.find("input_probs");
+    ++report_.checks;
+    if (arr == nullptr || arr->kind != MiniValue::Kind::Array) {
+      issue("input_probs", "input_probs", "missing array");
+      return false;
+    }
+    const auto inputs = net_.inputs();
+    if (arr->array.size() != inputs.size()) {
+      issue("input_probs", "input_probs",
+            "payload lists " + std::to_string(arr->array.size()) +
+                " inputs, netlist has " + std::to_string(inputs.size()));
+      return false;
+    }
+    input_probs_.resize(inputs.size());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      const MiniValue& e = arr->array[i];
+      const MiniValue* name = e.find("input");
+      const MiniValue* p = e.find("p");
+      ++report_.checks;
+      if (name == nullptr || name->kind != MiniValue::Kind::String ||
+          p == nullptr || p->kind != MiniValue::Kind::Number) {
+        issue("input_probs", "entry " + std::to_string(i),
+              "expected {input, p}");
+        return false;
+      }
+      if (name->string != net_.name_of(inputs[i])) {
+        issue("input_probs", name->string,
+              "input order mismatch: expected " + net_.name_of(inputs[i]));
+        return false;
+      }
+      if (!(p->number >= 0.0 && p->number <= 1.0)) {
+        issue("input_probs", name->string,
+              "p outside [0, 1]: " + format_double(p->number));
+        return false;
+      }
+      input_probs_[i] = p->number;
+    }
+    return true;
+  }
+
+  void derive_signal_probs() {
+    true_p1_.assign(net_.size(), 0.0);
+    const std::uint64_t patterns = std::uint64_t{1} << net_.inputs().size();
+    good_vals_.resize(patterns);
+    pattern_weights_.resize(patterns);
+    for (std::uint64_t pat = 0; pat < patterns; ++pat) {
+      pattern_weights_[pat] = pattern_weight(input_probs_, pat);
+      naive_simulate(net_, pat, NaiveFault{}, good_vals_[pat]);
+      if (pattern_weights_[pat] == 0.0) continue;
+      for (NodeId n = 0; n < net_.size(); ++n)
+        if (good_vals_[pat][n] != 0) true_p1_[n] += pattern_weights_[pat];
+    }
+  }
+
+  void check_signal_probs(const MiniValue& root) {
+    const MiniValue* arr = root.find("signal_probs");
+    ++report_.checks;
+    if (arr == nullptr || arr->kind != MiniValue::Kind::Array) {
+      issue("signal_probs", "signal_probs", "missing array");
+      return;
+    }
+    std::size_t seen = 0;
+    for (const MiniValue& e : arr->array) {
+      const MiniValue* name = e.find("node");
+      const MiniValue* p1 = e.find("p1");
+      ++report_.checks;
+      if (name == nullptr || name->kind != MiniValue::Kind::String ||
+          p1 == nullptr || p1->kind != MiniValue::Kind::Number) {
+        issue("signal_probs", "entry " + std::to_string(seen),
+              "expected {node, p1}");
+        continue;
+      }
+      ++seen;
+      const NodeId n = net_.find(name->string);
+      if (n == kNoNode) {
+        issue("signal_probs", name->string, "unknown node");
+        continue;
+      }
+      if (!(p1->number >= 0.0 && p1->number <= 1.0)) {
+        issue("signal_probs", name->string,
+              "p1 outside [0, 1]: " + format_double(p1->number));
+        continue;
+      }
+      if (exhaustive_ &&
+          !(std::abs(p1->number - true_p1_[n]) <= opts_.tolerance)) {
+        issue("signal_probs", name->string,
+              "payload p1 = " + format_double(p1->number) +
+                  ", exhaustive truth table gives " +
+                  format_double(true_p1_[n]) + " (tolerance " +
+                  format_double(opts_.tolerance) + ")");
+      }
+      const MiniValue* obs = e.find("observability");
+      if (obs != nullptr) {
+        ++report_.checks;
+        if (obs->kind != MiniValue::Kind::Number ||
+            !(obs->number >= 0.0 && obs->number <= 1.0)) {
+          issue("observability", name->string, "outside [0, 1]");
+        }
+      }
+    }
+    ++report_.checks;
+    if (seen != net_.num_gates()) {
+      issue("signal_probs", "signal_probs",
+            "payload lists " + std::to_string(seen) + " nodes, netlist has " +
+                std::to_string(net_.num_gates()) + " non-input nodes");
+    }
+  }
+
+  void check_detection_probs(const MiniValue& root) {
+    const MiniValue* arr = root.find("detection_probs");
+    if (arr == nullptr) return;  // artifact not requested
+    ++report_.checks;
+    if (arr->kind != MiniValue::Kind::Array) {
+      issue("detection_probs", "detection_probs", "not an array");
+      return;
+    }
+    for (const MiniValue& e : arr->array) {
+      const MiniValue* name = e.find("fault");
+      const MiniValue* p = e.find("p_detect");
+      ++report_.checks;
+      if (name == nullptr || name->kind != MiniValue::Kind::String ||
+          p == nullptr || p->kind != MiniValue::Kind::Number) {
+        issue("detection_probs", "entry", "expected {fault, p_detect}");
+        continue;
+      }
+      if (!(p->number >= 0.0 && p->number <= 1.0)) {
+        issue("detection_probs", name->string,
+              "p_detect outside [0, 1]: " + format_double(p->number));
+        continue;
+      }
+      detect_estimates_.emplace_back(name->string, p->number);
+    }
+  }
+
+  /// True detection probability of one fault by naive exhaustive fault
+  /// simulation: the probability mass of patterns where any primary
+  /// output of the faulty circuit differs from the good circuit.
+  double naive_detection_prob(const NaiveFault& fault) {
+    std::vector<char> bad;
+    double p = 0.0;
+    const std::uint64_t patterns = std::uint64_t{1} << net_.inputs().size();
+    for (std::uint64_t pat = 0; pat < patterns; ++pat) {
+      const double w = pattern_weights_[pat];
+      if (w == 0.0) continue;
+      naive_simulate(net_, pat, fault, bad);
+      const std::vector<char>& good = good_vals_[pat];
+      for (NodeId out : net_.outputs()) {
+        if (good[out] != bad[out]) {
+          p += w;
+          break;
+        }
+      }
+    }
+    return p;
+  }
+
+  void check_fault_bounds(const MiniValue& root) {
+    const MiniValue* fb = root.find("fault_bounds");
+    if (fb == nullptr) return;  // artifact not requested
+    ++report_.checks;
+    const MiniValue* faults =
+        fb->kind == MiniValue::Kind::Object ? fb->find("faults") : nullptr;
+    if (faults == nullptr || faults->kind != MiniValue::Kind::Array) {
+      issue("fault_bounds", "fault_bounds", "missing faults array");
+      return;
+    }
+    for (const MiniValue& e : faults->array) {
+      const MiniValue* name = e.find("fault");
+      const MiniValue* lo = e.find("lo");
+      const MiniValue* hi = e.find("hi");
+      const MiniValue* verdict = e.find("verdict");
+      ++report_.checks;
+      if (name == nullptr || name->kind != MiniValue::Kind::String ||
+          lo == nullptr || lo->kind != MiniValue::Kind::Number ||
+          hi == nullptr || hi->kind != MiniValue::Kind::Number ||
+          verdict == nullptr || verdict->kind != MiniValue::Kind::String) {
+        issue("fault_bounds", "entry", "expected {fault, lo, hi, verdict}");
+        continue;
+      }
+      if (!(0.0 <= lo->number && lo->number <= hi->number &&
+            hi->number <= 1.0)) {
+        issue("fault_bounds", name->string,
+              "interval [" + format_double(lo->number) + ", " +
+                  format_double(hi->number) + "] is not a sub-range of [0,1]");
+        continue;
+      }
+      const bool undetectable = verdict->string == "proven_undetectable";
+
+      // The serialized estimate must respect the interval it shipped with.
+      for (const auto& [fault_name, estimate] : detect_estimates_) {
+        if (fault_name != name->string) continue;
+        ++report_.checks;
+        const double slack = 1e-12;
+        if (undetectable && estimate != 0.0) {
+          issue("fault_bounds", name->string,
+                "proven undetectable but p_detect = " +
+                    format_double(estimate));
+        } else if (estimate < lo->number - slack ||
+                   estimate > hi->number + slack) {
+          issue("fault_bounds", name->string,
+                "p_detect = " + format_double(estimate) +
+                    " escapes its own interval [" + format_double(lo->number) +
+                    ", " + format_double(hi->number) + "]");
+        }
+      }
+
+      // Soundness from scratch: the true (exhaustively simulated)
+      // detection probability must lie inside the claimed interval.
+      if (!exhaustive_) continue;
+      NaiveFault fault;
+      ++report_.checks;
+      if (!parse_fault_name(net_, name->string, fault)) {
+        issue("fault_bounds", name->string, "unparseable fault name");
+        continue;
+      }
+      const double truth = naive_detection_prob(fault);
+      const double slack = 1e-9;
+      if (truth < lo->number - slack || truth > hi->number + slack) {
+        issue("fault_bounds", name->string,
+              "exhaustive fault simulation gives p_detect = " +
+                  format_double(truth) + ", outside claimed interval [" +
+                  format_double(lo->number) + ", " + format_double(hi->number) +
+                  "]");
+      } else if (undetectable && truth != 0.0) {
+        issue("fault_bounds", name->string,
+              "proven undetectable but exhaustive simulation detects it "
+              "with probability " +
+                  format_double(truth));
+      }
+    }
+  }
+
+  void check_test_lengths(const MiniValue& root) {
+    const MiniValue* arr = root.find("test_lengths");
+    if (arr == nullptr) return;  // artifact not requested
+    ++report_.checks;
+    if (arr->kind != MiniValue::Kind::Array) {
+      issue("test_lengths", "test_lengths", "not an array");
+      return;
+    }
+    // Entries come d-major from the request grid; within one d the
+    // required pattern count must not shrink as the confidence e rises.
+    double prev_d = std::numeric_limits<double>::quiet_NaN();
+    double prev_e = 0.0;
+    double prev_n = 0.0;
+    for (const MiniValue& e : arr->array) {
+      const MiniValue* d = e.find("d");
+      const MiniValue* conf = e.find("e");
+      const MiniValue* n = e.find("n");
+      ++report_.checks;
+      if (d == nullptr || d->kind != MiniValue::Kind::Number ||
+          conf == nullptr || conf->kind != MiniValue::Kind::Number ||
+          n == nullptr) {
+        issue("test_lengths", "entry", "expected {d, e, n}");
+        continue;
+      }
+      const bool infinite = n->kind == MiniValue::Kind::Null;
+      const double count = infinite ? std::numeric_limits<double>::infinity()
+                                    : n->number;
+      if (!infinite && !(count >= 1.0)) {
+        issue("test_lengths",
+              "d=" + format_double(d->number) + " e=" +
+                  format_double(conf->number),
+              "pattern count < 1: " + format_double(count));
+      }
+      if (d->number == prev_d && conf->number > prev_e && count < prev_n) {
+        issue("test_lengths",
+              "d=" + format_double(d->number) + " e=" +
+                  format_double(conf->number),
+              "test length shrank as confidence rose: " +
+                  format_double(prev_n) + " -> " + format_double(count));
+      }
+      prev_d = d->number;
+      prev_e = conf->number;
+      prev_n = count;
+    }
+  }
+
+  const Netlist& net_;
+  const RecheckOptions& opts_;
+  RecheckReport& report_;
+  std::vector<double> input_probs_;
+  std::vector<double> true_p1_;
+  /// Exhaustive-mode caches filled by derive_signal_probs: good-circuit
+  /// node values and probability weight of every pattern.
+  std::vector<std::vector<char>> good_vals_;
+  std::vector<double> pattern_weights_;
+  std::vector<std::pair<std::string, double>> detect_estimates_;
+  bool exhaustive_ = false;
+};
+
+}  // namespace
+
+RecheckReport recheck_analyze_payload(const Netlist& net,
+                                      std::string_view payload_json,
+                                      const RecheckOptions& opts) {
+  RecheckReport report;
+  Rechecker(net, opts, report).run(payload_json);
+  return report;
+}
+
+}  // namespace protest::recheck

@@ -1,0 +1,73 @@
+// Independent re-checker for served analyze payloads — the "secondary
+// toolchain" leg of the validation harness (à la PyB re-checking ProB).
+//
+// Everything here is deliberately naive and self-contained: its own
+// minimal JSON parser (not analysis/json), its own exhaustive weighted
+// truth-table evaluator and its own single-fault simulator (not src/prob,
+// src/sim or src/observe).  The only shared vocabulary is the Netlist
+// structure itself and the payload's fault-name syntax ("g7/2 s-a-1").
+// A bug would have to be implemented twice, independently, to slip
+// through both the primary engines and this checker.
+//
+// Scope: small circuits only — the evaluator enumerates all 2^k input
+// assignments, so callers gate on RecheckOptions::max_inputs.  What gets
+// verified against a payload produced by AnalysisResult::to_json():
+//
+//   - the circuit summary counts match the netlist
+//   - input_probs echo well-formed probabilities for every input, in order
+//   - every signal_probs entry names a real node, p1 lies in [0, 1] and
+//     within `tolerance` of the re-derived exhaustive probability
+//     (callers pass 1e-9 for exact engines, an mc_tolerance for MC)
+//   - observability values lie in [0, 1]
+//   - detection_probs lie in [0, 1]; when fault_bounds are present each
+//     estimate sits inside its sound [lo, hi] interval and
+//     proven-undetectable faults report exactly 0
+//   - each fault_bounds interval CONTAINS the true detection probability
+//     re-derived by naive exhaustive fault simulation (soundness of the
+//     static analyzer, checked from scratch)
+//   - test_lengths are >= 1 (or null = infinite) and monotone
+//     non-decreasing in the confidence e for a fixed detection target d
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace protest::recheck {
+
+struct RecheckOptions {
+  /// |payload p1 - exhaustively recomputed p1| bound for signal
+  /// probabilities.  1e-9 suits exact engines; Monte-Carlo payloads need
+  /// a statistical tolerance (validate/stats.hpp mc_tolerance).
+  double tolerance = 1e-9;
+  /// Exhaustive enumeration cap: payloads for circuits with more primary
+  /// inputs skip the truth-table and fault-simulation checks (the
+  /// structural/range checks still run).
+  std::size_t max_inputs = 14;
+};
+
+/// One failed check: which check tripped, on what (node/fault/field), and
+/// a human-readable detail line with expected vs actual.
+struct RecheckIssue {
+  std::string check;
+  std::string where;
+  std::string detail;
+};
+
+struct RecheckReport {
+  std::vector<RecheckIssue> issues;
+  std::size_t checks = 0;  ///< individual facts verified (issues included)
+  bool ok() const { return issues.empty(); }
+};
+
+/// Re-verifies one analyze payload (AnalysisResult::to_json output, any
+/// indent) against the netlist it was computed from.  Never throws on bad
+/// payloads — malformed JSON or missing fields become issues.
+RecheckReport recheck_analyze_payload(const Netlist& net,
+                                      std::string_view payload_json,
+                                      const RecheckOptions& opts = {});
+
+}  // namespace protest::recheck

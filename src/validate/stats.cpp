@@ -1,0 +1,35 @@
+#include "validate/stats.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace protest {
+
+double mc_threshold_bias(std::size_t num_inputs) {
+  return static_cast<double>(num_inputs) *
+         (1.0 / 4294967296.0);  // num_inputs * 2^-32
+}
+
+double hoeffding_tolerance(std::size_t num_samples, double alpha) {
+  if (num_samples == 0) {
+    throw std::invalid_argument("hoeffding_tolerance: num_samples == 0");
+  }
+  if (!(alpha > 0.0) || !(alpha < 1.0)) {
+    throw std::invalid_argument("hoeffding_tolerance: alpha outside (0, 1)");
+  }
+  return std::sqrt(std::log(2.0 / alpha) /
+                   (2.0 * static_cast<double>(num_samples)));
+}
+
+double mc_tolerance(std::size_t num_samples, std::size_t num_comparisons,
+                    std::size_t num_inputs, double aggregate_alpha) {
+  if (num_comparisons == 0) {
+    throw std::invalid_argument("mc_tolerance: num_comparisons == 0");
+  }
+  const double per_comparison =
+      aggregate_alpha / static_cast<double>(num_comparisons);
+  return hoeffding_tolerance(num_samples, per_comparison) +
+         mc_threshold_bias(num_inputs);
+}
+
+}  // namespace protest

@@ -1,0 +1,63 @@
+// Statistical oracles for Monte-Carlo differential testing (ProbTest-style).
+//
+// The Monte-Carlo engine estimates every node's signal probability as the
+// mean of n i.i.d. Bernoulli samples.  Instead of hand-tuned epsilons
+// ("EXPECT_NEAR(mc, exact, 0.01)"), every assertion in the harness derives
+// its tolerance from the actual pattern budget and an explicit
+// false-positive budget:
+//
+//   Hoeffding:   P(|p_hat - p| >= t) <= 2 exp(-2 n t^2)
+//   =>           t(alpha, n) = sqrt(ln(2 / alpha) / (2 n))
+//
+// is distribution-free (no variance estimate, no normal approximation, no
+// p-dependent corner cases near 0/1), so the bound is a GUARANTEE: an
+// assertion with per-comparison failure probability alpha fails on a
+// correct engine with probability at most alpha.
+//
+// Controlling the HARNESS-WIDE false-positive rate is a union bound
+// (Bonferroni): a run that performs k comparisons at per-comparison level
+// alpha/k produces a spurious failure with probability at most alpha.
+// Every caller therefore passes the number of comparisons its run makes
+// and the aggregate budget (default kHarnessAlpha = 1e-6): a nightly fuzz
+// run that diffs 10^5 nets still raises a false alarm less than once per
+// million runs.
+//
+// One systematic term rides on top of the sampling noise: the engine draws
+// each input 1 with probability trunc(p * 2^32) / 2^32 (see
+// prob/monte_carlo.hpp), so the EXPECTATION of a node estimate can differ
+// from the true probability by up to num_inputs * 2^-32 (union bound over
+// the per-input threshold truncations).  mc_tolerance adds that bias so
+// the bound stays a guarantee; at ~1.5e-8 for 64 inputs it is invisible
+// next to any realistic sampling tolerance.
+#pragma once
+
+#include <cstddef>
+
+namespace protest {
+
+/// Aggregate false-positive budget the validation harness spends per run:
+/// a clean engine matrix triggers a spurious disagreement with probability
+/// <= 1e-6 per fuzz run / test binary, however many nets are compared.
+inline constexpr double kHarnessAlpha = 1e-6;
+
+/// Per-input threshold-truncation bias of the Monte-Carlo sampler (2^-32;
+/// see prob/monte_carlo.hpp): the estimate's expectation may sit this far
+/// from the true probability per input, independent of the sample count.
+double mc_threshold_bias(std::size_t num_inputs);
+
+/// Two-sided Hoeffding deviation: the smallest t with
+/// P(|mean of n i.i.d. [0,1] samples - expectation| >= t) <= alpha.
+/// Throws std::invalid_argument for num_samples == 0 or alpha outside
+/// (0, 1).
+double hoeffding_tolerance(std::size_t num_samples, double alpha);
+
+/// The harness tolerance for one Monte-Carlo-vs-truth comparison:
+/// Hoeffding at level aggregate_alpha / num_comparisons (Bonferroni)
+/// plus the threshold-truncation bias for num_inputs inputs.  A run that
+/// performs num_comparisons such comparisons and fails any of them
+/// flags a correct engine with probability <= aggregate_alpha.
+double mc_tolerance(std::size_t num_samples, std::size_t num_comparisons,
+                    std::size_t num_inputs = 0,
+                    double aggregate_alpha = kHarnessAlpha);
+
+}  // namespace protest

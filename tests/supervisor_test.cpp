@@ -288,6 +288,44 @@ TEST(SupervisorProcess, ServesAConversationAndSurfacesFleetStats) {
   EXPECT_EQ(counters.worker_lost, 0u);
 }
 
+TEST(SupervisorProcess, WorkerCountNeverChangesServedPayloads) {
+  REQUIRE_SUPERVISOR();
+  // Placement only routes requests — it must never alter results: a
+  // 1-worker and a 2-worker fleet serve byte-identical analyze payloads
+  // for the same conversation, across several netlists so both workers
+  // of the larger fleet own some of them.
+  // Load responses echo the worker-local resident list (legitimately
+  // fleet-dependent); only the analysis payloads must be byte-identical.
+  const std::vector<std::string> loads = {
+      "{\"verb\":\"load_netlist\",\"id\":1,\"netlist\":\"c17\","
+      "\"circuit\":\"c17\"}",
+      "{\"verb\":\"load_netlist\",\"id\":2,\"netlist\":\"alu\","
+      "\"circuit\":\"alu\"}",
+  };
+  const std::vector<std::string> queries = {
+      "{\"verb\":\"analyze\",\"id\":3,\"netlist\":\"c17\",\"p\":0.5,"
+      "\"artifacts\":[\"signal_probs\",\"observability\","
+      "\"detection_probs\",\"test_lengths\"]}",
+      "{\"verb\":\"analyze\",\"id\":4,\"netlist\":\"alu\",\"p\":0.3}",
+      "{\"verb\":\"perturb\",\"id\":5,\"netlist\":\"c17\",\"p\":0.5,"
+      "\"input_index\":1,\"new_p\":0.9}",
+  };
+  std::ostringstream log1, log2;
+  Supervisor one(fast_options(1, ""), log1);
+  Supervisor two(fast_options(2, ""), log2);
+  for (const std::string& line : loads) {
+    ASSERT_TRUE(ask(one, line).ok) << line;
+    ASSERT_TRUE(ask(two, line).ok) << line;
+  }
+  for (const std::string& line : queries) {
+    const ServiceResponse a = ask(one, line);
+    const ServiceResponse b = ask(two, line);
+    ASSERT_TRUE(a.ok) << a.error_message;
+    ASSERT_TRUE(b.ok) << b.error_message;
+    EXPECT_EQ(a.result_json, b.result_json) << line;
+  }
+}
+
 TEST(SupervisorProcess, CrashedWorkerRestartsAndIdempotentReadRetries) {
   REQUIRE_SUPERVISOR();
   std::ostringstream log;

@@ -1,0 +1,297 @@
+// The validation harness (src/validate): statistical-oracle math, the
+// independent payload re-checker, the differential fuzz loop with its
+// repro-artifact replay cycle, and the random-circuit shape knobs the
+// fuzzer drives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "analysis/json.hpp"
+#include "circuits/random_circuit.hpp"
+#include "netlist/bench_io.hpp"
+#include "protest/session.hpp"
+#include "validate/fuzz.hpp"
+#include "validate/recheck.hpp"
+#include "validate/stats.hpp"
+
+namespace protest {
+namespace {
+
+// --- statistical oracle -----------------------------------------------------
+
+TEST(Stats, HoeffdingToleranceMatchesClosedForm) {
+  // t = sqrt(ln(2/alpha) / (2n)).
+  EXPECT_DOUBLE_EQ(hoeffding_tolerance(32'768, 1e-9),
+                   std::sqrt(std::log(2.0 / 1e-9) / (2.0 * 32'768)));
+  // Quadrupling the samples halves the tolerance.
+  EXPECT_NEAR(hoeffding_tolerance(4 * 10'000, 1e-6),
+              hoeffding_tolerance(10'000, 1e-6) / 2.0, 1e-15);
+  // Stricter alpha widens it.
+  EXPECT_GT(hoeffding_tolerance(10'000, 1e-9),
+            hoeffding_tolerance(10'000, 1e-3));
+}
+
+TEST(Stats, HoeffdingToleranceRejectsDegenerateInputs) {
+  EXPECT_THROW(hoeffding_tolerance(0, 0.5), std::invalid_argument);
+  EXPECT_THROW(hoeffding_tolerance(100, 0.0), std::invalid_argument);
+  EXPECT_THROW(hoeffding_tolerance(100, 1.0), std::invalid_argument);
+  EXPECT_THROW(hoeffding_tolerance(100, -1.0), std::invalid_argument);
+}
+
+TEST(Stats, McToleranceSplitsAlphaAndAddsThresholdBias) {
+  // Bonferroni: the per-comparison alpha is aggregate / comparisons.
+  EXPECT_DOUBLE_EQ(mc_tolerance(10'000, 5, 0, 1e-6),
+                   hoeffding_tolerance(10'000, 1e-6 / 5));
+  // The 32-bit threshold-truncation bias rides on top, once per input.
+  EXPECT_DOUBLE_EQ(mc_tolerance(10'000, 5, 7, 1e-6),
+                   hoeffding_tolerance(10'000, 1e-6 / 5) +
+                       mc_threshold_bias(7));
+  EXPECT_DOUBLE_EQ(mc_threshold_bias(3), 3.0 / 4294967296.0);
+  EXPECT_THROW(mc_tolerance(10'000, 0), std::invalid_argument);
+}
+
+// --- independent re-checker -------------------------------------------------
+
+Netlist small_net() {
+  return read_bench_string(
+      "INPUT(a)\nINPUT(b)\nINPUT(c)\nOUTPUT(y)\nOUTPUT(z)\n"
+      "s = AND(a, b)\nt = NAND(s, c)\ny = XOR(s, t)\nz = NOR(t, a)\n");
+}
+
+std::string analyze_payload(const Netlist& net,
+                            const std::vector<double>& probs) {
+  AnalysisRequest artifacts;
+  artifacts.test_lengths = true;
+  artifacts.fault_bounds = true;
+  SessionOptions opts;
+  opts.engine = "exact-bdd";
+  AnalysisSession session(net, opts);
+  return session.analyze(probs, artifacts).to_json(0);
+}
+
+TEST(Recheck, CleanExactPayloadPasses) {
+  const Netlist net = small_net();
+  const std::string payload = analyze_payload(net, {0.3, 0.6, 0.5});
+  const recheck::RecheckReport report =
+      recheck::recheck_analyze_payload(net, payload);
+  EXPECT_TRUE(report.ok()) << (report.issues.empty()
+                                   ? ""
+                                   : report.issues.front().check + " @ " +
+                                         report.issues.front().where + ": " +
+                                         report.issues.front().detail);
+  EXPECT_GT(report.checks, 20u);
+}
+
+TEST(Recheck, CatchesATamperedSignalProbability) {
+  const Netlist net = small_net();
+  std::string payload = analyze_payload(net, {0.3, 0.6, 0.5});
+  // Corrupt the first signal probability to an impossible value.
+  const std::size_t at = payload.find("\"p1\":");
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = payload.find_first_of(",}", at);
+  payload.replace(at, end - at, "\"p1\":0.987654321");
+  const recheck::RecheckReport report =
+      recheck::recheck_analyze_payload(net, payload);
+  ASSERT_FALSE(report.ok());
+  EXPECT_EQ(report.issues.front().check, "signal_probs");
+}
+
+TEST(Recheck, MalformedJsonBecomesAnIssueNotAThrow) {
+  const Netlist net = small_net();
+  const recheck::RecheckReport report =
+      recheck::recheck_analyze_payload(net, "{\"engine\": ");
+  EXPECT_FALSE(report.ok());
+}
+
+// --- fuzz spec serialization ------------------------------------------------
+
+TEST(FuzzSpec, JsonRoundTripPreservesFull64BitSeeds) {
+  validate::FuzzCircuitSpec spec;
+  spec.name = "rt";
+  spec.gen.num_inputs = 6;
+  spec.gen.num_gates = 30;
+  spec.gen.max_fanin = 3;
+  spec.gen.inverter_fraction = 0.22;
+  spec.gen.xor_fraction = 0.1;
+  spec.gen.xnor_ratio = 0.4;
+  spec.gen.reconvergence_fraction = 0.15;
+  spec.gen.reconvergence_depth = 3;
+  spec.gen.fanout_skew = 0.25;
+  // Both seeds exceed 2^53: a JSON double would silently round them.
+  spec.gen.seed = 0xFFFFFFFFFFFFFFFFULL;
+  spec.mc_seed = (1ULL << 53) + 12'345;
+  spec.input_probs = {0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+  spec.perturb_index = 4;
+  spec.perturb_p = 0.77;
+  spec.mc_patterns = 9'999;
+  spec.threads = 3;
+  spec.per_net_alpha = 3.5e-10;
+  spec.inject = true;
+  spec.max_exhaustive_inputs = 9;
+
+  const validate::FuzzCircuitSpec back =
+      validate::FuzzCircuitSpec::from_json_value(parse_json(spec.to_json(2)));
+  EXPECT_EQ(back.gen.seed, spec.gen.seed);
+  EXPECT_EQ(back.mc_seed, spec.mc_seed);
+  EXPECT_EQ(back.name, spec.name);
+  EXPECT_EQ(back.gen.num_inputs, spec.gen.num_inputs);
+  EXPECT_EQ(back.gen.num_gates, spec.gen.num_gates);
+  EXPECT_EQ(back.gen.max_fanin, spec.gen.max_fanin);
+  EXPECT_EQ(back.gen.inverter_fraction, spec.gen.inverter_fraction);
+  EXPECT_EQ(back.gen.xor_fraction, spec.gen.xor_fraction);
+  EXPECT_EQ(back.gen.xnor_ratio, spec.gen.xnor_ratio);
+  EXPECT_EQ(back.gen.reconvergence_fraction, spec.gen.reconvergence_fraction);
+  EXPECT_EQ(back.gen.reconvergence_depth, spec.gen.reconvergence_depth);
+  EXPECT_EQ(back.gen.fanout_skew, spec.gen.fanout_skew);
+  EXPECT_EQ(back.input_probs, spec.input_probs);
+  EXPECT_EQ(back.perturb_index, spec.perturb_index);
+  EXPECT_EQ(back.perturb_p, spec.perturb_p);
+  EXPECT_EQ(back.mc_patterns, spec.mc_patterns);
+  EXPECT_EQ(back.threads, spec.threads);
+  EXPECT_EQ(back.per_net_alpha, spec.per_net_alpha);
+  EXPECT_EQ(back.inject, spec.inject);
+  EXPECT_EQ(back.max_exhaustive_inputs, spec.max_exhaustive_inputs);
+}
+
+TEST(FuzzSpec, BenchSpecRoundTrips) {
+  validate::FuzzCircuitSpec spec;
+  spec.name = "c17";
+  spec.from_bench = true;
+  spec.bench_text = "INPUT(a)\nOUTPUT(y)\ny = NOT(a)\n";
+  spec.input_probs = {0.5};
+  const validate::FuzzCircuitSpec back =
+      validate::FuzzCircuitSpec::from_json_value(parse_json(spec.to_json(0)));
+  EXPECT_TRUE(back.from_bench);
+  EXPECT_EQ(back.bench_text, spec.bench_text);
+}
+
+// --- fuzz loop, injection, replay -------------------------------------------
+
+TEST(Fuzz, SmallCleanRunAgrees) {
+  validate::FuzzOptions opts;
+  opts.num_circuits = 4;
+  opts.seed = 11;
+  opts.mc_patterns = 8'192;
+  const validate::FuzzReport report = validate::run_fuzz(opts);
+  EXPECT_TRUE(report.ok()) << (report.disagreements.empty()
+                                   ? ""
+                                   : report.disagreements.front().check);
+  EXPECT_EQ(report.circuits, 4u);
+  EXPECT_GT(report.checks, 1'000u);
+}
+
+TEST(Fuzz, InjectedBugIsCaughtAndReplaysDeterministically) {
+  const std::filesystem::path corpus =
+      std::filesystem::path(::testing::TempDir()) / "fuzz_corpus";
+  std::filesystem::remove_all(corpus);
+
+  validate::FuzzOptions opts;
+  opts.num_circuits = 2;
+  opts.seed = 11;
+  opts.mc_patterns = 8'192;
+  opts.inject_disagreement = true;
+  opts.corpus_dir = corpus.string();
+  const validate::FuzzReport report = validate::run_fuzz(opts);
+
+  // The watcher-watcher: the planted bug must be reported...
+  ASSERT_FALSE(report.ok());
+  ASSERT_FALSE(report.artifact_paths.empty());
+  const std::string& artifact = report.artifact_paths.front();
+  ASSERT_TRUE(std::filesystem::exists(artifact));
+
+  // ...and the serialized artifact must reproduce it exactly: same
+  // check, same node, same expected-vs-actual detail line.
+  const validate::FuzzReport replay = validate::run_replay(artifact);
+  ASSERT_FALSE(replay.ok());
+  const validate::FuzzDisagreement& original = report.disagreements.front();
+  bool reproduced = false;
+  for (const validate::FuzzDisagreement& d : replay.disagreements)
+    reproduced = reproduced || (d.check == original.check &&
+                                d.where == original.where &&
+                                d.detail == original.detail);
+  EXPECT_TRUE(reproduced) << original.check << " @ " << original.where;
+}
+
+TEST(Fuzz, ReplayRejectsNonArtifactFiles) {
+  const std::filesystem::path bogus =
+      std::filesystem::path(::testing::TempDir()) / "not_a_repro.json";
+  std::ofstream(bogus) << "{\"hello\": 1}\n";
+  EXPECT_THROW(validate::run_replay(bogus.string()), std::runtime_error);
+  EXPECT_THROW(validate::run_replay("/nonexistent/path.json"),
+               std::runtime_error);
+}
+
+// --- random-circuit shape knobs ---------------------------------------------
+
+RandomCircuitParams base_params(std::uint64_t seed) {
+  RandomCircuitParams p;
+  p.num_inputs = 6;
+  p.num_gates = 60;
+  p.max_fanin = 3;
+  p.inverter_fraction = 0.15;
+  p.xor_fraction = 0.25;
+  p.seed = seed;
+  return p;
+}
+
+TEST(RandomCircuit, SameParamsSameCircuit) {
+  for (std::uint64_t seed : {1u, 99u}) {
+    RandomCircuitParams p = base_params(seed);
+    p.xnor_ratio = 0.3;
+    p.reconvergence_fraction = 0.2;
+    p.fanout_skew = 0.25;
+    EXPECT_EQ(write_bench_string(make_random_circuit(p)),
+              write_bench_string(make_random_circuit(p)));
+  }
+}
+
+TEST(RandomCircuit, XnorRatioSteersTheXorMix) {
+  RandomCircuitParams p = base_params(5);
+  auto count = [](const Netlist& net, GateType t) {
+    std::size_t c = 0;
+    for (NodeId n = 0; n < net.size(); ++n) c += net.gate(n).type == t;
+    return c;
+  };
+  p.xnor_ratio = 0.0;
+  const Netlist all_xor = make_random_circuit(p);
+  EXPECT_GT(count(all_xor, GateType::Xor), 0u);
+  EXPECT_EQ(count(all_xor, GateType::Xnor), 0u);
+  p.xnor_ratio = 1.0;
+  const Netlist all_xnor = make_random_circuit(p);
+  EXPECT_EQ(count(all_xnor, GateType::Xor), 0u);
+  EXPECT_GT(count(all_xnor, GateType::Xnor), 0u);
+}
+
+TEST(RandomCircuit, FanoutSkewConcentratesFanout) {
+  auto max_fanout = [](const Netlist& net) {
+    std::vector<std::size_t> fo(net.size(), 0);
+    for (NodeId n = 0; n < net.size(); ++n)
+      for (NodeId f : net.gate(n).fanin) ++fo[f];
+    std::size_t mx = 0;
+    for (std::size_t c : fo) mx = std::max(mx, c);
+    return mx;
+  };
+  RandomCircuitParams p = base_params(5);
+  const std::size_t baseline = max_fanout(make_random_circuit(p));
+  p.fanout_skew = 0.9;
+  EXPECT_GT(max_fanout(make_random_circuit(p)), baseline);
+}
+
+TEST(RandomCircuit, ReconvergenceKnobValidatesAndProducesGates) {
+  RandomCircuitParams p = base_params(5);
+  p.reconvergence_fraction = 1.0;
+  p.reconvergence_depth = 2;
+  const Netlist net = make_random_circuit(p);
+  EXPECT_EQ(net.size(), p.num_inputs + p.num_gates);
+  p.reconvergence_depth = 0;
+  EXPECT_THROW(make_random_circuit(p), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace protest
